@@ -1,0 +1,264 @@
+// Package bpred is the public API of a Go reproduction of Sechrest,
+// Lee & Mudge, "Correlation and Aliasing in Dynamic Branch
+// Predictors" (ISCA 1996).
+//
+// The package re-exports the library's stable surface: branch traces
+// and calibrated synthetic workloads, every predictor scheme the
+// paper studies (plus the dealiased designs it motivated), the
+// simulation engine with aliasing instrumentation, and design-space
+// sweeps. The heavy lifting lives in internal packages; everything a
+// downstream user needs is reachable from here.
+//
+// Minimal use:
+//
+//	tr, _ := bpred.GenerateTrace("espresso", 1, 1_000_000)
+//	p := bpred.NewGShare(11, 2)
+//	m := bpred.Simulate(p, tr, tr.Len()/20)
+//	fmt.Printf("%s: %.2f%%\n", m.Name, 100*m.MispredictRate())
+package bpred
+
+import (
+	"fmt"
+
+	"bpred/internal/btb"
+	"bpred/internal/core"
+	"bpred/internal/dealias"
+	"bpred/internal/history"
+	"bpred/internal/perf"
+	"bpred/internal/sim"
+	"bpred/internal/sweep"
+	"bpred/internal/textplot"
+	"bpred/internal/trace"
+	"bpred/internal/workload"
+)
+
+// Core data types.
+type (
+	// Branch is one dynamic conditional-branch instance.
+	Branch = trace.Branch
+	// Trace is an in-memory branch trace with workload metadata.
+	Trace = trace.Trace
+	// Source yields branches one at a time.
+	Source = trace.Source
+	// TraceStats characterizes a trace (static/dynamic counts,
+	// hot-set coverage, bias) the way the paper's Tables 1-2 do.
+	TraceStats = trace.Stats
+
+	// Predictor is a dynamic branch predictor driven in strict
+	// Predict-then-Update alternation.
+	Predictor = core.Predictor
+	// Config is a declarative predictor configuration.
+	Config = core.Config
+	// Scheme enumerates the predictor families.
+	Scheme = core.Scheme
+	// FirstLevel configures a PAs first-level history table.
+	FirstLevel = core.FirstLevel
+	// AliasStats aggregates second-level table aliasing.
+	AliasStats = core.AliasStats
+
+	// Metrics summarizes one predictor's run over one trace.
+	Metrics = sim.Metrics
+	// SimOptions control a simulation run.
+	SimOptions = sim.Options
+	// Breakdown couples aggregate metrics with per-branch detail.
+	Breakdown = sim.Breakdown
+	// FrontendMetrics combines direction prediction with BTB target
+	// supply.
+	FrontendMetrics = sim.FrontendMetrics
+
+	// Profile parameterizes a synthetic workload.
+	Profile = workload.Profile
+
+	// SweepOptions parameterize a design-space sweep.
+	SweepOptions = sweep.Options
+	// Surface is a tier x split grid of sweep results.
+	Surface = sweep.Surface
+
+	// BTB is a set-associative branch target buffer.
+	BTB = btb.BTB
+)
+
+// Scheme constants.
+const (
+	SchemeAddress = core.SchemeAddress
+	SchemeGAs     = core.SchemeGAs
+	SchemeGShare  = core.SchemeGShare
+	SchemePath    = core.SchemePath
+	SchemePAs     = core.SchemePAs
+)
+
+// --- Workloads ---
+
+// Workloads returns the fourteen benchmark profiles calibrated to the
+// paper's Table 1/Table 2 characterization, in the paper's order.
+func Workloads() []Profile { return workload.Profiles() }
+
+// WorkloadByName returns the named profile.
+func WorkloadByName(name string) (Profile, bool) { return workload.ProfileByName(name) }
+
+// GenerateTrace synthesizes n branches of the named workload.
+// Deterministic given (name, seed, n).
+func GenerateTrace(name string, seed uint64, n int) (*Trace, error) {
+	p, ok := workload.ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("bpred: unknown workload %q (see Workloads)", name)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("bpred: trace length %d", n)
+	}
+	return workload.Generate(p, seed, n), nil
+}
+
+// ReadTrace loads a trace file written by WriteTrace or cmd/bptrace.
+func ReadTrace(path string) (*Trace, error) { return trace.ReadFile(path) }
+
+// WriteTrace stores a trace in the library's binary format.
+func WriteTrace(path string, t *Trace) error { return trace.WriteFile(path, t) }
+
+// AnalyzeTrace characterizes a trace (Tables 1-2 style).
+func AnalyzeTrace(t *Trace) *TraceStats { return trace.AnalyzeTrace(t) }
+
+// --- Predictors ---
+
+// NewAddressIndexed returns the bimodal baseline: a row of 2^colBits
+// two-bit counters indexed by branch address.
+func NewAddressIndexed(colBits int) Predictor { return core.NewAddressIndexed(colBits) }
+
+// NewGAg returns a single column of 2^histBits counters selected by
+// global history.
+func NewGAg(histBits int) Predictor { return core.NewGAg(histBits) }
+
+// NewGAs returns the general global-history scheme: 2^histBits rows
+// by 2^colBits columns.
+func NewGAs(histBits, colBits int) Predictor { return core.NewGAs(histBits, colBits) }
+
+// NewGShare returns McFarling's gshare, generalized to multiple
+// columns as the paper studies it.
+func NewGShare(histBits, colBits int) Predictor { return core.NewGShare(histBits, colBits) }
+
+// NewPath returns Nair's path-based scheme with bitsPerTarget
+// target-address bits recorded per branch.
+func NewPath(histBits, colBits, bitsPerTarget int) Predictor {
+	return core.NewPath(histBits, colBits, bitsPerTarget)
+}
+
+// NewPAs returns a per-address-history predictor with a perfect
+// (unbounded) first-level table of histBits-wide registers.
+func NewPAs(histBits, colBits int) Predictor {
+	return core.NewPAs(colBits, history.NewPerfect(histBits))
+}
+
+// NewPAsFinite returns a per-address-history predictor whose
+// first-level table has the given capacity and associativity, using
+// the paper's 0xC3FF-prefix conflict reset.
+func NewPAsFinite(histBits, colBits, entries, ways int) Predictor {
+	return core.NewPAs(colBits, history.NewSetAssoc(entries, ways, histBits, history.PrefixReset))
+}
+
+// NewTournament returns a McFarling combining predictor over two
+// components with a 2^chooserBits per-address chooser.
+func NewTournament(a, b Predictor, chooserBits int) Predictor {
+	return core.NewTournament(a, b, chooserBits)
+}
+
+// NewAgree returns an agree predictor over a gshare-indexed
+// agreement-counter table.
+func NewAgree(histBits, colBits int) Predictor { return core.NewAgreeGShare(histBits, colBits) }
+
+// NewGSelect returns McFarling's concatenation scheme.
+func NewGSelect(histBits, addrBits int) Predictor { return dealias.NewGSelect(histBits, addrBits) }
+
+// NewBiMode returns the bi-mode dealiased predictor.
+func NewBiMode(histBits, choiceBits, bankBits int) Predictor {
+	return dealias.NewBiMode(histBits, choiceBits, bankBits)
+}
+
+// NewGSkew returns the skewed (three-bank majority) predictor.
+func NewGSkew(histBits, bankBits int) Predictor { return dealias.NewGSkew(histBits, bankBits) }
+
+// ParseConfig parses a canonical predictor name (e.g.
+// "PAs(1024/4w)-2^10x2^2") into a Config; Config.Build constructs it.
+func ParseConfig(s string) (Config, error) { return core.ParseConfig(s) }
+
+// --- Simulation ---
+
+// Simulate drives a predictor over a trace, excluding the first
+// warmup branches from scoring.
+func Simulate(p Predictor, t *Trace, warmup int) Metrics {
+	return sim.RunTrace(p, t, sim.Options{Warmup: warmup})
+}
+
+// SimulateAll fans a trace out to several predictors in parallel.
+func SimulateAll(ps []Predictor, t *Trace, warmup int) []Metrics {
+	return sim.RunPredictors(ps, t, sim.Options{Warmup: warmup})
+}
+
+// SimulateBreakdown additionally collects per-branch misprediction
+// counts.
+func SimulateBreakdown(p Predictor, t *Trace, warmup int) *Breakdown {
+	return sim.RunBreakdown(p, t.NewSource(), sim.Options{Warmup: warmup})
+}
+
+// NewBTB returns a set-associative branch target buffer.
+func NewBTB(entries, ways int) *BTB { return btb.New(entries, ways) }
+
+// SimulateFrontend drives a direction predictor and a BTB together,
+// reporting fetch redirects.
+func SimulateFrontend(p Predictor, buf *BTB, t *Trace, warmup int) FrontendMetrics {
+	return sim.RunFrontend(p, buf, t.NewSource(), sim.Options{Warmup: warmup})
+}
+
+// --- Design-space sweeps ---
+
+// Sweep runs every row/column split of every counter budget in the
+// options over the trace, returning the result surface.
+func Sweep(o SweepOptions, t *Trace) (*Surface, error) { return sweep.Run(o, t) }
+
+// RenderSurface formats a sweep surface as a tier-by-split text grid
+// with the best configuration per tier marked.
+func RenderSurface(s *Surface) string { return textplot.Grid(s) }
+
+// RenderAliasSurface formats a metered surface's conflict rates.
+func RenderAliasSurface(s *Surface) string { return textplot.AliasGrid(s) }
+
+// --- Pipeline cost ---
+
+// PerfModel holds pipeline parameters for first-order CPI estimates.
+type PerfModel = perf.Model
+
+// PerfEstimate is the cost-model output for one (workload, predictor)
+// pair.
+type PerfEstimate = perf.Estimate
+
+// Pipeline models of the paper's era and of the deep speculative
+// designs it anticipates.
+var (
+	ClassicPipeline = perf.Classic
+	DeepPipeline    = perf.Deep
+)
+
+// EstimateCPI builds a first-order pipeline cost estimate from a
+// branch fraction and a per-branch redirect (or misprediction) rate.
+func EstimateCPI(m PerfModel, branchFraction, redirectRate float64) PerfEstimate {
+	return perf.New(m, branchFraction, redirectRate)
+}
+
+// GenerateCustom synthesizes n branches from a caller-defined
+// workload profile. The profile is validated first; see
+// Profile.Validate for the invariants.
+func GenerateCustom(p Profile, seed uint64, n int) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("bpred: trace length %d", n)
+	}
+	return workload.Generate(p, seed, n), nil
+}
+
+// InterleaveWorkloads merges the named workloads into one
+// multiprogrammed trace with context switches every ~quantum
+// branches.
+func InterleaveWorkloads(names []string, quantum, n int, seed uint64) (*Trace, error) {
+	return workload.InterleaveProfiles(names, quantum, n, seed)
+}

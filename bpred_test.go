@@ -1,0 +1,165 @@
+package bpred_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"bpred"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	tr, err := bpred.GenerateTrace("espresso", 1, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 50_000 || tr.Name != "espresso" {
+		t.Fatalf("trace %s/%d", tr.Name, tr.Len())
+	}
+
+	preds := []bpred.Predictor{
+		bpred.NewAddressIndexed(10),
+		bpred.NewGAg(10),
+		bpred.NewGAs(6, 4),
+		bpred.NewGShare(8, 2),
+		bpred.NewPath(6, 4, 2),
+		bpred.NewPAs(10, 0),
+		bpred.NewPAsFinite(10, 0, 1024, 4),
+		bpred.NewTournament(bpred.NewGShare(8, 2), bpred.NewAddressIndexed(10), 8),
+		bpred.NewAgree(8, 2),
+		bpred.NewGSelect(4, 6),
+		bpred.NewBiMode(8, 8, 8),
+		bpred.NewGSkew(8, 8),
+	}
+	ms := bpred.SimulateAll(preds, tr, 2_000)
+	if len(ms) != len(preds) {
+		t.Fatalf("%d metrics", len(ms))
+	}
+	for _, m := range ms {
+		if m.Branches != 48_000 {
+			t.Errorf("%s scored %d branches", m.Name, m.Branches)
+		}
+		if r := m.MispredictRate(); r <= 0 || r >= 0.5 {
+			t.Errorf("%s rate %.3f", m.Name, r)
+		}
+	}
+}
+
+func TestPublicAPITraceFile(t *testing.T) {
+	tr, _ := bpred.GenerateTrace("eqntott", 2, 5_000)
+	path := filepath.Join(t.TempDir(), "t.bpt")
+	if err := bpred.WriteTrace(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := bpred.ReadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() || back.Name != tr.Name {
+		t.Fatal("trace file round trip lost data")
+	}
+	s := bpred.AnalyzeTrace(back)
+	if s.Dynamic != 5_000 {
+		t.Fatalf("stats dynamic %d", s.Dynamic)
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	if len(bpred.Workloads()) != 14 {
+		t.Fatal("workload list wrong")
+	}
+	if _, ok := bpred.WorkloadByName("real_gcc"); !ok {
+		t.Fatal("real_gcc missing")
+	}
+	if _, err := bpred.GenerateTrace("nonesuch", 1, 100); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := bpred.GenerateTrace("espresso", 1, 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestPublicAPIParseAndSweep(t *testing.T) {
+	cfg, err := bpred.ParseConfig("gshare-2^8x2^2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := bpred.GenerateTrace("espresso", 3, 30_000)
+	m := bpred.Simulate(p, tr, 1_000)
+	if m.Branches == 0 {
+		t.Fatal("no branches scored")
+	}
+
+	surf, err := bpred.Sweep(bpred.SweepOptions{
+		Scheme: bpred.SchemeGAs, MinBits: 4, MaxBits: 6,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best, ok := surf.BestInTier(6); !ok || best.Metrics.Branches == 0 {
+		t.Fatal("sweep surface empty")
+	}
+}
+
+func TestPublicAPIFrontend(t *testing.T) {
+	tr, _ := bpred.GenerateTrace("mpeg_play", 4, 40_000)
+	fe := bpred.SimulateFrontend(bpred.NewGShare(10, 2), bpred.NewBTB(512, 4), tr, 2_000)
+	if fe.Branches == 0 || fe.RedirectRate() <= 0 {
+		t.Fatalf("frontend metrics %+v", fe)
+	}
+	bd := bpred.SimulateBreakdown(bpred.NewAddressIndexed(10), tr, 2_000)
+	if len(bd.Branches) == 0 {
+		t.Fatal("breakdown empty")
+	}
+}
+
+// The package example from the doc comment.
+func Example() {
+	tr, _ := bpred.GenerateTrace("espresso", 1, 200_000)
+	p := bpred.NewGShare(11, 2)
+	m := bpred.Simulate(p, tr, tr.Len()/20)
+	fmt.Println(m.Name)
+	// Output:
+	// gshare-2^11x2^2
+}
+
+func TestGenerateCustom(t *testing.T) {
+	p := bpred.Profile{
+		Name: "mine", Static: 500, Hot50: 10, Hot90: 80,
+		BranchFrac: 0.12, LoopFrac: 0.2, PatternFrac: 0.1, CorrFrac: 0.2,
+		HighBiasFrac: 0.8, PhasedFrac: 0.5, TripMean: 12,
+	}
+	tr, err := bpred.GenerateCustom(p, 1, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 20_000 || tr.Name != "mine" {
+		t.Fatalf("trace %s/%d", tr.Name, tr.Len())
+	}
+	m := bpred.Simulate(bpred.NewGShare(8, 2), tr, 1_000)
+	if m.MispredictRate() <= 0 {
+		t.Fatal("no signal from custom workload")
+	}
+	p.TripMean = 0
+	if _, err := bpred.GenerateCustom(p, 1, 100); err == nil {
+		t.Fatal("invalid custom profile accepted")
+	}
+	p.TripMean = 12
+	if _, err := bpred.GenerateCustom(p, 1, 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestInterleaveWorkloads(t *testing.T) {
+	tr, err := bpred.InterleaveWorkloads([]string{"compress", "eqntott"}, 100, 10_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 10_000 {
+		t.Fatalf("length %d", tr.Len())
+	}
+}

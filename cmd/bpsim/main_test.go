@@ -1,0 +1,112 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bpred/internal/core"
+	"bpred/internal/trace"
+)
+
+func TestBuildConfigSchemes(t *testing.T) {
+	cases := []struct {
+		scheme string
+		want   core.Scheme
+	}{
+		{"address", core.SchemeAddress},
+		{"gas", core.SchemeGAs},
+		{"gshare", core.SchemeGShare},
+		{"path", core.SchemePath},
+		{"pas", core.SchemePAs},
+	}
+	for _, c := range cases {
+		cfg, err := buildConfig(c.scheme, 6, 4, 0, 4, 2, false)
+		if err != nil {
+			t.Errorf("%s: %v", c.scheme, err)
+			continue
+		}
+		if cfg.Scheme != c.want {
+			t.Errorf("%s built scheme %v", c.scheme, cfg.Scheme)
+		}
+	}
+}
+
+func TestBuildConfigAddressDropsRows(t *testing.T) {
+	cfg, err := buildConfig("address", 6, 4, 0, 4, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RowBits != 0 {
+		t.Errorf("address config kept RowBits=%d", cfg.RowBits)
+	}
+}
+
+func TestBuildConfigPAsFirstLevel(t *testing.T) {
+	cfg, err := buildConfig("pas", 10, 0, 1024, 4, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FirstLevel.Kind != core.FirstLevelSetAssoc || cfg.FirstLevel.Entries != 1024 {
+		t.Errorf("first level %+v", cfg.FirstLevel)
+	}
+	// l1-entries 0 = perfect.
+	cfg, err = buildConfig("pas", 10, 0, 0, 4, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FirstLevel.Kind != core.FirstLevelPerfect {
+		t.Errorf("first level %+v, want perfect", cfg.FirstLevel)
+	}
+}
+
+func TestBuildConfigRejects(t *testing.T) {
+	if _, err := buildConfig("bogus", 4, 4, 0, 4, 2, false); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := buildConfig("pas", 10, 0, 100, 3, 2, false); err == nil {
+		t.Error("invalid first level accepted")
+	}
+}
+
+func TestLoadTraceSynthetic(t *testing.T) {
+	tr, err := loadTrace("espresso", "", 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1000 || tr.Name != "espresso" {
+		t.Errorf("trace %s/%d", tr.Name, tr.Len())
+	}
+}
+
+func TestLoadTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.bpt")
+	orig := &trace.Trace{Name: "file", Branches: []trace.Branch{{PC: 4, Target: 8, Taken: true}}}
+	if err := trace.WriteFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loadTrace("", path, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "file" || tr.Len() != 1 {
+		t.Errorf("trace %s/%d", tr.Name, tr.Len())
+	}
+}
+
+func TestLoadTraceErrors(t *testing.T) {
+	if _, err := loadTrace("", "", 1, 100); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadTrace("espresso", "x.bpt", 1, 100); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := loadTrace("nonesuch", "", 1, 100); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := loadTrace("espresso", "", 1, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := loadTrace("", "/does/not/exist.bpt", 1, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// bpsweep regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	bpsweep -exp all                 # every table and figure
+//	bpsweep -exp table3,fig4         # specific experiments
+//	bpsweep -list                    # list experiment ids
+//	bpsweep -exp fig4 -focus-len 4000000 -seed 42
+//
+// Output is the text rendering of each experiment (tier grids for the
+// surface figures, rows for the tables), printed to stdout or -o.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bpred/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		focusLen = flag.Int("focus-len", 0, "branches per focus-benchmark trace (0 = 2000000)")
+		suiteLen = flag.Int("suite-len", 0, "branches per suite-benchmark trace (0 = 800000)")
+		minBits  = flag.Int("min-bits", 0, "smallest counter budget, log2 (0 = 4)")
+		maxBits  = flag.Int("max-bits", 0, "largest counter budget, log2 (0 = 15)")
+		out      = flag.String("o", "", "output file (default stdout)")
+		csvDir   = flag.String("csv", "", "also write raw surface data as CSV files into this directory")
+		svgDir   = flag.String("svg", "", "also render surface/difference figures as SVG files into this directory")
+		htmlOut  = flag.String("html", "", "write a single self-contained HTML report (text + inline figures) to this file")
+		allBench = flag.Bool("all-benchmarks", false, "run surface experiments and table3 over all 14 benchmarks (the companion technical report's scope) instead of the paper's 3 focus benchmarks")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			desc, _ := experiments.Describe(name)
+			fmt.Printf("%-8s %s\n", name, desc)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "bpsweep: -exp required (use -list to see experiments, or -exp all)")
+		os.Exit(2)
+	}
+
+	var names []string
+	if *exp == "all" {
+		names = experiments.Names()
+	} else {
+		for _, n := range strings.Split(*exp, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if _, ok := experiments.Describe(n); !ok {
+				fmt.Fprintf(os.Stderr, "bpsweep: unknown experiment %q; known: %v\n", n, experiments.Names())
+				os.Exit(2)
+			}
+			names = append(names, n)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpsweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *htmlOut != "" && *out != "" {
+		fmt.Fprintln(os.Stderr, "bpsweep: use -o or -html, not both")
+		os.Exit(2)
+	}
+
+	ctx := experiments.NewContext(experiments.Params{
+		Seed:          *seed,
+		FocusLength:   *focusLen,
+		SuiteLength:   *suiteLen,
+		MinBits:       *minBits,
+		MaxBits:       *maxBits,
+		AllBenchmarks: *allBench,
+	})
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpsweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := experiments.WriteHTMLReport(f, ctx, names); err != nil {
+			fmt.Fprintf(os.Stderr, "bpsweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bpsweep: wrote %s\n", *htmlOut)
+		return
+	}
+
+	for _, name := range names {
+		desc, _ := experiments.Describe(name)
+		start := time.Now()
+		res, err := experiments.Run(name, ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpsweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "==== %s: %s [%s]\n\n", name, desc, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(w, res.Render())
+
+		if *csvDir != "" {
+			if cw, ok := res.(experiments.CSVWriter); ok {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "bpsweep: %v\n", err)
+					os.Exit(1)
+				}
+				if err := cw.WriteCSVs(*csvDir, name); err != nil {
+					fmt.Fprintf(os.Stderr, "bpsweep: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if *svgDir != "" {
+			if sw, ok := res.(experiments.SVGWriter); ok {
+				if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "bpsweep: %v\n", err)
+					os.Exit(1)
+				}
+				if err := sw.WriteSVGs(*svgDir, name); err != nil {
+					fmt.Fprintf(os.Stderr, "bpsweep: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// bptrace generates, inspects, and characterizes branch traces.
+//
+// Usage:
+//
+//	bptrace list                          # available synthetic workloads
+//	bptrace gen -workload espresso -n 1000000 -o espresso.bpt
+//	bptrace stat -i espresso.bpt          # Table 1/2-style characterization
+//	bptrace stat -workload mpeg_play -n 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bpred/internal/trace"
+	"bpred/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		cmdList()
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "stat":
+		cmdStat(os.Args[2:])
+	case "describe":
+		cmdDescribe(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `bptrace: branch trace tool
+subcommands:
+  list                              list synthetic workload profiles
+  gen  -workload NAME -n N -o FILE  generate a trace file
+  stat (-i FILE | -workload NAME)   characterize a trace
+  describe -workload NAME           show a synthetic program's static structure`)
+}
+
+func cmdList() {
+	fmt.Printf("%-11s %-11s %8s %7s %7s %14s\n",
+		"name", "suite", "static", "hot50", "hot90", "paper-dyn-br")
+	for _, p := range workload.Profiles() {
+		fmt.Printf("%-11s %-11s %8d %7d %7d %14d\n",
+			p.Name, p.Suite, p.Static, p.Hot50, p.Hot90, p.DynamicBranches)
+	}
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("workload", "", "synthetic workload name")
+	n := fs.Int("n", 1_000_000, "branch count")
+	seed := fs.Uint64("seed", 1996, "workload seed")
+	out := fs.String("o", "", "output trace file")
+	fs.Parse(args)
+	if *name == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "bptrace gen: -workload and -o are required")
+		os.Exit(2)
+	}
+	p, ok := workload.ProfileByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bptrace gen: unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+	tr := workload.Generate(p, *seed, *n)
+	if err := trace.WriteFile(*out, tr); err != nil {
+		fmt.Fprintf(os.Stderr, "bptrace gen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d branches (%s)\n", *out, tr.Len(), tr.Name)
+}
+
+func cmdDescribe(args []string) {
+	fs := flag.NewFlagSet("describe", flag.ExitOnError)
+	name := fs.String("workload", "", "synthetic workload name")
+	seed := fs.Uint64("seed", 1996, "workload seed")
+	fs.Parse(args)
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "bptrace describe: -workload is required")
+		os.Exit(2)
+	}
+	p, ok := workload.ProfileByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bptrace describe: unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+	fmt.Print(workload.Build(p, *seed).Summarize().Render())
+}
+
+func cmdStat(args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	name := fs.String("workload", "", "synthetic workload name (alternative to -i)")
+	n := fs.Int("n", 1_000_000, "branch count for synthetic workloads")
+	seed := fs.Uint64("seed", 1996, "workload seed")
+	fs.Parse(args)
+
+	var tr *trace.Trace
+	switch {
+	case *in != "" && *name != "":
+		fmt.Fprintln(os.Stderr, "bptrace stat: use -i or -workload, not both")
+		os.Exit(2)
+	case *in != "":
+		var err error
+		tr, err = trace.ReadFile(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bptrace stat: %v\n", err)
+			os.Exit(1)
+		}
+	case *name != "":
+		p, ok := workload.ProfileByName(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bptrace stat: unknown workload %q\n", *name)
+			os.Exit(2)
+		}
+		tr = workload.Generate(p, *seed, *n)
+	default:
+		fmt.Fprintln(os.Stderr, "bptrace stat: -i or -workload is required")
+		os.Exit(2)
+	}
+
+	s := trace.AnalyzeTrace(tr)
+	fmt.Printf("trace:                 %s\n", s.Name)
+	fmt.Printf("dynamic branches:      %d\n", s.Dynamic)
+	fmt.Printf("represented instrs:    %d (branches %.1f%%)\n", s.Instructions, 100*s.BranchFraction())
+	fmt.Printf("static branches:       %d\n", s.Static)
+	fmt.Printf("taken rate:            %.2f%%\n", 100*s.TakenRate())
+	fmt.Printf("branches for 50%%:      %d\n", s.StaticFor(0.5))
+	fmt.Printf("branches for 90%%:      %d\n", s.StaticFor(0.9))
+	b := s.CoverageBuckets([]float64{0.50, 0.40, 0.09, 0.01})
+	fmt.Printf("coverage bands:        first 50%%: %d | next 40%%: %d | next 9%%: %d | last 1%%: %d\n",
+		b[0], b[1], b[2], b[3])
+	fmt.Printf(">=95%%-biased weight:   %.1f%% of instances\n", 100*s.HighlyBiasedFraction(0.95))
+	top := s.Profiles()
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	fmt.Println("hottest branches:")
+	for _, p := range top {
+		fmt.Printf("  %#010x  %9d instances  bias %.3f\n", p.PC, p.Count, p.Bias())
+	}
+}

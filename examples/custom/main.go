@@ -1,0 +1,95 @@
+// Custom: plug your own predictor into the simulation harness by
+// implementing bpred.Predictor, and race it against the library's
+// schemes.
+//
+//	go run ./examples/custom
+//
+// The custom predictor here is a loop predictor: it tracks each
+// branch's run length of consecutive taken outcomes and predicts
+// not-taken when the current run reaches the branch's last observed
+// trip count — a structure none of the paper's table-based schemes
+// can express.
+package main
+
+import (
+	"fmt"
+
+	"bpred"
+)
+
+// loopPredictor predicts loop exits from learned trip counts, but
+// only for branches that look like loops (backward targets) and whose
+// trip count has repeated exactly — everything else falls back to a
+// bimodal table.
+type loopPredictor struct {
+	fallback bpred.Predictor
+	loops    map[uint64]*loopState
+}
+
+type loopState struct {
+	trip      int // last observed run of taken outcomes
+	run       int // current run
+	confident bool
+}
+
+func newLoopPredictor(colBits int) *loopPredictor {
+	return &loopPredictor{
+		fallback: bpred.NewAddressIndexed(colBits),
+		loops:    make(map[uint64]*loopState),
+	}
+}
+
+func (l *loopPredictor) Predict(b bpred.Branch) bool {
+	base := l.fallback.Predict(b)
+	if b.Target >= b.PC {
+		return base // not a loop branch
+	}
+	s := l.loops[b.PC]
+	if s == nil || !s.confident || s.trip < 2 {
+		return base
+	}
+	// Confident fixed-trip loop: taken until the learned trip count.
+	return s.run < s.trip
+}
+
+func (l *loopPredictor) Update(b bpred.Branch) {
+	l.fallback.Update(b)
+	if b.Target >= b.PC {
+		return
+	}
+	s := l.loops[b.PC]
+	if s == nil {
+		s = &loopState{}
+		l.loops[b.PC] = s
+	}
+	if b.Taken {
+		s.run++
+		return
+	}
+	// Exit observed: confident only when the trip count repeats.
+	s.confident = s.run == s.trip
+	s.trip = s.run
+	s.run = 0
+}
+
+func (l *loopPredictor) Name() string { return "custom-loop+bimodal" }
+
+func main() {
+	trace, err := bpred.GenerateTrace("video_play", 1, 1_000_000) // loop-heavy decoder
+	if err != nil {
+		panic(err)
+	}
+
+	contenders := []bpred.Predictor{
+		bpred.NewAddressIndexed(12),
+		bpred.NewGShare(10, 2),
+		bpred.NewPAsFinite(12, 0, 1024, 4),
+		newLoopPredictor(12),
+	}
+	fmt.Printf("workload: %s (%d branches)\n\n", trace.Name, trace.Len())
+	for _, m := range bpred.SimulateAll(contenders, trace, trace.Len()/20) {
+		fmt.Printf("  %-28s %6.2f%% mispredicted\n", m.Name, 100*m.MispredictRate())
+	}
+	fmt.Println("\nfixed-trip loops reward the custom structure; jittered trips do not —")
+	fmt.Println("rerun with other workloads (see `go run ./cmd/bptrace list`).")
+}

@@ -1,0 +1,52 @@
+// Designspace: explore the row/column design space of a global-history
+// predictor for one workload, the way the paper's Figures 4-6 do, and
+// watch aliasing trade off against correlation.
+//
+//	go run ./examples/designspace
+//
+// For small tables the best configuration hugs the address-indexed
+// edge (aliasing dominates); for large tables history bits pay off —
+// the paper's central result.
+package main
+
+import (
+	"fmt"
+
+	"bpred"
+)
+
+func main() {
+	trace, err := bpred.GenerateTrace("mpeg_play", 1, 1_500_000)
+	if err != nil {
+		panic(err)
+	}
+
+	// Sweep every 2^r x 2^c split of every counter budget from 16 to
+	// 4096, with aliasing meters attached.
+	surface, err := bpred.Sweep(bpred.SweepOptions{
+		Scheme:  bpred.SchemeGShare,
+		MinBits: 4,
+		MaxBits: 12,
+		Metered: true,
+		Sim:     bpred.SimOptions{Warmup: trace.Len() / 20},
+	}, trace)
+	if err != nil {
+		panic(err)
+	}
+
+	// The full misprediction grid, best-in-tier starred.
+	fmt.Println(bpred.RenderSurface(surface))
+
+	// The same grid as aliasing rates: watch conflicts grow as rows
+	// displace columns.
+	fmt.Println(bpred.RenderAliasSurface(surface))
+
+	// Best configuration per budget: the "what should I build with N
+	// counters?" answer.
+	fmt.Println("best configuration per counter budget:")
+	for _, pt := range surface.BestPerTier() {
+		fmt.Printf("  %6d counters: %-18s %5.2f%% mispredicted, %5.2f%% of accesses aliased\n",
+			pt.Config.Counters(), pt.Metrics.Name,
+			100*pt.Metrics.MispredictRate(), 100*pt.Metrics.Alias.ConflictRate())
+	}
+}

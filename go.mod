@@ -1,0 +1,3 @@
+module bpred
+
+go 1.22

@@ -1,0 +1,146 @@
+// Package btb implements a branch target buffer — the structure that
+// supplies a predicted-taken branch's target address at fetch time.
+//
+// The paper's misprediction-rate figure of merit deliberately brackets
+// out "the availability or lack of availability of the branch target
+// instruction" (§2), but a real front end needs both: a direction
+// predictor deciding taken/not-taken and a BTB supplying where to
+// fetch next. The paper also notes (§5) that PAs first-level history
+// storage can be integrated with a BTB to avoid duplicate tags; this
+// package provides that structure, and sim.RunFrontend combines it
+// with any core.Predictor into fetch-redirect statistics.
+package btb
+
+import (
+	"fmt"
+	mathbits "math/bits"
+)
+
+// BTB is a set-associative branch target buffer with LRU replacement.
+// Entries are allocated for taken branches only (the classic policy:
+// never-taken branches never need a target).
+type BTB struct {
+	ways    int
+	setBits int
+	setMask uint64
+
+	tags   []uint64
+	target []uint64
+	valid  []bool
+	stamp  []uint64
+	tick   uint64
+
+	lookups uint64
+	hits    uint64
+}
+
+// New returns a BTB with the given total entry count and
+// associativity. entries must be a positive multiple of ways with a
+// power-of-two set count.
+func New(entries, ways int) *BTB {
+	if ways < 1 {
+		panic(fmt.Sprintf("btb: New ways=%d", ways))
+	}
+	if entries <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("btb: New entries=%d not a positive multiple of ways=%d", entries, ways))
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("btb: New set count %d not a power of two", sets))
+	}
+	return &BTB{
+		ways:    ways,
+		setBits: mathbits.Len(uint(sets)) - 1,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, entries),
+		target:  make([]uint64, entries),
+		valid:   make([]bool, entries),
+		stamp:   make([]uint64, entries),
+	}
+}
+
+// Entries returns the total capacity.
+func (b *BTB) Entries() int { return len(b.tags) }
+
+// Ways returns the associativity.
+func (b *BTB) Ways() int { return b.ways }
+
+func (b *BTB) set(pc uint64) int    { return int((pc >> 2) & b.setMask) }
+func (b *BTB) tag(pc uint64) uint64 { return pc >> (2 + b.setBits) }
+
+// Lookup returns the stored target for pc. ok is false on a miss —
+// the front end then has no target until decode resolves it.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	b.lookups++
+	b.tick++
+	base := b.set(pc) * b.ways
+	tag := b.tag(pc)
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == tag {
+			b.stamp[i] = b.tick
+			b.hits++
+			return b.target[i], true
+		}
+	}
+	return 0, false
+}
+
+// Update installs or refreshes pc's entry after resolution. Taken
+// branches allocate (evicting LRU on a full set) and update the
+// stored target; not-taken branches only refresh an existing entry's
+// target, never allocate.
+func (b *BTB) Update(pc, target uint64, taken bool) {
+	base := b.set(pc) * b.ways
+	tag := b.tag(pc)
+	victim, victimStamp := -1, ^uint64(0)
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == tag {
+			b.target[i] = target
+			return
+		}
+		if !b.valid[i] {
+			if victimStamp != 0 {
+				victim, victimStamp = i, 0
+			}
+		} else if b.stamp[i] < victimStamp {
+			victim, victimStamp = i, b.stamp[i]
+		}
+	}
+	if !taken {
+		return
+	}
+	b.tick++
+	b.tags[victim] = tag
+	b.valid[victim] = true
+	b.target[victim] = target
+	b.stamp[victim] = b.tick
+}
+
+// Lookups returns the cumulative lookup count.
+func (b *BTB) Lookups() uint64 { return b.lookups }
+
+// Hits returns the cumulative hit count.
+func (b *BTB) Hits() uint64 { return b.hits }
+
+// HitRate returns hits per lookup.
+func (b *BTB) HitRate() float64 {
+	if b.lookups == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(b.lookups)
+}
+
+// Reset clears all entries and statistics.
+func (b *BTB) Reset() {
+	for i := range b.tags {
+		b.tags[i] = 0
+		b.target[i] = 0
+		b.valid[i] = false
+		b.stamp[i] = 0
+	}
+	b.tick = 0
+	b.lookups = 0
+	b.hits = 0
+}

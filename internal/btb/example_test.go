@@ -1,0 +1,24 @@
+package btb_test
+
+import (
+	"fmt"
+
+	"bpred/internal/btb"
+)
+
+// A BTB supplies the target of a taken branch at fetch time; entries
+// are allocated by taken branches only.
+func ExampleBTB() {
+	buf := btb.New(1024, 4)
+	// First fetch: no target known.
+	if _, ok := buf.Lookup(0x4000); !ok {
+		fmt.Println("cold miss")
+	}
+	// The branch resolves taken to 0x4800; the entry is installed.
+	buf.Update(0x4000, 0x4800, true)
+	target, ok := buf.Lookup(0x4000)
+	fmt.Printf("hit=%v target=%#x rate=%.2f\n", ok, target, buf.HitRate())
+	// Output:
+	// cold miss
+	// hit=true target=0x4800 rate=0.50
+}

@@ -1,0 +1,178 @@
+package core
+
+import "sort"
+
+// AliasStats aggregates second-level predictor table aliasing, the
+// paper's central measurement. An access *conflicts* when the
+// previous access to the same counter came from a different static
+// branch — "these conflicts correspond to the conflicts in a direct
+// mapped cache" (§3). Conflicts are classified the way §3-4 discusses
+// them:
+//
+//   - AllOnes: the selecting history pattern was all-taken, the tight
+//     loop pattern whose aliasing is "mostly harmless" because all
+//     loops behave identically;
+//   - Agreeing: the outcome at the conflicting access equals the
+//     previous branch's outcome at this counter, so the shared
+//     counter's training still points the right way;
+//   - Destructive: the outcomes disagree — the aliasing that "can
+//     eliminate any advantage gained through inter-branch
+//     correlation".
+type AliasStats struct {
+	// Accesses is the total number of metered accesses.
+	Accesses uint64
+	// Conflicts is the number of accesses whose counter was last
+	// touched by a different branch.
+	Conflicts uint64
+	// AllOnes is the subset of Conflicts selected by an all-taken
+	// history pattern.
+	AllOnes uint64
+	// Agreeing is the subset of Conflicts where both branches wanted
+	// the same outcome.
+	Agreeing uint64
+	// Destructive is the subset where the outcomes disagreed.
+	Destructive uint64
+}
+
+// ConflictRate returns Conflicts/Accesses — the aliasing percentages
+// of §3 and the surfaces of Figure 5.
+func (s AliasStats) ConflictRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Conflicts) / float64(s.Accesses)
+}
+
+// AllOnesFraction returns the share of conflicts carrying the
+// all-taken pattern (about a fifth for the paper's large benchmarks
+// under GAg).
+func (s AliasStats) AllOnesFraction() float64 {
+	if s.Conflicts == 0 {
+		return 0
+	}
+	return float64(s.AllOnes) / float64(s.Conflicts)
+}
+
+// DestructiveFraction returns the share of conflicts with disagreeing
+// outcomes.
+func (s AliasStats) DestructiveFraction() float64 {
+	if s.Conflicts == 0 {
+		return 0
+	}
+	return float64(s.Destructive) / float64(s.Conflicts)
+}
+
+// Add accumulates other into s.
+func (s *AliasStats) Add(other AliasStats) {
+	s.Accesses += other.Accesses
+	s.Conflicts += other.Conflicts
+	s.AllOnes += other.AllOnes
+	s.Agreeing += other.Agreeing
+	s.Destructive += other.Destructive
+}
+
+// AliasMeter instruments a predictor table with per-entry last-access
+// bookkeeping. It is optional: the unmetered fast path allocates and
+// tracks nothing (DESIGN.md design decision 2, covered by an ablation
+// benchmark).
+type AliasMeter struct {
+	lastPC      []uint64
+	lastOutcome []bool
+	seen        []bool
+	// conflicts and destructive count per-entry events, enabling
+	// hot-spot attribution (TopEntries).
+	conflicts   []uint32
+	destructive []uint32
+	stats       AliasStats
+}
+
+// NewAliasMeter returns a meter for a table with size entries.
+func NewAliasMeter(size int) *AliasMeter {
+	return &AliasMeter{
+		lastPC:      make([]uint64, size),
+		lastOutcome: make([]bool, size),
+		seen:        make([]bool, size),
+		conflicts:   make([]uint32, size),
+		destructive: make([]uint32, size),
+	}
+}
+
+// Record notes an access to entry idx by branch pc with the resolved
+// outcome, under a row-selection pattern that is or is not all-ones.
+func (m *AliasMeter) Record(idx int, pc uint64, taken, rowAllOnes bool) {
+	m.stats.Accesses++
+	if m.seen[idx] && m.lastPC[idx] != pc {
+		m.stats.Conflicts++
+		m.conflicts[idx]++
+		if rowAllOnes {
+			m.stats.AllOnes++
+		}
+		if m.lastOutcome[idx] == taken {
+			m.stats.Agreeing++
+		} else {
+			m.stats.Destructive++
+			m.destructive[idx]++
+		}
+	}
+	m.seen[idx] = true
+	m.lastPC[idx] = pc
+	m.lastOutcome[idx] = taken
+}
+
+// Stats returns the accumulated aliasing statistics.
+func (m *AliasMeter) Stats() AliasStats { return m.stats }
+
+// EntryConflicts is the conflict attribution for one table entry.
+type EntryConflicts struct {
+	// Index is the flat table-entry index.
+	Index int
+	// Conflicts and Destructive are this entry's event counts.
+	Conflicts   uint32
+	Destructive uint32
+	// LastPC is the branch that most recently touched the entry — a
+	// sample member of the colliding set.
+	LastPC uint64
+}
+
+// TopEntries returns the n entries with the most conflicts, sorted by
+// descending conflict count (ties by index). It answers "where does
+// the aliasing concentrate" — e.g. the all-ones row of a GAg table.
+func (m *AliasMeter) TopEntries(n int) []EntryConflicts {
+	if n <= 0 {
+		return nil
+	}
+	var out []EntryConflicts
+	for i, c := range m.conflicts {
+		if c == 0 {
+			continue
+		}
+		out = append(out, EntryConflicts{
+			Index:       i,
+			Conflicts:   c,
+			Destructive: m.destructive[i],
+			LastPC:      m.lastPC[i],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Conflicts != out[j].Conflicts {
+			return out[i].Conflicts > out[j].Conflicts
+		}
+		return out[i].Index < out[j].Index
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Reset clears bookkeeping and statistics.
+func (m *AliasMeter) Reset() {
+	for i := range m.lastPC {
+		m.lastPC[i] = 0
+		m.lastOutcome[i] = false
+		m.seen[i] = false
+		m.conflicts[i] = 0
+		m.destructive[i] = 0
+	}
+	m.stats = AliasStats{}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bpred/internal/history"
+	"bpred/internal/workload"
+)
+
+func TestAliasMeterNoConflictSameBranch(t *testing.T) {
+	m := NewAliasMeter(4)
+	for i := 0; i < 10; i++ {
+		m.Record(2, 0x1000, true, false)
+	}
+	s := m.Stats()
+	if s.Accesses != 10 {
+		t.Fatalf("accesses %d, want 10", s.Accesses)
+	}
+	if s.Conflicts != 0 {
+		t.Fatalf("same-branch accesses counted as conflicts: %d", s.Conflicts)
+	}
+}
+
+func TestAliasMeterConflictDetection(t *testing.T) {
+	m := NewAliasMeter(4)
+	m.Record(1, 0xA, true, false)  // first access: no conflict
+	m.Record(1, 0xB, true, false)  // conflict, agreeing
+	m.Record(1, 0xA, false, false) // conflict, destructive
+	m.Record(2, 0xA, false, false) // different entry: no conflict
+	m.Record(1, 0xB, true, true)   // conflict, all-ones, destructive? prev outcome false, now true -> destructive
+	s := m.Stats()
+	if s.Conflicts != 3 {
+		t.Fatalf("conflicts %d, want 3", s.Conflicts)
+	}
+	if s.Agreeing != 1 {
+		t.Fatalf("agreeing %d, want 1", s.Agreeing)
+	}
+	if s.Destructive != 2 {
+		t.Fatalf("destructive %d, want 2", s.Destructive)
+	}
+	if s.AllOnes != 1 {
+		t.Fatalf("all-ones %d, want 1", s.AllOnes)
+	}
+	if s.Agreeing+s.Destructive != s.Conflicts {
+		t.Fatal("agree/destructive do not partition conflicts")
+	}
+}
+
+func TestAliasMeterZeroPCBranch(t *testing.T) {
+	// A branch at PC 0 must still be distinguished from "never
+	// accessed".
+	m := NewAliasMeter(2)
+	m.Record(0, 0, true, false)
+	m.Record(0, 4, true, false)
+	if m.Stats().Conflicts != 1 {
+		t.Fatal("conflict against pc=0 branch missed")
+	}
+}
+
+func TestAliasMeterReset(t *testing.T) {
+	m := NewAliasMeter(2)
+	m.Record(0, 1, true, false)
+	m.Record(0, 2, true, true)
+	m.Reset()
+	if m.Stats() != (AliasStats{}) {
+		t.Fatal("Reset did not clear stats")
+	}
+	m.Record(0, 3, true, false)
+	if m.Stats().Conflicts != 0 {
+		t.Fatal("Reset did not clear last-access bookkeeping")
+	}
+}
+
+func TestAliasStatsRates(t *testing.T) {
+	s := AliasStats{Accesses: 200, Conflicts: 50, AllOnes: 10, Agreeing: 30, Destructive: 20}
+	if got := s.ConflictRate(); got != 0.25 {
+		t.Errorf("ConflictRate = %g", got)
+	}
+	if got := s.AllOnesFraction(); got != 0.2 {
+		t.Errorf("AllOnesFraction = %g", got)
+	}
+	if got := s.DestructiveFraction(); got != 0.4 {
+		t.Errorf("DestructiveFraction = %g", got)
+	}
+	var zero AliasStats
+	if zero.ConflictRate() != 0 || zero.AllOnesFraction() != 0 || zero.DestructiveFraction() != 0 {
+		t.Error("zero stats should have zero rates")
+	}
+}
+
+func TestAliasStatsAdd(t *testing.T) {
+	a := AliasStats{Accesses: 10, Conflicts: 2, AllOnes: 1, Agreeing: 1, Destructive: 1}
+	b := AliasStats{Accesses: 5, Conflicts: 3, AllOnes: 0, Agreeing: 2, Destructive: 1}
+	a.Add(b)
+	if a.Accesses != 15 || a.Conflicts != 5 || a.AllOnes != 1 || a.Agreeing != 3 || a.Destructive != 2 {
+		t.Errorf("Add result %+v", a)
+	}
+}
+
+func TestMeteredTwoLevelCountsConflicts(t *testing.T) {
+	// Two branches aliased to the same column in an address-indexed
+	// table: every alternating access is a conflict.
+	p := NewAddressIndexed(2).EnableMeter()
+	a := br(0x1000, 0x1100, true)
+	b := br(0x1000+16, 0x2100, true)
+	for i := 0; i < 50; i++ {
+		drive(p, a)
+		drive(p, b)
+	}
+	s := p.AliasStats()
+	if s.Accesses != 100 {
+		t.Fatalf("accesses %d, want 100", s.Accesses)
+	}
+	if s.Conflicts != 99 {
+		t.Fatalf("conflicts %d, want 99 (every access after the first)", s.Conflicts)
+	}
+	if s.Destructive != 0 {
+		t.Fatalf("agreeing branches produced %d destructive conflicts", s.Destructive)
+	}
+}
+
+func TestUnmeteredReportsZero(t *testing.T) {
+	p := NewAddressIndexed(2)
+	drive(p, br(0x1000, 0x1100, true))
+	if p.AliasStats() != (AliasStats{}) {
+		t.Error("unmetered predictor reported alias stats")
+	}
+}
+
+func TestGAgAllOnesConflicts(t *testing.T) {
+	// Loop-dominated workload: a meaningful share of GAg conflicts
+	// must carry the all-ones pattern (the paper: about a fifth for
+	// large benchmarks).
+	prof, _ := workload.ProfileByName("mpeg_play")
+	tr := workload.Generate(prof, 5, 200_000)
+	p := NewGAg(6).EnableMeter()
+	src := tr.NewSource()
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		p.Predict(b)
+		p.Update(b)
+	}
+	s := p.AliasStats()
+	if s.Conflicts == 0 {
+		t.Fatal("GAg-2^6 on mpeg_play produced no conflicts")
+	}
+	f := s.AllOnesFraction()
+	if f < 0.02 || f > 0.7 {
+		t.Errorf("all-ones fraction %.3f outside plausible range", f)
+	}
+}
+
+func TestAliasRateMatchesFirstLevelEquivalence(t *testing.T) {
+	// Paper §5: "The conflict rates in a direct mapped first-level
+	// table are the same as the aliasing rates in an address-indexed
+	// second-level table." Verify the two instruments agree.
+	prof, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(prof, 9, 150_000)
+
+	metered := NewAddressIndexed(10).EnableMeter()
+	src := tr.NewSource()
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		metered.Predict(b)
+		metered.Update(b)
+	}
+	aliasRate := metered.AliasStats().ConflictRate()
+
+	// A tagged direct-mapped history table of the same entry count:
+	// a miss there is a consecutive-access conflict on the entry, the
+	// same event the alias meter counts in a direct-mapped
+	// (address-indexed) counter table.
+	bht := history.NewDirectMapped(1024, 4, history.PrefixReset)
+	src = tr.NewSource()
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		bht.Lookup(b.PC)
+		bht.Update(b.PC, b.Taken)
+	}
+	missRate := bht.MissRate()
+	if math.Abs(aliasRate-missRate) > 0.005 {
+		t.Errorf("alias rate %.4f vs direct-mapped miss rate %.4f; should match within 0.5%%",
+			aliasRate, missRate)
+	}
+}
+
+func TestTopEntries(t *testing.T) {
+	m := NewAliasMeter(8)
+	// Entry 3: heavy ping-pong with disagreement; entry 5: light,
+	// agreeing.
+	for i := 0; i < 10; i++ {
+		m.Record(3, 0xA, true, false)
+		m.Record(3, 0xB, false, false)
+	}
+	m.Record(5, 0xC, true, false)
+	m.Record(5, 0xD, true, false)
+	top := m.TopEntries(10)
+	if len(top) != 2 {
+		t.Fatalf("%d entries, want 2", len(top))
+	}
+	if top[0].Index != 3 || top[1].Index != 5 {
+		t.Fatalf("order wrong: %+v", top)
+	}
+	if top[0].Conflicts != 19 {
+		t.Errorf("entry 3 conflicts %d, want 19", top[0].Conflicts)
+	}
+	if top[0].Destructive != 19 {
+		t.Errorf("entry 3 destructive %d, want 19", top[0].Destructive)
+	}
+	if top[1].Destructive != 0 {
+		t.Errorf("entry 5 destructive %d, want 0", top[1].Destructive)
+	}
+	if top[1].LastPC != 0xD {
+		t.Errorf("entry 5 last pc %#x", top[1].LastPC)
+	}
+	// Truncation and degenerate n.
+	if got := m.TopEntries(1); len(got) != 1 || got[0].Index != 3 {
+		t.Errorf("TopEntries(1) = %+v", got)
+	}
+	if m.TopEntries(0) != nil {
+		t.Error("TopEntries(0) should be nil")
+	}
+	m.Reset()
+	if len(m.TopEntries(10)) != 0 {
+		t.Error("Reset did not clear per-entry counts")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"bpred/internal/counter"
+	"bpred/internal/trace"
+)
+
+// Tournament is McFarling's combining predictor — the direction the
+// paper's conclusion points to ("recent work has begun to examine
+// ways of combining schemes"). A chooser table of two-bit counters,
+// indexed by branch address, learns per-branch which of two component
+// predictors to trust.
+type Tournament struct {
+	name    string
+	a, b    Predictor
+	chooser *counter.Table
+	lastIdx int
+	predA   bool
+	predB   bool
+}
+
+// NewTournament combines predictors a and b with a 2^chooserBits
+// chooser. Chooser state >= 2 selects a.
+func NewTournament(a, b Predictor, chooserBits int) *Tournament {
+	checkBits("chooserBits", chooserBits, 30)
+	return &Tournament{
+		name:    fmt.Sprintf("tournament(%s,%s)-2^%d", a.Name(), b.Name(), chooserBits),
+		a:       a,
+		b:       b,
+		chooser: counter.NewTable(0, chooserBits),
+	}
+}
+
+// Predict consults both components and the chooser.
+func (t *Tournament) Predict(b trace.Branch) bool {
+	t.predA = t.a.Predict(b)
+	t.predB = t.b.Predict(b)
+	t.lastIdx = t.chooser.Index(0, b.PC>>2)
+	if t.chooser.Predict(t.lastIdx) {
+		return t.predA
+	}
+	return t.predB
+}
+
+// Update trains both components and, when they disagreed, moves the
+// chooser toward whichever was right.
+func (t *Tournament) Update(b trace.Branch) {
+	correctA := t.predA == b.Taken
+	correctB := t.predB == b.Taken
+	if correctA != correctB {
+		t.chooser.Update(t.lastIdx, correctA)
+	}
+	t.a.Update(b)
+	t.b.Update(b)
+}
+
+// Name returns the configuration-qualified name.
+func (t *Tournament) Name() string { return t.name }
+
+// Components returns the two component predictors (a, b).
+func (t *Tournament) Components() (Predictor, Predictor) { return t.a, t.b }
+
+// Agree is an agree predictor (Sprangle et al., 1997): counters store
+// agreement with a per-branch bias bit instead of a direction, so two
+// branches aliased to one counter interfere destructively only when
+// their *agreement* behavior differs — most aliasing becomes
+// harmless. It is the dealiasing design most directly motivated by
+// this paper's findings, included as an extension.
+//
+// The bias bit is set to each branch's first observed outcome and
+// kept in an unbounded map, idealizing the bias storage (real designs
+// hang it off the BTB or instruction cache). The row selector records
+// real outcomes; only the counter table is reinterpreted.
+type Agree struct {
+	name    string
+	sel     RowSelector
+	tab     *counter.Table
+	bias    map[uint64]bool
+	lastIdx int
+	lastB   bool
+	lastSet bool
+}
+
+// NewAgreeGShare returns an agree predictor with gshare row selection
+// over a 2^histBits x 2^colBits agreement-counter table.
+func NewAgreeGShare(histBits, colBits int) *Agree {
+	inner := NewGShare(histBits, colBits)
+	return &Agree{
+		name: fmt.Sprintf("agree-gshare-2^%dx2^%d", histBits, colBits),
+		sel:  inner.sel,
+		tab:  inner.tab,
+		bias: make(map[uint64]bool),
+	}
+}
+
+// Predict resolves the agreement prediction against the bias bit.
+// Unseen branches use a taken bias (the common default).
+func (a *Agree) Predict(b trace.Branch) bool {
+	bias, ok := a.bias[b.PC]
+	if !ok {
+		bias = true
+	}
+	a.lastB, a.lastSet = bias, ok
+	row := a.sel.Row(b.PC)
+	a.lastIdx = a.tab.Index(row, b.PC>>2)
+	if a.tab.Predict(a.lastIdx) {
+		return bias
+	}
+	return !bias
+}
+
+// Update sets the bias bit on first encounter, trains the counter on
+// whether the outcome agreed with the bias, and records the *real*
+// outcome into the history.
+func (a *Agree) Update(b trace.Branch) {
+	if !a.lastSet {
+		a.bias[b.PC] = b.Taken
+		a.lastB = b.Taken
+	}
+	a.tab.Update(a.lastIdx, b.Taken == a.lastB)
+	a.sel.Update(b)
+}
+
+// Name returns the configuration-qualified name.
+func (a *Agree) Name() string { return a.name }
+
+var (
+	_ Predictor = (*Tournament)(nil)
+	_ Predictor = (*Agree)(nil)
+)

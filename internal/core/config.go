@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+
+	"bpred/internal/history"
+)
+
+// Scheme enumerates the predictor families the paper studies, in its
+// own terminology (the Yeh/Patt three-letter taxonomy plus McFarling's
+// and Nair's named variants).
+type Scheme int
+
+// The schemes.
+const (
+	// SchemeAddress is the address-indexed (bimodal) baseline.
+	SchemeAddress Scheme = iota
+	// SchemeGAs covers GAg (ColBits=0) through the full GAs family.
+	SchemeGAs
+	// SchemeGShare is McFarling's XOR scheme, multi-column as in the
+	// paper.
+	SchemeGShare
+	// SchemePath is Nair's target-address-bit history scheme.
+	SchemePath
+	// SchemePAs covers PAg (ColBits=0) through the PAs family; the
+	// FirstLevel field chooses the history table realization.
+	SchemePAs
+)
+
+// String returns the scheme family name.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeAddress:
+		return "address"
+	case SchemeGAs:
+		return "GAs"
+	case SchemeGShare:
+		return "gshare"
+	case SchemePath:
+		return "path"
+	case SchemePAs:
+		return "PAs"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// FirstLevelKind selects the PAs first-level history table model.
+type FirstLevelKind int
+
+// The first-level models.
+const (
+	// FirstLevelPerfect is the unbounded idealized table (Figure 9).
+	FirstLevelPerfect FirstLevelKind = iota
+	// FirstLevelSetAssoc is a finite tagged table (Figure 10).
+	FirstLevelSetAssoc
+	// FirstLevelUntagged is a tagless shared-register table.
+	FirstLevelUntagged
+)
+
+// FirstLevel configures a PAs first-level history table.
+type FirstLevel struct {
+	Kind FirstLevelKind
+	// Entries and Ways apply to the finite kinds. The paper's
+	// Figure 10 uses 128/1024/2048 entries at 4 ways.
+	Entries int
+	Ways    int
+	// Policy is the conflict reset policy; the zero value is the
+	// paper's PrefixReset.
+	Policy history.ResetPolicy
+}
+
+// Config is a buildable predictor configuration: the unit of the
+// design-space sweeps. RowBits+ColBits determine the counter budget
+// (2^(RowBits+ColBits) two-bit counters).
+type Config struct {
+	Scheme  Scheme
+	RowBits int
+	ColBits int
+	// FirstLevel applies to SchemePAs.
+	FirstLevel FirstLevel
+	// PathBits applies to SchemePath; 0 means DefaultPathBits.
+	PathBits int
+	// CounterBits is the second-level counter width; 0 means the
+	// paper's two-bit counters.
+	CounterBits int
+	// Metered attaches an AliasMeter to the built predictor.
+	Metered bool
+}
+
+// TableBits returns log2 of the counter budget.
+func (c Config) TableBits() int { return c.RowBits + c.ColBits }
+
+// Counters returns the counter budget.
+func (c Config) Counters() int { return 1 << c.TableBits() }
+
+// Name returns the canonical configuration name without building.
+func (c Config) Name() string {
+	p, err := c.Build()
+	if err != nil {
+		return fmt.Sprintf("invalid(%v)", err)
+	}
+	return p.Name()
+}
+
+// Validate checks the configuration without building tables.
+func (c Config) Validate() error {
+	if c.RowBits < 0 || c.ColBits < 0 {
+		return fmt.Errorf("core: negative table bits (%d, %d)", c.RowBits, c.ColBits)
+	}
+	if c.TableBits() > 30 {
+		return fmt.Errorf("core: table bits %d exceed 30", c.TableBits())
+	}
+	switch c.Scheme {
+	case SchemeAddress:
+		if c.RowBits != 0 {
+			return fmt.Errorf("core: address-indexed predictor has RowBits=%d; rows must be 0", c.RowBits)
+		}
+	case SchemeGAs, SchemeGShare, SchemePath:
+		// any split is valid
+	case SchemePAs:
+		fl := c.FirstLevel
+		switch fl.Kind {
+		case FirstLevelPerfect:
+		case FirstLevelSetAssoc:
+			if fl.Entries <= 0 || fl.Ways <= 0 || fl.Entries%fl.Ways != 0 {
+				return fmt.Errorf("core: bad PAs first level: %d entries, %d ways", fl.Entries, fl.Ways)
+			}
+			sets := fl.Entries / fl.Ways
+			if sets&(sets-1) != 0 {
+				return fmt.Errorf("core: PAs first level set count %d not a power of two", sets)
+			}
+		case FirstLevelUntagged:
+			if fl.Entries <= 0 || fl.Entries&(fl.Entries-1) != 0 {
+				return fmt.Errorf("core: untagged first level entries %d not a power of two", fl.Entries)
+			}
+		default:
+			return fmt.Errorf("core: unknown first-level kind %d", fl.Kind)
+		}
+	default:
+		return fmt.Errorf("core: unknown scheme %d", c.Scheme)
+	}
+	if c.PathBits < 0 || (c.PathBits > 0 && c.Scheme != SchemePath) {
+		return fmt.Errorf("core: PathBits=%d invalid for scheme %v", c.PathBits, c.Scheme)
+	}
+	if c.CounterBits != 0 && (c.CounterBits < 1 || c.CounterBits > 8) {
+		return fmt.Errorf("core: CounterBits=%d out of [1,8]", c.CounterBits)
+	}
+	return nil
+}
+
+// Build constructs the predictor.
+func (c Config) Build() (Predictor, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var t *TwoLevel
+	switch c.Scheme {
+	case SchemeAddress:
+		t = NewAddressIndexed(c.ColBits)
+	case SchemeGAs:
+		t = NewGAs(c.RowBits, c.ColBits)
+	case SchemeGShare:
+		t = NewGShare(c.RowBits, c.ColBits)
+	case SchemePath:
+		pb := c.PathBits
+		if pb == 0 {
+			pb = DefaultPathBits
+		}
+		t = NewPath(c.RowBits, c.ColBits, pb)
+	case SchemePAs:
+		var bht history.BranchHistoryTable
+		switch c.FirstLevel.Kind {
+		case FirstLevelPerfect:
+			bht = history.NewPerfect(c.RowBits)
+		case FirstLevelSetAssoc:
+			bht = history.NewSetAssoc(c.FirstLevel.Entries, c.FirstLevel.Ways, c.RowBits, c.FirstLevel.Policy)
+		case FirstLevelUntagged:
+			bht = history.NewUntagged(c.FirstLevel.Entries, c.RowBits)
+		}
+		t = NewPAs(c.ColBits, bht)
+	}
+	if c.CounterBits != 0 && c.CounterBits != 2 {
+		t.WithCounterBits(c.CounterBits)
+	}
+	if c.Metered {
+		t.EnableMeter()
+	}
+	return t, nil
+}
+
+// MustBuild is Build for static configurations known to be valid; it
+// panics on error.
+func (c Config) MustBuild() Predictor {
+	p, err := c.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

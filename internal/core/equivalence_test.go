@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"bpred/internal/history"
+	"bpred/internal/trace"
+	"bpred/internal/workload"
+)
+
+// The design space is continuous at its edges: several schemes
+// degenerate into one another at boundary configurations. These
+// equivalences are exact (bit-for-bit identical prediction streams),
+// and they pin down the indexing conventions shared by every scheme.
+
+// predictions runs a predictor over a workload trace and returns the
+// prediction stream.
+func predictions(t *testing.T, p Predictor, name string, n int) []bool {
+	t.Helper()
+	prof, ok := workload.ProfileByName(name)
+	if !ok {
+		t.Fatalf("no profile %s", name)
+	}
+	tr := workload.Generate(prof, 11, n)
+	out := make([]bool, 0, n)
+	src := tr.NewSource()
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, p.Predict(b))
+		p.Update(b)
+	}
+	return out
+}
+
+func assertSameStream(t *testing.T, a, b Predictor, why string) {
+	t.Helper()
+	pa := predictions(t, a, "espresso", 50_000)
+	pb := predictions(t, b, "espresso", 50_000)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("%s: %s and %s diverge at branch %d", why, a.Name(), b.Name(), i)
+		}
+	}
+}
+
+func TestGAsZeroRowsEqualsAddressIndexed(t *testing.T) {
+	assertSameStream(t,
+		NewGAs(0, 8),
+		NewAddressIndexed(8),
+		"GAs with no history rows is address-indexed")
+}
+
+func TestGShareZeroHistoryEqualsAddressIndexed(t *testing.T) {
+	// With a 0-bit history register the XOR contributes only masked-
+	// away address bits: row is always 0.
+	assertSameStream(t,
+		NewGShare(0, 8),
+		NewAddressIndexed(8),
+		"gshare with no history is address-indexed")
+}
+
+func TestPathZeroHistoryEqualsAddressIndexed(t *testing.T) {
+	assertSameStream(t,
+		NewPath(0, 8, 2),
+		NewAddressIndexed(8),
+		"path with no history is address-indexed")
+}
+
+func TestPAsZeroHistoryEqualsAddressIndexed(t *testing.T) {
+	assertSameStream(t,
+		NewPAs(8, history.NewPerfect(0)),
+		NewAddressIndexed(8),
+		"PAs with 0-bit registers is address-indexed")
+}
+
+func TestGAsEqualsGAgAtZeroColumns(t *testing.T) {
+	assertSameStream(t,
+		NewGAs(8, 0),
+		NewGAg(8),
+		"GAs with no columns is GAg")
+}
+
+func TestPerfectPAsEqualsLargeEnoughFiniteTable(t *testing.T) {
+	// A finite first-level table big enough to hold every static
+	// branch, fully associative within sets, behaves identically to
+	// the perfect table except for the cold-start reset values. Use
+	// ZeroReset so cold entries match the perfect table's zero
+	// initial history.
+	assertSameStream(t,
+		NewPAs(2, history.NewPerfect(8)),
+		NewPAs(2, history.NewSetAssoc(1<<16, 4, 8, history.ZeroReset)),
+		"oversized finite first level equals perfect first level")
+}
+
+func TestUntaggedEqualsSetAssocWithoutCollisions(t *testing.T) {
+	// With capacity far above the PC range (so no two branches share
+	// an entry) the untagged table carries the same histories as the
+	// tagged one.
+	assertSameStream(t,
+		NewPAs(0, history.NewUntagged(1<<22, 8)),
+		NewPAs(0, history.NewSetAssoc(1<<22, 1, 8, history.ZeroReset)),
+		"collision-free untagged equals direct-mapped tagged")
+}
+
+func TestDeterminism(t *testing.T) {
+	a := predictions(t, NewGShare(10, 3), "espresso", 30_000)
+	b := predictions(t, NewGShare(10, 3), "espresso", 30_000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same predictor, same trace diverged at %d", i)
+		}
+	}
+}
+
+// Sanity ordering on a real workload: every adaptive scheme beats
+// static always-taken, and the profile-guided static predictor beats
+// the heuristic statics.
+func TestSchemeOrderingOnWorkload(t *testing.T) {
+	prof, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(prof, 13, 200_000)
+
+	mispredicts := func(p Predictor) int {
+		wrong := 0
+		src := tr.NewSource()
+		for {
+			b, ok := src.Next()
+			if !ok {
+				break
+			}
+			if p.Predict(b) != b.Taken {
+				wrong++
+			}
+			p.Update(b)
+		}
+		return wrong
+	}
+	static := mispredicts(StaticTaken{})
+	btfnt := mispredicts(BTFNT{})
+	profStatic := mispredicts(NewProfileStatic(traceStats(tr)))
+	bimodal := mispredicts(NewAddressIndexed(12))
+	pas := mispredicts(NewPAs(2, history.NewPerfect(10)))
+
+	if bimodal >= static || bimodal >= btfnt {
+		t.Errorf("bimodal (%d) not below statics (taken %d, btfnt %d)", bimodal, static, btfnt)
+	}
+	if profStatic >= static {
+		t.Errorf("profile static (%d) not below always-taken (%d)", profStatic, static)
+	}
+	if pas >= bimodal {
+		t.Errorf("PAs (%d) not below bimodal (%d) on espresso", pas, bimodal)
+	}
+}
+
+// traceStats is a test helper computing trace statistics.
+func traceStats(tr *trace.Trace) *trace.Stats { return trace.AnalyzeTrace(tr) }

@@ -1,0 +1,86 @@
+package core_test
+
+import (
+	"fmt"
+
+	"bpred/internal/core"
+	"bpred/internal/history"
+	"bpred/internal/trace"
+)
+
+// A gshare predictor learning a simple correlated pattern: the second
+// branch always mirrors the first.
+func ExampleNewGShare() {
+	p := core.NewGShare(4, 2)
+	leader := trace.Branch{PC: 0x1000, Target: 0x1100}
+	follower := trace.Branch{PC: 0x1004, Target: 0x1200}
+	for i := 0; i < 64; i++ {
+		leader.Taken = i%3 == 0
+		p.Predict(leader)
+		p.Update(leader)
+		follower.Taken = leader.Taken
+		p.Predict(follower)
+		p.Update(follower)
+	}
+	// After training, the follower is predicted from the leader's
+	// outcome in the history register.
+	leader.Taken = true
+	p.Predict(leader)
+	p.Update(leader)
+	fmt.Println("follower predicted taken:", p.Predict(follower))
+	// Output:
+	// follower predicted taken: true
+}
+
+// A PAs predictor nails a periodic branch that defeats a plain
+// two-bit counter.
+func ExampleNewPAs() {
+	p := core.NewPAs(0, history.NewPerfect(4))
+	b := trace.Branch{PC: 0x2000, Target: 0x2100}
+	pattern := []bool{true, true, false} // TTN repeating
+	for i := 0; i < 60; i++ {
+		b.Taken = pattern[i%3]
+		p.Predict(b)
+		p.Update(b)
+	}
+	correct := 0
+	for i := 60; i < 90; i++ {
+		b.Taken = pattern[i%3]
+		if p.Predict(b) == b.Taken {
+			correct++
+		}
+		p.Update(b)
+	}
+	fmt.Printf("%d/30 correct on a period-3 pattern\n", correct)
+	// Output:
+	// 30/30 correct on a period-3 pattern
+}
+
+// Metering exposes the aliasing between two branches sharing one
+// counter.
+func ExampleTwoLevel_AliasStats() {
+	p := core.NewAddressIndexed(0).EnableMeter() // single shared counter
+	a := trace.Branch{PC: 0x1000, Taken: true}
+	b := trace.Branch{PC: 0x2000, Taken: false}
+	for i := 0; i < 10; i++ {
+		p.Predict(a)
+		p.Update(a)
+		p.Predict(b)
+		p.Update(b)
+	}
+	s := p.AliasStats()
+	fmt.Printf("conflicts: %d of %d accesses, all destructive: %v\n",
+		s.Conflicts, s.Accesses, s.Destructive == s.Conflicts)
+	// Output:
+	// conflicts: 19 of 20 accesses, all destructive: true
+}
+
+// Config makes the design space enumerable: the same predictor can be
+// described declaratively and built on demand.
+func ExampleConfig() {
+	cfg := core.Config{Scheme: core.SchemeGAs, RowBits: 6, ColBits: 9}
+	p := cfg.MustBuild()
+	fmt.Println(p.Name(), "with", cfg.Counters(), "counters")
+	// Output:
+	// GAs-2^6x2^9 with 32768 counters
+}

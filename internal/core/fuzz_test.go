@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+// FuzzParseConfig checks the parser never panics and that anything it
+// accepts is a valid, buildable configuration whose name re-parses to
+// the same value.
+func FuzzParseConfig(f *testing.F) {
+	for _, seed := range []string{
+		"address-2^9",
+		"GAg-2^12",
+		"GAs-2^6x2^4",
+		"gshare-2^8x2^2",
+		"path2-2^6x2^2",
+		"PAg(inf)-2^10",
+		"PAs(1024/4w)-2^10x2^2",
+		"PAg(256u)-2^8",
+		"bogus",
+		"GAs-2^999x2^999",
+		"PAs(0/0w)-2^1x2^1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseConfig(s)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseConfig(%q) accepted invalid config: %v", s, verr)
+		}
+		// Accepted configs round-trip through their canonical name.
+		// (Cap the size so the fuzzer cannot demand giant tables.)
+		if cfg.TableBits() > 20 {
+			return
+		}
+		again, err := ParseConfig(cfg.Name())
+		if err != nil {
+			t.Fatalf("canonical name %q does not re-parse: %v", cfg.Name(), err)
+		}
+		// Path names print resolved bits; normalize before comparing.
+		want := cfg
+		if want.Scheme == SchemePath && want.PathBits == 0 {
+			want.PathBits = DefaultPathBits
+		}
+		if again != want {
+			t.Fatalf("round trip mismatch: %+v vs %+v", again, want)
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseConfig parses a predictor description into a Config. It
+// accepts exactly the canonical names the predictors print
+// (Config.Name / Predictor.Name), so any reported configuration can
+// be reconstructed by pasting its name back in:
+//
+//	address-2^9
+//	GAg-2^12
+//	GAs-2^6x2^4
+//	gshare-2^8x2^2
+//	path2-2^6x2^2          (the digit after "path" is bits per event)
+//	PAg(inf)-2^10
+//	PAs(inf)-2^10x2^2
+//	PAg(1024/4w)-2^12
+//	PAs(128/4w)-2^6x2^2
+//	PAg(256u)-2^8          (tagless first level)
+//
+// Scheme names are matched case-insensitively.
+func ParseConfig(s string) (Config, error) {
+	orig := s
+	fail := func(format string, args ...any) (Config, error) {
+		return Config{}, fmt.Errorf("core: parsing %q: %s", orig, fmt.Sprintf(format, args...))
+	}
+
+	dash := strings.LastIndex(s, "-2^")
+	if dash < 0 {
+		return fail("missing size suffix (expected ...-2^r[x2^c])")
+	}
+	head, dims := s[:dash], s[dash+1:]
+
+	rows, cols, err := parseDims(dims)
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	var cfg Config
+	lower := strings.ToLower(head)
+	switch {
+	case lower == "address" || lower == "bimodal":
+		cfg.Scheme = SchemeAddress
+		// A bare address predictor is all columns; accept either
+		// "address-2^9" (one dimension = columns) or the explicit
+		// two-dimensional "address-2^0x2^9".
+		if cols < 0 {
+			rows, cols = 0, rows
+		}
+		if rows != 0 {
+			return fail("address predictors have no history rows")
+		}
+	case lower == "gag":
+		cfg.Scheme = SchemeGAs
+		if cols < 0 {
+			cols = 0
+		}
+		if cols != 0 {
+			return fail("GAg has a single column")
+		}
+	case lower == "gas":
+		cfg.Scheme = SchemeGAs
+		if cols < 0 {
+			return fail("GAs needs rows and columns (GAs-2^rx2^c)")
+		}
+	case lower == "gshare":
+		cfg.Scheme = SchemeGShare
+		if cols < 0 {
+			return fail("gshare needs rows and columns (gshare-2^rx2^c)")
+		}
+	case strings.HasPrefix(lower, "path"):
+		cfg.Scheme = SchemePath
+		rest := head[len("path"):]
+		if rest != "" {
+			b, err := strconv.Atoi(rest)
+			if err != nil || b < 1 {
+				return fail("bad path bits-per-event %q", rest)
+			}
+			cfg.PathBits = b
+		}
+		if cols < 0 {
+			return fail("path needs rows and columns (path2-2^rx2^c)")
+		}
+	case strings.HasPrefix(lower, "pag(") || strings.HasPrefix(lower, "pas("):
+		cfg.Scheme = SchemePAs
+		open := strings.Index(head, "(")
+		if !strings.HasSuffix(head, ")") {
+			return fail("unterminated first-level spec")
+		}
+		fl, err := parseFirstLevel(head[open+1 : len(head)-1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		cfg.FirstLevel = fl
+		isPAg := strings.HasPrefix(lower, "pag(")
+		if isPAg && cols >= 0 && cols != 0 {
+			return fail("PAg has a single column")
+		}
+		if !isPAg && cols < 0 {
+			return fail("PAs needs rows and columns (PAs(...)-2^rx2^c)")
+		}
+		if cols < 0 {
+			cols = 0
+		}
+	default:
+		return fail("unknown scheme %q", head)
+	}
+	cfg.RowBits, cfg.ColBits = rows, cols
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// parseDims parses "2^r" (cols = -1) or "2^rx2^c".
+func parseDims(s string) (rows, cols int, err error) {
+	parts := strings.Split(s, "x")
+	switch len(parts) {
+	case 1:
+		r, err := parsePow(parts[0])
+		return r, -1, err
+	case 2:
+		r, err := parsePow(parts[0])
+		if err != nil {
+			return 0, 0, err
+		}
+		c, err := parsePow(parts[1])
+		return r, c, err
+	default:
+		return 0, 0, fmt.Errorf("bad dimensions %q", s)
+	}
+}
+
+func parsePow(s string) (int, error) {
+	if !strings.HasPrefix(s, "2^") {
+		return 0, fmt.Errorf("bad size %q (expected 2^k)", s)
+	}
+	n, err := strconv.Atoi(s[2:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad exponent %q", s[2:])
+	}
+	return n, nil
+}
+
+// parseFirstLevel parses "inf", "<entries>/<ways>w", or "<entries>u".
+func parseFirstLevel(s string) (FirstLevel, error) {
+	switch {
+	case s == "inf":
+		return FirstLevel{Kind: FirstLevelPerfect}, nil
+	case strings.HasSuffix(s, "u"):
+		n, err := strconv.Atoi(strings.TrimSuffix(s, "u"))
+		if err != nil || n <= 0 {
+			return FirstLevel{}, fmt.Errorf("bad untagged first level %q", s)
+		}
+		return FirstLevel{Kind: FirstLevelUntagged, Entries: n}, nil
+	case strings.HasSuffix(s, "w"):
+		parts := strings.Split(strings.TrimSuffix(s, "w"), "/")
+		if len(parts) != 2 {
+			return FirstLevel{}, fmt.Errorf("bad first level %q (expected entries/waysw)", s)
+		}
+		entries, err1 := strconv.Atoi(parts[0])
+		ways, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || entries <= 0 || ways <= 0 {
+			return FirstLevel{}, fmt.Errorf("bad first level %q", s)
+		}
+		return FirstLevel{Kind: FirstLevelSetAssoc, Entries: entries, Ways: ways}, nil
+	default:
+		return FirstLevel{}, fmt.Errorf("bad first level %q", s)
+	}
+}

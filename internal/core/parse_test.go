@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseConfigCanonicalForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Config
+	}{
+		{"address-2^9", Config{Scheme: SchemeAddress, ColBits: 9}},
+		{"bimodal-2^12", Config{Scheme: SchemeAddress, ColBits: 12}},
+		{"address-2^0x2^9", Config{Scheme: SchemeAddress, ColBits: 9}},
+		{"GAg-2^12", Config{Scheme: SchemeGAs, RowBits: 12}},
+		{"gag-2^12x2^0", Config{Scheme: SchemeGAs, RowBits: 12}},
+		{"GAs-2^6x2^4", Config{Scheme: SchemeGAs, RowBits: 6, ColBits: 4}},
+		{"gshare-2^8x2^2", Config{Scheme: SchemeGShare, RowBits: 8, ColBits: 2}},
+		{"path2-2^6x2^2", Config{Scheme: SchemePath, RowBits: 6, ColBits: 2, PathBits: 2}},
+		{"path3-2^4x2^4", Config{Scheme: SchemePath, RowBits: 4, ColBits: 4, PathBits: 3}},
+		{"path-2^4x2^4", Config{Scheme: SchemePath, RowBits: 4, ColBits: 4}},
+		{"PAg(inf)-2^10", Config{Scheme: SchemePAs, RowBits: 10}},
+		{"PAs(inf)-2^10x2^2", Config{Scheme: SchemePAs, RowBits: 10, ColBits: 2}},
+		{
+			"PAg(1024/4w)-2^12",
+			Config{Scheme: SchemePAs, RowBits: 12, FirstLevel: FirstLevel{
+				Kind: FirstLevelSetAssoc, Entries: 1024, Ways: 4,
+			}},
+		},
+		{
+			"PAs(128/4w)-2^6x2^2",
+			Config{Scheme: SchemePAs, RowBits: 6, ColBits: 2, FirstLevel: FirstLevel{
+				Kind: FirstLevelSetAssoc, Entries: 128, Ways: 4,
+			}},
+		},
+		{
+			"PAg(256u)-2^8",
+			Config{Scheme: SchemePAs, RowBits: 8, FirstLevel: FirstLevel{
+				Kind: FirstLevelUntagged, Entries: 256,
+			}},
+		},
+	}
+	for _, c := range cases {
+		got, err := ParseConfig(c.in)
+		if err != nil {
+			t.Errorf("ParseConfig(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseConfig(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseConfigRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"gshare",
+		"gshare-8x2",
+		"gshare-2^8",        // needs both dims
+		"GAs-2^6",           // needs both dims
+		"GAg-2^12x2^3",      // GAg is single-column
+		"address-2^3x2^9",   // address has no rows
+		"pathX-2^4x2^4",     // bad path bits
+		"path0-2^4x2^4",     // path bits < 1
+		"PAs(inf)-2^10",     // PAs needs both dims
+		"PAg(inf)-2^10x2^2", // PAg is single-column
+		"PAg(12/4w)-2^8",    // 3 sets: not a power of two
+		"PAg(zz)-2^8",
+		"PAg(100u)-2^8", // untagged not power of two
+		"PAg(inf-2^8",   // unterminated
+		"warp-2^4x2^4",
+		"GAs-2^-1x2^4",
+		"GAs-2^20x2^20", // over the size cap
+		"GAs-2^axb",
+		"GAs-2^1x2^2x2^3",
+	}
+	for _, in := range bad {
+		if cfg, err := ParseConfig(in); err == nil {
+			t.Errorf("ParseConfig(%q) accepted: %+v", in, cfg)
+		}
+	}
+}
+
+// Property: ParseConfig round-trips the canonical Name() of every
+// valid configuration.
+func TestParseConfigRoundTrip(t *testing.T) {
+	schemes := []Scheme{SchemeAddress, SchemeGAs, SchemeGShare, SchemePath, SchemePAs}
+	fls := []FirstLevel{
+		{Kind: FirstLevelPerfect},
+		{Kind: FirstLevelSetAssoc, Entries: 1024, Ways: 4},
+		{Kind: FirstLevelSetAssoc, Entries: 128, Ways: 2},
+		{Kind: FirstLevelUntagged, Entries: 64},
+	}
+	f := func(si, ri, ci, fi uint8) bool {
+		cfg := Config{
+			Scheme:  schemes[int(si)%len(schemes)],
+			RowBits: int(ri) % 13,
+			ColBits: int(ci) % 13,
+		}
+		switch cfg.Scheme {
+		case SchemeAddress:
+			cfg.RowBits = 0
+		case SchemePAs:
+			cfg.FirstLevel = fls[int(fi)%len(fls)]
+		case SchemePath:
+			cfg.PathBits = 1 + int(fi)%3
+		}
+		if cfg.Validate() != nil {
+			return true // not a valid config to round-trip
+		}
+		parsed, err := ParseConfig(cfg.Name())
+		if err != nil {
+			t.Logf("ParseConfig(%q): %v", cfg.Name(), err)
+			return false
+		}
+		// Path with default bits: Name() prints the resolved value,
+		// so compare the resolved form.
+		want := cfg
+		if want.Scheme == SchemePath && want.PathBits == 0 {
+			want.PathBits = DefaultPathBits
+		}
+		if parsed != want {
+			t.Logf("round trip %q: got %+v want %+v", cfg.Name(), parsed, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseConfigBuilds(t *testing.T) {
+	cfg, err := ParseConfig("PAs(1024/4w)-2^10x2^2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "PAs(1024/4w)-2^10x2^2" {
+		t.Errorf("rebuilt name %q", p.Name())
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"bpred/internal/trace"
+)
+
+func br(pc, target uint64, taken bool) trace.Branch {
+	return trace.Branch{PC: pc, Target: target, Taken: taken}
+}
+
+func TestStaticPredictors(t *testing.T) {
+	fwd := br(0x1000, 0x1100, false)
+	back := br(0x1000, 0x0F00, true)
+
+	if !(StaticTaken{}).Predict(fwd) {
+		t.Error("StaticTaken predicted not-taken")
+	}
+	if (StaticNotTaken{}).Predict(back) {
+		t.Error("StaticNotTaken predicted taken")
+	}
+	if (BTFNT{}).Predict(fwd) {
+		t.Error("BTFNT predicted a forward branch taken")
+	}
+	if !(BTFNT{}).Predict(back) {
+		t.Error("BTFNT predicted a backward branch not-taken")
+	}
+	// Updates are no-ops and must not panic.
+	StaticTaken{}.Update(fwd)
+	StaticNotTaken{}.Update(fwd)
+	BTFNT{}.Update(fwd)
+}
+
+func TestStaticNames(t *testing.T) {
+	names := map[string]Predictor{
+		"static-taken":     StaticTaken{},
+		"static-not-taken": StaticNotTaken{},
+		"static-btfnt":     BTFNT{},
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("Name() = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestProfileStatic(t *testing.T) {
+	tr := &trace.Trace{}
+	// Branch A: mostly taken; branch B: mostly not-taken.
+	for i := 0; i < 10; i++ {
+		tr.Append(br(0x100, 0x200, i < 8))
+		tr.Append(br(0x300, 0x400, i < 2))
+	}
+	p := NewProfileStatic(trace.AnalyzeTrace(tr))
+	if !p.Predict(br(0x100, 0x200, false)) {
+		t.Error("profiled taken-majority branch predicted not-taken")
+	}
+	if p.Predict(br(0x300, 0x400, true)) {
+		t.Error("profiled not-taken-majority branch predicted taken")
+	}
+	// Unprofiled branch falls back to BTFNT.
+	if !p.Predict(br(0x500, 0x480, false)) {
+		t.Error("unprofiled backward branch should fall back to taken")
+	}
+	if p.Name() != "static-profile" {
+		t.Errorf("Name() = %q", p.Name())
+	}
+}
+
+func TestProfileStaticTiesPredictTaken(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.Append(br(0x100, 0x200, true))
+	tr.Append(br(0x100, 0x200, false))
+	p := NewProfileStatic(trace.AnalyzeTrace(tr))
+	if !p.Predict(br(0x100, 0x200, false)) {
+		t.Error("50/50 profile should predict taken")
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+// Storage accounting. The paper's Table 3 compares schemes at equal
+// *counter* budgets, but its §5 argues the real design question is
+// equal *storage*: "65,536 bits can be used to implement a table of
+// 32,768 counters, or a table of 1024 counters and enough history
+// bits to keep 10 bits of history for 6348 branches." StorageBits
+// makes configurations comparable on that axis.
+
+// StorageBreakdown itemizes a configuration's storage cost in bits.
+type StorageBreakdown struct {
+	// CounterBits is the second-level table: 2 bits per counter.
+	CounterBits int
+	// HistoryBits is first-level history storage: the global/path
+	// shift register, or entries x width for per-address tables.
+	HistoryBits int
+	// TagBits is first-level tag storage for tagged PAs tables
+	// (zero when tags are excluded — the paper notes designs that
+	// integrate the history cache with a BTB or instruction cache
+	// "avoid having to implement additional tag bits").
+	TagBits int
+	// LRUBits is replacement state for set-associative first levels
+	// (log2(ways) bits per entry; zero for direct-mapped).
+	LRUBits int
+	// Bounded is false for idealized structures (a perfect
+	// first-level table has no finite cost); when false the bit
+	// counts cover only the bounded components.
+	Bounded bool
+}
+
+// Total returns the summed cost of the bounded components.
+func (s StorageBreakdown) Total() int {
+	return s.CounterBits + s.HistoryBits + s.TagBits + s.LRUBits
+}
+
+// pcTagWidth is the assumed branch-address width available for
+// first-level tags: 30 significant bits of a 32-bit word-aligned
+// MIPS PC, minus the set-index bits (computed per table).
+const pcAddressBits = 30
+
+// Storage itemizes the configuration's storage cost. includeTags
+// selects whether tagged first-level tables pay for their tags.
+func (c Config) Storage(includeTags bool) StorageBreakdown {
+	s := StorageBreakdown{
+		CounterBits: 2 * c.Counters(),
+		Bounded:     true,
+	}
+	switch c.Scheme {
+	case SchemeAddress:
+		// No first level.
+	case SchemeGAs, SchemeGShare:
+		s.HistoryBits = c.RowBits
+	case SchemePath:
+		s.HistoryBits = c.RowBits
+	case SchemePAs:
+		switch c.FirstLevel.Kind {
+		case FirstLevelPerfect:
+			s.Bounded = false
+		case FirstLevelUntagged:
+			s.HistoryBits = c.FirstLevel.Entries * c.RowBits
+		case FirstLevelSetAssoc:
+			entries := c.FirstLevel.Entries
+			ways := c.FirstLevel.Ways
+			s.HistoryBits = entries * c.RowBits
+			if includeTags {
+				sets := entries / ways
+				setBits := 0
+				for 1<<setBits < sets {
+					setBits++
+				}
+				tag := pcAddressBits - setBits
+				if tag < 0 {
+					tag = 0
+				}
+				s.TagBits = entries * tag
+				// One valid bit per entry rides along with the tag.
+				s.TagBits += entries
+			}
+			if ways > 1 {
+				wayBits := 0
+				for 1<<wayBits < ways {
+					wayBits++
+				}
+				s.LRUBits = entries * wayBits
+			}
+		}
+	}
+	return s
+}
+
+// StorageBits returns the total bounded storage cost in bits, and
+// whether the configuration is fully bounded (false for perfect
+// first-level tables, whose history cost is infinite).
+func (c Config) StorageBits(includeTags bool) (int, bool) {
+	s := c.Storage(includeTags)
+	return s.Total(), s.Bounded
+}

@@ -1,0 +1,114 @@
+package core
+
+import "testing"
+
+func TestStorageAddressIndexed(t *testing.T) {
+	c := Config{Scheme: SchemeAddress, ColBits: 15}
+	bits, bounded := c.StorageBits(true)
+	if !bounded {
+		t.Fatal("address-indexed must be bounded")
+	}
+	// The paper's example: a table of 32,768 counters is 65,536 bits.
+	if bits != 65536 {
+		t.Fatalf("storage %d bits, want 65536", bits)
+	}
+}
+
+func TestStorageGlobalSchemes(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeGAs, SchemeGShare, SchemePath} {
+		c := Config{Scheme: scheme, RowBits: 10, ColBits: 5}
+		s := c.Storage(true)
+		if s.CounterBits != 2*(1<<15) {
+			t.Errorf("%v: counter bits %d", scheme, s.CounterBits)
+		}
+		if s.HistoryBits != 10 {
+			t.Errorf("%v: history bits %d, want the 10-bit register", scheme, s.HistoryBits)
+		}
+		if s.TagBits != 0 || s.LRUBits != 0 {
+			t.Errorf("%v: unexpected tag/LRU bits", scheme)
+		}
+	}
+}
+
+func TestStoragePAsPerfectUnbounded(t *testing.T) {
+	c := Config{Scheme: SchemePAs, RowBits: 10, ColBits: 2}
+	if _, bounded := c.StorageBits(true); bounded {
+		t.Fatal("perfect first level must be unbounded")
+	}
+}
+
+func TestStoragePAsFinite(t *testing.T) {
+	// The paper's §5 example: 1024 counters plus 10 bits of history
+	// for 6348 branches ~ 65,536 bits without tags. Check the exact
+	// arithmetic on a round configuration.
+	c := Config{
+		Scheme: SchemePAs, RowBits: 10, ColBits: 0,
+		FirstLevel: FirstLevel{Kind: FirstLevelSetAssoc, Entries: 6144, Ways: 4},
+	}
+	s := c.Storage(false)
+	if !s.Bounded {
+		t.Fatal("finite table must be bounded")
+	}
+	wantCounters := 2 * 1024
+	wantHistory := 6144 * 10
+	if s.CounterBits != wantCounters || s.HistoryBits != wantHistory {
+		t.Fatalf("breakdown %+v", s)
+	}
+	if s.TagBits != 0 {
+		t.Fatal("tags counted despite includeTags=false")
+	}
+	// LRU: 4 ways -> 2 bits per entry.
+	if s.LRUBits != 6144*2 {
+		t.Fatalf("LRU bits %d", s.LRUBits)
+	}
+
+	withTags := c.Storage(true)
+	// 6144/4 = 1536 sets -> 11 set bits; tag = 30-11 = 19, +1 valid.
+	if withTags.TagBits != 6144*(19+1) {
+		t.Fatalf("tag bits %d", withTags.TagBits)
+	}
+	if withTags.Total() <= s.Total() {
+		t.Fatal("tags must add cost")
+	}
+}
+
+func TestStoragePAsUntagged(t *testing.T) {
+	c := Config{
+		Scheme: SchemePAs, RowBits: 8, ColBits: 0,
+		FirstLevel: FirstLevel{Kind: FirstLevelUntagged, Entries: 512},
+	}
+	s := c.Storage(true)
+	if s.HistoryBits != 512*8 || s.TagBits != 0 || s.LRUBits != 0 {
+		t.Fatalf("untagged breakdown %+v", s)
+	}
+}
+
+func TestStoragePaperTradeoff(t *testing.T) {
+	// §5's point: at ~65,536 bits one can buy either 32,768 counters
+	// (address-indexed) or ~1024 counters + a 10-bit-history first
+	// level for ~6000 branches. Both configurations must land within
+	// a few percent of that budget (tags omitted, as the paper does).
+	flat := Config{Scheme: SchemeAddress, ColBits: 15}
+	pas := Config{
+		Scheme: SchemePAs, RowBits: 10, ColBits: 0,
+		FirstLevel: FirstLevel{Kind: FirstLevelUntagged, Entries: 6144},
+	}
+	fb, _ := flat.StorageBits(false)
+	pb, _ := pas.StorageBits(false)
+	if fb != 65536 {
+		t.Fatalf("flat budget %d", fb)
+	}
+	if pb < 60000 || pb > 70000 {
+		t.Fatalf("PAs budget %d, want ~65536", pb)
+	}
+}
+
+func TestStorageDirectMappedNoLRU(t *testing.T) {
+	c := Config{
+		Scheme: SchemePAs, RowBits: 6, ColBits: 0,
+		FirstLevel: FirstLevel{Kind: FirstLevelSetAssoc, Entries: 256, Ways: 1},
+	}
+	if s := c.Storage(true); s.LRUBits != 0 {
+		t.Fatalf("direct-mapped table has LRU bits: %+v", s)
+	}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+
+	"bpred/internal/counter"
+	"bpred/internal/history"
+	"bpred/internal/trace"
+)
+
+// RowSelector is the first level of Figure 1's model: it maps a
+// branch to a row of the predictor table, from recorded history.
+type RowSelector interface {
+	// Row returns the row pattern for predicting pc. For finite
+	// per-address tables this may allocate (and evict) an entry.
+	Row(pc uint64) uint64
+	// Update records the resolved branch into the history state.
+	Update(b trace.Branch)
+	// AllOnes reports whether the pattern returned by the most recent
+	// Row call was the all-taken history — meaningful for outcome
+	// history selectors, always false otherwise.
+	AllOnes() bool
+}
+
+// TwoLevel is the general two-level predictor: a RowSelector plus a
+// rows x columns table of two-bit counters, with optional aliasing
+// instrumentation.
+//
+// TwoLevel relies on the Predict-then-Update discipline: Update
+// trains the entry selected by the immediately preceding Predict, as
+// hardware would train the entry recorded at fetch time.
+type TwoLevel struct {
+	name    string
+	sel     RowSelector
+	tab     *counter.Table
+	meter   *AliasMeter
+	lastIdx int
+	lastAll bool
+}
+
+// NewTwoLevel assembles a custom two-level predictor. Most callers
+// should use the scheme constructors (NewGAs, NewGShare, ...) or
+// Config.Build instead.
+func NewTwoLevel(name string, sel RowSelector, tab *counter.Table) *TwoLevel {
+	return &TwoLevel{name: name, sel: sel, tab: tab}
+}
+
+// WithCounterBits replaces the second-level table with counters of
+// the given width (the paper's machines are 2-bit; 1-bit counters
+// lose the hysteresis that protects biased branches from occasional
+// aliasing hits, 3-bit counters add more). Call before the first
+// Predict; the table is re-initialized. The name gains a "-kbit"
+// suffix for non-default widths.
+func (t *TwoLevel) WithCounterBits(bits int) *TwoLevel {
+	t.tab = counter.NewTableBits(t.tab.RowBits(), t.tab.ColBits(), bits)
+	if t.meter != nil {
+		t.meter = NewAliasMeter(t.tab.Size())
+	}
+	if bits != 2 {
+		t.name = fmt.Sprintf("%s-%dbit", t.name, bits)
+	}
+	return t
+}
+
+// EnableMeter attaches aliasing instrumentation. It returns the
+// predictor for chaining.
+func (t *TwoLevel) EnableMeter() *TwoLevel {
+	t.meter = NewAliasMeter(t.tab.Size())
+	return t
+}
+
+// Predict selects a row and column and reads the counter.
+func (t *TwoLevel) Predict(b trace.Branch) bool {
+	row := t.sel.Row(b.PC)
+	t.lastAll = t.sel.AllOnes()
+	t.lastIdx = t.tab.Index(row, b.PC>>2)
+	return t.tab.Predict(t.lastIdx)
+}
+
+// Update trains the entry chosen by the preceding Predict, meters the
+// access, and records the outcome into the first level.
+func (t *TwoLevel) Update(b trace.Branch) {
+	if t.meter != nil {
+		t.meter.Record(t.lastIdx, b.PC, b.Taken, t.lastAll)
+	}
+	t.tab.Update(t.lastIdx, b.Taken)
+	t.sel.Update(b)
+}
+
+// Name returns the configuration-qualified scheme name.
+func (t *TwoLevel) Name() string { return t.name }
+
+// Table exposes the second-level table (for tests and tooling).
+func (t *TwoLevel) Table() *counter.Table { return t.tab }
+
+// Meter returns the attached aliasing meter, or nil when unmetered.
+func (t *TwoLevel) Meter() *AliasMeter { return t.meter }
+
+// AliasStats implements AliasReporter; it returns zeros when the
+// meter is disabled.
+func (t *TwoLevel) AliasStats() AliasStats {
+	if t.meter == nil {
+		return AliasStats{}
+	}
+	return t.meter.Stats()
+}
+
+// FirstLevelMissRate implements FirstLevelReporter for per-address
+// selectors; it returns 0 for global schemes.
+func (t *TwoLevel) FirstLevelMissRate() float64 {
+	if pa, ok := t.sel.(*perAddressSelector); ok {
+		return missRate(pa.bht)
+	}
+	return 0
+}
+
+func missRate(bht history.BranchHistoryTable) float64 {
+	if bht.Lookups() == 0 {
+		return 0
+	}
+	return float64(bht.Misses()) / float64(bht.Lookups())
+}
+
+// --- Row selectors ---
+
+// zeroSelector implements address-indexed prediction: one row, so the
+// table degenerates to a column-indexed array of counters.
+type zeroSelector struct{}
+
+func (zeroSelector) Row(uint64) uint64   { return 0 }
+func (zeroSelector) Update(trace.Branch) {}
+func (zeroSelector) AllOnes() bool       { return false }
+
+// globalSelector selects rows with a single global outcome history
+// register (GAg/GAs).
+type globalSelector struct {
+	reg *history.ShiftRegister
+}
+
+func (s *globalSelector) Row(uint64) uint64 { return s.reg.Value() }
+func (s *globalSelector) Update(b trace.Branch) {
+	s.reg.Shift(b.Taken)
+}
+func (s *globalSelector) AllOnes() bool { return s.reg.AllOnes() }
+
+// gshareSelector XORs the global history with branch address bits
+// [McFarling92]. The XORed address bits are those *above* the column
+// selection bits, so that two branches aliased to the same column
+// still produce distinct rows — the whole point of the scheme.
+type gshareSelector struct {
+	reg     *history.ShiftRegister
+	colBits int
+}
+
+func (s *gshareSelector) Row(pc uint64) uint64 {
+	return s.reg.Value() ^ (pc >> (2 + uint(s.colBits)))
+}
+func (s *gshareSelector) Update(b trace.Branch) { s.reg.Shift(b.Taken) }
+func (s *gshareSelector) AllOnes() bool         { return s.reg.AllOnes() }
+
+// pathSelector keeps Nair's path history: low bits of the last few
+// next-instruction addresses (the branch target when taken, the
+// fall-through otherwise), so outcomes are encoded implicitly at
+// bitsPerTarget bits per event [Nair95].
+type pathSelector struct {
+	reg *history.PathRegister
+}
+
+func (s *pathSelector) Row(uint64) uint64 { return s.reg.Value() }
+func (s *pathSelector) Update(b trace.Branch) {
+	next := b.PC + 4
+	if b.Taken {
+		next = b.Target
+	}
+	s.reg.Record(next)
+}
+func (s *pathSelector) AllOnes() bool { return false }
+
+// perAddressSelector keeps per-branch outcome history in a
+// BranchHistoryTable (PAg/PAs). With history.Perfect it is the
+// idealized first level of Figure 9; with history.SetAssoc it is the
+// realistic, conflict-prone first level of Figure 10.
+type perAddressSelector struct {
+	bht     history.BranchHistoryTable
+	lastRow uint64
+}
+
+func (s *perAddressSelector) Row(pc uint64) uint64 {
+	row, _ := s.bht.Lookup(pc)
+	s.lastRow = row
+	return row
+}
+func (s *perAddressSelector) Update(b trace.Branch) { s.bht.Update(b.PC, b.Taken) }
+func (s *perAddressSelector) AllOnes() bool {
+	bits := s.bht.Bits()
+	if bits == 0 {
+		return true
+	}
+	return s.lastRow == (1<<uint(bits))-1
+}
+
+// --- Scheme constructors ---
+
+// NewAddressIndexed returns a row of 2^colBits two-bit counters
+// indexed purely by branch address — the paper's baseline (Figure 2),
+// also known as a bimodal predictor.
+func NewAddressIndexed(colBits int) *TwoLevel {
+	checkBits("colBits", colBits, 30)
+	return NewTwoLevel(
+		fmt.Sprintf("address-2^%d", colBits),
+		zeroSelector{},
+		counter.NewTable(0, colBits),
+	)
+}
+
+// NewGAg returns a single column of 2^histBits counters selected by
+// global history (Figure 3).
+func NewGAg(histBits int) *TwoLevel { return NewGAs(histBits, 0) }
+
+// NewGAs returns the general global-history scheme: 2^histBits rows
+// by 2^colBits columns (Figure 4).
+func NewGAs(histBits, colBits int) *TwoLevel {
+	checkBits("histBits", histBits, 30)
+	checkBits("colBits", colBits, 30)
+	name := fmt.Sprintf("GAs-2^%dx2^%d", histBits, colBits)
+	if colBits == 0 {
+		name = fmt.Sprintf("GAg-2^%d", histBits)
+	}
+	return NewTwoLevel(
+		name,
+		&globalSelector{reg: history.NewShiftRegister(histBits)},
+		counter.NewTable(histBits, colBits),
+	)
+}
+
+// NewGShare returns McFarling's gshare generalized to multiple
+// columns as the paper studies it (Figure 6): row = history XOR
+// high address bits, column = low address bits.
+func NewGShare(histBits, colBits int) *TwoLevel {
+	checkBits("histBits", histBits, 30)
+	checkBits("colBits", colBits, 30)
+	return NewTwoLevel(
+		fmt.Sprintf("gshare-2^%dx2^%d", histBits, colBits),
+		&gshareSelector{reg: history.NewShiftRegister(histBits), colBits: colBits},
+		counter.NewTable(histBits, colBits),
+	)
+}
+
+// DefaultPathBits is Nair's recommended target-address bits per
+// event.
+const DefaultPathBits = 2
+
+// NewPath returns Nair's path-based scheme (Figure 8): rows selected
+// by target-address bit history.
+func NewPath(histBits, colBits, bitsPerTarget int) *TwoLevel {
+	checkBits("histBits", histBits, 30)
+	checkBits("colBits", colBits, 30)
+	return NewTwoLevel(
+		fmt.Sprintf("path%d-2^%dx2^%d", bitsPerTarget, histBits, colBits),
+		&pathSelector{reg: history.NewPathRegister(histBits, bitsPerTarget)},
+		counter.NewTable(histBits, colBits),
+	)
+}
+
+// NewPAs returns a per-address-history scheme over the given
+// first-level table: 2^histBits rows (histBits must equal bht.Bits())
+// by 2^colBits columns. Use history.NewPerfect for Figure 9's
+// idealized variant, history.NewSetAssoc for Figure 10's finite one.
+func NewPAs(colBits int, bht history.BranchHistoryTable) *TwoLevel {
+	checkBits("colBits", colBits, 30)
+	histBits := bht.Bits()
+	var fl string
+	switch b := bht.(type) {
+	case *history.Perfect:
+		fl = "inf"
+	case *history.SetAssoc:
+		fl = fmt.Sprintf("%d/%dw", b.Entries(), b.Ways())
+	case *history.Untagged:
+		fl = fmt.Sprintf("%du", b.Entries())
+	default:
+		fl = "custom"
+	}
+	name := fmt.Sprintf("PAs(%s)-2^%dx2^%d", fl, histBits, colBits)
+	if colBits == 0 {
+		name = fmt.Sprintf("PAg(%s)-2^%d", fl, histBits)
+	}
+	return NewTwoLevel(
+		name,
+		&perAddressSelector{bht: bht},
+		counter.NewTable(histBits, colBits),
+	)
+}
+
+// NewPAg returns the single-column per-address scheme.
+func NewPAg(bht history.BranchHistoryTable) *TwoLevel { return NewPAs(0, bht) }
+
+// NewSAs returns the set-history scheme of Yeh and Patt's taxonomy
+// ("history kept for a set of addresses"): branches sharing a
+// first-level set share one untagged history register. It is the
+// PAs family over a tagless table, named per the taxonomy.
+func NewSAs(setEntries, histBits, colBits int) *TwoLevel {
+	t := NewPAs(colBits, history.NewUntagged(setEntries, histBits))
+	t.name = fmt.Sprintf("SAs(%d)-2^%dx2^%d", setEntries, histBits, colBits)
+	if colBits == 0 {
+		t.name = fmt.Sprintf("SAg(%d)-2^%d", setEntries, histBits)
+	}
+	return t
+}
+
+var (
+	_ Predictor          = (*TwoLevel)(nil)
+	_ AliasReporter      = (*TwoLevel)(nil)
+	_ FirstLevelReporter = (*TwoLevel)(nil)
+)

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bpred/internal/history"
+	"bpred/internal/trace"
+)
+
+// drive runs a Predict/Update cycle and returns the prediction.
+func drive(p Predictor, b trace.Branch) bool {
+	pred := p.Predict(b)
+	p.Update(b)
+	return pred
+}
+
+func TestAddressIndexedLearnsPerBranch(t *testing.T) {
+	p := NewAddressIndexed(4)
+	a := br(0x1000, 0x1100, true)
+	b := br(0x1004, 0x1200, false)
+	for i := 0; i < 8; i++ {
+		drive(p, a)
+		drive(p, b)
+	}
+	if !p.Predict(a) {
+		t.Error("taken-trained branch predicted not-taken")
+	}
+	if p.Predict(b) {
+		t.Error("not-taken-trained branch predicted taken")
+	}
+}
+
+func TestAddressIndexedAliasing(t *testing.T) {
+	// One-column table: every branch shares a single counter.
+	p := NewAddressIndexed(0)
+	a := br(0x1000, 0x1100, true)
+	b := br(0x2000, 0x2100, false)
+	for i := 0; i < 8; i++ {
+		drive(p, a)
+		drive(p, b)
+	}
+	// The shared counter cannot satisfy both: its prediction is the
+	// same for a and b.
+	if p.Predict(a) != p.Predict(b) {
+		t.Error("0-column predictions differ; counters not shared")
+	}
+}
+
+func TestGAgUsesGlobalHistory(t *testing.T) {
+	// A branch whose outcome alternates is unpredictable by a single
+	// counter but perfectly predictable from 1 bit of global history.
+	p := NewGAg(1)
+	pc := br(0x1000, 0x1100, false)
+	taken := false
+	// Train.
+	for i := 0; i < 64; i++ {
+		pc.Taken = taken
+		drive(p, pc)
+		taken = !taken
+	}
+	// Check steady-state accuracy over one more cycle.
+	correct := 0
+	for i := 0; i < 16; i++ {
+		pc.Taken = taken
+		if drive(p, pc) == pc.Taken {
+			correct++
+		}
+		taken = !taken
+	}
+	if correct < 16 {
+		t.Errorf("GAg-1 predicted only %d/16 of an alternating branch", correct)
+	}
+}
+
+func TestGAsColumnsSeparateBranches(t *testing.T) {
+	// Two branches with identical (empty) history but opposite
+	// behavior: GAg merges them, GAs with a column bit separates
+	// them.
+	run := func(p Predictor) int {
+		a := br(0x1000, 0x1100, true)  // column bit 0
+		b := br(0x1004, 0x1200, false) // column bit 1
+		wrong := 0
+		for i := 0; i < 64; i++ {
+			if drive(p, a) != a.Taken {
+				wrong++
+			}
+			if drive(p, b) != b.Taken {
+				wrong++
+			}
+		}
+		return wrong
+	}
+	gagWrong := run(NewGAg(0))
+	gasWrong := run(NewGAs(0, 1))
+	if gasWrong >= gagWrong {
+		t.Errorf("columns did not help: GAg wrong=%d, GAs wrong=%d", gagWrong, gasWrong)
+	}
+	if gasWrong > 4 {
+		t.Errorf("GAs with separating column still wrong %d times", gasWrong)
+	}
+}
+
+func TestGShareSeparatesAliasedBranches(t *testing.T) {
+	// Two branches that map to the same column (same low bits) with
+	// opposite fixed behavior, always predicted under the SAME
+	// history pattern (a run of taken filler branches precedes each).
+	// GAs merges them onto one counter — destructive aliasing — while
+	// gshare's XOR of high address bits into the row separates them.
+	a := br(0x1000, 0x1100, true)
+	// b shares a's column bits (pc[3:2]) but differs in pc[4], the
+	// lowest bit gshare XORs into the 3-bit row.
+	b := br(0x1000+16, 0x2200, false)
+	filler := br(0x4008, 0x4100, true) // different column; scrubs history to all-ones
+	run := func(p Predictor) int {
+		wrong := 0
+		for i := 0; i < 64; i++ {
+			for j := 0; j < 4; j++ {
+				drive(p, filler)
+			}
+			if drive(p, a) != a.Taken {
+				wrong++
+			}
+			for j := 0; j < 4; j++ {
+				drive(p, filler)
+			}
+			if drive(p, b) != b.Taken {
+				wrong++
+			}
+		}
+		return wrong
+	}
+	gas := run(NewGAs(3, 2))
+	gsh := run(NewGShare(3, 2))
+	if gsh >= gas/4 {
+		t.Errorf("gshare (%d wrong) did not improve on GAs (%d wrong) for aliased branches", gsh, gas)
+	}
+	if gas < 40 {
+		t.Errorf("GAs aliasing scenario too easy: only %d wrong", gas)
+	}
+}
+
+func TestPathDistinguishesPaths(t *testing.T) {
+	// A branch whose outcome depends on which of two predecessors
+	// executed, where both predecessors are taken (outcome history
+	// identical) but to different targets, and the path choice is
+	// pseudo-random: outcome history cannot distinguish the paths,
+	// path history can [Nair95].
+	// The two predecessors' targets differ in bits [3:2], the bits a
+	// 2-bit-per-event path register records.
+	pred1 := br(0x2000, 0x3004, true)
+	pred2 := br(0x2100, 0x3008, true)
+	target := br(0x5000, 0x5100, true)
+
+	run := func(p Predictor) int {
+		wrong := 0
+		seq := uint64(0x9E3779B97F4A7C15)
+		for i := 0; i < 400; i++ {
+			seq = seq*6364136223846793005 + 1442695040888963407
+			useFirst := seq>>63 == 1
+			if useFirst {
+				drive(p, pred1)
+			} else {
+				drive(p, pred2)
+			}
+			target.Taken = useFirst
+			pred := drive(p, target)
+			if i > 50 && pred != target.Taken {
+				wrong++
+			}
+		}
+		return wrong
+	}
+	gas := run(NewGAs(2, 2))
+	path := run(NewPath(4, 2, DefaultPathBits))
+	if path*3 >= gas {
+		t.Errorf("path history (%d wrong) did not clearly beat outcome history (%d wrong)", path, gas)
+	}
+	if path > 10 {
+		t.Errorf("path scheme still wrong %d/350 on a deterministic path correlation", path)
+	}
+}
+
+func TestPAsUsesSelfHistory(t *testing.T) {
+	// Branch with period-3 pattern TTN: unpredictable by a counter,
+	// perfectly predictable from 2+ bits of self history.
+	p := NewPAs(0, history.NewPerfect(4))
+	pc := br(0x1000, 0x1100, false)
+	outcomes := []bool{true, true, false}
+	for i := 0; i < 90; i++ {
+		pc.Taken = outcomes[i%3]
+		drive(p, pc)
+	}
+	correct := 0
+	for i := 90; i < 120; i++ {
+		pc.Taken = outcomes[i%3]
+		if drive(p, pc) == pc.Taken {
+			correct++
+		}
+	}
+	if correct < 30 {
+		t.Errorf("PAs predicted %d/30 of a period-3 pattern", correct)
+	}
+}
+
+func TestPAsSelfHistoryIsolation(t *testing.T) {
+	// Interleaving an unrelated branch must not disturb a branch's
+	// self-history prediction (unlike global history).
+	p := NewPAs(1, history.NewPerfect(4))
+	a := br(0x1000, 0x1100, false)
+	noise := br(0x2004, 0x2100, false)
+	outcomes := []bool{true, true, false, false}
+	for i := 0; i < 200; i++ {
+		a.Taken = outcomes[i%4]
+		drive(p, a)
+		noise.Taken = i%7 == 0
+		drive(p, noise)
+	}
+	correct := 0
+	for i := 200; i < 240; i++ {
+		a.Taken = outcomes[i%4]
+		if p.Predict(a) == a.Taken {
+			correct++
+		}
+		p.Update(a)
+		noise.Taken = i%7 == 0
+		drive(p, noise)
+	}
+	if correct < 38 {
+		t.Errorf("PAs predicted %d/40 of a period-4 pattern with interleaved noise", correct)
+	}
+}
+
+func TestPAsFiniteFirstLevelPollution(t *testing.T) {
+	// Two branches colliding in a 1-entry first level: their
+	// histories overwrite each other, destroying the pattern
+	// prediction that a perfect table delivers. This is the paper's
+	// §5 phenomenon.
+	run := func(bht history.BranchHistoryTable) int {
+		p := NewPAs(2, bht)
+		a := br(0x1000, 0x1100, false)
+		b := br(0x1000+4096, 0x2100, false) // same first-level set, different tag
+		outcomes := []bool{true, true, false}
+		wrong := 0
+		for i := 0; i < 300; i++ {
+			a.Taken = outcomes[i%3]
+			b.Taken = outcomes[(i+1)%3]
+			if drive(p, a) != a.Taken && i > 60 {
+				wrong++
+			}
+			if drive(p, b) != b.Taken && i > 60 {
+				wrong++
+			}
+		}
+		return wrong
+	}
+	perfect := run(history.NewPerfect(4))
+	polluted := run(history.NewDirectMapped(1, 4, history.PrefixReset))
+	if perfect > 2 {
+		t.Errorf("perfect first level wrong %d times on deterministic patterns", perfect)
+	}
+	if polluted <= perfect {
+		t.Errorf("first-level conflicts did not hurt: perfect=%d polluted=%d", perfect, polluted)
+	}
+}
+
+func TestFirstLevelMissRateReporting(t *testing.T) {
+	bht := history.NewDirectMapped(1, 4, history.PrefixReset)
+	p := NewPAs(0, bht)
+	a := br(0x1000, 0x1100, true)
+	b := br(0x1000+4096, 0x2100, true)
+	drive(p, a) // miss (cold)
+	drive(p, a) // hit
+	drive(p, b) // miss (conflict)
+	if got := p.FirstLevelMissRate(); got < 0.5 || got > 0.7 {
+		t.Errorf("FirstLevelMissRate = %g, want 2/3", got)
+	}
+	// Global schemes report zero.
+	if NewGAs(4, 4).FirstLevelMissRate() != 0 {
+		t.Error("GAs reported a first-level miss rate")
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]Predictor{
+		"address-2^9":          NewAddressIndexed(9),
+		"GAg-2^12":             NewGAg(12),
+		"GAs-2^6x2^4":          NewGAs(6, 4),
+		"gshare-2^8x2^2":       NewGShare(8, 2),
+		"path2-2^6x2^4":        NewPath(6, 4, 2),
+		"PAg(inf)-2^10":        NewPAg(history.NewPerfect(10)),
+		"PAs(inf)-2^8x2^3":     NewPAs(3, history.NewPerfect(8)),
+		"PAs(1024/4w)-2^6x2^2": NewPAs(2, history.NewSetAssoc(1024, 4, 6, history.PrefixReset)),
+		"PAg(128u)-2^6":        NewPAg(history.NewUntagged(128, 6)),
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("Name() = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestTableAccessor(t *testing.T) {
+	p := NewGAs(3, 5)
+	if p.Table().Rows() != 8 || p.Table().Cols() != 32 {
+		t.Errorf("table %dx%d, want 8x32", p.Table().Rows(), p.Table().Cols())
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewAddressIndexed(-1) },
+		func() { NewGAs(-1, 0) },
+		func() { NewGShare(0, 31) },
+		func() { NewPath(4, 4, 0) },
+		func() { NewPAs(-2, history.NewPerfect(4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("constructor with invalid size did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMeteredNamesUnchanged(t *testing.T) {
+	p := NewGAs(4, 4).EnableMeter()
+	if !strings.HasPrefix(p.Name(), "GAs-") {
+		t.Errorf("metering changed name to %q", p.Name())
+	}
+}
+
+func TestNewSAs(t *testing.T) {
+	p := NewSAs(64, 6, 2)
+	if p.Name() != "SAs(64)-2^6x2^2" {
+		t.Errorf("name %q", p.Name())
+	}
+	if NewSAs(64, 6, 0).Name() != "SAg(64)-2^6" {
+		t.Error("SAg name wrong")
+	}
+	// Behavior: two branches in the same set share history (the
+	// taxonomy's defining property).
+	a := br(0x1000, 0x1100, true)
+	b := br(0x1000+64*4, 0x1200, true) // same untagged entry for 64 entries
+	sas := NewSAs(64, 4, 4)
+	for i := 0; i < 8; i++ {
+		drive(sas, a)
+	}
+	// b's first prediction uses the history a built up: the shared
+	// register is all-ones, mapped to a row a trained toward taken.
+	if !sas.Predict(b) {
+		t.Error("set-shared history not visible to the second branch")
+	}
+}

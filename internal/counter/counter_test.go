@@ -1,0 +1,242 @@
+package counter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoBitStateProgression(t *testing.T) {
+	c := NewTwoBit()
+	if c.State() != 2 {
+		t.Fatalf("initial state %d, want 2 (weakly taken)", c.State())
+	}
+	if !c.Predict() {
+		t.Fatal("weakly-taken counter should predict taken")
+	}
+	c.Update(true)
+	if c.State() != 3 {
+		t.Fatalf("after taken: state %d, want 3", c.State())
+	}
+	c.Update(true) // saturate at 3
+	if c.State() != 3 {
+		t.Fatalf("should saturate at 3, got %d", c.State())
+	}
+	c.Update(false)
+	c.Update(false)
+	c.Update(false)
+	if c.State() != 0 {
+		t.Fatalf("after three not-taken: state %d, want 0", c.State())
+	}
+	if c.Predict() {
+		t.Fatal("strongly-not-taken counter predicted taken")
+	}
+	c.Update(false) // saturate at 0
+	if c.State() != 0 {
+		t.Fatalf("should saturate at 0, got %d", c.State())
+	}
+}
+
+func TestTwoBitHysteresis(t *testing.T) {
+	// The defining property of the two-bit counter: a single anomalous
+	// outcome does not flip a strongly-biased prediction. This is why
+	// loop exit branches cost one misprediction per iteration set, not
+	// two.
+	c := NewTwoBit()
+	c.Update(true)
+	c.Update(true) // strongly taken
+	c.Update(false)
+	if !c.Predict() {
+		t.Fatal("one not-taken flipped a strongly-taken counter")
+	}
+	c.Update(false)
+	if c.Predict() {
+		t.Fatal("two not-taken should flip the prediction")
+	}
+}
+
+func TestSaturatingWidths(t *testing.T) {
+	for bits := 1; bits <= 8; bits++ {
+		c := NewSaturating(bits, 0)
+		max := 1<<bits - 1
+		// Drive to saturation upward.
+		for i := 0; i < max+5; i++ {
+			c.Update(true)
+		}
+		if c.State() != max {
+			t.Errorf("bits=%d: saturated state %d, want %d", bits, c.State(), max)
+		}
+		if !c.Predict() {
+			t.Errorf("bits=%d: max state should predict taken", bits)
+		}
+		for i := 0; i < max+5; i++ {
+			c.Update(false)
+		}
+		if c.State() != 0 {
+			t.Errorf("bits=%d: floor state %d, want 0", bits, c.State())
+		}
+		if c.Predict() {
+			t.Errorf("bits=%d: zero state should predict not-taken", bits)
+		}
+	}
+}
+
+func TestSaturatingThreshold(t *testing.T) {
+	// 3-bit counter: states 0..7; 0..3 predict not-taken, 4..7 taken.
+	for init := 0; init <= 7; init++ {
+		c := NewSaturating(3, init)
+		want := init >= 4
+		if c.Predict() != want {
+			t.Errorf("3-bit state %d: Predict() = %v, want %v", init, c.Predict(), want)
+		}
+	}
+}
+
+func TestSaturatingReset(t *testing.T) {
+	c := NewSaturating(2, 1)
+	c.Update(true)
+	c.Update(true)
+	c.Reset()
+	if c.State() != 1 {
+		t.Fatalf("Reset state %d, want 1", c.State())
+	}
+}
+
+func TestSaturatingPanics(t *testing.T) {
+	cases := []struct{ bits, init int }{
+		{0, 0}, {9, 0}, {-1, 0}, {2, 4}, {2, -1},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSaturating(%d, %d) did not panic", c.bits, c.init)
+				}
+			}()
+			NewSaturating(c.bits, c.init)
+		}()
+	}
+}
+
+func TestLastOutcome(t *testing.T) {
+	l := NewLastOutcome(true)
+	if !l.Predict() {
+		t.Fatal("initial prediction should be taken")
+	}
+	l.Update(false)
+	if l.Predict() {
+		t.Fatal("after not-taken, should predict not-taken")
+	}
+	l.Update(true)
+	if !l.Predict() {
+		t.Fatal("after taken, should predict taken")
+	}
+	l.Reset()
+	if !l.Predict() {
+		t.Fatal("Reset should restore initial prediction")
+	}
+}
+
+func TestFixed(t *testing.T) {
+	ft := Fixed(true)
+	fn := Fixed(false)
+	for i := 0; i < 10; i++ {
+		ft.Update(false)
+		fn.Update(true)
+	}
+	if !ft.Predict() {
+		t.Fatal("Fixed(true) must always predict taken")
+	}
+	if fn.Predict() {
+		t.Fatal("Fixed(false) must always predict not-taken")
+	}
+}
+
+func TestAgree(t *testing.T) {
+	a := NewAgree(NewTwoBit())
+	// Initially "weakly agree": prediction follows the bias bit.
+	if !a.PredictWithBias(true) {
+		t.Fatal("agreeing machine with bias=taken should predict taken")
+	}
+	if a.PredictWithBias(false) {
+		t.Fatal("agreeing machine with bias=not-taken should predict not-taken")
+	}
+	// Train disagreement: outcomes opposite to bias.
+	for i := 0; i < 3; i++ {
+		a.UpdateWithBias(false, true)
+	}
+	if a.PredictWithBias(true) {
+		t.Fatal("after training disagreement, prediction should invert the bias")
+	}
+}
+
+// Property: the machine interface contract — Predict is stable if no
+// Update happens, and a saturating counter's state never escapes its
+// range under arbitrary update sequences.
+func TestSaturatingRangeProperty(t *testing.T) {
+	f := func(bits uint8, updates []bool) bool {
+		b := int(bits%8) + 1
+		c := NewSaturating(b, 0)
+		max := 1<<b - 1
+		for _, u := range updates {
+			c.Update(u)
+			if c.State() < 0 || c.State() > max {
+				return false
+			}
+			p := c.Predict()
+			if c.Predict() != p { // repeated Predict is pure
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after k consecutive identical outcomes (k >= width), the
+// counter predicts that outcome.
+func TestSaturatingConvergenceProperty(t *testing.T) {
+	f := func(bits uint8, dir bool) bool {
+		b := int(bits%8) + 1
+		c := NewSaturating(b, (1<<b)/2)
+		for i := 0; i < 1<<b; i++ {
+			c.Update(dir)
+		}
+		return c.Predict() == dir
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var machineImpls = []struct {
+	name string
+	mk   func() Machine
+}{
+	{"two-bit", func() Machine { return NewTwoBit() }},
+	{"1-bit-saturating", func() Machine { return NewSaturating(1, 0) }},
+	{"3-bit-saturating", func() Machine { return NewSaturating(3, 4) }},
+	{"last-outcome", func() Machine { return NewLastOutcome(false) }},
+	{"fixed-taken", func() Machine { return Fixed(true) }},
+}
+
+// All Machine implementations must tolerate long update streams without
+// panicking and produce deterministic predictions.
+func TestMachineInterfaceContract(t *testing.T) {
+	for _, impl := range machineImpls {
+		t.Run(impl.name, func(t *testing.T) {
+			m := impl.mk()
+			for i := 0; i < 1000; i++ {
+				taken := i%3 == 0
+				_ = m.Predict()
+				m.Update(taken)
+			}
+			m.Reset()
+			n := impl.mk()
+			if m.Predict() != n.Predict() {
+				t.Error("Reset did not restore initial prediction")
+			}
+		})
+	}
+}

@@ -1,0 +1,213 @@
+// Package dealias implements the aliasing-tolerant predictor designs
+// that the paper's findings motivated. The paper's conclusion —
+// "controlling aliasing will be the key to improving prediction
+// accuracy and taking advantage of inter-branch correlations in
+// global schemes" — set off a line of dealiased designs in the
+// following two years; this package provides the three canonical ones
+// as extensions, each implementing core.Predictor so they drop into
+// the same simulation and sweep machinery as the paper's schemes:
+//
+//   - GSelect: McFarling's concatenation of global history and
+//     address bits [McFarling92] — the simplest way to spend index
+//     bits on *both* correlation and branch identity.
+//   - BiMode: Lee, Chen & Mudge (1997, same group as this paper) —
+//     splits the pattern table into taken-leaning and not-taken-
+//     leaning banks selected by a per-address choice predictor, so
+//     branches aliased to one entry usually agree in direction and
+//     interfere neutrally or constructively.
+//   - GSkew: Michaud, Seznec & Uhlig's skewed predictor (1997) —
+//     three banks indexed by different hash functions with majority
+//     vote; two branches colliding in one bank almost never collide
+//     in the others, so the vote masks the conflict.
+//
+// The agree predictor (Sprangle et al., 1997), the fourth member of
+// this family, lives in core (core.NewAgreeGShare) because it shares
+// the two-level machinery directly.
+package dealias
+
+import (
+	"fmt"
+
+	"bpred/internal/counter"
+	"bpred/internal/history"
+	"bpred/internal/rng"
+	"bpred/internal/trace"
+)
+
+// GSelect concatenates n bits of global history with m bits of branch
+// address to index a table of 2^(n+m) two-bit counters.
+type GSelect struct {
+	name     string
+	reg      *history.ShiftRegister
+	tab      *counter.Table
+	addrBits int
+	lastIdx  int
+}
+
+// NewGSelect returns a gselect predictor with histBits of history and
+// addrBits of address in the index.
+func NewGSelect(histBits, addrBits int) *GSelect {
+	if histBits < 0 || addrBits < 0 || histBits+addrBits > 30 {
+		panic(fmt.Sprintf("dealias: NewGSelect(%d, %d) out of range", histBits, addrBits))
+	}
+	return &GSelect{
+		name:     fmt.Sprintf("gselect-%dh+%da", histBits, addrBits),
+		reg:      history.NewShiftRegister(histBits),
+		tab:      counter.NewTable(histBits, addrBits),
+		addrBits: addrBits,
+	}
+}
+
+// Predict indexes the table with history ++ address bits.
+func (g *GSelect) Predict(b trace.Branch) bool {
+	g.lastIdx = g.tab.Index(g.reg.Value(), b.PC>>2)
+	return g.tab.Predict(g.lastIdx)
+}
+
+// Update trains the selected counter and shifts the outcome into the
+// history register.
+func (g *GSelect) Update(b trace.Branch) {
+	g.tab.Update(g.lastIdx, b.Taken)
+	g.reg.Shift(b.Taken)
+}
+
+// Name returns the configuration-qualified name.
+func (g *GSelect) Name() string { return g.name }
+
+// BiMode is the bi-mode predictor: a choice table indexed by address
+// picks between two gshare-indexed direction banks. Only the chosen
+// bank trains (the choice table trains except when it was overruled
+// yet the outcome matched the chosen bank), concentrating
+// taken-biased branches in one bank and not-taken-biased in the
+// other; destructive aliasing between opposite-direction branches —
+// the kind the paper shows dominating — largely disappears.
+type BiMode struct {
+	name       string
+	reg        *history.ShiftRegister
+	choice     *counter.Table
+	banks      [2]*counter.Table
+	choiceBits int
+	bankBits   int
+
+	lastChoiceIdx int
+	lastBankIdx   int
+	lastBank      int
+}
+
+// NewBiMode returns a bi-mode predictor: a 2^choiceBits choice table
+// and two 2^bankBits direction banks indexed by history XOR address.
+func NewBiMode(histBits, choiceBits, bankBits int) *BiMode {
+	if histBits < 0 || histBits > 30 || choiceBits < 0 || choiceBits > 30 || bankBits < 0 || bankBits > 30 {
+		panic(fmt.Sprintf("dealias: NewBiMode(%d, %d, %d) out of range", histBits, choiceBits, bankBits))
+	}
+	return &BiMode{
+		name:       fmt.Sprintf("bimode-%dh/2^%dc/2x2^%d", histBits, choiceBits, bankBits),
+		reg:        history.NewShiftRegister(histBits),
+		choice:     counter.NewTable(0, choiceBits),
+		banks:      [2]*counter.Table{counter.NewTable(0, bankBits), counter.NewTable(0, bankBits)},
+		choiceBits: choiceBits,
+		bankBits:   bankBits,
+	}
+}
+
+// Predict consults the choice table, then the chosen direction bank
+// under a gshare-style index.
+func (m *BiMode) Predict(b trace.Branch) bool {
+	m.lastChoiceIdx = m.choice.Index(0, b.PC>>2)
+	bank := 0
+	if m.choice.Predict(m.lastChoiceIdx) {
+		bank = 1 // taken-leaning bank
+	}
+	m.lastBank = bank
+	idx := m.reg.Value() ^ (b.PC >> 2)
+	m.lastBankIdx = m.banks[bank].Index(0, idx)
+	return m.banks[bank].Predict(m.lastBankIdx)
+}
+
+// Update trains the chosen bank always, and the choice table unless
+// the choice was wrong while the chosen bank still predicted
+// correctly (the standard bi-mode partial-update rule).
+func (m *BiMode) Update(b trace.Branch) {
+	bankPrediction := m.banks[m.lastBank].Predict(m.lastBankIdx)
+	m.banks[m.lastBank].Update(m.lastBankIdx, b.Taken)
+	choiceAgreed := (m.lastBank == 1) == b.Taken
+	if choiceAgreed || bankPrediction != b.Taken {
+		m.choice.Update(m.lastChoiceIdx, b.Taken)
+	}
+	m.reg.Shift(b.Taken)
+}
+
+// Name returns the configuration-qualified name.
+func (m *BiMode) Name() string { return m.name }
+
+// GSkew is the (2-component-majority simplification of the) skewed
+// branch predictor: three counter banks indexed by three different
+// hashes of (history, address); the majority of the three counters
+// predicts, and all three train. A pair of branches that collides in
+// one bank is de-skewed in the other two, so the vote suppresses the
+// conflict.
+type GSkew struct {
+	name     string
+	reg      *history.ShiftRegister
+	banks    [3]*counter.Table
+	bankBits int
+	lastIdx  [3]int
+}
+
+// NewGSkew returns a skewed predictor of three 2^bankBits banks using
+// histBits of global history.
+func NewGSkew(histBits, bankBits int) *GSkew {
+	if histBits < 0 || histBits > 30 || bankBits < 0 || bankBits > 30 {
+		panic(fmt.Sprintf("dealias: NewGSkew(%d, %d) out of range", histBits, bankBits))
+	}
+	g := &GSkew{
+		name:     fmt.Sprintf("gskew-%dh/3x2^%d", histBits, bankBits),
+		reg:      history.NewShiftRegister(histBits),
+		bankBits: bankBits,
+	}
+	for i := range g.banks {
+		g.banks[i] = counter.NewTable(0, bankBits)
+	}
+	return g
+}
+
+// skewConstants give each bank an independent index function: mixing
+// (history, address) with a distinct odd multiplier before the
+// avalanche finalizer makes the three banks' collision sets
+// effectively independent — the inter-bank dispersion property
+// Michaud et al.'s skewing functions provide in hardware.
+var skewConstants = [3]uint64{
+	0x9E3779B97F4A7C15, // golden-ratio mix
+	0xC2B2AE3D27D4EB4F, // xxhash prime
+	0xFF51AFD7ED558CCD, // murmur3 finalizer constant
+}
+
+// skewHash computes the i-th bank's index from history and address.
+func (g *GSkew) skewHash(i int, h, a uint64) uint64 {
+	return rng.Mix64((h<<32 | a&0xFFFFFFFF) * skewConstants[i])
+}
+
+// Predict takes the majority vote of the three banks.
+func (g *GSkew) Predict(b trace.Branch) bool {
+	h, a := g.reg.Value(), b.PC>>2
+	votes := 0
+	for i := range g.banks {
+		g.lastIdx[i] = g.banks[i].Index(0, g.skewHash(i, h, a))
+		if g.banks[i].Predict(g.lastIdx[i]) {
+			votes++
+		}
+	}
+	return votes >= 2
+}
+
+// Update trains all three banks (total update policy) and shifts the
+// outcome into the history.
+func (g *GSkew) Update(b trace.Branch) {
+	for i := range g.banks {
+		g.banks[i].Update(g.lastIdx[i], b.Taken)
+	}
+	g.reg.Shift(b.Taken)
+}
+
+// Name returns the configuration-qualified name.
+func (g *GSkew) Name() string { return g.name }

@@ -1,0 +1,228 @@
+package dealias
+
+import (
+	"testing"
+
+	"bpred/internal/core"
+	"bpred/internal/sim"
+	"bpred/internal/trace"
+	"bpred/internal/workload"
+)
+
+func br(pc, target uint64, taken bool) trace.Branch {
+	return trace.Branch{PC: pc, Target: target, Taken: taken}
+}
+
+func drive(p core.Predictor, b trace.Branch) bool {
+	pred := p.Predict(b)
+	p.Update(b)
+	return pred
+}
+
+// Interface compliance.
+var (
+	_ core.Predictor = (*GSelect)(nil)
+	_ core.Predictor = (*BiMode)(nil)
+	_ core.Predictor = (*GSkew)(nil)
+)
+
+func TestNames(t *testing.T) {
+	cases := map[string]core.Predictor{
+		"gselect-6h+4a":        NewGSelect(6, 4),
+		"bimode-8h/2^6c/2x2^8": NewBiMode(8, 6, 8),
+		"gskew-8h/3x2^8":       NewGSkew(8, 8),
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("Name() = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewGSelect(-1, 4) },
+		func() { NewGSelect(20, 20) },
+		func() { NewBiMode(-1, 4, 4) },
+		func() { NewBiMode(4, 4, 31) },
+		func() { NewGSkew(4, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid constructor did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGSelectLearnsCorrelation(t *testing.T) {
+	// Outcome equals the previous branch's outcome (lag-1 global
+	// correlation): gselect with >=1 history bit nails it, with 0
+	// history bits it cannot.
+	run := func(p core.Predictor) int {
+		seq := uint64(12345)
+		leader := br(0x100, 0x200, true)
+		follower := br(0x104, 0x300, true)
+		wrong := 0
+		for i := 0; i < 400; i++ {
+			seq = seq*6364136223846793005 + 1442695040888963407
+			leader.Taken = seq>>63 == 1
+			drive(p, leader)
+			follower.Taken = leader.Taken
+			if drive(p, follower) != follower.Taken && i > 50 {
+				wrong++
+			}
+		}
+		return wrong
+	}
+	with := run(NewGSelect(2, 4))
+	without := run(NewGSelect(0, 4))
+	if with > 10 {
+		t.Errorf("gselect with history wrong %d/350", with)
+	}
+	if without < 100 {
+		t.Errorf("gselect without history suspiciously good (%d wrong); test broken", without)
+	}
+}
+
+// The aliasing scenario of the paper: two opposite-direction branches
+// forced onto the same counter under identical history. Plain gshare
+// thrashes; each dealiased design must tolerate it.
+func aliasingStress(p core.Predictor) int {
+	a := br(0x1000, 0x1100, true)
+	b := br(0x1000, 0x2200, false) // identical PC index bits: guaranteed collision in any addr hash
+	// Distinct PCs but same low bits would dodge gskew's hashes; use
+	// a harsher variant: same index everywhere but different bias —
+	// only per-address choice/bias state can separate them, so give
+	// them different PCs that collide in the small direction tables
+	// but differ in the (larger) choice table.
+	b.PC = 0x1000 + (1 << 8) // differs at bit 8
+	filler := br(0x4008, 0x4100, true)
+	wrong := 0
+	for i := 0; i < 300; i++ {
+		for j := 0; j < 4; j++ {
+			drive(p, filler)
+		}
+		if drive(p, a) != a.Taken && i > 30 {
+			wrong++
+		}
+		for j := 0; j < 4; j++ {
+			drive(p, filler)
+		}
+		if drive(p, b) != b.Taken && i > 30 {
+			wrong++
+		}
+	}
+	return wrong
+}
+
+func TestBiModeDefusesDestructiveAliasing(t *testing.T) {
+	// Direction banks of 2^4 entries: a (taken) and b (not-taken)
+	// collide in a bank index; the 2^10 choice table separates them
+	// by address so they land in different banks.
+	plain := aliasingStress(core.NewGShare(4, 0))
+	bimode := aliasingStress(NewBiMode(4, 10, 4))
+	if plain < 200 {
+		t.Fatalf("plain gshare should thrash, wrong only %d", plain)
+	}
+	if bimode > plain/4 {
+		t.Errorf("bi-mode wrong %d vs plain %d; dealiasing ineffective", bimode, plain)
+	}
+}
+
+func TestGSkewMasksSingleBankConflicts(t *testing.T) {
+	// Banks of 2^6: the two branches may collide in one bank but the
+	// other two hashes separate them, and the vote recovers.
+	plain := aliasingStress(core.NewGShare(4, 0))
+	skew := aliasingStress(NewGSkew(4, 6))
+	if skew > plain/4 {
+		t.Errorf("gskew wrong %d vs plain %d; vote not masking conflicts", skew, plain)
+	}
+}
+
+func TestDealiasedBeatGShareOnLargeWorkload(t *testing.T) {
+	// The family's reason to exist: on an aliasing-dominated workload
+	// at a fixed small budget, every dealiased design should beat
+	// plain gshare of comparable cost.
+	prof, _ := workload.ProfileByName("real_gcc")
+	tr := workload.Generate(prof, 3, 400_000)
+	opt := sim.Options{Warmup: 20_000}
+
+	gshare := sim.RunTrace(core.NewGShare(10, 0), tr, opt).MispredictRate()
+	bimode := sim.RunTrace(NewBiMode(10, 10, 10), tr, opt).MispredictRate() // 3x2^10 counters
+	gskew := sim.RunTrace(NewGSkew(10, 10), tr, opt).MispredictRate()       // 3x2^10 counters
+	gsel := sim.RunTrace(NewGSelect(4, 6), tr, opt).MispredictRate()        // 2^10 counters
+
+	if bimode >= gshare {
+		t.Errorf("bimode %.3f not below gshare %.3f", bimode, gshare)
+	}
+	if gskew >= gshare {
+		t.Errorf("gskew %.3f not below gshare %.3f", gskew, gshare)
+	}
+	if gsel >= gshare {
+		t.Errorf("gselect %.3f not below gshare-2^10x2^0 %.3f", gsel, gshare)
+	}
+}
+
+func TestBiModeChoicePartialUpdate(t *testing.T) {
+	// The partial-update rule: when the choice was overruled but the
+	// chosen bank was right, the choice table must not train toward
+	// the outcome. Construct: branch X not-taken-biased; choice
+	// mistakenly says taken-bank, but taken-bank's counter already
+	// predicts not-taken correctly. The choice counter should stay
+	// put rather than being dragged further.
+	m := NewBiMode(0, 4, 4)
+	x := br(0x1000, 0x1100, false)
+	// Train the taken bank's entry toward not-taken by direct driving.
+	for i := 0; i < 8; i++ {
+		drive(m, x)
+	}
+	// After training, predictions are correct regardless of choice.
+	if drive(m, x) != false {
+		t.Error("bi-mode failed to learn a simple biased branch")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	prof, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(prof, 9, 30_000)
+	run := func(p core.Predictor) uint64 {
+		return sim.RunTrace(p, tr, sim.Options{}).Mispredicts
+	}
+	for _, mk := range []func() core.Predictor{
+		func() core.Predictor { return NewGSelect(5, 5) },
+		func() core.Predictor { return NewBiMode(8, 8, 8) },
+		func() core.Predictor { return NewGSkew(8, 8) },
+	} {
+		if run(mk()) != run(mk()) {
+			t.Errorf("%s not deterministic", mk().Name())
+		}
+	}
+}
+
+func BenchmarkDealiasThroughput(b *testing.B) {
+	prof, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(prof, 1, 100_000)
+	preds := map[string]core.Predictor{
+		"gselect": NewGSelect(5, 7),
+		"bimode":  NewBiMode(12, 10, 12),
+		"gskew":   NewGSkew(12, 12),
+	}
+	for name, p := range preds {
+		b.Run(name, func(b *testing.B) {
+			src := tr.NewSource()
+			for i := 0; i < b.N; i++ {
+				br, ok := src.Next()
+				if !ok {
+					src = tr.NewSource()
+					br, _ = src.Next()
+				}
+				p.Predict(br)
+				p.Update(br)
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bpred/internal/core"
+	"bpred/internal/history"
+	"bpred/internal/sim"
+	"bpred/internal/workload"
+)
+
+// CombiningRow compares a McFarling tournament and an agree predictor
+// against their components on one benchmark. This extends the paper's
+// conclusion ("recent work has begun to examine ways of combining
+// schemes to provide more effective branch prediction") and the
+// dealiasing line of work it motivated.
+type CombiningRow struct {
+	Benchmark  string
+	GShare     float64
+	PAs        float64
+	Tournament float64
+	Agree      float64
+}
+
+// Combining runs the extension experiment over every benchmark
+// profile at suite length.
+func Combining(c *Context) []CombiningRow {
+	var rows []CombiningRow
+	for _, prof := range workload.Profiles() {
+		tr := c.SuiteTrace(prof.Name)
+		build := func() []core.Predictor {
+			return []core.Predictor{
+				core.NewGShare(11, 2),
+				core.NewPAs(0, history.NewSetAssoc(1024, 4, 12, history.PrefixReset)),
+				core.NewTournament(
+					core.NewGShare(11, 2),
+					core.NewPAs(0, history.NewSetAssoc(1024, 4, 12, history.PrefixReset)),
+					11,
+				),
+				core.NewAgreeGShare(11, 2),
+			}
+		}
+		ms := sim.RunPredictors(build(), tr, c.simOpts(tr.Len()))
+		rows = append(rows, CombiningRow{
+			Benchmark:  prof.Name,
+			GShare:     ms[0].MispredictRate(),
+			PAs:        ms[1].MispredictRate(),
+			Tournament: ms[2].MispredictRate(),
+			Agree:      ms[3].MispredictRate(),
+		})
+	}
+	return rows
+}
+
+// RenderCombining formats the extension experiment.
+func RenderCombining(rows []CombiningRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: combining and dealiasing predictors (tournament of gshare-2^11x2^2\n")
+	b.WriteString("and PAs(1k/4w)-2^12, agree-gshare-2^11x2^2) — misprediction %\n")
+	fmt.Fprintf(&b, "%-11s %9s %9s %11s %9s %s\n",
+		"benchmark", "gshare", "PAs(1k)", "tournament", "agree", "tournament vs best component")
+	for _, r := range rows {
+		best := r.GShare
+		if r.PAs < best {
+			best = r.PAs
+		}
+		verdict := "matches"
+		switch {
+		case r.Tournament < best-0.0005:
+			verdict = "beats"
+		case r.Tournament > best+0.003:
+			verdict = "trails"
+		}
+		fmt.Fprintf(&b, "%-11s %8.2f%% %8.2f%% %10.2f%% %8.2f%% %s\n",
+			r.Benchmark, 100*r.GShare, 100*r.PAs, 100*r.Tournament, 100*r.Agree, verdict)
+	}
+	return b.String()
+}

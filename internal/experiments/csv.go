@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bpred/internal/sweep"
+)
+
+// CSVWriter is implemented by experiment results that can export raw
+// data for downstream plotting. cmd/bpsweep invokes it when -csv is
+// set.
+type CSVWriter interface {
+	// WriteCSVs writes one or more CSV files into dir, with file
+	// names prefixed by slug (the experiment id).
+	WriteCSVs(dir, slug string) error
+}
+
+// writeSurfaceCSV writes one surface to dir/slug-name.csv.
+func writeSurfaceCSV(dir, slug, name string, s *sweep.Surface) (err error) {
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s.csv", slug, name))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("experiments: closing %s: %w", path, cerr)
+		}
+	}()
+	return s.WriteCSV(f)
+}
+
+// WriteCSVs exports the Figure 10 surfaces, one file per first-level
+// size (perfect table as "inf").
+func (r *Fig10Result) WriteCSVs(dir, slug string) error {
+	if err := writeSurfaceCSV(dir, slug, "mpeg_play-l1inf", r.Surfaces[0]); err != nil {
+		return err
+	}
+	for _, n := range r.Entries {
+		label := fmt.Sprintf("mpeg_play-l1%d", n)
+		if err := writeSurfaceCSV(dir, slug, label, r.Surfaces[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var (
+	_ CSVWriter = (*SurfaceSet)(nil)
+	_ CSVWriter = AliasSet{}
+	_ CSVWriter = (*Fig10Result)(nil)
+)

@@ -1,0 +1,787 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testContext returns a context scaled for fast tests: short traces,
+// tiers 4..9.
+func testContext() *Context {
+	return NewContext(Params{
+		Seed:        7,
+		FocusLength: 150_000,
+		SuiteLength: 100_000,
+		MinBits:     4,
+		MaxBits:     9,
+	})
+}
+
+func TestContextDefaults(t *testing.T) {
+	c := NewContext(Params{})
+	p := c.Params()
+	if p.Seed == 0 || p.FocusLength != 2_000_000 || p.SuiteLength != 800_000 {
+		t.Errorf("defaults: %+v", p)
+	}
+	if p.MinBits != 4 || p.MaxBits != 15 {
+		t.Errorf("tier defaults: %+v", p)
+	}
+}
+
+func TestContextCachesTraces(t *testing.T) {
+	c := testContext()
+	a := c.SuiteTrace("espresso")
+	b := c.SuiteTrace("espresso")
+	if a != b {
+		t.Error("trace not cached")
+	}
+	if a.Len() != c.Params().SuiteLength {
+		t.Errorf("trace length %d", a.Len())
+	}
+	if c.FocusTrace("espresso") == a {
+		t.Error("focus and suite traces conflated")
+	}
+}
+
+func TestContextUnknownBenchmarkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown benchmark did not panic")
+		}
+	}()
+	testContext().SuiteTrace("nonesuch")
+}
+
+func TestTable1(t *testing.T) {
+	c := testContext()
+	rows := Table1(c)
+	if len(rows) != 14 {
+		t.Fatalf("%d rows, want 14", len(rows))
+	}
+	for _, r := range rows {
+		if r.Dynamic != uint64(c.Params().SuiteLength) {
+			t.Errorf("%s: dynamic %d", r.Benchmark, r.Dynamic)
+		}
+		if r.Static <= 0 || r.Static > r.PaperStatic {
+			t.Errorf("%s: static %d vs paper %d", r.Benchmark, r.Static, r.PaperStatic)
+		}
+		if r.Hot90 <= 0 {
+			t.Errorf("%s: hot90 %d", r.Benchmark, r.Hot90)
+		}
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "espresso") || !strings.Contains(out, "real_gcc") {
+		t.Error("render missing benchmarks")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows := Table2(testContext())
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		sum := 0
+		for _, n := range r.Measured {
+			sum += n
+		}
+		if sum <= 0 {
+			t.Errorf("%s: empty measured bands", r.Benchmark)
+		}
+		if r.Paper[0] == 0 {
+			t.Errorf("%s: paper bands missing", r.Benchmark)
+		}
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "mpeg_play") {
+		t.Error("render missing mpeg_play")
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	c := testContext()
+	cs := Fig2(c)
+	if len(cs.Order) != 14 {
+		t.Fatalf("%d benchmarks", len(cs.Order))
+	}
+	for name, rates := range cs.Rates {
+		if len(rates) != 6 { // tiers 4..9
+			t.Fatalf("%s: %d tiers", name, len(rates))
+		}
+		for i, r := range rates {
+			if r <= 0 || r > 0.6 {
+				t.Errorf("%s tier %d: rate %.3f", name, i, r)
+			}
+		}
+		// Larger tables never much worse than the smallest.
+		if rates[len(rates)-1] > rates[0]+0.02 {
+			t.Errorf("%s: rate grows with table size: %v", name, rates)
+		}
+	}
+	// Paper shape: the small-footprint SPEC workloads saturate
+	// (espresso is nearly flat over the top tiers) while the large
+	// workloads are still improving.
+	espressoTail := cs.Rates["espresso"][3] - cs.Rates["espresso"][5]
+	gccTail := cs.Rates["real_gcc"][3] - cs.Rates["real_gcc"][5]
+	if gccTail <= espressoTail {
+		t.Errorf("real_gcc tail slope %.3f not above espresso tail slope %.3f", gccTail, espressoTail)
+	}
+	if !strings.Contains(RenderCurveSet(cs), "Figure 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	c := testContext()
+	cs := Fig3(c)
+	// Paper shape: small SPEC workloads do better under GAg at any
+	// history length than the large IBS workloads (less aliasing).
+	for i := range cs.Rates["eqntott"] {
+		if cs.Rates["eqntott"][i] >= cs.Rates["real_gcc"][i] {
+			t.Errorf("tier %d: eqntott GAg %.3f not below real_gcc %.3f",
+				i, cs.Rates["eqntott"][i], cs.Rates["real_gcc"][i])
+		}
+	}
+}
+
+func TestFig4SurfacesAndBestShift(t *testing.T) {
+	c := testContext()
+	set := Fig4(c)
+	if len(set.Surfaces) != 3 {
+		t.Fatalf("%d surfaces", len(set.Surfaces))
+	}
+	// Paper shape: for the large workloads, the best small-tier
+	// configuration is at or near the address-indexed edge.
+	s := set.Surfaces["real_gcc"]
+	best, ok := s.BestInTier(4)
+	if !ok {
+		t.Fatal("no tier-4 best")
+	}
+	if best.Config.RowBits > 2 {
+		t.Errorf("real_gcc tier-4 best uses %d history bits; paper says address-indexed wins small tables",
+			best.Config.RowBits)
+	}
+	out := RenderSurfaceSet(set)
+	if !strings.Contains(out, "espresso") || !strings.Contains(out, "GAs") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig5AliasingShapes(t *testing.T) {
+	c := testContext()
+	set := Fig5(c)
+	for _, name := range set.Benchmarks {
+		s := set.Surfaces[name]
+		// Within the largest tier, aliasing at the GAg edge exceeds
+		// aliasing at the address edge (history distinguishes
+		// branches worse than addresses — paper §4).
+		n := c.Params().MaxBits
+		addr, _ := s.At(n, 0)
+		gag, _ := s.At(n, n)
+		if gag.Metrics.Alias.ConflictRate() <= addr.Metrics.Alias.ConflictRate() {
+			t.Errorf("%s: GAg-edge aliasing %.3f <= address-edge %.3f", name,
+				gag.Metrics.Alias.ConflictRate(), addr.Metrics.Alias.ConflictRate())
+		}
+	}
+	if !strings.Contains(RenderAliasSet(set), "aliasing") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig6GshareCloseToGAs(t *testing.T) {
+	c := testContext()
+	gas := Fig4(c)
+	gsh := Fig6(c)
+	// Paper shape: gshare and GAs differ little; compare best-in-tier
+	// at the top tier for each benchmark.
+	n := c.Params().MaxBits
+	for _, name := range gsh.Benchmarks {
+		a, _ := gas.Surfaces[name].BestInTier(n)
+		b, _ := gsh.Surfaces[name].BestInTier(n)
+		diff := b.Metrics.MispredictRate() - a.Metrics.MispredictRate()
+		if diff > 0.02 || diff < -0.05 {
+			t.Errorf("%s: gshare best %.3f vs GAs best %.3f — too far apart", name,
+				b.Metrics.MispredictRate(), a.Metrics.MispredictRate())
+		}
+	}
+}
+
+func TestFig7DiffStructure(t *testing.T) {
+	c := testContext()
+	d := Fig7(c)
+	if d.Benchmark != "mpeg_play" {
+		t.Errorf("benchmark %s", d.Benchmark)
+	}
+	if len(d.Diff) != c.Params().MaxBits-c.Params().MinBits+1 {
+		t.Fatalf("diff has %d tiers", len(d.Diff))
+	}
+	// The address edge is identical for both schemes: zero difference.
+	for t2, tier := range d.Diff {
+		if tier[0] != 0 {
+			t.Errorf("tier %d address edge diff %.4f != 0", t2, tier[0])
+		}
+	}
+	// Differences are small (paper: "the differences are quite
+	// small").
+	for _, tier := range d.Diff {
+		for _, v := range tier {
+			if v > 0.2 || v < -0.2 {
+				t.Errorf("implausibly large gshare-GAs difference %.3f", v)
+			}
+		}
+	}
+	if !strings.Contains(d.Render(), "Figure 7") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig8PathVsGAs(t *testing.T) {
+	c := testContext()
+	d := Fig8(c)
+	if !strings.Contains(d.Render(), "path") {
+		t.Error("render missing scheme name")
+	}
+	// Path differences exist (nonzero somewhere beyond the address
+	// edge).
+	nonzero := false
+	for _, tier := range d.Diff {
+		for r, v := range tier {
+			if r > 0 && v != 0 {
+				nonzero = true
+			}
+		}
+	}
+	if !nonzero {
+		t.Error("path and GAs produced identical surfaces")
+	}
+}
+
+func TestFig9PAsShapes(t *testing.T) {
+	c := testContext()
+	set := Fig9(c)
+	// Paper shape: with perfect histories, PAs surfaces are flat in
+	// table size — growing the table adds little. Compare best-in-
+	// tier at the smallest and largest tiers.
+	for _, name := range set.Benchmarks {
+		s := set.Surfaces[name]
+		small, _ := s.BestInTier(c.Params().MinBits + 2) // 64 counters
+		large, _ := s.BestInTier(c.Params().MaxBits)
+		gain := small.Metrics.MispredictRate() - large.Metrics.MispredictRate()
+		if gain > 0.05 {
+			t.Errorf("%s: PAs gains %.3f from table growth; paper says surfaces are flat", name, gain)
+		}
+	}
+}
+
+func TestFig10FirstLevelOrdering(t *testing.T) {
+	c := testContext()
+	r := Fig10(c)
+	if len(r.Surfaces) != 4 {
+		t.Fatalf("%d surfaces, want 4 (perfect + 3 finite)", len(r.Surfaces))
+	}
+	// Miss rates fall as the first level grows.
+	if !(r.MissRates[128] > r.MissRates[1024] && r.MissRates[1024] >= r.MissRates[2048]) {
+		t.Errorf("first-level miss rates not ordered: %v", r.MissRates)
+	}
+	if r.MissRates[0] != 0 {
+		t.Errorf("perfect table reported miss rate %.3f", r.MissRates[0])
+	}
+	// Misprediction ordering at the PAg edge of the largest tier:
+	// perfect <= 2048 <= 1024 <= 128 (allowing tiny noise).
+	n := c.Params().MaxBits
+	rate := func(key int) float64 {
+		pt, _ := r.Surfaces[key].At(n, n)
+		return pt.Metrics.MispredictRate()
+	}
+	if !(rate(0) <= rate(2048)+0.005 && rate(2048) <= rate(1024)+0.005 && rate(1024) <= rate(128)+0.005) {
+		t.Errorf("fig10 ordering violated: perfect=%.3f 2048=%.3f 1024=%.3f 128=%.3f",
+			rate(0), rate(2048), rate(1024), rate(128))
+	}
+	if !strings.Contains(r.Render(), "128 entries") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTable3Structure(t *testing.T) {
+	c := testContext()
+	rows := Table3(c)
+	if len(rows) != 3*6 {
+		t.Fatalf("%d rows, want 18", len(rows))
+	}
+	for _, r := range rows {
+		// With test tiers 4..9 only the 512-counter size is in
+		// range.
+		if len(r.Cells) == 0 {
+			t.Errorf("%s/%s: no cells", r.Benchmark, r.Predictor)
+			continue
+		}
+		for _, cell := range r.Cells {
+			if cell.Rate <= 0 || cell.Rate > 0.6 {
+				t.Errorf("%s/%s: rate %.3f", r.Benchmark, r.Predictor, cell.Rate)
+			}
+			if cell.RowBits+cell.ColBits != 9 {
+				t.Errorf("%s/%s: cell budget 2^%d", r.Benchmark, r.Predictor, cell.RowBits+cell.ColBits)
+			}
+		}
+		if strings.HasPrefix(r.Predictor, "PAs(1") && !r.HasMissRate {
+			t.Errorf("%s missing first-level miss rate", r.Predictor)
+		}
+	}
+	out := RenderTable3(rows)
+	if !strings.Contains(out, "PAs(128)") || !strings.Contains(out, "gshare") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTable3PaperOrderings(t *testing.T) {
+	c := testContext()
+	rows := Table3(c)
+	get := func(bench, pred string) Table3Row {
+		for _, r := range rows {
+			if r.Benchmark == bench && r.Predictor == pred {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", bench, pred)
+		return Table3Row{}
+	}
+	for _, bench := range []string{"mpeg_play", "real_gcc"} {
+		// Paper shape: at 512 counters, PAs(inf) beats the global
+		// schemes for the large workloads, and PAs(128) is much worse
+		// than PAs(inf).
+		pasInf := get(bench, "PAs(inf)").Cells[0].Rate
+		gas := get(bench, "GAs").Cells[0].Rate
+		pas128 := get(bench, "PAs(128)").Cells[0].Rate
+		if pasInf >= gas {
+			t.Errorf("%s@512: PAs(inf) %.3f not below GAs %.3f", bench, pasInf, gas)
+		}
+		if pas128 <= pasInf {
+			t.Errorf("%s@512: PAs(128) %.3f not above PAs(inf) %.3f", bench, pas128, pasInf)
+		}
+		// First-level miss rates ordered by table size.
+		if get(bench, "PAs(128)").FirstLevelMissRate <= get(bench, "PAs(2k)").FirstLevelMissRate {
+			t.Errorf("%s: L1 miss rates not ordered", bench)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "table3", "combining", "dealias", "frontend", "isobits", "interference", "variance", "scaling"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order: %v", names)
+		}
+	}
+	for _, n := range names {
+		if _, ok := Describe(n); !ok {
+			t.Errorf("no description for %s", n)
+		}
+	}
+	if _, ok := Describe("nope"); ok {
+		t.Error("described unknown experiment")
+	}
+	if _, err := Run("nope", testContext()); err == nil {
+		t.Error("ran unknown experiment")
+	}
+}
+
+func TestRegistryRunsSmallExperiment(t *testing.T) {
+	c := testContext()
+	res, err := Run("table2", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Render(), "Table 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestCombining(t *testing.T) {
+	rows := Combining(testContext())
+	if len(rows) != 14 {
+		t.Fatalf("%d rows, want 14", len(rows))
+	}
+	beats := 0
+	for _, r := range rows {
+		for _, v := range []float64{r.GShare, r.PAs, r.Tournament, r.Agree} {
+			if v <= 0 || v > 0.6 {
+				t.Errorf("%s: implausible rate %.3f", r.Benchmark, v)
+			}
+		}
+		best := r.GShare
+		if r.PAs < best {
+			best = r.PAs
+		}
+		// The tournament must track its better component (it pays a
+		// chooser-training cost that is material on short test
+		// traces, hence the loose bound).
+		if r.Tournament > best+0.02 {
+			t.Errorf("%s: tournament %.3f far above best component %.3f",
+				r.Benchmark, r.Tournament, best)
+		}
+		worse := r.GShare
+		if r.PAs > worse {
+			worse = r.PAs
+		}
+		if r.Tournament < worse {
+			beats++
+		}
+	}
+	// On most benchmarks the tournament must improve on its worse
+	// component (that is the point of combining).
+	if beats < 10 {
+		t.Errorf("tournament beat its worse component on only %d/14 benchmarks", beats)
+	}
+	out := RenderCombining(rows)
+	if !strings.Contains(out, "tournament") || !strings.Contains(out, "espresso") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestSurfaceSetCSVExport(t *testing.T) {
+	c := NewContext(Params{
+		Seed: 7, FocusLength: 40_000, SuiteLength: 30_000,
+		MinBits: 4, MaxBits: 5,
+	})
+	set := Fig4(c)
+	dir := t.TempDir()
+	if err := set.WriteCSVs(dir, "fig4"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range set.Benchmarks {
+		path := filepath.Join(dir, "fig4-"+name+".csv")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "mispredict_rate") {
+			t.Errorf("%s missing header", path)
+		}
+	}
+	// Fig10 result export.
+	f10 := Fig10(c)
+	if err := f10.WriteCSVs(dir, "fig10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig10-mpeg_play-l1128.csv")); err != nil {
+		t.Error("fig10 csv missing")
+	}
+	// AliasSet shares the export and renders aliasing grids.
+	as := AliasSet{Fig5(c)}
+	if !strings.Contains(as.Render(), "aliasing") {
+		t.Error("AliasSet render wrong")
+	}
+	if err := as.WriteCSVs(dir, "fig5"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDealias(t *testing.T) {
+	rows := Dealias(testContext())
+	if len(rows) != 14 {
+		t.Fatalf("%d rows, want 14", len(rows))
+	}
+	wins := 0
+	for _, r := range rows {
+		for _, v := range []float64{r.GShare, r.GSelect, r.BiMode, r.GSkew, r.Agree} {
+			if v <= 0 || v > 0.6 {
+				t.Errorf("%s: implausible rate %.3f", r.Benchmark, v)
+			}
+		}
+		if r.BiMode < r.GShare || r.GSkew < r.GShare || r.Agree < r.GShare {
+			wins++
+		}
+	}
+	// On most benchmarks at least one dealiased design must beat
+	// plain gshare — that is the family's reason to exist.
+	if wins < 10 {
+		t.Errorf("dealiased designs beat gshare on only %d/14 benchmarks", wins)
+	}
+	out := RenderDealias(rows)
+	if !strings.Contains(out, "gskew") || !strings.Contains(out, "real_gcc") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAllBenchmarksMode(t *testing.T) {
+	c := NewContext(Params{
+		Seed: 7, FocusLength: 30_000, SuiteLength: 20_000,
+		MinBits: 4, MaxBits: 5, AllBenchmarks: true,
+	})
+	set := Fig4(c)
+	if len(set.Benchmarks) != 14 || len(set.Surfaces) != 14 {
+		t.Fatalf("all-benchmarks mode covered %d/%d", len(set.Benchmarks), len(set.Surfaces))
+	}
+	rows := Table3(c)
+	if len(rows) != 14*6 {
+		t.Fatalf("table3 rows %d, want 84", len(rows))
+	}
+}
+
+func TestFrontendExperiment(t *testing.T) {
+	rows := Frontend(testContext())
+	if len(rows) != 14 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.RedirectRate < r.DirectionRate {
+			t.Errorf("%s: redirect rate %.3f below direction rate %.3f",
+				r.Benchmark, r.RedirectRate, r.DirectionRate)
+		}
+		if r.BTBHitRate <= 0.3 || r.BTBHitRate > 1 {
+			t.Errorf("%s: BTB hit rate %.3f", r.Benchmark, r.BTBHitRate)
+		}
+		if r.ClassicCPI <= 1.2 || r.DeepCPI <= 0.5 {
+			t.Errorf("%s: CPI estimates %.3f/%.3f at or below base", r.Benchmark, r.ClassicCPI, r.DeepCPI)
+		}
+		// Deep pipelines pay relatively more for redirects.
+		classicOverhead := (r.ClassicCPI - 1.2) / 1.2
+		deepOverhead := (r.DeepCPI - 0.5) / 0.5
+		if deepOverhead <= classicOverhead {
+			t.Errorf("%s: deep overhead not above classic", r.Benchmark)
+		}
+	}
+	if !strings.Contains(RenderFrontend(rows), "btb-hit") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestIsoBits(t *testing.T) {
+	c := testContext()
+	rows := IsoBits(c)
+	if len(rows) != 3*3 {
+		t.Fatalf("%d rows, want 9", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Cells) != len(IsoBitsBudgets) {
+			t.Fatalf("%s/%s: %d cells", r.Benchmark, r.Family, len(r.Cells))
+		}
+		prevRate := 1.0
+		for i, cell := range r.Cells {
+			if !cell.Valid {
+				t.Errorf("%s/%s budget %d: no feasible config", r.Benchmark, r.Family, IsoBitsBudgets[i])
+				continue
+			}
+			if cell.Bits > IsoBitsBudgets[i] {
+				t.Errorf("%s/%s: config uses %d bits over budget %d",
+					r.Benchmark, r.Family, cell.Bits, IsoBitsBudgets[i])
+			}
+			// More budget never hurts (same candidate set is a subset).
+			if cell.Rate > prevRate+1e-9 {
+				t.Errorf("%s/%s: rate rose with budget: %.4f -> %.4f",
+					r.Benchmark, r.Family, prevRate, cell.Rate)
+			}
+			prevRate = cell.Rate
+		}
+	}
+	// The paper's §5 claim, in miniature: for the large workloads the
+	// PAs family at the 64-Kbit budget must beat the flat
+	// address-indexed table.
+	for _, r := range rows {
+		if r.Benchmark == "real_gcc" && r.Family == "PAs" {
+			var flat IsoBitsCell
+			for _, q := range rows {
+				if q.Benchmark == "real_gcc" && q.Family == "address" {
+					flat = q.Cells[1]
+				}
+			}
+			if r.Cells[1].Rate >= flat.Rate {
+				t.Errorf("real_gcc@64Kbit: PAs %.3f not below address %.3f",
+					r.Cells[1].Rate, flat.Rate)
+			}
+		}
+	}
+	if !strings.Contains(RenderIsoBits(rows), "Kbit") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestInterference(t *testing.T) {
+	c := testContext()
+	rows := Interference(c)
+	if len(rows) != 9 {
+		t.Fatalf("%d rows, want 9", len(rows))
+	}
+	for _, r := range rows {
+		if r.FreeRate > r.FiniteRate+0.005 {
+			t.Errorf("%s h=%d: reference %.3f above finite %.3f",
+				r.Benchmark, r.HistBits, r.FreeRate, r.FiniteRate)
+		}
+		if r.Contexts <= 0 {
+			t.Errorf("%s h=%d: no contexts", r.Benchmark, r.HistBits)
+		}
+		if s := r.AliasingShare(); s < 0 || s > 1 {
+			t.Errorf("%s h=%d: alias share %.3f", r.Benchmark, r.HistBits, s)
+		}
+	}
+	// Paper shape: for the large workload at long history, aliasing
+	// explains a substantial share of mispredictions.
+	for _, r := range rows {
+		if r.Benchmark == "real_gcc" && r.HistBits == 12 {
+			if r.AliasingShare() < 0.15 {
+				t.Errorf("real_gcc h=12 alias share %.3f; expected substantial", r.AliasingShare())
+			}
+		}
+	}
+	if !strings.Contains(RenderInterference(rows), "alias-share") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestVariance(t *testing.T) {
+	c := testContext()
+	rows := Variance(c)
+	if len(rows) != 3*4 {
+		t.Fatalf("%d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Rates) != 5 {
+			t.Fatalf("%s/%s: %d seeds", r.Benchmark, r.Predictor, len(r.Rates))
+		}
+		m := r.Mean()
+		if m <= 0 || m > 0.6 {
+			t.Errorf("%s/%s: mean %.3f", r.Benchmark, r.Predictor, m)
+		}
+		if r.Spread() < r.StdDev() {
+			t.Errorf("%s/%s: spread below stddev", r.Benchmark, r.Predictor)
+		}
+		// Seed-to-seed variation reflects genuinely different program
+		// structures (espresso-like programs have only ~12 hot sites,
+		// so each draw differs materially); it must still stay within
+		// the same magnitude as the mean.
+		if r.Spread() > 1.5*m {
+			t.Errorf("%s/%s: spread %.4f vs mean %.4f — seed-unstable",
+				r.Benchmark, r.Predictor, r.Spread(), m)
+		}
+	}
+	// Key ordering must hold for EVERY seed: PAs(inf) below
+	// address-indexed on mpeg_play.
+	var addr, pas VarianceRow
+	for _, r := range rows {
+		if r.Benchmark != "mpeg_play" {
+			continue
+		}
+		switch r.Predictor {
+		case "address-2^12":
+			addr = r
+		case "PAs(inf)-2^10x2^2":
+			pas = r
+		}
+	}
+	for i := range pas.Rates {
+		if pas.Rates[i] >= addr.Rates[i] {
+			t.Errorf("seed %d: PAs %.4f not below address %.4f", i, pas.Rates[i], addr.Rates[i])
+		}
+	}
+	if !strings.Contains(RenderVariance(rows), "stddev") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestSVGExport(t *testing.T) {
+	c := NewContext(Params{
+		Seed: 7, FocusLength: 30_000, SuiteLength: 20_000,
+		MinBits: 4, MaxBits: 5,
+	})
+	dir := t.TempDir()
+	if err := Fig4(c).WriteSVGs(dir, "fig4"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4-espresso.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") || !strings.Contains(string(data), "misprediction") {
+		t.Error("surface svg malformed")
+	}
+	if err := Fig7(c).WriteSVGs(dir, "fig7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig7-mpeg_play.svg")); err != nil {
+		t.Error("diff svg missing")
+	}
+	if err := Fig10(c).WriteSVGs(dir, "fig10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig10-mpeg_play-l1128.svg")); err != nil {
+		t.Error("fig10 svg missing")
+	}
+}
+
+func TestWriteHTMLReport(t *testing.T) {
+	c := NewContext(Params{
+		Seed: 7, FocusLength: 30_000, SuiteLength: 20_000,
+		MinBits: 4, MaxBits: 5,
+	})
+	var buf strings.Builder
+	if err := WriteHTMLReport(&buf, c, []string{"table2", "fig4", "fig7"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<!DOCTYPE html>", "reproduction report",
+		`id="table2"`, `id="fig4"`, "<svg", "Table 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Three fig4 surfaces + one fig7 diff = 4 inline figures.
+	if n := strings.Count(out, "<figure>"); n != 4 {
+		t.Errorf("%d figures, want 4", n)
+	}
+	if err := WriteHTMLReport(&buf, c, []string{"nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestScaling(t *testing.T) {
+	c := testContext()
+	rows := Scaling(c)
+	if len(rows) != 3*3 {
+		t.Fatalf("%d rows, want 9", len(rows))
+	}
+	gain := map[string]map[string]float64{}
+	for _, r := range rows {
+		if len(r.QuarterRates) != scalingQuarters {
+			t.Fatalf("%s/%s: %d quarters", r.Benchmark, r.Predictor, len(r.QuarterRates))
+		}
+		for _, v := range r.QuarterRates {
+			if v <= 0 || v > 0.6 {
+				t.Errorf("%s/%s: rate %.3f", r.Benchmark, r.Predictor, v)
+			}
+		}
+		if gain[r.Benchmark] == nil {
+			gain[r.Benchmark] = map[string]float64{}
+		}
+		family := "addr"
+		if strings.HasPrefix(r.Predictor, "GAs") {
+			family = "gas"
+		} else if strings.HasPrefix(r.Predictor, "PA") {
+			family = "pas"
+		}
+		gain[r.Benchmark][family] = r.TrainingGain()
+	}
+	// At test scale the quarter rates are noisy; assert only the
+	// strongest signal — PAs has by far the most contexts to train
+	// and must show a positive Q1-Q4 decline on most benchmarks.
+	// (The full-scale run in results_full.txt shows the GAs-vs-
+	// address ordering as well.)
+	positives := 0
+	for _, bench := range []string{"espresso", "mpeg_play", "real_gcc"} {
+		if gain[bench]["pas"] > 0 {
+			positives++
+		}
+	}
+	if positives < 2 {
+		t.Errorf("PAs declined on only %d/3 benchmarks: %v", positives, gain)
+	}
+	if !strings.Contains(RenderScaling(rows), "Q1-Q4") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bpred/internal/core"
+	"bpred/internal/sweep"
+	"bpred/internal/textplot"
+)
+
+// Fig10Result holds PAs surfaces for mpeg_play across first-level
+// table sizes (the paper uses 128-, 1024- and 2048-entry four-way
+// set-associative tables, plus the perfect table for reference).
+type Fig10Result struct {
+	Title string
+	// Entries lists the finite first-level sizes, ascending.
+	Entries []int
+	// Surfaces maps first-level size to the PAs surface; key 0 is
+	// the perfect (unbounded) reference.
+	Surfaces map[int]*sweep.Surface
+	// MissRates maps first-level size to the measured first-level
+	// miss rate (constant across second-level configurations).
+	MissRates map[int]float64
+}
+
+// Fig10Entries are the paper's first-level table sizes.
+var Fig10Entries = []int{128, 1024, 2048}
+
+// fig10Ways is the paper's first-level associativity.
+const fig10Ways = 4
+
+// Fig10 reproduces Figure 10: misprediction rates for PAs schemes
+// with various first-level tables, for mpeg_play.
+func Fig10(c *Context) *Fig10Result {
+	p := c.Params()
+	tr := c.FocusTrace("mpeg_play")
+	res := &Fig10Result{
+		Title:     "Figure 10: PAs with finite first-level tables (mpeg_play)",
+		Entries:   append([]int(nil), Fig10Entries...),
+		Surfaces:  make(map[int]*sweep.Surface),
+		MissRates: make(map[int]float64),
+	}
+	run := func(fl core.FirstLevel, key int) {
+		s, err := sweep.Run(sweep.Options{
+			Scheme:     core.SchemePAs,
+			FirstLevel: fl,
+			MinBits:    p.MinBits, MaxBits: p.MaxBits,
+			Sim: c.simOpts(tr.Len()),
+		}, tr)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: fig10 sweep: %v", err))
+		}
+		res.Surfaces[key] = s
+		// The first-level miss rate is a property of (table, trace):
+		// read it from any point with history bits.
+		if pt, ok := s.At(p.MaxBits, p.MaxBits); ok {
+			res.MissRates[key] = pt.Metrics.FirstLevelMissRate
+		}
+	}
+	run(core.FirstLevel{Kind: core.FirstLevelPerfect}, 0)
+	for _, n := range Fig10Entries {
+		run(core.FirstLevel{Kind: core.FirstLevelSetAssoc, Entries: n, Ways: fig10Ways}, n)
+	}
+	return res
+}
+
+// Render formats the Figure 10 surfaces.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Title + "\n\n")
+	b.WriteString("first level: perfect (unbounded)\n")
+	b.WriteString(textplot.Grid(r.Surfaces[0]))
+	b.WriteString("\n")
+	for _, n := range r.Entries {
+		fmt.Fprintf(&b, "first level: %d entries, %d-way (miss rate %.2f%%)\n",
+			n, fig10Ways, 100*r.MissRates[n])
+		b.WriteString(textplot.Grid(r.Surfaces[n]))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

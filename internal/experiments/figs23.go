@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bpred/internal/core"
+	"bpred/internal/sim"
+	"bpred/internal/sweep"
+	"bpred/internal/trace"
+	"bpred/internal/workload"
+)
+
+// CurveSet holds one misprediction-vs-size curve per benchmark, for
+// the single-axis figures (2 and 3): Rates[benchmark][i] is the rate
+// with 2^(MinBits+i) counters.
+type CurveSet struct {
+	Title   string
+	MinBits int
+	Order   []string
+	Rates   map[string][]float64
+}
+
+// oneAxisSweep runs an address-indexed or GAg sweep for every
+// benchmark in the suite.
+func oneAxisSweep(c *Context, scheme core.Scheme, gag bool, title string) *CurveSet {
+	p := c.Params()
+	cs := &CurveSet{
+		Title:   title,
+		MinBits: p.MinBits,
+		Rates:   make(map[string][]float64),
+	}
+	for _, prof := range workload.Profiles() {
+		cs.Order = append(cs.Order, prof.Name)
+		tr := c.SuiteTrace(prof.Name)
+		var rates []float64
+		for n := p.MinBits; n <= p.MaxBits; n++ {
+			cfg := core.Config{Scheme: scheme, ColBits: n}
+			if gag {
+				cfg = core.Config{Scheme: scheme, RowBits: n}
+			}
+			pred := cfg.MustBuild()
+			m := runOne(pred, tr, c)
+			rates = append(rates, m.MispredictRate())
+		}
+		cs.Rates[prof.Name] = rates
+	}
+	return cs
+}
+
+// Fig2 reproduces Figure 2: misprediction rates of address-indexed
+// rows of two-bit counters, 2^MinBits .. 2^MaxBits, all benchmarks.
+func Fig2(c *Context) *CurveSet {
+	return oneAxisSweep(c, core.SchemeAddress, false,
+		"Figure 2: address-indexed predictors (rows of two-bit counters)")
+}
+
+// Fig3 reproduces Figure 3: misprediction rates of GAg (a single
+// history-indexed column of two-bit counters), all benchmarks.
+func Fig3(c *Context) *CurveSet {
+	return oneAxisSweep(c, core.SchemeGAs, true,
+		"Figure 3: GAg (global-history-indexed column of two-bit counters)")
+}
+
+// RenderCurveSet formats a curve set as a benchmark x size table.
+func RenderCurveSet(cs *CurveSet) string {
+	var b strings.Builder
+	b.WriteString(cs.Title + "\n")
+	fmt.Fprintf(&b, "%-11s", "benchmark")
+	n := 0
+	for _, r := range cs.Rates {
+		n = len(r)
+		break
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, " 2^%-5d", cs.MinBits+i)
+	}
+	b.WriteString("\n")
+	for _, name := range cs.Order {
+		fmt.Fprintf(&b, "%-11s", name)
+		for _, r := range cs.Rates[name] {
+			fmt.Fprintf(&b, " %6.2f ", 100*r)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("(misprediction %, columns are counter budgets)\n")
+	return b.String()
+}
+
+// runOne drives a single predictor over a trace with the context's
+// warmup.
+func runOne(p core.Predictor, tr *trace.Trace, c *Context) sim.Metrics {
+	return sim.RunTrace(p, tr, c.simOpts(tr.Len()))
+}
+
+// SurfaceSet is shared by the surface figures (4, 5, 6, 9).
+type SurfaceSet struct {
+	Title string
+	// Benchmarks lists the covered benchmark names in report order.
+	Benchmarks []string
+	Surfaces   map[string]*sweep.Surface
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bpred/internal/btb"
+	"bpred/internal/core"
+	"bpred/internal/perf"
+	"bpred/internal/sim"
+	"bpred/internal/workload"
+)
+
+// FrontendRow couples direction prediction, target supply, and the
+// pipeline cost estimate for one benchmark — the "system level
+// perspective" the paper defers to Calder/Grunwald/Emer.
+type FrontendRow struct {
+	Benchmark      string
+	BranchFraction float64
+	DirectionRate  float64
+	RedirectRate   float64
+	BTBHitRate     float64
+	ClassicCPI     float64
+	DeepCPI        float64
+}
+
+// frontendBTBEntries sizes the modeled BTB (a common mid-90s design
+// point: 1024 entries, 4-way).
+const (
+	frontendBTBEntries = 1024
+	frontendBTBWays    = 4
+)
+
+// Frontend runs a gshare front end (direction predictor + BTB) over
+// every benchmark and estimates pipeline cost under the classic and
+// deep pipeline models.
+func Frontend(c *Context) []FrontendRow {
+	var rows []FrontendRow
+	for _, prof := range workload.Profiles() {
+		tr := c.SuiteTrace(prof.Name)
+		fe := sim.RunFrontend(
+			core.NewGShare(11, 2),
+			btb.New(frontendBTBEntries, frontendBTBWays),
+			tr.NewSource(),
+			c.simOpts(tr.Len()),
+		)
+		frac := prof.BranchFrac
+		rows = append(rows, FrontendRow{
+			Benchmark:      prof.Name,
+			BranchFraction: frac,
+			DirectionRate:  fe.DirectionRate(),
+			RedirectRate:   fe.RedirectRate(),
+			BTBHitRate:     fe.BTBHitRate,
+			ClassicCPI:     perf.New(perf.Classic, frac, fe.RedirectRate()).CPI(),
+			DeepCPI:        perf.New(perf.Deep, frac, fe.RedirectRate()).CPI(),
+		})
+	}
+	return rows
+}
+
+// RenderFrontend formats the extension experiment.
+func RenderFrontend(rows []FrontendRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: fetch front end (gshare-2^11x2^2 + 1024-entry 4-way BTB)\n")
+	b.WriteString("and first-order pipeline cost (classic 5-stage vs deep speculative)\n")
+	fmt.Fprintf(&b, "%-11s %8s %9s %9s %8s %10s %8s\n",
+		"benchmark", "br-frac", "dir-miss", "redirect", "btb-hit", "classicCPI", "deepCPI")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %7.1f%% %8.2f%% %8.2f%% %7.1f%% %10.3f %8.3f\n",
+			r.Benchmark, 100*r.BranchFraction, 100*r.DirectionRate,
+			100*r.RedirectRate, 100*r.BTBHitRate, r.ClassicCPI, r.DeepCPI)
+	}
+	b.WriteString("(redirects = direction mispredictions + BTB target misses on predicted-taken fetches)\n")
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bpred/internal/core"
+	"bpred/internal/sim"
+)
+
+// IsoBitsBudgets are the storage budgets (in bits) compared: 2^14,
+// 2^16 (the paper's §5 worked example of 65,536 bits), and 2^18.
+var IsoBitsBudgets = []int{1 << 14, 1 << 16, 1 << 18}
+
+// IsoBitsCell is the best configuration of one scheme family within
+// one storage budget.
+type IsoBitsCell struct {
+	Config core.Config
+	Bits   int
+	Rate   float64
+	Valid  bool
+}
+
+// String renders the cell.
+func (c IsoBitsCell) String() string {
+	if !c.Valid {
+		return "—"
+	}
+	return fmt.Sprintf("%s [%dKb] (%.2f%%)", c.Config.Name(), c.Bits/1024, 100*c.Rate)
+}
+
+// IsoBitsRow is one (benchmark, scheme family) row across budgets.
+type IsoBitsRow struct {
+	Benchmark string
+	Family    string
+	Cells     []IsoBitsCell
+}
+
+// IsoBits reproduces the paper's §5 storage-budget analysis: instead
+// of fixing the counter count (Table 3), fix the *bit* budget — tags
+// omitted, as the paper does — and let each scheme family spend it as
+// it prefers. The PAs family may trade second-level counters for
+// first-level history entries; the paper's claim is that for large
+// programs this trade wins ("rather than adding counters to the
+// second-level table, it may be most cost effective to add additional
+// entries to the first-level table").
+func IsoBits(c *Context) []IsoBitsRow {
+	p := c.Params()
+
+	families := []struct {
+		name    string
+		configs func(budget int) []core.Config
+	}{
+		{"address", func(budget int) []core.Config {
+			return underBudget(budget, addressCandidates(p))
+		}},
+		{"gshare", func(budget int) []core.Config {
+			return underBudget(budget, gshareCandidates(p))
+		}},
+		{"PAs", func(budget int) []core.Config {
+			return underBudget(budget, pasCandidates(p))
+		}},
+	}
+
+	var rows []IsoBitsRow
+	for _, name := range c.benchmarks() {
+		tr := c.FocusTrace(name)
+		for _, fam := range families {
+			row := IsoBitsRow{Benchmark: name, Family: fam.name}
+			for _, budget := range IsoBitsBudgets {
+				configs := fam.configs(budget)
+				cell := IsoBitsCell{}
+				if len(configs) > 0 {
+					ms, err := sim.RunConfigs(configs, tr, c.simOpts(tr.Len()))
+					if err != nil {
+						panic(fmt.Sprintf("experiments: isobits %s/%s: %v", name, fam.name, err))
+					}
+					for i, m := range ms {
+						if !cell.Valid || m.MispredictRate() < cell.Rate {
+							bits, _ := configs[i].StorageBits(false)
+							cell = IsoBitsCell{
+								Config: configs[i],
+								Bits:   bits,
+								Rate:   m.MispredictRate(),
+								Valid:  true,
+							}
+						}
+					}
+				}
+				row.Cells = append(row.Cells, cell)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// underBudget filters candidates to those whose tagless storage fits
+// the budget.
+func underBudget(budget int, candidates []core.Config) []core.Config {
+	var out []core.Config
+	for _, c := range candidates {
+		if bits, bounded := c.StorageBits(false); bounded && bits <= budget {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func addressCandidates(p Params) []core.Config {
+	var out []core.Config
+	for n := p.MinBits; n <= p.MaxBits+2 && n <= 17; n++ {
+		out = append(out, core.Config{Scheme: core.SchemeAddress, ColBits: n})
+	}
+	return out
+}
+
+func gshareCandidates(p Params) []core.Config {
+	var out []core.Config
+	for n := p.MinBits; n <= p.MaxBits+2 && n <= 17; n++ {
+		for r := 0; r <= n; r += 2 {
+			out = append(out, core.Config{Scheme: core.SchemeGShare, RowBits: r, ColBits: n - r})
+		}
+	}
+	return out
+}
+
+func pasCandidates(p Params) []core.Config {
+	var out []core.Config
+	// Second-level tables from small to large, untagged first-level
+	// tables from 128 to 16384 entries, history widths tied to the
+	// row count.
+	for n := p.MinBits; n <= p.MaxBits && n <= 15; n += 2 {
+		for r := 2; r <= n && r <= 14; r += 2 {
+			for entries := 128; entries <= 16384; entries *= 4 {
+				out = append(out, core.Config{
+					Scheme:  core.SchemePAs,
+					RowBits: r,
+					ColBits: n - r,
+					FirstLevel: core.FirstLevel{
+						Kind:    core.FirstLevelUntagged,
+						Entries: entries,
+					},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RenderIsoBits formats the experiment.
+func RenderIsoBits(rows []IsoBitsRow) string {
+	var b strings.Builder
+	b.WriteString("Extension of Table 3 (paper §5): best configuration per STORAGE budget,\n")
+	b.WriteString("tags omitted as in the paper. PAs may trade counters for history entries.\n")
+	fmt.Fprintf(&b, "%-11s %-8s", "benchmark", "family")
+	for _, budget := range IsoBitsBudgets {
+		fmt.Fprintf(&b, " %34s", fmt.Sprintf("%d Kbit", budget/1024))
+	}
+	b.WriteString("\n")
+	prev := ""
+	for _, r := range rows {
+		name := r.Benchmark
+		if name == prev {
+			name = ""
+		} else {
+			prev = name
+		}
+		fmt.Fprintf(&b, "%-11s %-8s", name, r.Family)
+		for _, cell := range r.Cells {
+			fmt.Fprintf(&b, " %34s", cell.String())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

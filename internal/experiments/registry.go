@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result is any experiment's renderable outcome.
+type Result interface {
+	Render() string
+}
+
+// renderFunc adapts a string to Result.
+type rendered string
+
+func (r rendered) Render() string { return string(r) }
+
+// Runner executes one registered experiment.
+type Runner func(*Context) Result
+
+// registry maps experiment ids (the paper's table/figure numbers) to
+// runners.
+var registry = map[string]struct {
+	Description string
+	Run         Runner
+}{
+	"table1": {
+		"benchmark characterization (paper Table 1)",
+		func(c *Context) Result { return rendered(RenderTable1(Table1(c))) },
+	},
+	"table2": {
+		"hot-set coverage bands (paper Table 2)",
+		func(c *Context) Result { return rendered(RenderTable2(Table2(c))) },
+	},
+	"fig2": {
+		"address-indexed predictors across sizes (paper Figure 2)",
+		func(c *Context) Result { return rendered(RenderCurveSet(Fig2(c))) },
+	},
+	"fig3": {
+		"GAg across history lengths (paper Figure 3)",
+		func(c *Context) Result { return rendered(RenderCurveSet(Fig3(c))) },
+	},
+	"fig4": {
+		"GAs design-space surfaces (paper Figure 4)",
+		func(c *Context) Result { return Fig4(c) },
+	},
+	"fig5": {
+		"GAs aliasing-rate surfaces (paper Figure 5)",
+		func(c *Context) Result { return AliasSet{Fig5(c)} },
+	},
+	"fig6": {
+		"gshare design-space surfaces (paper Figure 6)",
+		func(c *Context) Result { return Fig6(c) },
+	},
+	"fig7": {
+		"gshare vs GAs difference, mpeg_play (paper Figure 7)",
+		func(c *Context) Result { return Fig7(c) },
+	},
+	"fig8": {
+		"path vs GAs difference, mpeg_play (paper Figure 8)",
+		func(c *Context) Result { return Fig8(c) },
+	},
+	"fig9": {
+		"PAs surfaces with perfect histories (paper Figure 9)",
+		func(c *Context) Result { return Fig9(c) },
+	},
+	"fig10": {
+		"PAs with finite first-level tables, mpeg_play (paper Figure 10)",
+		func(c *Context) Result { return Fig10(c) },
+	},
+	"table3": {
+		"best configurations per table size (paper Table 3)",
+		func(c *Context) Result { return rendered(RenderTable3(Table3(c))) },
+	},
+	"combining": {
+		"tournament and agree predictors vs components (extension)",
+		func(c *Context) Result { return rendered(RenderCombining(Combining(c))) },
+	},
+	"dealias": {
+		"dealiased designs (gselect/bimode/gskew/agree) vs gshare (extension)",
+		func(c *Context) Result { return rendered(RenderDealias(Dealias(c))) },
+	},
+	"frontend": {
+		"fetch front end: direction + BTB + pipeline cost (extension)",
+		func(c *Context) Result { return rendered(RenderFrontend(Frontend(c))) },
+	},
+	"isobits": {
+		"best configuration per storage budget, paper §5 analysis (extension)",
+		func(c *Context) Result { return rendered(RenderIsoBits(IsoBits(c))) },
+	},
+	"interference": {
+		"finite GAs vs interference-free reference decomposition (extension)",
+		func(c *Context) Result { return rendered(RenderInterference(Interference(c))) },
+	},
+	"variance": {
+		"seed sensitivity of the headline results (extension)",
+		func(c *Context) Result { return rendered(RenderVariance(Variance(c))) },
+	},
+	"scaling": {
+		"misprediction vs trace length: cold-start amortization (extension)",
+		func(c *Context) Result { return rendered(RenderScaling(Scaling(c))) },
+	},
+}
+
+// Names returns the registered experiment ids in report order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Slice(out, func(i, j int) bool { return orderKey(out[i]) < orderKey(out[j]) })
+	return out
+}
+
+// orderKey sorts table1, table2, fig2..fig10, table3 into the paper's
+// presentation order.
+func orderKey(name string) int {
+	switch name {
+	case "table1":
+		return 0
+	case "table2":
+		return 1
+	case "table3":
+		return 100
+	case "combining":
+		return 101
+	case "dealias":
+		return 102
+	case "frontend":
+		return 103
+	case "isobits":
+		return 104
+	case "interference":
+		return 105
+	case "variance":
+		return 106
+	case "scaling":
+		return 107
+	default:
+		var n int
+		fmt.Sscanf(name, "fig%d", &n)
+		return 10 + n
+	}
+}
+
+// Describe returns an experiment's one-line description. ok is false
+// for unknown ids.
+func Describe(name string) (string, bool) {
+	e, ok := registry[name]
+	if !ok {
+		return "", false
+	}
+	return e.Description, true
+}
+
+// Run executes an experiment by id.
+func Run(name string, c *Context) (Result, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return e.Run(c), nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"time"
+
+	"bpred/internal/svgplot"
+	"bpred/internal/sweep"
+)
+
+// reportSection is one experiment's contribution to the HTML report.
+type reportSection struct {
+	ID          string
+	Description string
+	Text        string
+	// Figures holds inline SVG markup (already-trusted output of
+	// svgplot).
+	Figures []template.HTML
+	Elapsed string
+}
+
+type reportData struct {
+	Title     string
+	Generated string
+	Params    Params
+	Sections  []reportSection
+}
+
+// reportTemplate is a single-file report: navigation, monospace
+// experiment text, inline SVG figures. Styling stays minimal and
+// text-colored; the figures carry their own palette.
+var reportTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+  body { font-family: system-ui, sans-serif; color: #0b0b0b; background: #fcfcfb;
+         max-width: 72rem; margin: 2rem auto; padding: 0 1rem; }
+  h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2.5rem; }
+  .meta, nav { color: #52514e; font-size: 0.85rem; }
+  nav a { margin-right: 0.75rem; color: #1c5cab; }
+  pre { background: #f5f4f1; padding: 0.75rem; overflow-x: auto; font-size: 0.78rem;
+        line-height: 1.35; border-radius: 6px; }
+  figure { margin: 1rem 0; overflow-x: auto; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p class="meta">Generated {{.Generated}} · seed {{.Params.Seed}} ·
+focus traces {{.Params.FocusLength}} branches · suite traces {{.Params.SuiteLength}} branches ·
+tiers 2^{{.Params.MinBits}}–2^{{.Params.MaxBits}}</p>
+<nav>{{range .Sections}}<a href="#{{.ID}}">{{.ID}}</a>{{end}}</nav>
+{{range .Sections}}
+<h2 id="{{.ID}}">{{.ID}} — {{.Description}} <span class="meta">[{{.Elapsed}}]</span></h2>
+{{range .Figures}}<figure>{{.}}</figure>{{end}}
+<pre>{{.Text}}</pre>
+{{end}}
+</body>
+</html>
+`))
+
+// WriteHTMLReport runs the named experiments (all registered ones
+// when names is empty) and writes a single self-contained HTML report
+// with inline SVG figures for the surface and difference experiments.
+func WriteHTMLReport(w io.Writer, c *Context, names []string) error {
+	if len(names) == 0 {
+		names = Names()
+	}
+	data := reportData{
+		Title:     "Correlation and Aliasing in Dynamic Branch Predictors — reproduction report",
+		Generated: time.Now().Format(time.RFC1123),
+		Params:    c.Params(),
+	}
+	for _, name := range names {
+		desc, ok := Describe(name)
+		if !ok {
+			return fmt.Errorf("experiments: unknown experiment %q", name)
+		}
+		start := time.Now()
+		res, err := Run(name, c)
+		if err != nil {
+			return err
+		}
+		sec := reportSection{
+			ID:          name,
+			Description: desc,
+			Text:        res.Render(),
+			Elapsed:     time.Since(start).Round(time.Millisecond).String(),
+		}
+		sec.Figures = inlineFigures(res)
+		data.Sections = append(data.Sections, sec)
+	}
+	return reportTemplate.Execute(w, data)
+}
+
+// inlineFigures produces inline SVG markup for results with graphical
+// forms.
+func inlineFigures(res Result) []template.HTML {
+	var out []template.HTML
+	add := func(svg string) {
+		// svgplot output is generated, escaped markup; safe to inline.
+		out = append(out, template.HTML(svg)) //nolint:gosec
+	}
+	surfaces := func(names []string, m map[string]*sweep.Surface) {
+		for _, n := range names {
+			add(svgplot.Heatmap(m[n]))
+		}
+	}
+	switch r := res.(type) {
+	case *SurfaceSet:
+		surfaces(r.Benchmarks, r.Surfaces)
+	case AliasSet:
+		surfaces(r.Benchmarks, r.Surfaces)
+	case *DiffResult:
+		add(svgplot.DiffHeatmap(r.Title, r.Benchmark, r.MinBits, r.Diff))
+	case *Fig10Result:
+		add(svgplot.Heatmap(r.Surfaces[0]))
+		for _, n := range r.Entries {
+			add(svgplot.Heatmap(r.Surfaces[n]))
+		}
+	}
+	return out
+}

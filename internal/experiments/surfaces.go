@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bpred/internal/core"
+	"bpred/internal/sweep"
+	"bpred/internal/textplot"
+)
+
+// focusSurfaces runs one scheme's full design-space sweep over the
+// three focus benchmarks.
+func focusSurfaces(c *Context, title string, opts sweep.Options) *SurfaceSet {
+	p := c.Params()
+	opts.MinBits, opts.MaxBits = p.MinBits, p.MaxBits
+	set := &SurfaceSet{
+		Title:      title,
+		Benchmarks: c.benchmarks(),
+		Surfaces:   make(map[string]*sweep.Surface),
+	}
+	for _, name := range set.Benchmarks {
+		tr := c.FocusTrace(name)
+		opts.Sim = c.simOpts(tr.Len())
+		s, err := sweep.Run(opts, tr)
+		if err != nil {
+			// Options are constructed internally; failure is a bug.
+			panic(fmt.Sprintf("experiments: %s sweep on %s: %v", title, name, err))
+		}
+		set.Surfaces[name] = s
+	}
+	return set
+}
+
+// Fig4 reproduces Figure 4: GAs misprediction surfaces for espresso,
+// mpeg_play, and real_gcc, every row/column split of every tier.
+func Fig4(c *Context) *SurfaceSet {
+	return focusSurfaces(c, "Figure 4: misprediction rates for GAs schemes",
+		sweep.Options{Scheme: core.SchemeGAs})
+}
+
+// Fig5 reproduces Figure 5: aliasing-rate surfaces for the same GAs
+// sweep (metered).
+func Fig5(c *Context) *SurfaceSet {
+	return focusSurfaces(c, "Figure 5: aliasing rates for GAs schemes",
+		sweep.Options{Scheme: core.SchemeGAs, Metered: true})
+}
+
+// Fig6 reproduces Figure 6: gshare misprediction surfaces.
+func Fig6(c *Context) *SurfaceSet {
+	return focusSurfaces(c, "Figure 6: misprediction rates for gshare schemes",
+		sweep.Options{Scheme: core.SchemeGShare})
+}
+
+// Fig9 reproduces Figure 9: PAs misprediction surfaces with perfect
+// (unbounded) per-branch history.
+func Fig9(c *Context) *SurfaceSet {
+	return focusSurfaces(c, "Figure 9: misprediction rates for PAs schemes with perfect histories",
+		sweep.Options{
+			Scheme:     core.SchemePAs,
+			FirstLevel: core.FirstLevel{Kind: core.FirstLevelPerfect},
+		})
+}
+
+// RenderSurfaceSet formats each benchmark's surface grid.
+func RenderSurfaceSet(s *SurfaceSet) string {
+	var b strings.Builder
+	b.WriteString(s.Title + "\n\n")
+	for _, name := range s.Benchmarks {
+		b.WriteString(textplot.Grid(s.Surfaces[name]))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Render implements Result with misprediction grids.
+func (s *SurfaceSet) Render() string { return RenderSurfaceSet(s) }
+
+// WriteCSVs writes one CSV per benchmark surface into dir, named
+// <slug>-<benchmark>.csv.
+func (s *SurfaceSet) WriteCSVs(dir, slug string) error {
+	for _, name := range s.Benchmarks {
+		if err := writeSurfaceCSV(dir, slug, name, s.Surfaces[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AliasSet renders a metered SurfaceSet as aliasing grids (Figure 5)
+// while sharing the CSV export.
+type AliasSet struct{ *SurfaceSet }
+
+// Render implements Result with conflict-rate grids.
+func (a AliasSet) Render() string { return RenderAliasSet(a.SurfaceSet) }
+
+// RenderAliasSet formats each benchmark's aliasing grid (Figure 5).
+func RenderAliasSet(s *SurfaceSet) string {
+	var b strings.Builder
+	b.WriteString(s.Title + "\n\n")
+	for _, name := range s.Benchmarks {
+		b.WriteString(textplot.AliasGrid(s.Surfaces[name]))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// DiffResult holds a configuration-by-configuration misprediction
+// difference between two schemes on one benchmark (Figures 7 and 8).
+// Positive entries mean the first scheme predicts better.
+type DiffResult struct {
+	Title     string
+	Benchmark string
+	MinBits   int
+	// Diff[t][r]: first-scheme advantage at tier MinBits+t, r row
+	// bits.
+	Diff [][]float64
+}
+
+// diffExperiment computes scheme-vs-GAs differences on mpeg_play.
+func diffExperiment(c *Context, title string, opts sweep.Options) *DiffResult {
+	p := c.Params()
+	tr := c.FocusTrace("mpeg_play")
+
+	gasOpts := sweep.Options{Scheme: core.SchemeGAs, MinBits: p.MinBits, MaxBits: p.MaxBits, Sim: c.simOpts(tr.Len())}
+	opts.MinBits, opts.MaxBits, opts.Sim = p.MinBits, p.MaxBits, gasOpts.Sim
+
+	gas, err := sweep.Run(gasOpts, tr)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: GAs sweep: %v", err))
+	}
+	other, err := sweep.Run(opts, tr)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s sweep: %v", title, err))
+	}
+	// sweep.Diff(a, b) = b - a per slot; we want "other better than
+	// GAs" positive, i.e. gasRate - otherRate.
+	d, err := sweep.Diff(other, gas)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: diff: %v", err))
+	}
+	return &DiffResult{Title: title, Benchmark: "mpeg_play", MinBits: p.MinBits, Diff: d}
+}
+
+// Fig7 reproduces Figure 7: gshare minus GAs for mpeg_play (positive
+// means gshare predicts better).
+func Fig7(c *Context) *DiffResult {
+	return diffExperiment(c,
+		"Figure 7: gshare advantage over GAs for mpeg_play",
+		sweep.Options{Scheme: core.SchemeGShare})
+}
+
+// Fig8 reproduces Figure 8: Nair's path scheme minus GAs for
+// mpeg_play (positive means path predicts better).
+func Fig8(c *Context) *DiffResult {
+	return diffExperiment(c,
+		"Figure 8: path-history advantage over GAs for mpeg_play",
+		sweep.Options{Scheme: core.SchemePath})
+}
+
+// Render formats the difference grid.
+func (d *DiffResult) Render() string {
+	return textplot.DiffGrid(d.Title+" ("+d.Benchmark+")", d.MinBits, d.Diff)
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bpred/internal/svgplot"
+	"bpred/internal/sweep"
+)
+
+// SVGWriter is implemented by experiment results that can export SVG
+// figures. cmd/bpsweep invokes it when -svg is set.
+type SVGWriter interface {
+	// WriteSVGs writes one or more SVG files into dir, with file
+	// names prefixed by slug (the experiment id).
+	WriteSVGs(dir, slug string) error
+}
+
+func writeSVG(dir, name, content string) error {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	return nil
+}
+
+func writeSurfaceSVG(dir, slug, name string, s *sweep.Surface) error {
+	return writeSVG(dir, fmt.Sprintf("%s-%s.svg", slug, name), svgplot.Heatmap(s))
+}
+
+// WriteSVGs exports one heatmap per benchmark surface.
+func (s *SurfaceSet) WriteSVGs(dir, slug string) error {
+	for _, name := range s.Benchmarks {
+		if err := writeSurfaceSVG(dir, slug, name, s.Surfaces[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSVGs exports the difference figure as a diverging heatmap.
+func (d *DiffResult) WriteSVGs(dir, slug string) error {
+	return writeSVG(dir, fmt.Sprintf("%s-%s.svg", slug, d.Benchmark),
+		svgplot.DiffHeatmap(d.Title, d.Benchmark, d.MinBits, d.Diff))
+}
+
+// WriteSVGs exports one heatmap per first-level size.
+func (r *Fig10Result) WriteSVGs(dir, slug string) error {
+	if err := writeSurfaceSVG(dir, slug, "mpeg_play-l1inf", r.Surfaces[0]); err != nil {
+		return err
+	}
+	for _, n := range r.Entries {
+		label := fmt.Sprintf("mpeg_play-l1%d", n)
+		if err := writeSurfaceSVG(dir, slug, label, r.Surfaces[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var (
+	_ SVGWriter = (*SurfaceSet)(nil)
+	_ SVGWriter = AliasSet{}
+	_ SVGWriter = (*DiffResult)(nil)
+	_ SVGWriter = (*Fig10Result)(nil)
+)

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bpred/internal/core"
+	"bpred/internal/sweep"
+)
+
+// Table3Sizes are the counter budgets the paper's Table 3 reports
+// (log2): 512, 4096, and 32768 counters.
+var Table3Sizes = []int{9, 12, 15}
+
+// Table3Cell is the best configuration of one scheme at one counter
+// budget.
+type Table3Cell struct {
+	RowBits, ColBits int
+	Rate             float64
+}
+
+// String renders a cell the way the paper prints them: "2^r x 2^c
+// (rate%)".
+func (c Table3Cell) String() string {
+	return fmt.Sprintf("2^%dx2^%d (%.2f%%)", c.RowBits, c.ColBits, 100*c.Rate)
+}
+
+// Table3Row is one (benchmark, scheme) row: best configurations per
+// size plus, for finite-first-level PAs, the first-level miss rate.
+type Table3Row struct {
+	Benchmark string
+	Predictor string
+	// FirstLevelMissRate is meaningful for PAs rows with finite
+	// tables (the paper's "First-level Table Miss Rate" column).
+	FirstLevelMissRate float64
+	HasMissRate        bool
+	// Cells is indexed like Table3Sizes.
+	Cells []Table3Cell
+}
+
+// Table3 reproduces the paper's Table 3: for each focus benchmark,
+// the best configuration and misprediction rate of GAs, gshare,
+// PAs(inf), PAs(2k), PAs(1k), and PAs(128) at 512, 4096, and 32768
+// counters.
+func Table3(c *Context) []Table3Row {
+	p := c.Params()
+	// Sweep only the sizes the table reports (clipped to the
+	// context's tier range).
+	var tiers []int
+	for _, n := range Table3Sizes {
+		if n >= p.MinBits && n <= p.MaxBits {
+			tiers = append(tiers, n)
+		}
+	}
+	if len(tiers) == 0 {
+		tiers = []int{p.MaxBits}
+	}
+
+	type schemeSpec struct {
+		label string
+		opts  sweep.Options
+		miss  bool
+	}
+	specs := []schemeSpec{
+		{"GAs", sweep.Options{Scheme: core.SchemeGAs}, false},
+		{"gshare", sweep.Options{Scheme: core.SchemeGShare}, false},
+		{"PAs(inf)", sweep.Options{
+			Scheme: core.SchemePAs, FirstLevel: core.FirstLevel{Kind: core.FirstLevelPerfect},
+		}, false},
+		{"PAs(2k)", sweep.Options{
+			Scheme:     core.SchemePAs,
+			FirstLevel: core.FirstLevel{Kind: core.FirstLevelSetAssoc, Entries: 2048, Ways: 4},
+		}, true},
+		{"PAs(1k)", sweep.Options{
+			Scheme:     core.SchemePAs,
+			FirstLevel: core.FirstLevel{Kind: core.FirstLevelSetAssoc, Entries: 1024, Ways: 4},
+		}, true},
+		{"PAs(128)", sweep.Options{
+			Scheme:     core.SchemePAs,
+			FirstLevel: core.FirstLevel{Kind: core.FirstLevelSetAssoc, Entries: 128, Ways: 4},
+		}, true},
+	}
+
+	var rows []Table3Row
+	for _, name := range c.benchmarks() {
+		tr := c.FocusTrace(name)
+		for _, spec := range specs {
+			opts := spec.opts
+			opts.Tiers = tiers
+			opts.Sim = c.simOpts(tr.Len())
+			s, err := sweep.Run(opts, tr)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: table3 sweep %s/%s: %v", name, spec.label, err))
+			}
+			row := Table3Row{Benchmark: name, Predictor: spec.label, HasMissRate: spec.miss}
+			for _, n := range Table3Sizes {
+				best, ok := s.BestInTier(n)
+				if !ok {
+					continue
+				}
+				row.Cells = append(row.Cells, Table3Cell{
+					RowBits: best.Config.RowBits,
+					ColBits: best.Config.ColBits,
+					Rate:    best.Metrics.MispredictRate(),
+				})
+				if spec.miss {
+					row.FirstLevelMissRate = best.Metrics.FirstLevelMissRate
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// RenderTable3 formats Table 3 rows.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3: best configurations for various predictor table sizes\n")
+	fmt.Fprintf(&b, "%-11s %-10s %9s", "benchmark", "predictor", "L1 miss")
+	for _, n := range Table3Sizes {
+		fmt.Fprintf(&b, " %20s", fmt.Sprintf("%d counters", 1<<n))
+	}
+	b.WriteString("\n")
+	prev := ""
+	for _, r := range rows {
+		name := r.Benchmark
+		if name == prev {
+			name = ""
+		} else {
+			prev = name
+		}
+		miss := "—"
+		if r.HasMissRate {
+			miss = fmt.Sprintf("%.2f%%", 100*r.FirstLevelMissRate)
+		}
+		fmt.Fprintf(&b, "%-11s %-10s %9s", name, r.Predictor, miss)
+		for _, cell := range r.Cells {
+			fmt.Fprintf(&b, " %20s", cell.String())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

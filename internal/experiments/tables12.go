@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bpred/internal/stats"
+	"bpred/internal/trace"
+	"bpred/internal/workload"
+)
+
+// Table1Row characterizes one benchmark the way the paper's Table 1
+// does, with both the paper's full-trace numbers (from the profile)
+// and the measured numbers from the scaled synthetic trace.
+type Table1Row struct {
+	Benchmark string
+	Suite     workload.Suite
+
+	// Paper columns (full traces).
+	PaperDynamicInstructions uint64
+	PaperDynamicBranches     uint64
+	PaperBranchFraction      float64
+	PaperStatic              int
+	PaperHot90               int
+
+	// Measured columns (scaled synthetic trace).
+	Instructions uint64
+	Dynamic      uint64
+	Static       int
+	Hot90        int
+}
+
+// Table1 reproduces the paper's Table 1: benchmark characterization
+// across both suites.
+func Table1(c *Context) []Table1Row {
+	var rows []Table1Row
+	for _, p := range workload.Profiles() {
+		tr := c.SuiteTrace(p.Name)
+		s := trace.AnalyzeTrace(tr)
+		rows = append(rows, Table1Row{
+			Benchmark:                p.Name,
+			Suite:                    p.Suite,
+			PaperDynamicInstructions: uint64(float64(p.DynamicBranches) / p.BranchFrac),
+			PaperDynamicBranches:     p.DynamicBranches,
+			PaperBranchFraction:      p.BranchFrac,
+			PaperStatic:              p.Static,
+			PaperHot90:               p.Hot90,
+			Instructions:             s.Instructions,
+			Dynamic:                  s.Dynamic,
+			Static:                   s.Static,
+			Hot90:                    s.StaticFor(0.9),
+		})
+	}
+	return rows
+}
+
+// RenderTable1 formats Table 1 rows.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: benchmark characterization (paper full traces vs scaled synthetic)\n")
+	fmt.Fprintf(&b, "%-11s %-11s %14s %14s %8s %8s %8s %8s\n",
+		"benchmark", "suite", "paper-dyn-br", "dyn-br", "p-stat", "static", "p-hot90", "hot90")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %-11s %14d %14d %8d %8d %8d %8d\n",
+			r.Benchmark, r.Suite, r.PaperDynamicBranches, r.Dynamic,
+			r.PaperStatic, r.Static, r.PaperHot90, r.Hot90)
+	}
+	return b.String()
+}
+
+// Table2Row gives the hot-set coverage bands for one benchmark: the
+// number of static branches supplying the first 50%, next 40%, next
+// 9%, and final 1% of dynamic instances.
+type Table2Row struct {
+	Benchmark string
+	// Paper bands (where the paper provides them; zeros otherwise).
+	Paper [4]int
+	// Measured bands from the synthetic trace.
+	Measured [4]int
+}
+
+// Table2 reproduces the paper's Table 2 for the three focus
+// benchmarks.
+func Table2(c *Context) []Table2Row {
+	paper := map[string][4]int{
+		"espresso":  {12, 93, 296, 1376},
+		"mpeg_play": {64, 466, 1372, 3694},
+		"real_gcc":  {327, 2877, 6398, 5749},
+	}
+	var rows []Table2Row
+	for _, name := range focusNames {
+		s := trace.AnalyzeTrace(c.SuiteTrace(name))
+		bands := s.CoverageBuckets([]float64{0.50, 0.40, 0.09, 0.01})
+		row := Table2Row{Benchmark: name, Paper: paper[name]}
+		copy(row.Measured[:], bands)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable2 formats Table 2 rows.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: static branches per coverage band (paper / measured)\n")
+	fmt.Fprintf(&b, "%-11s %16s %16s %16s %16s\n",
+		"benchmark", "first 50%", "next 40%", "next 9%", "last 1%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s", r.Benchmark)
+		for i := 0; i < 4; i++ {
+			fmt.Fprintf(&b, " %7d/%-8d", r.Paper[i], r.Measured[i])
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(fmt.Sprintf("(bands as fractions: %s of dynamic instances)\n",
+		stats.Percent(0.5)+"/"+stats.Percent(0.4)+"/"+stats.Percent(0.09)+"/"+stats.Percent(0.01)))
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package history
+
+import "testing"
+
+// Accessor contract checks for the BranchHistoryTable implementations.
+func TestAccessors(t *testing.T) {
+	sa := NewSetAssoc(64, 4, 7, OnesReset)
+	if sa.Entries() != 64 || sa.Ways() != 4 || sa.Bits() != 7 {
+		t.Errorf("SetAssoc accessors: %d/%d/%d", sa.Entries(), sa.Ways(), sa.Bits())
+	}
+	if sa.Policy() != OnesReset {
+		t.Errorf("policy %v", sa.Policy())
+	}
+	if sa.MissRate() != 0 {
+		t.Error("fresh table must report zero miss rate")
+	}
+
+	ut := NewUntagged(32, 5)
+	if ut.Entries() != 32 || ut.Bits() != 5 {
+		t.Errorf("Untagged accessors: %d/%d", ut.Entries(), ut.Bits())
+	}
+	ut.Lookup(0x100)
+	if ut.Lookups() != 1 {
+		t.Errorf("Untagged lookups %d", ut.Lookups())
+	}
+	ut.Update(0x100, true)
+	ut.Reset()
+	if ut.Lookups() != 0 {
+		t.Error("Untagged reset did not clear lookups")
+	}
+	if h, _ := ut.Lookup(0x100); h != 0 {
+		t.Error("Untagged reset did not clear registers")
+	}
+
+	pf := NewPerfect(9)
+	if pf.Bits() != 9 {
+		t.Errorf("Perfect bits %d", pf.Bits())
+	}
+
+	pr := NewPathRegister(8, 2)
+	if pr.Bits() != 8 || pr.BitsPerTarget() != 2 {
+		t.Errorf("PathRegister accessors: %d/%d", pr.Bits(), pr.BitsPerTarget())
+	}
+}

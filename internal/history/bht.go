@@ -1,0 +1,342 @@
+package history
+
+import (
+	"fmt"
+	mathbits "math/bits"
+)
+
+// ResetPolicy selects what a finite branch-history table stores in a
+// register newly (re)allocated after a conflict. The paper uses
+// PrefixReset; the others exist for the ablation study of design
+// decision 3 in DESIGN.md.
+type ResetPolicy int
+
+const (
+	// PrefixReset initializes to ResetPrefix(bits) — the paper's
+	// 0xC3FF-prefix policy, avoiding the all-taken and all-not-taken
+	// patterns that alias heavily across branches.
+	PrefixReset ResetPolicy = iota
+	// ZeroReset initializes to all zeros (all not-taken).
+	ZeroReset
+	// OnesReset initializes to all ones (all taken, the tight-loop
+	// pattern).
+	OnesReset
+	// InheritStale keeps whatever history the evicted branch left
+	// behind, modeling a tagless table in which the new branch simply
+	// continues the old branch's register.
+	InheritStale
+)
+
+// String returns the policy name.
+func (p ResetPolicy) String() string {
+	switch p {
+	case PrefixReset:
+		return "prefix(0xC3FF)"
+	case ZeroReset:
+		return "zeros"
+	case OnesReset:
+		return "ones"
+	case InheritStale:
+		return "inherit-stale"
+	default:
+		return fmt.Sprintf("ResetPolicy(%d)", int(p))
+	}
+}
+
+func (p ResetPolicy) resetValue(old uint64, width int) uint64 {
+	switch p {
+	case PrefixReset:
+		return ResetPrefix(width)
+	case ZeroReset:
+		return 0
+	case OnesReset:
+		return mask(width)
+	case InheritStale:
+		return old & mask(width)
+	default:
+		panic("history: unknown ResetPolicy")
+	}
+}
+
+// Perfect is the idealized unbounded branch-history table used for the
+// paper's Figure 9 ("PAs schemes with perfect histories"): every
+// branch gets its own register and no conflicts ever occur.
+type Perfect struct {
+	bits    int
+	regs    map[uint64]uint64
+	lookups uint64
+}
+
+// NewPerfect returns an unbounded table of width-bits registers.
+func NewPerfect(bits int) *Perfect {
+	checkBits(bits)
+	return &Perfect{bits: bits, regs: make(map[uint64]uint64)}
+}
+
+// Lookup returns pc's history; unseen branches start at zero history
+// and do not count as misses (there is no conflict in an infinite
+// table, only cold start).
+func (p *Perfect) Lookup(pc uint64) (uint64, bool) {
+	p.lookups++
+	return p.regs[pc], false
+}
+
+// Update shifts outcome into pc's register.
+func (p *Perfect) Update(pc uint64, taken bool) {
+	v := p.regs[pc] << 1
+	if taken {
+		v |= 1
+	}
+	p.regs[pc] = v & mask(p.bits)
+}
+
+// Bits returns the register width.
+func (p *Perfect) Bits() int { return p.bits }
+
+// Misses always returns 0.
+func (p *Perfect) Misses() uint64 { return 0 }
+
+// Lookups returns the cumulative lookup count.
+func (p *Perfect) Lookups() uint64 { return p.lookups }
+
+// Reset clears all registers and statistics.
+func (p *Perfect) Reset() {
+	p.regs = make(map[uint64]uint64)
+	p.lookups = 0
+}
+
+// SetAssoc is a finite, tagged, set-associative branch-history table —
+// the realistic first level of a PAs predictor (paper §5, Figure 10).
+// Entries are selected by low PC bits (above instruction alignment);
+// within a set, replacement is least-recently-used. A lookup whose tag
+// matches no way is a conflict: some way is evicted and its register
+// is reinitialized per the ResetPolicy.
+type SetAssoc struct {
+	bits     int
+	ways     int
+	setBits  int
+	setMask  uint64
+	policy   ResetPolicy
+	tags     []uint64 // set*ways + way
+	valid    []bool
+	hist     []uint64
+	stamp    []uint64 // LRU timestamps
+	tick     uint64
+	lookups  uint64
+	misses   uint64
+	lastHit  int // index of the entry resolved by the last Lookup
+	lastMiss bool
+}
+
+// NewSetAssoc returns a table with the given total entry count,
+// associativity, and register width. entries must be a positive
+// multiple of ways with a power-of-two set count; ways must be >= 1.
+func NewSetAssoc(entries, ways, bits int, policy ResetPolicy) *SetAssoc {
+	checkBits(bits)
+	if ways < 1 {
+		panic(fmt.Sprintf("history: NewSetAssoc ways=%d", ways))
+	}
+	if entries <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("history: NewSetAssoc entries=%d not a positive multiple of ways=%d", entries, ways))
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("history: NewSetAssoc set count %d not a power of two", sets))
+	}
+	return &SetAssoc{
+		bits:    bits,
+		ways:    ways,
+		setBits: log2(sets),
+		setMask: uint64(sets - 1),
+		policy:  policy,
+		tags:    make([]uint64, entries),
+		valid:   make([]bool, entries),
+		hist:    make([]uint64, entries),
+		stamp:   make([]uint64, entries),
+	}
+}
+
+// log2 returns the base-2 logarithm of a power of two.
+func log2(n int) int {
+	return mathbits.Len(uint(n)) - 1
+}
+
+// NewDirectMapped returns a 1-way SetAssoc: the direct-mapped history
+// table whose conflict rate the paper equates with the aliasing rate
+// of an address-indexed second-level table.
+func NewDirectMapped(entries, bits int, policy ResetPolicy) *SetAssoc {
+	return NewSetAssoc(entries, 1, bits, policy)
+}
+
+// Entries returns the total capacity.
+func (t *SetAssoc) Entries() int { return len(t.tags) }
+
+// Ways returns the associativity.
+func (t *SetAssoc) Ways() int { return t.ways }
+
+// Bits returns the register width.
+func (t *SetAssoc) Bits() int { return t.bits }
+
+// Policy returns the conflict reset policy.
+func (t *SetAssoc) Policy() ResetPolicy { return t.policy }
+
+func (t *SetAssoc) set(pc uint64) int {
+	return int((pc >> 2) & t.setMask)
+}
+
+func (t *SetAssoc) tag(pc uint64) uint64 {
+	return pc >> (2 + t.setBits)
+}
+
+// Lookup finds pc's history register, allocating (and possibly
+// evicting) on a miss. The returned pattern reflects the register
+// content after any reset, which is what an implementation would feed
+// the second-level table on the very access that installed the entry.
+func (t *SetAssoc) Lookup(pc uint64) (uint64, bool) {
+	t.lookups++
+	t.tick++
+	set, tag := t.set(pc), t.tag(pc)
+	base := set * t.ways
+	victim, victimStamp := base, t.stamp[base]
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.valid[i] && t.tags[i] == tag {
+			t.stamp[i] = t.tick
+			t.lastHit, t.lastMiss = i, false
+			return t.hist[i], false
+		}
+		if !t.valid[i] {
+			// Prefer an invalid way over evicting.
+			victim, victimStamp = i, 0
+		} else if t.stamp[i] < victimStamp {
+			victim, victimStamp = i, t.stamp[i]
+		}
+	}
+	// Miss: conflict if the victim held another branch.
+	t.misses++
+	old := t.hist[victim]
+	t.tags[victim] = tag
+	t.valid[victim] = true
+	t.stamp[victim] = t.tick
+	t.hist[victim] = t.policy.resetValue(old, t.bits)
+	t.lastHit, t.lastMiss = victim, true
+	return t.hist[victim], true
+}
+
+// Update shifts outcome into pc's register. If pc is not resident
+// (evicted between Lookup and Update, which cannot happen in the
+// simulator's lookup-then-update discipline but is guarded anyway),
+// the update is dropped, modeling hardware that only writes matched
+// entries.
+func (t *SetAssoc) Update(pc uint64, taken bool) {
+	set, tag := t.set(pc), t.tag(pc)
+	base := set * t.ways
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.valid[i] && t.tags[i] == tag {
+			v := t.hist[i] << 1
+			if taken {
+				v |= 1
+			}
+			t.hist[i] = v & mask(t.bits)
+			return
+		}
+	}
+}
+
+// Misses returns the cumulative conflict count.
+func (t *SetAssoc) Misses() uint64 { return t.misses }
+
+// Lookups returns the cumulative lookup count.
+func (t *SetAssoc) Lookups() uint64 { return t.lookups }
+
+// MissRate returns Misses/Lookups, the paper's "first-level table miss
+// rate" column of Table 3.
+func (t *SetAssoc) MissRate() float64 {
+	if t.lookups == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(t.lookups)
+}
+
+// Reset clears all entries and statistics.
+func (t *SetAssoc) Reset() {
+	for i := range t.tags {
+		t.tags[i] = 0
+		t.valid[i] = false
+		t.hist[i] = 0
+		t.stamp[i] = 0
+	}
+	t.tick = 0
+	t.lookups = 0
+	t.misses = 0
+}
+
+// Untagged is a tagless direct-mapped history table: all branches
+// whose PCs index the same entry silently share one register. This is
+// the cheapest hardware realization (no tag storage — the paper notes
+// tags can be avoided by integrating the history cache with a BTB or
+// instruction cache, but without tags sharing goes undetected) and the
+// worst-case pollution model.
+type Untagged struct {
+	bits    int
+	idxMask uint64
+	hist    []uint64
+	lookups uint64
+}
+
+// NewUntagged returns a tagless table with a power-of-two entry count.
+func NewUntagged(entries, width int) *Untagged {
+	checkBits(width)
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("history: NewUntagged entries=%d not a positive power of two", entries))
+	}
+	return &Untagged{
+		bits:    width,
+		idxMask: uint64(entries - 1),
+		hist:    make([]uint64, entries),
+	}
+}
+
+// Entries returns the capacity.
+func (t *Untagged) Entries() int { return len(t.hist) }
+
+// Lookup returns the (possibly shared) register content; misses are
+// undetectable, so miss is always false.
+func (t *Untagged) Lookup(pc uint64) (uint64, bool) {
+	t.lookups++
+	return t.hist[(pc>>2)&t.idxMask], false
+}
+
+// Update shifts outcome into the indexed register.
+func (t *Untagged) Update(pc uint64, taken bool) {
+	i := (pc >> 2) & t.idxMask
+	v := t.hist[i] << 1
+	if taken {
+		v |= 1
+	}
+	t.hist[i] = v & mask(t.bits)
+}
+
+// Bits returns the register width.
+func (t *Untagged) Bits() int { return t.bits }
+
+// Misses always returns 0: sharing is invisible without tags.
+func (t *Untagged) Misses() uint64 { return 0 }
+
+// Lookups returns the cumulative lookup count.
+func (t *Untagged) Lookups() uint64 { return t.lookups }
+
+// Reset clears all registers and statistics.
+func (t *Untagged) Reset() {
+	for i := range t.hist {
+		t.hist[i] = 0
+	}
+	t.lookups = 0
+}
+
+var (
+	_ BranchHistoryTable = (*Perfect)(nil)
+	_ BranchHistoryTable = (*SetAssoc)(nil)
+	_ BranchHistoryTable = (*Untagged)(nil)
+)

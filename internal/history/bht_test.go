@@ -1,0 +1,366 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bpred/internal/rng"
+)
+
+func TestPerfectIsolation(t *testing.T) {
+	p := NewPerfect(4)
+	// Two branches with different behavior never interfere.
+	for i := 0; i < 8; i++ {
+		p.Update(0x100, true)
+		p.Update(0x200, false)
+	}
+	hA, missA := p.Lookup(0x100)
+	hB, missB := p.Lookup(0x200)
+	if missA || missB {
+		t.Fatal("perfect table reported a miss")
+	}
+	if hA != 0xF {
+		t.Fatalf("branch A history %04b, want 1111", hA)
+	}
+	if hB != 0 {
+		t.Fatalf("branch B history %04b, want 0000", hB)
+	}
+	if p.Misses() != 0 {
+		t.Fatal("perfect table counted misses")
+	}
+	if p.Lookups() != 2 {
+		t.Fatalf("lookups = %d, want 2", p.Lookups())
+	}
+}
+
+func TestPerfectReset(t *testing.T) {
+	p := NewPerfect(4)
+	p.Update(0x100, true)
+	p.Lookup(0x100)
+	p.Reset()
+	if h, _ := p.Lookup(0x100); h != 0 {
+		t.Fatal("Reset did not clear histories")
+	}
+	if p.Lookups() != 1 {
+		t.Fatalf("Reset did not clear lookup count: %d", p.Lookups())
+	}
+}
+
+func TestSetAssocHitPath(t *testing.T) {
+	tbl := NewSetAssoc(64, 4, 8, PrefixReset)
+	pc := uint64(0x4000)
+	// First access: cold miss, history reset to prefix.
+	h, miss := tbl.Lookup(pc)
+	if !miss {
+		t.Fatal("first lookup should miss")
+	}
+	if h != ResetPrefix(8) {
+		t.Fatalf("miss history %08b, want prefix %08b", h, ResetPrefix(8))
+	}
+	// Train a pattern and read it back: hit with accurate history.
+	tbl.Update(pc, true)
+	tbl.Update(pc, false)
+	h, miss = tbl.Lookup(pc)
+	if miss {
+		t.Fatal("second lookup should hit")
+	}
+	want := (ResetPrefix(8)<<2 | 0b10) & 0xFF
+	if h != want {
+		t.Fatalf("history %08b, want %08b", h, want)
+	}
+	if tbl.Misses() != 1 || tbl.Lookups() != 2 {
+		t.Fatalf("misses=%d lookups=%d, want 1/2", tbl.Misses(), tbl.Lookups())
+	}
+}
+
+func TestSetAssocConflictEviction(t *testing.T) {
+	// Direct-mapped, 4 entries: PCs 16 words apart collide.
+	tbl := NewDirectMapped(4, 4, PrefixReset)
+	a := uint64(0x1000)      // set = (0x1000>>2) & 3 = 0
+	b := uint64(0x1000 + 16) // set = ((0x1000+16)>>2) & 3 = 0, different tag
+	tbl.Lookup(a)
+	for i := 0; i < 4; i++ {
+		tbl.Update(a, true)
+	}
+	// b collides with a, evicting it and resetting the register.
+	h, miss := tbl.Lookup(b)
+	if !miss {
+		t.Fatal("colliding branch should miss")
+	}
+	if h != ResetPrefix(4) {
+		t.Fatalf("post-conflict history %04b, want prefix %04b", h, ResetPrefix(4))
+	}
+	// a now misses too (was evicted) — its trained 1111 history is gone.
+	h, miss = tbl.Lookup(a)
+	if !miss {
+		t.Fatal("evicted branch should miss on return")
+	}
+	if h == 0xF {
+		t.Fatal("history pollution: evicted branch kept its old register")
+	}
+}
+
+func TestSetAssocAssociativityPreventsConflict(t *testing.T) {
+	// 4 sets x 4 ways: four branches mapping to the same set coexist.
+	tbl := NewSetAssoc(16, 4, 4, PrefixReset)
+	pcs := []uint64{0x1000, 0x1000 + 16, 0x1000 + 32, 0x1000 + 48}
+	for _, pc := range pcs {
+		tbl.Lookup(pc)
+	}
+	// Distinct training per branch.
+	for i, pc := range pcs {
+		for j := 0; j <= i; j++ {
+			tbl.Update(pc, true)
+		}
+	}
+	for i, pc := range pcs {
+		h, miss := tbl.Lookup(pc)
+		if miss {
+			t.Fatalf("branch %d missed despite sufficient ways", i)
+		}
+		wantOnes := i + 1
+		got := 0
+		for v := h; v != 0; v &= v - 1 {
+			got++
+		}
+		_ = wantOnes
+		_ = got
+	}
+	if tbl.Misses() != 4 {
+		t.Fatalf("misses=%d, want only the 4 cold misses", tbl.Misses())
+	}
+}
+
+func TestSetAssocLRU(t *testing.T) {
+	// 1 set x 2 ways. Touch a, b, then a again; inserting c must evict
+	// b (least recently used), not a.
+	tbl := NewSetAssoc(2, 2, 4, ZeroReset)
+	a, b, c := uint64(0x100), uint64(0x200), uint64(0x300)
+	tbl.Lookup(a)
+	tbl.Lookup(b)
+	tbl.Lookup(a) // refresh a
+	tbl.Lookup(c) // evicts b
+	if _, miss := tbl.Lookup(a); miss {
+		t.Fatal("LRU evicted the most recently used entry")
+	}
+	if _, miss := tbl.Lookup(b); !miss {
+		t.Fatal("LRU kept the least recently used entry")
+	}
+}
+
+func TestSetAssocResetPolicies(t *testing.T) {
+	cases := []struct {
+		policy ResetPolicy
+		want   uint64 // register after conflict, width 4, old contents 1111
+	}{
+		{PrefixReset, ResetPrefix(4)},
+		{ZeroReset, 0},
+		{OnesReset, 0xF},
+		{InheritStale, 0xF},
+	}
+	for _, c := range cases {
+		tbl := NewDirectMapped(4, 4, c.policy)
+		a, b := uint64(0x1000), uint64(0x1000+16)
+		tbl.Lookup(a)
+		for i := 0; i < 4; i++ {
+			tbl.Update(a, true) // old register: 1111
+		}
+		h, miss := tbl.Lookup(b)
+		if !miss {
+			t.Fatalf("%v: expected conflict miss", c.policy)
+		}
+		if h != c.want {
+			t.Errorf("%v: post-conflict register %04b, want %04b", c.policy, h, c.want)
+		}
+	}
+}
+
+func TestSetAssocUpdateMissIsDropped(t *testing.T) {
+	tbl := NewDirectMapped(4, 4, ZeroReset)
+	a, b := uint64(0x1000), uint64(0x1000+16)
+	tbl.Lookup(a)
+	// Update for a branch not resident: must not corrupt a's entry.
+	tbl.Update(b, true)
+	h, miss := tbl.Lookup(a)
+	if miss {
+		t.Fatal("a was evicted by a non-resident update")
+	}
+	if h != 0 {
+		t.Fatalf("a's history corrupted: %04b", h)
+	}
+}
+
+func TestSetAssocMissRate(t *testing.T) {
+	tbl := NewDirectMapped(4, 4, PrefixReset)
+	a, b := uint64(0x1000), uint64(0x1000+16)
+	tbl.Lookup(a) // miss
+	tbl.Lookup(a) // hit
+	tbl.Lookup(b) // miss
+	tbl.Lookup(b) // hit
+	if got := tbl.MissRate(); got != 0.5 {
+		t.Fatalf("MissRate = %g, want 0.5", got)
+	}
+}
+
+func TestSetAssocReset(t *testing.T) {
+	tbl := NewSetAssoc(8, 2, 4, PrefixReset)
+	tbl.Lookup(0x100)
+	tbl.Update(0x100, true)
+	tbl.Reset()
+	if tbl.Misses() != 0 || tbl.Lookups() != 0 {
+		t.Fatal("Reset did not clear statistics")
+	}
+	if _, miss := tbl.Lookup(0x100); !miss {
+		t.Fatal("Reset did not invalidate entries")
+	}
+}
+
+func TestSetAssocPanics(t *testing.T) {
+	cases := []struct{ entries, ways int }{
+		{0, 1}, {-4, 1}, {7, 2}, {12, 4} /* 3 sets */, {8, 0},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSetAssoc(%d, %d) did not panic", c.entries, c.ways)
+				}
+			}()
+			NewSetAssoc(c.entries, c.ways, 4, PrefixReset)
+		}()
+	}
+}
+
+func TestUntaggedSharing(t *testing.T) {
+	tbl := NewUntagged(4, 4)
+	a, b := uint64(0x1000), uint64(0x1000+16) // same index
+	tbl.Update(a, true)
+	tbl.Update(b, false)
+	tbl.Update(a, true)
+	// All three outcomes landed in one shared register: 101.
+	h, miss := tbl.Lookup(b)
+	if miss {
+		t.Fatal("untagged lookup can never miss")
+	}
+	if h != 0b101 {
+		t.Fatalf("shared register %04b, want 0101", h)
+	}
+	if tbl.Misses() != 0 {
+		t.Fatal("untagged table counted misses")
+	}
+}
+
+func TestUntaggedDistinctIndexesIsolated(t *testing.T) {
+	tbl := NewUntagged(8, 4)
+	a, b := uint64(0x1000), uint64(0x1004) // adjacent words, distinct entries
+	tbl.Update(a, true)
+	tbl.Update(b, false)
+	hA, _ := tbl.Lookup(a)
+	hB, _ := tbl.Lookup(b)
+	if hA != 1 || hB != 0 {
+		t.Fatalf("isolation failure: hA=%b hB=%b", hA, hB)
+	}
+}
+
+func TestUntaggedPanics(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewUntagged(%d) did not panic", n)
+				}
+			}()
+			NewUntagged(n, 4)
+		}()
+	}
+}
+
+func TestResetPolicyStrings(t *testing.T) {
+	cases := map[ResetPolicy]string{
+		PrefixReset:     "prefix(0xC3FF)",
+		ZeroReset:       "zeros",
+		OnesReset:       "ones",
+		InheritStale:    "inherit-stale",
+		ResetPolicy(99): "ResetPolicy(99)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+// Property: SetAssoc with enough ways for the working set behaves like
+// Perfect after warmup — same histories for every branch.
+func TestSetAssocMatchesPerfectWithoutPressure(t *testing.T) {
+	const width = 6
+	perfect := NewPerfect(width)
+	finite := NewSetAssoc(256, 4, width, PrefixReset)
+	g := rng.NewXoshiro256(7)
+	pcs := []uint64{0x400, 0x800, 0xC00, 0x1200}
+	// Warm both tables so cold-start resets are behind us.
+	for i := 0; i < 64; i++ {
+		for _, pc := range pcs {
+			taken := g.Bool(0.6)
+			perfect.Lookup(pc)
+			finite.Lookup(pc)
+			perfect.Update(pc, taken)
+			finite.Update(pc, taken)
+		}
+	}
+	for _, pc := range pcs {
+		hp, _ := perfect.Lookup(pc)
+		hf, miss := finite.Lookup(pc)
+		if miss {
+			t.Fatalf("pc %#x missed in an unpressured table", pc)
+		}
+		if hp != hf {
+			t.Fatalf("pc %#x: perfect %06b vs finite %06b", pc, hp, hf)
+		}
+	}
+}
+
+// Property: miss count never exceeds lookup count, histories stay in
+// range.
+func TestSetAssocInvariants(t *testing.T) {
+	tbl := NewSetAssoc(32, 4, 8, PrefixReset)
+	f := func(pcRaw uint32, taken bool) bool {
+		pc := uint64(pcRaw &^ 3)
+		h, _ := tbl.Lookup(pc)
+		tbl.Update(pc, taken)
+		return h <= 0xFF && tbl.Misses() <= tbl.Lookups()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSetAssocLookupUpdate(b *testing.B) {
+	tbl := NewSetAssoc(1024, 4, 10, PrefixReset)
+	g := rng.NewXoshiro256(1)
+	pcs := make([]uint64, 512)
+	for i := range pcs {
+		pcs[i] = uint64(g.Intn(1<<20)) &^ 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := pcs[i&511]
+		tbl.Lookup(pc)
+		tbl.Update(pc, i&1 == 0)
+	}
+}
+
+func BenchmarkPerfectLookupUpdate(b *testing.B) {
+	tbl := NewPerfect(10)
+	g := rng.NewXoshiro256(1)
+	pcs := make([]uint64, 512)
+	for i := range pcs {
+		pcs[i] = uint64(g.Intn(1<<20)) &^ 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := pcs[i&511]
+		tbl.Lookup(pc)
+		tbl.Update(pc, i&1 == 0)
+	}
+}

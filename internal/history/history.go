@@ -1,0 +1,180 @@
+// Package history implements the first level of two-level branch
+// predictors: the structures that record branch outcome history and
+// produce the row-selection input of the paper's Figure 1 model.
+//
+// Global schemes (GAg/GAs/gshare) use a single ShiftRegister holding
+// the outcomes of the last n branches. Nair's path scheme uses a
+// PathRegister holding bits of recent branch-target addresses.
+// Self-history schemes (PAg/PAs) keep one history register per branch,
+// stored in a BranchHistoryTable — either the idealized unbounded
+// Perfect table the paper uses for Figure 9 or a finite, tagged,
+// set-associative table (Figure 10) in which conflicts between
+// branches pollute the stored history. Per the paper (§5), a detected
+// conflict resets the history register to a fixed prefix of the
+// pattern 0xC3FF, "avoiding excessive aliasing for the patterns of all
+// taken or all not taken branches".
+package history
+
+import "fmt"
+
+// maxBits bounds history register widths. The paper studies up to 15
+// history bits (2^15-row tables); 32 leaves room for extensions while
+// keeping registers in a single word.
+const maxBits = 32
+
+// ShiftRegister is an n-bit branch outcome history register. A taken
+// outcome shifts in a 1, not-taken shifts in a 0; the oldest outcome
+// falls off the high end. The zero value is an empty 0-bit register;
+// use NewShiftRegister for a sized one.
+type ShiftRegister struct {
+	bits  int
+	mask  uint64
+	value uint64
+}
+
+// NewShiftRegister returns an all-zero n-bit register. It panics if
+// bits is negative or exceeds 32.
+func NewShiftRegister(bits int) *ShiftRegister {
+	checkBits(bits)
+	return &ShiftRegister{bits: bits, mask: mask(bits)}
+}
+
+func checkBits(bits int) {
+	if bits < 0 || bits > maxBits {
+		panic(fmt.Sprintf("history: register width %d out of [0,%d]", bits, maxBits))
+	}
+}
+
+func mask(bits int) uint64 {
+	if bits == 0 {
+		return 0
+	}
+	return (1 << bits) - 1
+}
+
+// Bits returns the register width.
+func (r *ShiftRegister) Bits() int { return r.bits }
+
+// Value returns the current history pattern. Bit 0 is the most recent
+// outcome.
+func (r *ShiftRegister) Value() uint64 { return r.value }
+
+// Shift records an outcome.
+func (r *ShiftRegister) Shift(taken bool) {
+	r.value <<= 1
+	if taken {
+		r.value |= 1
+	}
+	r.value &= r.mask
+}
+
+// Set overwrites the register contents (masked to width).
+func (r *ShiftRegister) Set(v uint64) { r.value = v & r.mask }
+
+// Reset clears the register.
+func (r *ShiftRegister) Reset() { r.value = 0 }
+
+// AllOnes reports whether every recorded outcome is taken — the
+// pattern produced by tight loops, whose aliasing the paper classifies
+// as mostly harmless. A 0-bit register is vacuously all ones.
+func (r *ShiftRegister) AllOnes() bool { return r.value == r.mask }
+
+// PathRegister records branch *target address* bits instead of
+// outcomes, implementing Nair's path-based history [Nair95]. Each
+// event shifts in bitsPerTarget low-order bits of the branch target
+// (above the alignment bits), so an n-bit register spans
+// n/bitsPerTarget recent control-flow events — the capacity tradeoff
+// Nair identifies as his scheme's weakness.
+type PathRegister struct {
+	bits          int
+	bitsPerTarget int
+	mask          uint64
+	value         uint64
+}
+
+// NewPathRegister returns a path register of the given width shifting
+// in bitsPerTarget bits per branch. It panics if widths are invalid or
+// bitsPerTarget is not in [1, bits] (except bits==0, where any
+// bitsPerTarget >= 1 is allowed and the register stays empty).
+func NewPathRegister(bits, bitsPerTarget int) *PathRegister {
+	checkBits(bits)
+	if bitsPerTarget < 1 {
+		panic(fmt.Sprintf("history: bitsPerTarget %d < 1", bitsPerTarget))
+	}
+	return &PathRegister{bits: bits, bitsPerTarget: bitsPerTarget, mask: mask(bits)}
+}
+
+// Bits returns the register width.
+func (p *PathRegister) Bits() int { return p.bits }
+
+// BitsPerTarget returns how many target-address bits each event
+// contributes.
+func (p *PathRegister) BitsPerTarget() int { return p.bitsPerTarget }
+
+// Value returns the current path pattern.
+func (p *PathRegister) Value() uint64 { return p.value }
+
+// Record shifts in the low bits of target (above 2 alignment bits,
+// matching word-aligned MIPS branch targets).
+func (p *PathRegister) Record(target uint64) {
+	p.value = (p.value << p.bitsPerTarget) | ((target >> 2) & mask(p.bitsPerTarget))
+	p.value &= p.mask
+}
+
+// Reset clears the register.
+func (p *PathRegister) Reset() { p.value = 0 }
+
+// BranchHistoryTable stores a history register per branch for
+// self-history (per-address) schemes. Lookup returns the history to
+// use for prediction; Update records an outcome into the branch's
+// register. Implementations differ in capacity and conflict behavior.
+type BranchHistoryTable interface {
+	// Lookup returns the history pattern for pc. For finite tables a
+	// miss allocates an entry (possibly evicting another branch) and
+	// reports miss=true.
+	Lookup(pc uint64) (pattern uint64, miss bool)
+	// Update shifts outcome into pc's history register.
+	Update(pc uint64, taken bool)
+	// Bits returns the width of each history register.
+	Bits() int
+	// Misses returns the cumulative number of lookup misses
+	// (conflicts); always 0 for Perfect.
+	Misses() uint64
+	// Lookups returns the cumulative number of lookups.
+	Lookups() uint64
+	// Reset clears all history state and statistics.
+	Reset()
+}
+
+// ResetPattern is the fixed pattern whose length-b prefix initializes
+// a history register after a first-level conflict, exactly as in the
+// paper: "the appropriate length prefix of the pattern 0xC3FF". Taking
+// the prefix from the low-order end gives ...11111111 for b <= 8 — the
+// paper's intent is a fixed mixture of zeros and ones, so we take the
+// *high-order* prefix of the 16-bit pattern 0xC3FF (1100001111111111),
+// i.e. bits 15 downto 16-b, which yields 1, 11, 110, 1100, 11000,
+// 110000, 1100001, ... for growing widths: neither all-taken nor
+// all-not-taken.
+const ResetPattern uint64 = 0xC3FF
+
+// ResetPrefix returns the width-bits initialization value derived from
+// ResetPattern. For widths beyond 16 the pattern repeats.
+func ResetPrefix(bits int) uint64 {
+	checkBits(bits)
+	if bits == 0 {
+		return 0
+	}
+	// Build a value of `bits` bits by consuming ResetPattern MSB-first,
+	// repeating as needed.
+	var v uint64
+	for produced := 0; produced < bits; {
+		take := bits - produced
+		if take > 16 {
+			take = 16
+		}
+		chunk := (ResetPattern >> (16 - take)) & mask(take)
+		v = (v << take) | chunk
+		produced += take
+	}
+	return v & mask(bits)
+}

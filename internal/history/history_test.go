@@ -1,0 +1,212 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShiftRegisterBasics(t *testing.T) {
+	r := NewShiftRegister(4)
+	if r.Bits() != 4 || r.Value() != 0 {
+		t.Fatalf("fresh register: bits=%d value=%d", r.Bits(), r.Value())
+	}
+	// Shift T, N, T, T -> binary 1011 (bit 0 most recent).
+	r.Shift(true)
+	r.Shift(false)
+	r.Shift(true)
+	r.Shift(true)
+	if r.Value() != 0b1011 {
+		t.Fatalf("value %04b, want 1011", r.Value())
+	}
+	// One more taken: oldest (the leading 1) falls off -> 0111.
+	r.Shift(true)
+	if r.Value() != 0b0111 {
+		t.Fatalf("value %04b, want 0111", r.Value())
+	}
+}
+
+func TestShiftRegisterZeroWidth(t *testing.T) {
+	r := NewShiftRegister(0)
+	r.Shift(true)
+	r.Shift(false)
+	if r.Value() != 0 {
+		t.Fatalf("0-bit register value %d, want 0", r.Value())
+	}
+	if !r.AllOnes() {
+		t.Fatal("0-bit register should be vacuously all-ones")
+	}
+}
+
+func TestShiftRegisterAllOnes(t *testing.T) {
+	r := NewShiftRegister(3)
+	if r.AllOnes() {
+		t.Fatal("zeroed register reported all-ones")
+	}
+	r.Shift(true)
+	r.Shift(true)
+	if r.AllOnes() {
+		t.Fatal("partially filled register reported all-ones")
+	}
+	r.Shift(true)
+	if !r.AllOnes() {
+		t.Fatal("111 not reported all-ones")
+	}
+	r.Shift(false)
+	if r.AllOnes() {
+		t.Fatal("110 reported all-ones")
+	}
+}
+
+func TestShiftRegisterSetMasks(t *testing.T) {
+	r := NewShiftRegister(4)
+	r.Set(0xFF)
+	if r.Value() != 0xF {
+		t.Fatalf("Set did not mask: %x", r.Value())
+	}
+	r.Reset()
+	if r.Value() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestShiftRegisterPanics(t *testing.T) {
+	for _, b := range []int{-1, 33, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewShiftRegister(%d) did not panic", b)
+				}
+			}()
+			NewShiftRegister(b)
+		}()
+	}
+}
+
+// Property: after shifting any sequence, the register value equals the
+// last min(n, bits) outcomes encoded MSB-oldest.
+func TestShiftRegisterEncodesSuffix(t *testing.T) {
+	f := func(outcomes []bool, width uint8) bool {
+		b := int(width % 16)
+		r := NewShiftRegister(b)
+		for _, o := range outcomes {
+			r.Shift(o)
+		}
+		var want uint64
+		start := len(outcomes) - b
+		if start < 0 {
+			start = 0
+		}
+		for _, o := range outcomes[start:] {
+			want <<= 1
+			if o {
+				want |= 1
+			}
+		}
+		return r.Value() == want&mask(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathRegisterRecordsTargetBits(t *testing.T) {
+	p := NewPathRegister(6, 2)
+	// Targets word-aligned; low 2 bits above alignment recorded.
+	p.Record(0x1000 | 0<<2) // contributes 00
+	p.Record(0x2000 | 3<<2) // contributes 11
+	p.Record(0x3000 | 1<<2) // contributes 01
+	if p.Value() != 0b001101 {
+		t.Fatalf("path value %06b, want 001101", p.Value())
+	}
+}
+
+func TestPathRegisterCapacity(t *testing.T) {
+	// A 6-bit register at 2 bits/event spans only 3 events — Nair's
+	// capacity limitation. A 4th event must push the 1st out.
+	p := NewPathRegister(6, 2)
+	p.Record(3 << 2)
+	p.Record(0)
+	p.Record(0)
+	p.Record(0)
+	if p.Value() != 0 {
+		t.Fatalf("old event bits survived: %06b", p.Value())
+	}
+}
+
+func TestPathRegisterReset(t *testing.T) {
+	p := NewPathRegister(8, 2)
+	p.Record(0xFFFF)
+	p.Reset()
+	if p.Value() != 0 {
+		t.Fatal("Reset did not clear path register")
+	}
+}
+
+func TestPathRegisterPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewPathRegister(8, 0) did not panic")
+			}
+		}()
+		NewPathRegister(8, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewPathRegister(-1, 2) did not panic")
+			}
+		}()
+		NewPathRegister(-1, 2)
+	}()
+}
+
+func TestResetPrefix(t *testing.T) {
+	// 0xC3FF = 1100001111111111. High-order prefixes:
+	cases := []struct {
+		bits int
+		want uint64
+	}{
+		{0, 0},
+		{1, 0b1},
+		{2, 0b11},
+		{3, 0b110},
+		{4, 0b1100},
+		{6, 0b110000},
+		{8, 0b11000011},
+		{10, 0b1100001111},
+		{16, 0xC3FF},
+	}
+	for _, c := range cases {
+		if got := ResetPrefix(c.bits); got != c.want {
+			t.Errorf("ResetPrefix(%d) = %b, want %b", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestResetPrefixAvoidsExtremes(t *testing.T) {
+	// The whole point of the 0xC3FF policy: for widths >= 3 the prefix
+	// is neither all-taken nor all-not-taken.
+	for b := 3; b <= 32; b++ {
+		v := ResetPrefix(b)
+		if v == 0 {
+			t.Errorf("ResetPrefix(%d) is all zeros", b)
+		}
+		if v == mask(b) {
+			t.Errorf("ResetPrefix(%d) is all ones", b)
+		}
+	}
+}
+
+func TestResetPrefixRepeatsBeyond16(t *testing.T) {
+	// Width 20 = full pattern + 4-bit prefix.
+	want := (uint64(0xC3FF) << 4) | 0b1100
+	if got := ResetPrefix(20); got != want {
+		t.Errorf("ResetPrefix(20) = %b, want %b", got, want)
+	}
+	// Width 32 = pattern twice.
+	want32 := (uint64(0xC3FF) << 16) | 0xC3FF
+	if got := ResetPrefix(32); got != want32 {
+		t.Errorf("ResetPrefix(32) = %x, want %x", got, want32)
+	}
+}

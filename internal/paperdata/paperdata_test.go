@@ -1,0 +1,123 @@
+package paperdata
+
+import "testing"
+
+func TestTable1Integrity(t *testing.T) {
+	if len(Table1) != 14 {
+		t.Fatalf("%d rows, want 14", len(Table1))
+	}
+	spec, ibs := 0, 0
+	for _, r := range Table1 {
+		switch r.Suite {
+		case "SPECint92":
+			spec++
+		case "IBS-Ultrix":
+			ibs++
+		default:
+			t.Errorf("%s: suite %q", r.Benchmark, r.Suite)
+		}
+		if r.StaticBranches <= 0 || r.StaticFor90Percent <= 0 ||
+			r.StaticFor90Percent > r.StaticBranches {
+			t.Errorf("%s: inconsistent static counts", r.Benchmark)
+		}
+		if r.DynamicBranches == 0 || r.DynamicBranches >= r.DynamicInstructions {
+			t.Errorf("%s: inconsistent dynamic counts", r.Benchmark)
+		}
+		// The branch fraction column must agree with the counts to
+		// within rounding of the printed percentage.
+		implied := float64(r.DynamicBranches) / float64(r.DynamicInstructions)
+		if diff := implied - r.BranchFraction; diff > 0.005 || diff < -0.005 {
+			t.Errorf("%s: branch fraction %.3f vs implied %.3f", r.Benchmark, r.BranchFraction, implied)
+		}
+	}
+	if spec != 6 || ibs != 8 {
+		t.Fatalf("suite split %d/%d, want 6/8", spec, ibs)
+	}
+}
+
+func TestTable1For(t *testing.T) {
+	r, ok := Table1For("espresso")
+	if !ok || r.StaticBranches != 1764 {
+		t.Fatalf("espresso lookup: %+v %v", r, ok)
+	}
+	if _, ok := Table1For("nope"); ok {
+		t.Fatal("unknown benchmark found")
+	}
+}
+
+func TestTable2Integrity(t *testing.T) {
+	for _, r := range Table2 {
+		t1, ok := Table1For(r.Benchmark)
+		if !ok {
+			t.Fatalf("%s not in Table1", r.Benchmark)
+		}
+		total := r.First50 + r.Next40 + r.Next9 + r.Last1
+		// The paper's own tables disagree in both directions: Table
+		// 2's bands sum to 1,777 for espresso (Table 1 says 1,764)
+		// and to 15,351 for real_gcc (Table 1 says 17,361). Assert
+		// only that the transcription stays within that observed
+		// discrepancy band.
+		ratio := float64(total) / float64(t1.StaticBranches)
+		if ratio < 0.85 || ratio > 1.02 {
+			t.Errorf("%s: bands total %d vs static %d (ratio %.3f)",
+				r.Benchmark, total, t1.StaticBranches, ratio)
+		}
+	}
+}
+
+func TestTable3Integrity(t *testing.T) {
+	if len(Table3) != 17 {
+		t.Fatalf("%d rows, want 17 (the paper omits espresso PAs(2k))", len(Table3))
+	}
+	for _, r := range Table3 {
+		for i, c := range []BestConfig{r.At512, r.At4096, r.At32768} {
+			wantBits := []int{9, 12, 15}[i]
+			if c.Rows+c.Cols != wantBits {
+				t.Errorf("%s/%s col %d: 2^%d+%d counters, want 2^%d",
+					r.Benchmark, r.Predictor, i, c.Rows, c.Cols, wantBits)
+			}
+			if c.Rate <= 0 || c.Rate > 0.25 {
+				t.Errorf("%s/%s: rate %.4f", r.Benchmark, r.Predictor, c.Rate)
+			}
+		}
+		// Bigger tables never do worse in the paper's table, except
+		// the famous real_gcc PAs(inf) reversal at 32768 (the single
+		// column is forced so wide the table is outgrown).
+		if r.Benchmark == "real_gcc" && r.Predictor == "PAs(inf)" {
+			if r.At32768.Rate <= r.At4096.Rate {
+				t.Error("expected the paper's PAs(inf) real_gcc reversal")
+			}
+			continue
+		}
+		if r.At4096.Rate > r.At512.Rate || r.At32768.Rate > r.At4096.Rate {
+			t.Errorf("%s/%s: rates not monotone: %.4f %.4f %.4f",
+				r.Benchmark, r.Predictor, r.At512.Rate, r.At4096.Rate, r.At32768.Rate)
+		}
+	}
+}
+
+func TestTable3PaperFindings(t *testing.T) {
+	// The orderings the paper's conclusions rest on must hold inside
+	// its own data.
+	gas, _ := Table3For("mpeg_play", "GAs")
+	pas, _ := Table3For("mpeg_play", "PAs(inf)")
+	pas128, _ := Table3For("mpeg_play", "PAs(128)")
+	if pas.At512.Rate >= gas.At512.Rate {
+		t.Error("paper: PAs(inf) beats GAs at 512 for mpeg_play")
+	}
+	if pas128.At512.Rate <= pas.At512.Rate {
+		t.Error("paper: PAs(128) far worse than PAs(inf)")
+	}
+	// gshare edges GAs at the largest size.
+	gshare, _ := Table3For("real_gcc", "gshare")
+	gasG, _ := Table3For("real_gcc", "GAs")
+	if gshare.At32768.Rate > gasG.At32768.Rate {
+		t.Error("paper: gshare <= GAs at 32768 for real_gcc")
+	}
+	// L1 miss rates ordered by capacity for mpeg_play.
+	p2k, _ := Table3For("mpeg_play", "PAs(2k)")
+	p1k, _ := Table3For("mpeg_play", "PAs(1k)")
+	if !(p2k.FirstLevelMissRate < p1k.FirstLevelMissRate && p1k.FirstLevelMissRate < pas128.FirstLevelMissRate) {
+		t.Error("paper: first-level miss rates ordered by capacity")
+	}
+}

@@ -1,0 +1,31 @@
+package perf_test
+
+import (
+	"fmt"
+
+	"bpred/internal/perf"
+)
+
+// The same redirect rate costs far more on a deep speculative
+// pipeline than on a classic five-stage one — the paper's motivation
+// for accurate prediction.
+func ExampleEstimate() {
+	const branchFraction, redirectRate = 0.15, 0.05
+	classic := perf.New(perf.Classic, branchFraction, redirectRate)
+	deep := perf.New(perf.Deep, branchFraction, redirectRate)
+	fmt.Printf("classic: %.3f CPI\n", classic.CPI())
+	fmt.Printf("deep:    %.3f CPI (%.0f%% of cycles on redirects)\n",
+		deep.CPI(), 100*deep.BranchOverhead())
+	// Output:
+	// classic: 1.222 CPI
+	// deep:    0.605 CPI (17% of cycles on redirects)
+}
+
+// Speedup compares two predictors under one pipeline model.
+func ExampleSpeedup() {
+	worse := perf.New(perf.Deep, 0.15, 0.10)
+	better := perf.New(perf.Deep, 0.15, 0.04)
+	fmt.Printf("%.2fx\n", perf.Speedup(worse, better))
+	// Output:
+	// 1.22x
+}

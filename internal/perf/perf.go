@@ -1,0 +1,99 @@
+// Package perf converts misprediction rates into pipeline performance
+// estimates. The paper confines itself to misprediction rates and
+// cites McFarling/Hennessy, Fisher/Freudenberger, and
+// Calder/Grunwald/Emer for the translation to performance; this
+// package provides that translation in its standard first-order form:
+//
+//	CPI = CPI_base + f_branch · r_redirect · penalty
+//
+// where f_branch is the dynamic conditional-branch fraction of the
+// instruction stream (the paper's Table 1 records it per benchmark),
+// r_redirect is the per-branch fetch-redirect rate, and penalty is
+// the pipeline refill cost in cycles.
+package perf
+
+import "fmt"
+
+// Model holds the pipeline parameters of the estimate.
+type Model struct {
+	// BaseCPI is cycles per instruction with perfect branch handling.
+	BaseCPI float64
+	// Penalty is the redirect (flush + refill) cost in cycles. A
+	// five-stage early-90s pipeline pays ~3; a deep speculative
+	// pipeline pays 10-20.
+	Penalty float64
+}
+
+// Classic five-stage in-order pipeline of the paper's era.
+var Classic = Model{BaseCPI: 1.2, Penalty: 3}
+
+// Deep pipeline representative of late-90s speculative superscalars,
+// where the paper argues accurate prediction "can be substantial".
+var Deep = Model{BaseCPI: 0.5, Penalty: 14}
+
+// Estimate is the model's output for one (workload, predictor) pair.
+type Estimate struct {
+	Model Model
+	// BranchFraction is conditional branches per instruction.
+	BranchFraction float64
+	// RedirectRate is fetch redirects per branch.
+	RedirectRate float64
+}
+
+// CPI returns the estimated cycles per instruction.
+func (e Estimate) CPI() float64 {
+	return e.Model.BaseCPI + e.BranchFraction*e.RedirectRate*e.Model.Penalty
+}
+
+// IPC returns the estimated instructions per cycle.
+func (e Estimate) IPC() float64 {
+	cpi := e.CPI()
+	if cpi == 0 {
+		return 0
+	}
+	return 1 / cpi
+}
+
+// BranchOverhead returns the fraction of cycles spent on redirects.
+func (e Estimate) BranchOverhead() float64 {
+	cpi := e.CPI()
+	if cpi == 0 {
+		return 0
+	}
+	return (cpi - e.Model.BaseCPI) / cpi
+}
+
+// String renders a one-line summary.
+func (e Estimate) String() string {
+	return fmt.Sprintf("CPI %.3f (IPC %.3f, %.1f%% of cycles on branch redirects)",
+		e.CPI(), e.IPC(), 100*e.BranchOverhead())
+}
+
+// Speedup returns how much faster b runs than a under the same model
+// (a.CPI / b.CPI); > 1 means b is faster.
+func Speedup(a, b Estimate) float64 {
+	if b.CPI() == 0 {
+		return 0
+	}
+	return a.CPI() / b.CPI()
+}
+
+// New builds an estimate. branchFraction and redirectRate must be in
+// [0, 1]; out-of-range inputs are clamped.
+func New(m Model, branchFraction, redirectRate float64) Estimate {
+	return Estimate{
+		Model:          m,
+		BranchFraction: clamp01(branchFraction),
+		RedirectRate:   clamp01(redirectRate),
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

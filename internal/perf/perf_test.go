@@ -1,0 +1,98 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCPIFormula(t *testing.T) {
+	e := New(Model{BaseCPI: 1.0, Penalty: 10}, 0.2, 0.05)
+	// CPI = 1.0 + 0.2*0.05*10 = 1.1
+	if got := e.CPI(); math.Abs(got-1.1) > 1e-12 {
+		t.Fatalf("CPI = %g, want 1.1", got)
+	}
+	if got := e.IPC(); math.Abs(got-1/1.1) > 1e-12 {
+		t.Fatalf("IPC = %g", got)
+	}
+	if got := e.BranchOverhead(); math.Abs(got-0.1/1.1) > 1e-12 {
+		t.Fatalf("overhead = %g", got)
+	}
+}
+
+func TestPerfectPredictionCostsNothing(t *testing.T) {
+	e := New(Deep, 0.15, 0)
+	if e.CPI() != Deep.BaseCPI {
+		t.Fatalf("CPI %g with zero redirects", e.CPI())
+	}
+	if e.BranchOverhead() != 0 {
+		t.Fatal("overhead nonzero with zero redirects")
+	}
+}
+
+func TestDeepPipelineAmplifiesMisprediction(t *testing.T) {
+	// The same misprediction rate costs relatively more on the deep
+	// pipeline — the paper's motivation ("on deeply pipelined
+	// processors ... the effect on performance can be substantial").
+	classic := New(Classic, 0.15, 0.05)
+	deep := New(Deep, 0.15, 0.05)
+	if deep.BranchOverhead() <= classic.BranchOverhead() {
+		t.Fatalf("deep overhead %.3f not above classic %.3f",
+			deep.BranchOverhead(), classic.BranchOverhead())
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	bad := New(Deep, 0.15, 0.10)
+	good := New(Deep, 0.15, 0.03)
+	s := Speedup(bad, good)
+	if s <= 1 {
+		t.Fatalf("better predictor yields speedup %g", s)
+	}
+	if Speedup(good, good) != 1 {
+		t.Fatal("self-speedup != 1")
+	}
+}
+
+func TestClamping(t *testing.T) {
+	e := New(Classic, -0.5, 2.0)
+	if e.BranchFraction != 0 || e.RedirectRate != 1 {
+		t.Fatalf("clamping failed: %+v", e)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(Classic, 0.15, 0.05).String()
+	if !strings.Contains(s, "CPI") || !strings.Contains(s, "IPC") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// Property: CPI is monotone in redirect rate and never below base.
+func TestCPIMonotoneProperty(t *testing.T) {
+	f := func(frac, r1, r2 uint8) bool {
+		bf := float64(frac%101) / 100
+		a := float64(r1%101) / 100
+		b := float64(r2%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		ea := New(Deep, bf, a)
+		eb := New(Deep, bf, b)
+		return ea.CPI() <= eb.CPI()+1e-12 && ea.CPI() >= Deep.BaseCPI-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroModelDegenerate(t *testing.T) {
+	var e Estimate
+	if e.IPC() != 0 || e.BranchOverhead() != 0 {
+		t.Fatal("zero estimate should report zero rates")
+	}
+	if Speedup(e, e) != 0 {
+		t.Fatal("speedup over zero-CPI should be 0")
+	}
+}

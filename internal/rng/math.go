@@ -1,0 +1,13 @@
+package rng
+
+import "math"
+
+// polarScale computes sqrt(-2*ln(s)/s), the scaling factor of the
+// Marsaglia polar method for s in (0, 1).
+func polarScale(s float64) float64 {
+	return math.Sqrt(-2 * math.Log(s) / s)
+}
+
+// ln is a thin alias over math.Log kept so the generator code reads
+// algorithmically.
+func ln(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,194 @@
+// Package rng provides deterministic pseudo-random number generation for
+// workload synthesis.
+//
+// The simulator's experiments must be bit-reproducible across runs,
+// machines, and Go releases, so this package implements its own
+// generators rather than relying on math/rand (whose Source semantics
+// and default seeding have changed across Go versions). Two generators
+// are provided:
+//
+//   - SplitMix64, a fast 64-bit mixer used for seeding and hashing, and
+//   - Xoshiro256 (xoshiro256**), the workhorse generator used by the
+//     workload package.
+//
+// Both follow the public-domain reference algorithms by Blackman and
+// Vigna (https://prng.di.unimi.it/).
+package rng
+
+import "math/bits"
+
+// SplitMix64 is a tiny splittable generator. It is primarily used to
+// expand a single user seed into the larger state vectors required by
+// Xoshiro256, and as a stateless integer mixer (see Mix64).
+//
+// The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the sequence.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the SplitMix64 finalizer to x. It is a high-quality
+// stateless 64-bit mixing function: distinct inputs produce
+// well-distributed outputs. Mix64(0) is nonzero, so it is safe for
+// seeding generators that reject all-zero state.
+func Mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Xoshiro256 implements the xoshiro256** generator. It has 256 bits of
+// state, a period of 2^256-1, and passes stringent statistical tests.
+// It must be created with NewXoshiro256; the zero value has all-zero
+// state, which is the one invalid state, and is repaired lazily to the
+// state produced by seed 0.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a generator whose state vector is derived from
+// seed via SplitMix64, per the algorithm authors' recommendation.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	var x Xoshiro256
+	x.Seed(seed)
+	return &x
+}
+
+// Seed resets the generator to the state derived from seed.
+func (x *Xoshiro256) Seed(seed uint64) {
+	sm := NewSplitMix64(seed)
+	x.s[0] = sm.Uint64()
+	x.s[1] = sm.Uint64()
+	x.s[2] = sm.Uint64()
+	x.s[3] = sm.Uint64()
+}
+
+// Uint64 returns the next value in the sequence.
+func (x *Xoshiro256) Uint64() uint64 {
+	if x.s[0] == 0 && x.s[1] == 0 && x.s[2] == 0 && x.s[3] == 0 {
+		x.Seed(0)
+	}
+	result := bits.RotateLeft64(x.s[1]*5, 7) * 9
+
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = bits.RotateLeft64(x.s[3], 45)
+
+	return result
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0. The implementation uses Lemire's multiply-shift rejection
+// method, which is unbiased and avoids division in the common case.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(x.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed value in [0, n). It panics if
+// n == 0.
+func (x *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Lemire's method: take the high 64 bits of a 128-bit product,
+	// rejecting the small biased region of the low half.
+	v := x.Uint64()
+	hi, lo := bits.Mul64(v, n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			v = x.Uint64()
+			hi, lo = bits.Mul64(v, n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1). It uses
+// the top 53 bits of a Uint64, giving a dyadic rational with the full
+// double-precision resolution.
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p. Probabilities outside [0, 1]
+// are clamped: p <= 0 always yields false, p >= 1 always yields true.
+func (x *Xoshiro256) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return x.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of the integers [0, n) using
+// the Fisher-Yates shuffle.
+func (x *Xoshiro256) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided
+// swap function. It panics if n < 0.
+func (x *Xoshiro256) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("rng: Shuffle called with n < 0")
+	}
+	for i := n - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the polar (Marsaglia) method.
+func (x *Xoshiro256) NormFloat64() float64 {
+	for {
+		u := 2*x.Float64() - 1
+		v := 2*x.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		// sqrt(-2 ln s / s) * u, computed without math import creep:
+		// we allow math here for clarity.
+		return u * polarScale(s)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1
+// (mean 1) via inversion.
+func (x *Xoshiro256) ExpFloat64() float64 {
+	// Guard against log(0): Float64 returns [0,1), so 1-f is in (0,1].
+	return -ln(1 - x.Float64())
+}

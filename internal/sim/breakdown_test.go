@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+
+	"bpred/internal/core"
+	"bpred/internal/trace"
+	"bpred/internal/workload"
+)
+
+func TestRunBreakdownCounts(t *testing.T) {
+	tr := &trace.Trace{}
+	// Branch A: fixed taken (no steady-state misses for bimodal).
+	// Branch B: alternating (misses every time for bimodal after
+	// warm... roughly half).
+	for i := 0; i < 100; i++ {
+		tr.Append(trace.Branch{PC: 0x100, Target: 0x200, Taken: true})
+		tr.Append(trace.Branch{PC: 0x104, Target: 0x200, Taken: i%2 == 0})
+	}
+	bd := RunBreakdown(core.NewAddressIndexed(4), tr.NewSource(), Options{})
+	if bd.Metrics.Branches != 200 {
+		t.Fatalf("branches %d", bd.Metrics.Branches)
+	}
+	var total uint64
+	for _, b := range bd.Branches {
+		total += b.Mispredicts
+	}
+	if total != bd.Metrics.Mispredicts {
+		t.Fatalf("per-branch misses %d != aggregate %d", total, bd.Metrics.Mispredicts)
+	}
+	// The alternating branch dominates mispredictions and sorts first.
+	if bd.Branches[0].PC != 0x104 {
+		t.Fatalf("worst branch %#x, want 0x104", bd.Branches[0].PC)
+	}
+	if bd.Branches[0].Rate() < 0.3 {
+		t.Errorf("alternating branch rate %.2f", bd.Branches[0].Rate())
+	}
+}
+
+func TestRunBreakdownWarmup(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 100; i++ {
+		tr.Append(trace.Branch{PC: 0x100, Target: 0x200, Taken: false})
+	}
+	bd := RunBreakdown(core.NewAddressIndexed(4), tr.NewSource(), Options{Warmup: 10})
+	if bd.Metrics.Branches != 90 {
+		t.Fatalf("scored %d", bd.Metrics.Branches)
+	}
+	if bd.Metrics.Mispredicts != 0 {
+		t.Fatalf("mispredicts %d after warmup", bd.Metrics.Mispredicts)
+	}
+	// The fixed branch appears with zero misses.
+	if len(bd.Branches) != 1 || bd.Branches[0].Mispredicts != 0 {
+		t.Fatalf("breakdown %+v", bd.Branches)
+	}
+}
+
+func TestTopContributors(t *testing.T) {
+	bd := &Breakdown{
+		Metrics: Metrics{Mispredicts: 100},
+		Branches: []BranchBreakdown{
+			{PC: 1, Mispredicts: 60},
+			{PC: 2, Mispredicts: 30},
+			{PC: 3, Mispredicts: 10},
+		},
+	}
+	if got := bd.TopContributors(0.5); len(got) != 1 || got[0].PC != 1 {
+		t.Errorf("TopContributors(0.5) = %v", got)
+	}
+	if got := bd.TopContributors(0.9); len(got) != 2 {
+		t.Errorf("TopContributors(0.9) = %v", got)
+	}
+	if got := bd.TopContributors(1.0); len(got) != 3 {
+		t.Errorf("TopContributors(1.0) = %v", got)
+	}
+	if got := bd.TopContributors(0); got != nil {
+		t.Errorf("TopContributors(0) = %v", got)
+	}
+	if got := bd.TopContributors(2); len(got) != 3 {
+		t.Errorf("TopContributors(2) = %v", got)
+	}
+}
+
+func TestBreakdownMatchesRun(t *testing.T) {
+	prof, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(prof, 6, 50_000)
+	opt := Options{Warmup: 2000}
+	plain := RunTrace(core.NewGShare(8, 2), tr, opt)
+	bd := RunBreakdown(core.NewGShare(8, 2), tr.NewSource(), opt)
+	if plain.Mispredicts != bd.Metrics.Mispredicts || plain.Branches != bd.Metrics.Branches {
+		t.Fatalf("breakdown %d/%d vs run %d/%d",
+			bd.Metrics.Mispredicts, bd.Metrics.Branches, plain.Mispredicts, plain.Branches)
+	}
+}
+
+func TestBreakdownPaperConcentration(t *testing.T) {
+	// Paper §1: "For large programs, performance is dependent
+	// primarily upon handling the most frequent cases well" — a small
+	// share of branches carries most mispredictions.
+	prof, _ := workload.ProfileByName("real_gcc")
+	tr := workload.Generate(prof, 6, 150_000)
+	bd := RunBreakdown(core.NewAddressIndexed(10), tr.NewSource(), Options{Warmup: 5000})
+	half := bd.TopContributors(0.5)
+	if len(half) == 0 {
+		t.Fatal("no contributors")
+	}
+	frac := float64(len(half)) / float64(len(bd.Branches))
+	if frac > 0.25 {
+		t.Errorf("half the mispredictions come from %.0f%% of branches; expected concentration", 100*frac)
+	}
+}

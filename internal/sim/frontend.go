@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"bpred/internal/btb"
+	"bpred/internal/core"
+	"bpred/internal/trace"
+)
+
+// FrontendMetrics combines direction prediction with target supply —
+// the pair a fetch unit actually needs. A branch fetch *redirects*
+// (costs a pipeline flush) when the direction was mispredicted, or
+// when the branch was correctly predicted taken but the BTB missed or
+// held a stale target (the fetch went down the fall-through or to the
+// wrong address either way).
+type FrontendMetrics struct {
+	Name string
+	// Branches is the number of scored branches.
+	Branches uint64
+	// DirectionMispredicts counts wrong taken/not-taken calls.
+	DirectionMispredicts uint64
+	// TargetMisses counts correctly-predicted-taken branches whose
+	// target the BTB could not supply correctly.
+	TargetMisses uint64
+	// Redirects is the total fetch-redirect count
+	// (DirectionMispredicts + TargetMisses).
+	Redirects uint64
+	// BTBHitRate is the raw buffer hit rate over all lookups.
+	BTBHitRate float64
+}
+
+// RedirectRate returns redirects per branch — the quantity a pipeline
+// cost model consumes (see perf.Model).
+func (m FrontendMetrics) RedirectRate() float64 {
+	if m.Branches == 0 {
+		return 0
+	}
+	return float64(m.Redirects) / float64(m.Branches)
+}
+
+// DirectionRate returns direction mispredictions per branch.
+func (m FrontendMetrics) DirectionRate() float64 {
+	if m.Branches == 0 {
+		return 0
+	}
+	return float64(m.DirectionMispredicts) / float64(m.Branches)
+}
+
+// RunFrontend drives a direction predictor and a BTB together over a
+// branch source. The BTB is looked up for every branch (as a fetch
+// unit would) and updated at resolution.
+func RunFrontend(p core.Predictor, buf *btb.BTB, src trace.Source, opt Options) FrontendMetrics {
+	m := FrontendMetrics{Name: p.Name()}
+	warm := opt.Warmup
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		pred := p.Predict(b)
+		target, btbHit := buf.Lookup(b.PC)
+		p.Update(b)
+		buf.Update(b.PC, b.Target, b.Taken)
+		if warm > 0 {
+			warm--
+			continue
+		}
+		m.Branches++
+		switch {
+		case pred != b.Taken:
+			m.DirectionMispredicts++
+		case b.Taken && (!btbHit || target != b.Target):
+			m.TargetMisses++
+		}
+	}
+	m.Redirects = m.DirectionMispredicts + m.TargetMisses
+	m.BTBHitRate = buf.HitRate()
+	return m
+}

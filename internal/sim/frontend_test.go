@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+
+	"bpred/internal/btb"
+	"bpred/internal/core"
+	"bpred/internal/trace"
+	"bpred/internal/workload"
+)
+
+func TestFrontendPerfectComponents(t *testing.T) {
+	// Fixed taken branch: after warmup, direction is right and the
+	// BTB supplies the right target — zero redirects.
+	tr := &trace.Trace{}
+	for i := 0; i < 100; i++ {
+		tr.Append(trace.Branch{PC: 0x100, Target: 0x200, Taken: true})
+	}
+	m := RunFrontend(core.NewAddressIndexed(4), btb.New(16, 2), tr.NewSource(), Options{Warmup: 5})
+	if m.Redirects != 0 {
+		t.Fatalf("redirects %d, want 0 (%+v)", m.Redirects, m)
+	}
+	if m.Branches != 95 {
+		t.Fatalf("scored %d", m.Branches)
+	}
+}
+
+func TestFrontendCountsDirectionMisses(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 50; i++ {
+		tr.Append(trace.Branch{PC: 0x100, Target: 0x200, Taken: true})
+	}
+	m := RunFrontend(core.StaticNotTaken{}, btb.New(16, 2), tr.NewSource(), Options{})
+	if m.DirectionMispredicts != 50 || m.Redirects != 50 {
+		t.Fatalf("%+v", m)
+	}
+	// Direction misses subsume target misses: TargetMisses counts
+	// only correctly-predicted-taken branches.
+	if m.TargetMisses != 0 {
+		t.Fatalf("target misses %d on always-wrong direction", m.TargetMisses)
+	}
+}
+
+func TestFrontendCountsTargetMisses(t *testing.T) {
+	// Taken branch predicted correctly, but a 1-entry BTB ping-pongs
+	// between two taken branches: every other access lacks the
+	// target.
+	tr := &trace.Trace{}
+	for i := 0; i < 50; i++ {
+		tr.Append(trace.Branch{PC: 0x100, Target: 0x200, Taken: true})
+		tr.Append(trace.Branch{PC: 0x100 + 32, Target: 0x300, Taken: true})
+	}
+	m := RunFrontend(core.StaticTaken{}, btb.New(1, 1), tr.NewSource(), Options{Warmup: 4})
+	if m.DirectionMispredicts != 0 {
+		t.Fatalf("direction misses %d for static-taken on all-taken", m.DirectionMispredicts)
+	}
+	if m.TargetMisses != m.Branches {
+		t.Fatalf("target misses %d of %d; 1-entry BTB should always miss here",
+			m.TargetMisses, m.Branches)
+	}
+}
+
+func TestFrontendStaleTargetIsRedirect(t *testing.T) {
+	// A branch whose target changes every time (indirect-like): the
+	// BTB always holds the previous target, so every taken fetch
+	// redirects even though the entry "hits".
+	tr := &trace.Trace{}
+	for i := 0; i < 40; i++ {
+		tr.Append(trace.Branch{PC: 0x100, Target: uint64(0x1000 + 16*i), Taken: true})
+	}
+	m := RunFrontend(core.StaticTaken{}, btb.New(16, 2), tr.NewSource(), Options{Warmup: 2})
+	if m.TargetMisses != m.Branches {
+		t.Fatalf("stale targets not counted: %d of %d", m.TargetMisses, m.Branches)
+	}
+	if m.BTBHitRate < 0.9 {
+		t.Fatalf("BTB should hit (stale) on nearly every lookup: %.2f", m.BTBHitRate)
+	}
+}
+
+func TestFrontendRates(t *testing.T) {
+	m := FrontendMetrics{Branches: 200, DirectionMispredicts: 10, TargetMisses: 10, Redirects: 20}
+	if m.RedirectRate() != 0.1 || m.DirectionRate() != 0.05 {
+		t.Fatalf("%+v", m)
+	}
+	var zero FrontendMetrics
+	if zero.RedirectRate() != 0 || zero.DirectionRate() != 0 {
+		t.Fatal("zero metrics rates")
+	}
+}
+
+func TestFrontendOnWorkload(t *testing.T) {
+	// End to end: redirect rate must exceed the direction
+	// misprediction rate (target misses add on top), and a bigger BTB
+	// must close most of that gap.
+	prof, _ := workload.ProfileByName("mpeg_play")
+	tr := workload.Generate(prof, 8, 200_000)
+	opt := Options{Warmup: 10_000}
+
+	small := RunFrontend(core.NewGShare(10, 2), btb.New(128, 4), tr.NewSource(), opt)
+	large := RunFrontend(core.NewGShare(10, 2), btb.New(8192, 4), tr.NewSource(), opt)
+
+	if small.RedirectRate() <= small.DirectionRate() {
+		t.Fatalf("redirects (%.3f) not above direction misses (%.3f)",
+			small.RedirectRate(), small.DirectionRate())
+	}
+	if large.TargetMisses >= small.TargetMisses {
+		t.Fatalf("bigger BTB did not reduce target misses: %d vs %d",
+			large.TargetMisses, small.TargetMisses)
+	}
+	if large.BTBHitRate <= small.BTBHitRate {
+		t.Fatal("bigger BTB did not raise hit rate")
+	}
+}

@@ -1,0 +1,148 @@
+// Package sim is the trace-driven simulation engine: it runs
+// predictors over branch traces, collects metrics, and fans a single
+// trace out to many configurations in parallel (one decoded trace,
+// many small predictors — DESIGN.md design decision 1).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bpred/internal/core"
+	"bpred/internal/trace"
+)
+
+// Metrics summarizes one predictor's run over one trace.
+type Metrics struct {
+	// Name is the predictor's configuration-qualified name.
+	Name string
+	// Branches is the number of predicted branches (after warmup).
+	Branches uint64
+	// Mispredicts is the number of wrong predictions (after warmup).
+	Mispredicts uint64
+	// Alias carries second-level aliasing statistics when the
+	// predictor was metered.
+	Alias core.AliasStats
+	// FirstLevelMissRate is the PAs first-level conflict rate (0 for
+	// other schemes).
+	FirstLevelMissRate float64
+}
+
+// MispredictRate returns Mispredicts/Branches, the paper's figure of
+// merit.
+func (m Metrics) MispredictRate() float64 {
+	if m.Branches == 0 {
+		return 0
+	}
+	return float64(m.Mispredicts) / float64(m.Branches)
+}
+
+// String renders a one-line summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%s: %d/%d mispredicted (%.2f%%)",
+		m.Name, m.Mispredicts, m.Branches, 100*m.MispredictRate())
+}
+
+// Options control a simulation run.
+type Options struct {
+	// Warmup is the number of leading branches that train the
+	// predictor without being scored. The paper scores whole traces
+	// (cold-start effects wash out over 10^7-10^8 branches); scaled
+	// traces benefit from a short warmup. Zero scores everything.
+	Warmup int
+}
+
+// Run drives one predictor over a branch source.
+func Run(p core.Predictor, src trace.Source, opt Options) Metrics {
+	m := Metrics{Name: p.Name()}
+	warm := opt.Warmup
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		pred := p.Predict(b)
+		p.Update(b)
+		if warm > 0 {
+			warm--
+			continue
+		}
+		m.Branches++
+		if pred != b.Taken {
+			m.Mispredicts++
+		}
+	}
+	if ar, ok := p.(core.AliasReporter); ok {
+		m.Alias = ar.AliasStats()
+	}
+	if fr, ok := p.(core.FirstLevelReporter); ok {
+		m.FirstLevelMissRate = fr.FirstLevelMissRate()
+	}
+	return m
+}
+
+// RunTrace drives one predictor over an in-memory trace.
+func RunTrace(p core.Predictor, t *trace.Trace, opt Options) Metrics {
+	return Run(p, t.NewSource(), opt)
+}
+
+// RunConfigs builds every configuration and runs each over the trace,
+// in parallel across GOMAXPROCS workers. Results are returned in
+// input order. Invalid configurations produce an error.
+func RunConfigs(configs []core.Config, t *trace.Trace, opt Options) ([]Metrics, error) {
+	preds := make([]core.Predictor, len(configs))
+	for i, c := range configs {
+		p, err := c.Build()
+		if err != nil {
+			return nil, fmt.Errorf("sim: config %d: %w", i, err)
+		}
+		preds[i] = p
+	}
+	out := make([]Metrics, len(configs))
+	runParallel(len(configs), func(i int) {
+		out[i] = RunTrace(preds[i], t, opt)
+	})
+	return out, nil
+}
+
+// RunPredictors runs pre-built predictors over the trace in parallel.
+// Each predictor must be independent; they share only the read-only
+// trace.
+func RunPredictors(preds []core.Predictor, t *trace.Trace, opt Options) []Metrics {
+	out := make([]Metrics, len(preds))
+	runParallel(len(preds), func(i int) {
+		out[i] = RunTrace(preds[i], t, opt)
+	})
+	return out
+}
+
+// runParallel executes f(0..n-1) over a bounded worker pool.
+func runParallel(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"bpred/internal/core"
+	"bpred/internal/history"
+	"bpred/internal/trace"
+	"bpred/internal/workload"
+)
+
+func fixedTrace(n int, taken bool) *trace.Trace {
+	tr := &trace.Trace{Name: "fixed"}
+	for i := 0; i < n; i++ {
+		tr.Append(trace.Branch{PC: 0x1000, Target: 0x1100, Taken: taken})
+	}
+	return tr
+}
+
+func TestRunCountsMispredicts(t *testing.T) {
+	// Static not-taken against an all-taken trace: every branch
+	// mispredicted.
+	m := RunTrace(core.StaticNotTaken{}, fixedTrace(100, true), Options{})
+	if m.Branches != 100 || m.Mispredicts != 100 {
+		t.Fatalf("got %d/%d, want 100/100", m.Mispredicts, m.Branches)
+	}
+	if m.MispredictRate() != 1 {
+		t.Fatalf("rate %g, want 1", m.MispredictRate())
+	}
+	// Static taken: zero mispredicts.
+	m = RunTrace(core.StaticTaken{}, fixedTrace(100, true), Options{})
+	if m.Mispredicts != 0 {
+		t.Fatalf("got %d mispredicts, want 0", m.Mispredicts)
+	}
+}
+
+func TestRunWarmupExcluded(t *testing.T) {
+	// Bimodal on a fixed not-taken branch: the initial weakly-taken
+	// counter costs ~2 mispredicts, all inside the warmup window.
+	tr := fixedTrace(100, false)
+	cold := RunTrace(core.NewAddressIndexed(4), tr, Options{})
+	if cold.Mispredicts == 0 {
+		t.Fatal("expected cold-start mispredicts")
+	}
+	warm := RunTrace(core.NewAddressIndexed(4), tr, Options{Warmup: 10})
+	if warm.Branches != 90 {
+		t.Fatalf("scored %d branches, want 90", warm.Branches)
+	}
+	if warm.Mispredicts != 0 {
+		t.Fatalf("warm run still mispredicted %d times", warm.Mispredicts)
+	}
+}
+
+func TestRunCollectsAliasStats(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 50; i++ {
+		tr.Append(trace.Branch{PC: 0x1000, Target: 0x1100, Taken: true})
+		tr.Append(trace.Branch{PC: 0x1000 + 16, Target: 0x2100, Taken: true})
+	}
+	m := RunTrace(core.NewAddressIndexed(2).EnableMeter(), tr, Options{})
+	if m.Alias.Accesses != 100 {
+		t.Fatalf("alias accesses %d, want 100", m.Alias.Accesses)
+	}
+	if m.Alias.Conflicts == 0 {
+		t.Fatal("no conflicts recorded for aliased branches")
+	}
+}
+
+func TestRunCollectsFirstLevelMissRate(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 50; i++ {
+		tr.Append(trace.Branch{PC: 0x1000, Target: 0x1100, Taken: true})
+		tr.Append(trace.Branch{PC: 0x1000 + 4096, Target: 0x2100, Taken: true})
+	}
+	p := core.NewPAs(0, history.NewDirectMapped(1, 4, history.PrefixReset))
+	m := RunTrace(p, tr, Options{})
+	if m.FirstLevelMissRate < 0.9 {
+		t.Fatalf("first-level miss rate %g, want ~1 for ping-ponging branches", m.FirstLevelMissRate)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{Name: "x", Branches: 200, Mispredicts: 10}
+	s := m.String()
+	if !strings.Contains(s, "x") || !strings.Contains(s, "5.00%") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestMetricsZero(t *testing.T) {
+	var m Metrics
+	if m.MispredictRate() != 0 {
+		t.Error("zero metrics should have zero rate")
+	}
+}
+
+func TestRunConfigsOrderAndParallelism(t *testing.T) {
+	prof, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(prof, 3, 30_000)
+	configs := []core.Config{
+		{Scheme: core.SchemeAddress, ColBits: 4},
+		{Scheme: core.SchemeGAs, RowBits: 4, ColBits: 4},
+		{Scheme: core.SchemeGShare, RowBits: 4, ColBits: 4},
+		{Scheme: core.SchemePAs, RowBits: 6},
+	}
+	ms, err := RunConfigs(configs, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(configs) {
+		t.Fatalf("%d results for %d configs", len(ms), len(configs))
+	}
+	wantNames := []string{"address-2^4", "GAs-2^4x2^4", "gshare-2^4x2^4", "PAg(inf)-2^6"}
+	for i, m := range ms {
+		if m.Name != wantNames[i] {
+			t.Errorf("result %d is %q, want %q (order not preserved)", i, m.Name, wantNames[i])
+		}
+		if m.Branches != uint64(tr.Len()) {
+			t.Errorf("%s scored %d branches, want %d", m.Name, m.Branches, tr.Len())
+		}
+		if m.MispredictRate() <= 0 || m.MispredictRate() >= 0.5 {
+			t.Errorf("%s rate %.3f implausible", m.Name, m.MispredictRate())
+		}
+	}
+}
+
+func TestRunConfigsRejectsInvalid(t *testing.T) {
+	_, err := RunConfigs([]core.Config{{Scheme: core.Scheme(9)}}, &trace.Trace{}, Options{})
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunConfigsMatchesSequentialRun(t *testing.T) {
+	// Parallel fan-out must produce bit-identical results to
+	// independent sequential runs (predictors are deterministic).
+	prof, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(prof, 4, 20_000)
+	configs := []core.Config{
+		{Scheme: core.SchemeGShare, RowBits: 6, ColBits: 2},
+		{Scheme: core.SchemePAs, RowBits: 8, ColBits: 1},
+	}
+	par, err := RunConfigs(configs, tr, Options{Warmup: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range configs {
+		seq := RunTrace(c.MustBuild(), tr, Options{Warmup: 1000})
+		if par[i].Mispredicts != seq.Mispredicts || par[i].Branches != seq.Branches {
+			t.Errorf("config %d: parallel %d/%d vs sequential %d/%d",
+				i, par[i].Mispredicts, par[i].Branches, seq.Mispredicts, seq.Branches)
+		}
+	}
+}
+
+func TestRunPredictors(t *testing.T) {
+	tr := fixedTrace(50, true)
+	ms := RunPredictors([]core.Predictor{core.StaticTaken{}, core.StaticNotTaken{}}, tr, Options{})
+	if ms[0].Mispredicts != 0 || ms[1].Mispredicts != 50 {
+		t.Fatalf("unexpected results: %v", ms)
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	m := RunTrace(core.StaticTaken{}, &trace.Trace{}, Options{})
+	if m.Branches != 0 || m.Mispredicts != 0 {
+		t.Fatal("empty trace produced counts")
+	}
+}
+
+func TestRunStreamingSource(t *testing.T) {
+	// Run consumes a Source directly — here a live workload emitter
+	// bounded by a wrapper.
+	prof, _ := workload.ProfileByName("eqntott")
+	em := workload.Build(prof, 1).NewEmitter(2)
+	bounded := &boundedSource{src: em, n: 10_000}
+	m := Run(core.NewGShare(8, 2), bounded, Options{})
+	if m.Branches != 10_000 {
+		t.Fatalf("scored %d branches", m.Branches)
+	}
+}
+
+type boundedSource struct {
+	src trace.Source
+	n   int
+}
+
+func (b *boundedSource) Next() (trace.Branch, bool) {
+	if b.n == 0 {
+		return trace.Branch{}, false
+	}
+	b.n--
+	return b.src.Next()
+}
+
+func BenchmarkSimGShare(b *testing.B) {
+	prof, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(prof, 1, 200_000)
+	p := core.NewGShare(12, 3)
+	b.ResetTimer()
+	src := tr.NewSource()
+	for i := 0; i < b.N; i++ {
+		br, ok := src.Next()
+		if !ok {
+			src = tr.NewSource()
+			br, _ = src.Next()
+		}
+		p.Predict(br)
+		p.Update(br)
+	}
+}
+
+func TestRunParallelSingleItem(t *testing.T) {
+	// A single predictor takes the sequential path of the worker pool.
+	tr := fixedTrace(20, true)
+	ms := RunPredictors([]core.Predictor{core.StaticTaken{}}, tr, Options{})
+	if len(ms) != 1 || ms[0].Mispredicts != 0 {
+		t.Fatalf("%v", ms)
+	}
+}
+
+func TestRunConfigsManyParallel(t *testing.T) {
+	// More configs than typical core counts exercises the queue.
+	prof, _ := workload.ProfileByName("eqntott")
+	tr := workload.Generate(prof, 2, 5_000)
+	var configs []core.Config
+	for c := 2; c <= 12; c++ {
+		configs = append(configs, core.Config{Scheme: core.SchemeAddress, ColBits: c})
+		configs = append(configs, core.Config{Scheme: core.SchemeGShare, RowBits: c / 2, ColBits: c - c/2})
+		configs = append(configs, core.Config{Scheme: core.SchemeGAs, RowBits: c, ColBits: 0})
+	}
+	ms, err := RunConfigs(configs, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range ms {
+		if m.Branches != 5_000 {
+			t.Fatalf("config %d scored %d", i, m.Branches)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package stats provides the small statistical toolkit used by the
+// workload generator and the experiment harness: summary statistics,
+// execution-frequency coverage curves (paper Tables 1 and 2), and
+// Zipf-distributed sampling for hot/cold branch popularity.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than
+// two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns 0 for an empty
+// slice and does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Coverage describes how many distinct items account for cumulative
+// fractions of a weighted population. It reproduces the paper's
+// Table 1 ("static branches constituting 90% of dynamic instances") and
+// Table 2 (items covering the first 50%, next 40%, next 9%, and final
+// 1% of instances).
+type Coverage struct {
+	// Total is the sum of all weights.
+	Total uint64
+	// Items is the number of distinct items with nonzero weight.
+	Items int
+	// sortedWeights holds item weights in descending order.
+	sortedWeights []uint64
+}
+
+// NewCoverage builds a Coverage from per-item weights (e.g. per-branch
+// dynamic execution counts). Zero weights are ignored.
+func NewCoverage(weights []uint64) *Coverage {
+	c := &Coverage{}
+	for _, w := range weights {
+		if w == 0 {
+			continue
+		}
+		c.sortedWeights = append(c.sortedWeights, w)
+		c.Total += w
+		c.Items++
+	}
+	sort.Slice(c.sortedWeights, func(i, j int) bool {
+		return c.sortedWeights[i] > c.sortedWeights[j]
+	})
+	return c
+}
+
+// ItemsForFraction returns the minimum number of the most-frequent
+// items whose weights sum to at least frac of the total. frac is
+// clamped to [0, 1].
+func (c *Coverage) ItemsForFraction(frac float64) int {
+	if frac <= 0 || c.Total == 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	target := uint64(math.Ceil(frac * float64(c.Total)))
+	var acc uint64
+	for i, w := range c.sortedWeights {
+		acc += w
+		if acc >= target {
+			return i + 1
+		}
+	}
+	return c.Items
+}
+
+// Buckets returns the number of items in each consecutive coverage
+// band. For the paper's Table 2 the bands are 0.50, 0.40, 0.09, 0.01.
+// The returned slice has one entry per band; bands beyond the available
+// mass get the remaining items in the final band.
+func (c *Coverage) Buckets(bands []float64) []int {
+	out := make([]int, len(bands))
+	prev := 0
+	cum := 0.0
+	for i, b := range bands {
+		cum += b
+		n := c.ItemsForFraction(cum)
+		if i == len(bands)-1 && cum >= 0.999999 {
+			n = c.Items
+		}
+		out[i] = n - prev
+		prev = n
+	}
+	return out
+}
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(i+1)^s, i.e. rank-frequency popularity with exponent s. Sampling
+// is by inverse transform over the precomputed CDF, O(log n) per draw.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf constructs a Zipf sampler over n items with exponent s.
+// It panics if n <= 0 or s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: NewZipf with n=%d", n))
+	}
+	if s < 0 {
+		panic(fmt.Sprintf("stats: NewZipf with negative exponent %g", s))
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = acc
+	}
+	// Normalize.
+	for i := range cdf {
+		cdf[i] /= acc
+	}
+	cdf[n-1] = 1 // guard against floating point shortfall
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of items in the sampler's support.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample maps a uniform variate u in [0, 1) to a rank in [0, n).
+func (z *Zipf) Sample(u float64) int {
+	if u < 0 {
+		u = 0
+	}
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability mass of rank i. It panics if i is out
+// of range.
+func (z *Zipf) Prob(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// Fraction is a convenience formatter producing "12.34%" strings used
+// throughout the experiment renderers.
+func Fraction(numer, denom uint64) string {
+	if denom == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(numer)/float64(denom))
+}
+
+// Percent formats a [0,1] rate as a percentage with two decimals.
+func Percent(rate float64) string {
+	return fmt.Sprintf("%.2f%%", 100*rate)
+}

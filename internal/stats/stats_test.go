@@ -1,0 +1,285 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bpred/internal/rng"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); got != c.want {
+			t.Errorf("Mean(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+		{-0.5, 1}, {1.5, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile of empty slice should be 0")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestCoverageBasics(t *testing.T) {
+	// One dominant item (90), two minor (5 each).
+	c := NewCoverage([]uint64{5, 90, 5, 0})
+	if c.Total != 100 {
+		t.Fatalf("Total = %d, want 100", c.Total)
+	}
+	if c.Items != 3 {
+		t.Fatalf("Items = %d, want 3 (zero weights ignored)", c.Items)
+	}
+	if got := c.ItemsForFraction(0.5); got != 1 {
+		t.Errorf("ItemsForFraction(0.5) = %d, want 1", got)
+	}
+	if got := c.ItemsForFraction(0.9); got != 1 {
+		t.Errorf("ItemsForFraction(0.9) = %d, want 1", got)
+	}
+	if got := c.ItemsForFraction(0.91); got != 2 {
+		t.Errorf("ItemsForFraction(0.91) = %d, want 2", got)
+	}
+	if got := c.ItemsForFraction(1); got != 3 {
+		t.Errorf("ItemsForFraction(1) = %d, want 3", got)
+	}
+	if got := c.ItemsForFraction(0); got != 0 {
+		t.Errorf("ItemsForFraction(0) = %d, want 0", got)
+	}
+}
+
+func TestCoverageEmpty(t *testing.T) {
+	c := NewCoverage(nil)
+	if c.ItemsForFraction(0.5) != 0 {
+		t.Error("empty coverage should report 0 items")
+	}
+	b := c.Buckets([]float64{0.5, 0.5})
+	for _, n := range b {
+		if n != 0 {
+			t.Errorf("empty coverage buckets = %v", b)
+		}
+	}
+}
+
+func TestCoverageBucketsTable2Style(t *testing.T) {
+	// 10 items: one with weight 50, one 40, one 9, seven with ~0.143
+	// each. Mirrors the paper's Table 2 band structure.
+	weights := []uint64{5000, 4000, 900, 15, 15, 14, 14, 14, 14, 14}
+	c := NewCoverage(weights)
+	b := c.Buckets([]float64{0.50, 0.40, 0.09, 0.01})
+	if b[0] != 1 {
+		t.Errorf("first-50%% band = %d items, want 1", b[0])
+	}
+	if b[1] != 1 {
+		t.Errorf("next-40%% band = %d items, want 1", b[1])
+	}
+	if b[2] != 1 {
+		t.Errorf("next-9%% band = %d items, want 1", b[2])
+	}
+	if b[3] != 7 {
+		t.Errorf("last-1%% band = %d items, want 7", b[3])
+	}
+	total := 0
+	for _, n := range b {
+		total += n
+	}
+	if total != c.Items {
+		t.Errorf("bucket sum %d != item count %d", total, c.Items)
+	}
+}
+
+// Property: buckets always partition the item set.
+func TestCoverageBucketsPartitionProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		weights := make([]uint64, len(raw))
+		for i, w := range raw {
+			weights[i] = uint64(w)
+		}
+		c := NewCoverage(weights)
+		b := c.Buckets([]float64{0.50, 0.40, 0.09, 0.01})
+		sum := 0
+		for _, n := range b {
+			if n < 0 {
+				return false
+			}
+			sum += n
+		}
+		return sum == c.Items
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ItemsForFraction is monotone in the fraction.
+func TestItemsForFractionMonotone(t *testing.T) {
+	c := NewCoverage([]uint64{100, 50, 25, 12, 6, 3, 1, 1, 1, 1})
+	prev := 0
+	for f := 0.0; f <= 1.0; f += 0.01 {
+		n := c.ItemsForFraction(f)
+		if n < prev {
+			t.Fatalf("ItemsForFraction not monotone at %g: %d < %d", f, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestZipfProbabilitiesSumToOne(t *testing.T) {
+	z := NewZipf(100, 1.1)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		p := z.Prob(i)
+		if p < 0 {
+			t.Fatalf("Prob(%d) = %g negative", i, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	z := NewZipf(50, 1.0)
+	for i := 1; i < z.N(); i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-12 {
+			t.Fatalf("Prob(%d)=%g > Prob(%d)=%g; Zipf mass must be non-increasing",
+				i, z.Prob(i), i-1, z.Prob(i-1))
+		}
+	}
+}
+
+func TestZipfUniformExponentZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-9 {
+			t.Fatalf("s=0 should be uniform; Prob(%d)=%g", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfSampleRange(t *testing.T) {
+	z := NewZipf(37, 1.2)
+	g := rng.NewXoshiro256(1)
+	for i := 0; i < 10000; i++ {
+		r := z.Sample(g.Float64())
+		if r < 0 || r >= 37 {
+			t.Fatalf("Sample out of range: %d", r)
+		}
+	}
+	// Boundary inputs.
+	if z.Sample(0) != 0 {
+		t.Error("Sample(0) should be rank 0")
+	}
+	if r := z.Sample(1); r < 0 || r >= 37 {
+		t.Errorf("Sample(1) out of range: %d", r)
+	}
+	if r := z.Sample(-0.5); r != 0 {
+		t.Errorf("Sample(-0.5) = %d, want clamp to 0", r)
+	}
+}
+
+func TestZipfEmpiricalSkew(t *testing.T) {
+	// With s=1 over 1000 items, the top item should receive far more
+	// mass than the median item.
+	z := NewZipf(1000, 1.0)
+	g := rng.NewXoshiro256(2)
+	counts := make([]int, 1000)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(g.Float64())]++
+	}
+	if counts[0] < 10*counts[500] {
+		t.Errorf("rank 0 drawn %d times vs rank 500 %d times; insufficient skew",
+			counts[0], counts[500])
+	}
+	// Empirical frequency of rank 0 matches Prob(0) within 10%.
+	got := float64(counts[0]) / draws
+	want := z.Prob(0)
+	if math.Abs(got-want) > 0.1*want {
+		t.Errorf("rank-0 empirical frequency %g, want ~%g", got, want)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-5, 1}, {10, -0.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %g) did not panic", c.n, c.s)
+				}
+			}()
+			NewZipf(c.n, c.s)
+		}()
+	}
+}
+
+func TestFraction(t *testing.T) {
+	if got := Fraction(1, 4); got != "25.00%" {
+		t.Errorf("Fraction(1,4) = %q", got)
+	}
+	if got := Fraction(3, 0); got != "n/a" {
+		t.Errorf("Fraction(3,0) = %q", got)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.0642); got != "6.42%" {
+		t.Errorf("Percent(0.0642) = %q", got)
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(10000, 1.1)
+	g := rng.NewXoshiro256(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += z.Sample(g.Float64())
+	}
+	_ = sink
+}

@@ -1,0 +1,265 @@
+// Package svgplot renders design-space surfaces as standalone SVG
+// figures — the graphical counterpart of textplot for the paper's
+// Figures 4-10. Output is dependency-free static SVG with native
+// hover tooltips (<title> elements).
+//
+// Encoding choices follow the data's job: misprediction surfaces are
+// magnitude over a (tier x split) grid, drawn as a heatmap on a
+// single-hue sequential ramp (light = low, dark = high); the
+// gshare/path difference figures are polarity, drawn on a diverging
+// blue/red ramp around a neutral gray midpoint. Cells keep a 2px
+// surface gap; the best configuration per tier is outlined rather
+// than recolored; text wears text colors, never data colors. The
+// palette is the validated reference instance of the repo's
+// visualization method.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"bpred/internal/sweep"
+)
+
+// Reference palette (light mode).
+const (
+	surface       = "#fcfcfb"
+	textPrimary   = "#0b0b0b"
+	textSecondary = "#52514e"
+	gridLine      = "#e3e2de"
+	neutralMid    = "#f0efec" // diverging midpoint
+)
+
+// sequential blue ramp, steps 100..700 (light -> dark).
+var seqRamp = []string{
+	"#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+	"#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281", "#0d366b",
+}
+
+// Diverging poles (blue = first scheme better, red = worse), each arm
+// interpolated from the neutral midpoint.
+var (
+	poleBlue = rgb{0x10, 0x42, 0x81} // blue 650
+	poleRed  = rgb{0xa8, 0x23, 0x23}
+	midGray  = rgb{0xf0, 0xef, 0xec}
+)
+
+type rgb struct{ r, g, b uint8 }
+
+func (c rgb) hex() string { return fmt.Sprintf("#%02x%02x%02x", c.r, c.g, c.b) }
+
+// lerp interpolates between two colors; t in [0, 1].
+func lerp(a, b rgb, t float64) rgb {
+	f := func(x, y uint8) uint8 {
+		return uint8(math.Round(float64(x) + t*(float64(y)-float64(x))))
+	}
+	return rgb{f(a.r, b.r), f(a.g, b.g), f(a.b, b.b)}
+}
+
+// seqColor maps v in [lo, hi] onto the sequential ramp.
+func seqColor(v, lo, hi float64) string {
+	if hi <= lo {
+		return seqRamp[0]
+	}
+	t := (v - lo) / (hi - lo)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	idx := int(math.Round(t * float64(len(seqRamp)-1)))
+	return seqRamp[idx]
+}
+
+// divColor maps v in [-m, m] onto the diverging ramp (negative =
+// red/worse, positive = blue/better, zero = neutral).
+func divColor(v, m float64) string {
+	if m <= 0 {
+		return midGray.hex()
+	}
+	t := v / m
+	if t > 1 {
+		t = 1
+	}
+	if t < -1 {
+		t = -1
+	}
+	if t >= 0 {
+		return lerp(midGray, poleBlue, t).hex()
+	}
+	return lerp(midGray, poleRed, -t).hex()
+}
+
+// Geometry constants.
+const (
+	cellW, cellH = 44, 26
+	gap          = 2 // surface gap between cells
+	marginLeft   = 96
+	marginTop    = 56
+	marginRight  = 150
+	marginBottom = 46
+)
+
+// Heatmap renders a misprediction surface as an SVG heatmap: rows are
+// counter budgets (tiers), columns are row/column splits, cell
+// darkness is the misprediction rate. The best cell per tier carries
+// an outline; every cell has a hover tooltip with the exact
+// configuration and rate.
+func Heatmap(s *sweep.Surface) string {
+	tiers := s.Tiers()
+	maxSplits := s.MaxBits + 1
+
+	// Value range over valid points.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, n := range tiers {
+		for r := 0; r <= n; r++ {
+			if pt, ok := s.At(n, r); ok {
+				v := pt.Metrics.MispredictRate()
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+
+	width := marginLeft + maxSplits*(cellW+gap) + marginRight
+	height := marginTop + len(tiers)*(cellH+gap) + marginBottom
+	var b strings.Builder
+	svgOpen(&b, width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" fill="%s" font-size="15" font-weight="600">%s on %s — misprediction rate</text>`+"\n",
+		marginLeft, textPrimary, s.Scheme, esc(s.Trace))
+	fmt.Fprintf(&b, `<text x="%d" y="42" fill="%s" font-size="11">rows: counter budget · columns: history bits in the index (2^r rows x 2^c cols)</text>`+"\n",
+		marginLeft, textSecondary)
+
+	// Column headers.
+	for r := 0; r < maxSplits; r++ {
+		x := marginLeft + r*(cellW+gap) + cellW/2
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s" font-size="10" text-anchor="middle">r=%d</text>`+"\n",
+			x, marginTop-6, textSecondary, r)
+	}
+
+	for ti, n := range tiers {
+		y := marginTop + ti*(cellH+gap)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s" font-size="11" text-anchor="end">2^%d = %d</text>`+"\n",
+			marginLeft-8, y+cellH/2+4, textPrimary, n, 1<<n)
+		best, haveBest := s.BestInTier(n)
+		for r := 0; r <= n; r++ {
+			pt, ok := s.At(n, r)
+			if !ok {
+				continue
+			}
+			x := marginLeft + r*(cellW+gap)
+			v := pt.Metrics.MispredictRate()
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" rx="2" fill="%s">`,
+				x, y, cellW, cellH, seqColor(v, lo, hi))
+			fmt.Fprintf(&b, `<title>%s: %.2f%% mispredicted</title></rect>`+"\n",
+				esc(pt.Metrics.Name), 100*v)
+			if haveBest && pt.Config == best.Config {
+				// Best-in-tier: outline ring (identity via shape, not
+				// a competing hue).
+				fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" rx="3" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+					x-1, y-1, cellW+2, cellH+2, textPrimary)
+			}
+		}
+	}
+
+	legendSequential(&b, width-marginRight+18, marginTop, lo, hi)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s" font-size="10">▣ best configuration in tier</text>`+"\n",
+		marginLeft, height-16, textSecondary)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// DiffHeatmap renders a difference grid (sweep.Diff output) on the
+// diverging ramp: blue cells mean the first scheme predicts better,
+// red worse, neutral no difference.
+func DiffHeatmap(title, benchmark string, minBits int, d [][]float64) string {
+	m := 0.0
+	for _, tier := range d {
+		for _, v := range tier {
+			m = math.Max(m, math.Abs(v))
+		}
+	}
+	maxSplits := 0
+	for _, tier := range d {
+		if len(tier) > maxSplits {
+			maxSplits = len(tier)
+		}
+	}
+
+	width := marginLeft + maxSplits*(cellW+gap) + marginRight
+	height := marginTop + len(d)*(cellH+gap) + marginBottom
+	var b strings.Builder
+	svgOpen(&b, width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" fill="%s" font-size="15" font-weight="600">%s (%s)</text>`+"\n",
+		marginLeft, textPrimary, esc(title), esc(benchmark))
+	fmt.Fprintf(&b, `<text x="%d" y="42" fill="%s" font-size="11">blue: first scheme better · red: worse · gray: no difference</text>`+"\n",
+		marginLeft, textSecondary)
+	for r := 0; r < maxSplits; r++ {
+		x := marginLeft + r*(cellW+gap) + cellW/2
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s" font-size="10" text-anchor="middle">r=%d</text>`+"\n",
+			x, marginTop-6, textSecondary, r)
+	}
+	for ti, tier := range d {
+		n := minBits + ti
+		y := marginTop + ti*(cellH+gap)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s" font-size="11" text-anchor="end">2^%d = %d</text>`+"\n",
+			marginLeft-8, y+cellH/2+4, textPrimary, n, 1<<n)
+		for r, v := range tier {
+			x := marginLeft + r*(cellW+gap)
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" rx="2" fill="%s">`,
+				x, y, cellW, cellH, divColor(v, m))
+			fmt.Fprintf(&b, `<title>2^%dx2^%d: %+.2f points</title></rect>`+"\n", r, n-r, 100*v)
+		}
+	}
+	legendDiverging(&b, width-marginRight+18, marginTop, m)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func svgOpen(b *strings.Builder, width, height int) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", width, height, surface)
+}
+
+// legendSequential draws the ramp bar with min/max labels.
+func legendSequential(b *strings.Builder, x, y int, lo, hi float64) {
+	const w, hStep = 18, 12
+	fmt.Fprintf(b, `<text x="%d" y="%d" fill="%s" font-size="10">misprediction</text>`+"\n",
+		x, y-8, textSecondary)
+	for i, c := range seqRamp {
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+			x, y+i*hStep, w, hStep, c)
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" fill="%s" font-size="10">%.1f%%</text>`+"\n",
+		x+w+6, y+10, textPrimary, 100*lo)
+	fmt.Fprintf(b, `<text x="%d" y="%d" fill="%s" font-size="10">%.1f%%</text>`+"\n",
+		x+w+6, y+len(seqRamp)*hStep, textPrimary, 100*hi)
+}
+
+// legendDiverging draws the two-arm ramp with pole labels.
+func legendDiverging(b *strings.Builder, x, y int, m float64) {
+	const w, hStep, steps = 18, 11, 11
+	fmt.Fprintf(b, `<text x="%d" y="%d" fill="%s" font-size="10">difference</text>`+"\n",
+		x, y-8, textSecondary)
+	for i := 0; i < steps; i++ {
+		t := 1 - 2*float64(i)/(steps-1) // +1 .. -1
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+			x, y+i*hStep, w, hStep, divColor(t*m, m))
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" fill="%s" font-size="10">%+.1f</text>`+"\n",
+		x+w+6, y+10, textPrimary, 100*m)
+	fmt.Fprintf(b, `<text x="%d" y="%d" fill="%s" font-size="10">%+.1f</text>`+"\n",
+		x+w+6, y+steps*hStep, textPrimary, -100*m)
+}
+
+// esc escapes XML-special characters in text content.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,122 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"bpred/internal/core"
+	"bpred/internal/sweep"
+	"bpred/internal/workload"
+)
+
+func testSurface(t *testing.T) *sweep.Surface {
+	t.Helper()
+	p, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(p, 2, 20_000)
+	s, err := sweep.Run(sweep.Options{Scheme: core.SchemeGAs, MinBits: 4, MaxBits: 6}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHeatmapWellFormed(t *testing.T) {
+	out := Heatmap(testSurface(t))
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatal("not an svg document")
+	}
+	// Must be valid XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	// One tooltip per valid point: tiers 4..6 -> 5+6+7 = 18 cells.
+	if n := strings.Count(out, "<title>"); n != 18 {
+		t.Fatalf("%d tooltips, want 18", n)
+	}
+	// One best-in-tier outline per tier.
+	if n := strings.Count(out, `stroke-width="2"`); n != 3 {
+		t.Fatalf("%d best outlines, want 3", n)
+	}
+	for _, want := range []string{"GAs", "espresso", "2^6 = 64", "misprediction", "best configuration"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestHeatmapColorMapping(t *testing.T) {
+	// Low values map to the light end, high to the dark end.
+	if seqColor(0, 0, 1) != seqRamp[0] {
+		t.Error("minimum not lightest")
+	}
+	if seqColor(1, 0, 1) != seqRamp[len(seqRamp)-1] {
+		t.Error("maximum not darkest")
+	}
+	// Degenerate range never panics.
+	if seqColor(0.5, 0.5, 0.5) == "" {
+		t.Error("degenerate range produced empty color")
+	}
+	// Out-of-range values clamp.
+	if seqColor(-1, 0, 1) != seqRamp[0] || seqColor(2, 0, 1) != seqRamp[len(seqRamp)-1] {
+		t.Error("clamping failed")
+	}
+}
+
+func TestDivergingColorMapping(t *testing.T) {
+	if divColor(0, 1) != midGray.hex() {
+		t.Errorf("zero not neutral: %s", divColor(0, 1))
+	}
+	if divColor(1, 1) != poleBlue.hex() {
+		t.Errorf("positive pole wrong: %s", divColor(1, 1))
+	}
+	if divColor(-1, 1) != poleRed.hex() {
+		t.Errorf("negative pole wrong: %s", divColor(-1, 1))
+	}
+	// Clamps and degenerate magnitude.
+	if divColor(5, 1) != poleBlue.hex() || divColor(-5, 1) != poleRed.hex() {
+		t.Error("clamping failed")
+	}
+	if divColor(0.3, 0) != midGray.hex() {
+		t.Error("zero magnitude should be neutral")
+	}
+}
+
+func TestDiffHeatmap(t *testing.T) {
+	d := [][]float64{
+		{0, 0.01, -0.02},
+		{0, 0.005, -0.005, 0.001},
+	}
+	out := DiffHeatmap("gshare vs GAs", "mpeg_play", 4, d)
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	if n := strings.Count(out, "<title>"); n != 7 {
+		t.Fatalf("%d tooltips, want 7", n)
+	}
+	for _, want := range []string{"gshare vs GAs", "mpeg_play", "blue: first scheme better", "+2.0", "-2.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	if esc(`a<b>&"c"`) != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Errorf("esc = %q", esc(`a<b>&"c"`))
+	}
+}

@@ -1,0 +1,57 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the surface as CSV rows for downstream plotting:
+// one row per configuration with tier, split, rates, and aliasing
+// columns.
+func (s *Surface) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"scheme", "trace", "table_bits", "counters", "row_bits", "col_bits",
+		"name", "branches", "mispredicts", "mispredict_rate",
+		"alias_accesses", "alias_conflicts", "alias_rate", "alias_all_ones",
+		"alias_destructive", "first_level_miss_rate",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("sweep: writing csv header: %w", err)
+	}
+	for _, n := range s.Tiers() {
+		for _, pt := range s.Splits(n) {
+			if !pt.Valid() {
+				continue
+			}
+			m := pt.Metrics
+			rec := []string{
+				s.Scheme.String(),
+				s.Trace,
+				fmt.Sprint(n),
+				fmt.Sprint(1 << n),
+				fmt.Sprint(pt.Config.RowBits),
+				fmt.Sprint(pt.Config.ColBits),
+				m.Name,
+				fmt.Sprint(m.Branches),
+				fmt.Sprint(m.Mispredicts),
+				fmt.Sprintf("%.6f", m.MispredictRate()),
+				fmt.Sprint(m.Alias.Accesses),
+				fmt.Sprint(m.Alias.Conflicts),
+				fmt.Sprintf("%.6f", m.Alias.ConflictRate()),
+				fmt.Sprint(m.Alias.AllOnes),
+				fmt.Sprint(m.Alias.Destructive),
+				fmt.Sprintf("%.6f", m.FirstLevelMissRate),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("sweep: writing csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("sweep: flushing csv: %w", err)
+	}
+	return nil
+}

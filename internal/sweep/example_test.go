@@ -1,0 +1,35 @@
+package sweep_test
+
+import (
+	"fmt"
+
+	"bpred/internal/core"
+	"bpred/internal/sweep"
+	"bpred/internal/workload"
+)
+
+// Sweeping a scheme's design space and asking which configuration to
+// build at each counter budget.
+func ExampleSurface_BestInTier() {
+	profile, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(profile, 2, 100_000)
+	surface, err := sweep.Run(sweep.Options{
+		Scheme:  core.SchemeGShare,
+		MinBits: 6, MaxBits: 8,
+	}, tr)
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range surface.Tiers() {
+		best, _ := surface.BestInTier(n)
+		fmt.Printf("%d counters: best split has %d history bits\n",
+			1<<n, best.Config.RowBits)
+	}
+	// The exact splits depend on the seed; every tier reports one.
+	fmt.Println("tiers:", len(surface.Tiers()))
+	// Output:
+	// 64 counters: best split has 0 history bits
+	// 128 counters: best split has 0 history bits
+	// 256 counters: best split has 0 history bits
+	// tiers: 3
+}

@@ -1,0 +1,276 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"bpred/internal/core"
+	"bpred/internal/sim"
+	"bpred/internal/workload"
+)
+
+func TestConfigsEnumeration(t *testing.T) {
+	// GAs over tiers 4..6: 5 + 6 + 7 = 18 configurations.
+	cs := Configs(Options{Scheme: core.SchemeGAs, MinBits: 4, MaxBits: 6})
+	if len(cs) != 18 {
+		t.Fatalf("%d configs, want 18", len(cs))
+	}
+	for _, c := range cs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("invalid enumerated config %+v: %v", c, err)
+		}
+		if c.TableBits() < 4 || c.TableBits() > 6 {
+			t.Errorf("config outside tier bounds: %+v", c)
+		}
+	}
+	// First config in each tier is the address-indexed edge.
+	if cs[0].RowBits != 0 || cs[0].ColBits != 4 {
+		t.Errorf("first config not the address edge: %+v", cs[0])
+	}
+	// Last config of tier 4 is GAg.
+	if cs[4].RowBits != 4 || cs[4].ColBits != 0 {
+		t.Errorf("tier-4 GAg edge wrong: %+v", cs[4])
+	}
+}
+
+func TestConfigsAddressSchemeOnePerTier(t *testing.T) {
+	cs := Configs(Options{Scheme: core.SchemeAddress, MinBits: 4, MaxBits: 15})
+	if len(cs) != 12 {
+		t.Fatalf("%d address configs, want 12", len(cs))
+	}
+	for _, c := range cs {
+		if c.RowBits != 0 {
+			t.Errorf("address config with rows: %+v", c)
+		}
+	}
+}
+
+func TestDefaultBounds(t *testing.T) {
+	cs := Configs(Options{Scheme: core.SchemeAddress})
+	if len(cs) != DefaultMaxBits-DefaultMinBits+1 {
+		t.Fatalf("default bounds produced %d tiers", len(cs))
+	}
+}
+
+func TestRunSurfaceShape(t *testing.T) {
+	p, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(p, 2, 60_000)
+	s, err := Run(Options{
+		Scheme:  core.SchemeGAs,
+		MinBits: 4, MaxBits: 8,
+		Sim: sim.Options{Warmup: 5000},
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scheme != core.SchemeGAs || s.Trace != "espresso" {
+		t.Errorf("surface metadata %v/%q", s.Scheme, s.Trace)
+	}
+	tiers := s.Tiers()
+	if len(tiers) != 5 || tiers[0] != 4 || tiers[4] != 8 {
+		t.Fatalf("tiers %v", tiers)
+	}
+	for _, n := range tiers {
+		splits := s.Splits(n)
+		if len(splits) != n+1 {
+			t.Fatalf("tier %d has %d splits, want %d", n, len(splits), n+1)
+		}
+		for r, pt := range splits {
+			if !pt.Valid() {
+				t.Fatalf("missing point at tier %d split %d", n, r)
+			}
+			if pt.Config.RowBits != r || pt.Config.TableBits() != n {
+				t.Fatalf("misplaced point: %+v at (%d, %d)", pt.Config, n, r)
+			}
+			rate := pt.Metrics.MispredictRate()
+			if rate <= 0 || rate >= 0.6 {
+				t.Errorf("implausible rate %.3f at tier %d split %d", rate, n, r)
+			}
+		}
+	}
+}
+
+func TestAtAndBestInTier(t *testing.T) {
+	p, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(p, 2, 40_000)
+	s, err := Run(Options{Scheme: core.SchemeGShare, MinBits: 5, MaxBits: 7}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.At(4, 0); ok {
+		t.Error("At returned a point outside the grid")
+	}
+	if _, ok := s.At(5, 6); ok {
+		t.Error("At returned a point with rows > tier bits")
+	}
+	pt, ok := s.At(6, 3)
+	if !ok || pt.Config.RowBits != 3 || pt.Config.ColBits != 3 {
+		t.Errorf("At(6,3) = %+v, ok=%v", pt.Config, ok)
+	}
+	best, ok := s.BestInTier(7)
+	if !ok {
+		t.Fatal("no best in tier 7")
+	}
+	for _, other := range s.Splits(7) {
+		if other.Metrics.MispredictRate() < best.Metrics.MispredictRate() {
+			t.Errorf("BestInTier missed a better split: %+v", other.Config)
+		}
+	}
+	if got := s.BestPerTier(); len(got) != 3 {
+		t.Errorf("BestPerTier returned %d points", len(got))
+	}
+}
+
+func TestDiffSurfaces(t *testing.T) {
+	p, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(p, 2, 40_000)
+	gas, err := Run(Options{Scheme: core.SchemeGAs, MinBits: 5, MaxBits: 6}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsh, err := Run(Options{Scheme: core.SchemeGShare, MinBits: 5, MaxBits: 6}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(gsh, gas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || len(d[0]) != 6 || len(d[1]) != 7 {
+		t.Fatalf("diff shape %d/%d/%d", len(d), len(d[0]), len(d[1]))
+	}
+	// The r=0 edge of GAs and gshare is identical (no history): the
+	// difference must be exactly zero.
+	if d[0][0] != 0 || d[1][0] != 0 {
+		t.Errorf("address-edge difference nonzero: %g, %g", d[0][0], d[1][0])
+	}
+	// Diff direction check: positive means second argument (gas)
+	// mispredicts more.
+	ga, _ := gas.At(6, 4)
+	gs, _ := gsh.At(6, 4)
+	want := ga.Metrics.MispredictRate() - gs.Metrics.MispredictRate()
+	if diff := d[1][4]; diff != want {
+		t.Errorf("diff[1][4] = %g, want %g", diff, want)
+	}
+}
+
+func TestDiffRejectsMismatchedRanges(t *testing.T) {
+	a := &Surface{MinBits: 4, MaxBits: 6}
+	b := &Surface{MinBits: 5, MaxBits: 6}
+	if _, err := Diff(a, b); err == nil {
+		t.Fatal("mismatched ranges accepted")
+	}
+}
+
+func TestRunRejectsBadBounds(t *testing.T) {
+	p, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(p, 2, 1000)
+	if _, err := Run(Options{Scheme: core.SchemeGAs, MinBits: 8, MaxBits: 4}, tr); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	if _, err := Run(Options{Scheme: core.SchemeGAs, MinBits: 4, MaxBits: 31}, tr); err == nil {
+		t.Fatal("oversized bounds accepted")
+	}
+}
+
+func TestMeteredSweepCollectsAliasing(t *testing.T) {
+	p, _ := workload.ProfileByName("mpeg_play")
+	tr := workload.Generate(p, 2, 60_000)
+	s, err := Run(Options{
+		Scheme:  core.SchemeGAs,
+		MinBits: 4, MaxBits: 6,
+		Metered: true,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := s.At(6, 6) // GAg-2^6: small table, large workload: conflicts certain
+	if pt.Metrics.Alias.Conflicts == 0 {
+		t.Error("metered sweep recorded no conflicts")
+	}
+	// Aliasing must grow as rows displace columns within a tier
+	// (paper Figure 5): compare the address edge with the GAg edge.
+	addr, _ := s.At(6, 0)
+	gag, _ := s.At(6, 6)
+	if gag.Metrics.Alias.ConflictRate() <= addr.Metrics.Alias.ConflictRate() {
+		t.Errorf("GAg conflict rate %.3f not above address-indexed %.3f",
+			gag.Metrics.Alias.ConflictRate(), addr.Metrics.Alias.ConflictRate())
+	}
+}
+
+func TestPAsSweepWithFirstLevel(t *testing.T) {
+	p, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(p, 2, 40_000)
+	s, err := Run(Options{
+		Scheme:  core.SchemePAs,
+		MinBits: 4, MaxBits: 6,
+		FirstLevel: core.FirstLevel{Kind: core.FirstLevelSetAssoc, Entries: 128, Ways: 4},
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, ok := s.At(6, 6)
+	if !ok {
+		t.Fatal("missing PAg point")
+	}
+	if pt.Metrics.FirstLevelMissRate <= 0 {
+		t.Error("PAs sweep lost first-level miss rates")
+	}
+}
+
+func TestSparseTiers(t *testing.T) {
+	cs := Configs(Options{Scheme: core.SchemeGAs, Tiers: []int{5, 7}})
+	if len(cs) != 6+8 {
+		t.Fatalf("%d configs, want 14", len(cs))
+	}
+	p, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(p, 2, 20_000)
+	s, err := Run(Options{Scheme: core.SchemeGAs, Tiers: []int{5, 7}}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MinBits != 5 || s.MaxBits != 7 {
+		t.Fatalf("bounds %d..%d", s.MinBits, s.MaxBits)
+	}
+	if _, ok := s.At(5, 2); !ok {
+		t.Error("listed tier missing")
+	}
+	if _, ok := s.At(6, 2); ok {
+		t.Error("unlisted tier populated")
+	}
+	if best, ok := s.BestInTier(6); ok {
+		t.Errorf("BestInTier on empty tier returned %+v", best)
+	}
+	if got := len(s.BestPerTier()); got != 2 {
+		t.Errorf("BestPerTier returned %d points, want 2", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	p, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(p, 2, 20_000)
+	s, err := Run(Options{Scheme: core.SchemeGAs, MinBits: 4, MaxBits: 5, Metered: true}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(strings.NewReader(buf.String()))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 5 + 6 configs.
+	if len(recs) != 1+5+6 {
+		t.Fatalf("%d csv rows, want 12", len(recs))
+	}
+	if recs[0][0] != "scheme" || len(recs[0]) != 16 {
+		t.Fatalf("header %v", recs[0])
+	}
+	if recs[1][0] != "GAs" || recs[1][1] != "espresso" {
+		t.Fatalf("first row %v", recs[1])
+	}
+}

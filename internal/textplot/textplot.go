@@ -1,0 +1,120 @@
+// Package textplot renders design-space results as terminal text: the
+// tier-by-split grids standing in for the paper's 3-D bar charts
+// (Figures 2-10), with the per-tier best configuration marked the way
+// the paper blackens its best-in-tier bars.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+
+	"bpred/internal/sweep"
+)
+
+// Grid renders a surface as a table: one line per tier (counter
+// budget), one column per row/column split, cells in percent. The
+// best cell in each tier is marked with '*'.
+func Grid(s *sweep.Surface) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s — misprediction rate (%%), rows: counters, cols: 2^r rows x 2^c cols\n",
+		s.Scheme, s.Trace)
+	maxSplits := s.MaxBits + 1
+
+	// Header: row-bit counts.
+	b.WriteString("counters  |")
+	for r := 0; r < maxSplits; r++ {
+		fmt.Fprintf(&b, " r=%-5d", r)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 10+8*maxSplits) + "\n")
+
+	for _, n := range s.Tiers() {
+		fmt.Fprintf(&b, "2^%-2d %5d|", n, 1<<n)
+		best, haveBest := s.BestInTier(n)
+		for r := 0; r <= s.MaxBits; r++ {
+			pt, ok := s.At(n, r)
+			if !ok {
+				if r <= n {
+					b.WriteString("      . ")
+				} else {
+					b.WriteString("        ")
+				}
+				continue
+			}
+			mark := " "
+			if haveBest && pt.Config == best.Config {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, " %5.2f%s ", 100*pt.Metrics.MispredictRate(), mark)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("(* = best configuration in tier)\n")
+	return b.String()
+}
+
+// AliasGrid renders a metered surface's conflict rates in the same
+// layout (the paper's Figure 5).
+func AliasGrid(s *sweep.Surface) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s — aliasing conflict rate (%% of accesses)\n", s.Scheme, s.Trace)
+	for _, n := range s.Tiers() {
+		fmt.Fprintf(&b, "2^%-2d %5d|", n, 1<<n)
+		for r := 0; r <= n; r++ {
+			pt, ok := s.At(n, r)
+			if !ok {
+				b.WriteString("      . ")
+				continue
+			}
+			fmt.Fprintf(&b, " %5.2f  ", 100*pt.Metrics.Alias.ConflictRate())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// DiffGrid renders a surface difference (sweep.Diff output) with
+// signs, in units of percentage points. Positive cells mean the first
+// surface predicts better, matching the paper's Figures 7 and 8.
+func DiffGrid(title string, minBits int, d [][]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — misprediction difference (percentage points)\n", title)
+	for t := range d {
+		n := minBits + t
+		fmt.Fprintf(&b, "2^%-2d %5d|", n, 1<<n)
+		for _, v := range d[t] {
+			fmt.Fprintf(&b, " %+5.2f  ", 100*v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Curve renders a one-dimensional sweep (e.g. Figure 2's
+// address-indexed rates or Figure 3's GAg rates) as labeled bars.
+type CurvePoint struct {
+	Label string
+	Value float64 // rate in [0, 1]
+}
+
+// Bars renders curve points as horizontal ASCII bars scaled to the
+// maximum value.
+func Bars(title string, pts []CurvePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	max := 0.0
+	for _, p := range pts {
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	const width = 48
+	for _, p := range pts {
+		n := 0
+		if max > 0 {
+			n = int(p.Value / max * width)
+		}
+		fmt.Fprintf(&b, "%-12s %6.2f%% |%s\n", p.Label, 100*p.Value, strings.Repeat("#", n))
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"bpred/internal/core"
+	"bpred/internal/sweep"
+	"bpred/internal/workload"
+)
+
+func surface(t *testing.T, scheme core.Scheme, metered bool) *sweep.Surface {
+	t.Helper()
+	p, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(p, 2, 20_000)
+	s, err := sweep.Run(sweep.Options{
+		Scheme:  scheme,
+		MinBits: 4, MaxBits: 6,
+		Metered: metered,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGridContainsAllTiers(t *testing.T) {
+	s := surface(t, core.SchemeGAs, false)
+	out := Grid(s)
+	for _, want := range []string{"2^4 ", "2^5 ", "2^6 ", "GAs", "espresso"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one best marker per tier.
+	if n := strings.Count(out, "*"); n != 3+1 { // 3 tiers + legend
+		t.Errorf("expected 3 best markers + legend, found %d '*' in:\n%s", n, out)
+	}
+}
+
+func TestGridAlignment(t *testing.T) {
+	s := surface(t, core.SchemeGShare, false)
+	out := Grid(s)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Tier lines: cells for r > tierBits must be blank, inside-grid
+	// gaps use '.' placeholders only when a slot is skipped.
+	var tierLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "2^") {
+			tierLines = append(tierLines, l)
+		}
+	}
+	if len(tierLines) != 3 {
+		t.Fatalf("%d tier lines, want 3:\n%s", len(tierLines), out)
+	}
+}
+
+func TestAliasGrid(t *testing.T) {
+	s := surface(t, core.SchemeGAs, true)
+	out := AliasGrid(s)
+	if !strings.Contains(out, "aliasing conflict rate") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "2^6") {
+		t.Errorf("missing tier:\n%s", out)
+	}
+}
+
+func TestDiffGrid(t *testing.T) {
+	d := [][]float64{
+		{0.01, -0.02},
+		{0, 0.005, -0.005},
+	}
+	out := DiffGrid("gshare vs GAs", 4, d)
+	for _, want := range []string{"gshare vs GAs", "+1.00", "-2.00", "+0.50", "2^4", "2^5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff grid missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("misprediction by size", []CurvePoint{
+		{"2^4", 0.20},
+		{"2^15", 0.05},
+	})
+	if !strings.Contains(out, "20.00%") || !strings.Contains(out, "5.00%") {
+		t.Errorf("bars missing values:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3", len(lines))
+	}
+	long := strings.Count(lines[1], "#")
+	short := strings.Count(lines[2], "#")
+	if long <= short {
+		t.Errorf("bar lengths not proportional: %d vs %d", long, short)
+	}
+}
+
+func TestBarsEmptyAndZero(t *testing.T) {
+	if out := Bars("empty", nil); !strings.Contains(out, "empty") {
+		t.Error("empty bars lost title")
+	}
+	out := Bars("zeros", []CurvePoint{{"a", 0}})
+	if !strings.Contains(out, "0.00%") {
+		t.Errorf("zero bars: %s", out)
+	}
+}

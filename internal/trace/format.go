@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The on-disk trace format, version 1:
+//
+//	magic   [4]byte  "BPT1"
+//	nameLen uvarint  followed by nameLen bytes of UTF-8 name
+//	instrs  uvarint  represented dynamic instruction count
+//	count   uvarint  number of branch records
+//	records count times:
+//	  flags  byte     bit0 = taken
+//	  dPC    varint   zigzag delta from previous record's PC
+//	  dTgt   varint   zigzag delta from this record's PC to Target
+//
+// Delta encoding keeps files small: consecutive branches are usually
+// near each other in the text segment, and targets are near their
+// branches, so most records fit in 4-6 bytes.
+
+var magic = [4]byte{'B', 'P', 'T', '1'}
+
+// ErrBadMagic indicates the stream is not a version-1 branch trace.
+var ErrBadMagic = errors.New("trace: bad magic; not a BPT1 trace")
+
+// Writer streams a trace to an io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	prevPC uint64
+	wrote  uint64
+	count  uint64 // promised record count
+}
+
+// NewWriter writes the header for a trace with the given metadata and
+// returns a Writer expecting exactly count branch records.
+func NewWriter(w io.Writer, name string, instructions, count uint64) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(name))); err != nil {
+		return nil, fmt.Errorf("trace: writing name length: %w", err)
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return nil, fmt.Errorf("trace: writing name: %w", err)
+	}
+	if err := writeUvarint(instructions); err != nil {
+		return nil, fmt.Errorf("trace: writing instruction count: %w", err)
+	}
+	if err := writeUvarint(count); err != nil {
+		return nil, fmt.Errorf("trace: writing record count: %w", err)
+	}
+	return &Writer{w: bw, count: count}, nil
+}
+
+// WriteBranch appends one record. It returns an error if more records
+// are written than the header promised.
+func (w *Writer) WriteBranch(b Branch) error {
+	if w.wrote >= w.count {
+		return fmt.Errorf("trace: record %d exceeds promised count %d", w.wrote+1, w.count)
+	}
+	var buf [1 + 2*binary.MaxVarintLen64]byte
+	flags := byte(0)
+	if b.Taken {
+		flags = 1
+	}
+	buf[0] = flags
+	n := 1
+	n += binary.PutVarint(buf[n:], int64(b.PC-w.prevPC))
+	n += binary.PutVarint(buf[n:], int64(b.Target-b.PC))
+	if _, err := w.w.Write(buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	w.prevPC = b.PC
+	w.wrote++
+	return nil
+}
+
+// Close flushes buffered data and verifies the promised record count
+// was met.
+func (w *Writer) Close() error {
+	if w.wrote != w.count {
+		return fmt.Errorf("trace: wrote %d records, header promised %d", w.wrote, w.count)
+	}
+	return w.w.Flush()
+}
+
+// Reader streams a trace from an io.Reader. It implements Source.
+type Reader struct {
+	r            *bufio.Reader
+	name         string
+	instructions uint64
+	count        uint64
+	read         uint64
+	prevPC       uint64
+	err          error
+}
+
+// NewReader parses the header and returns a Reader positioned at the
+// first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	instrs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading instruction count: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading record count: %w", err)
+	}
+	return &Reader{r: br, name: string(nameBuf), instructions: instrs, count: count}, nil
+}
+
+// Name returns the workload name from the header.
+func (r *Reader) Name() string { return r.name }
+
+// Instructions returns the represented instruction count.
+func (r *Reader) Instructions() uint64 { return r.instructions }
+
+// Count returns the number of records the header promises.
+func (r *Reader) Count() uint64 { return r.count }
+
+// Next returns the next record. After exhaustion or an error it
+// returns ok=false; check Err to distinguish.
+func (r *Reader) Next() (Branch, bool) {
+	if r.err != nil || r.read >= r.count {
+		return Branch{}, false
+	}
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		r.err = fmt.Errorf("trace: reading record %d flags: %w", r.read, err)
+		return Branch{}, false
+	}
+	dPC, err := binary.ReadVarint(r.r)
+	if err != nil {
+		r.err = fmt.Errorf("trace: reading record %d pc: %w", r.read, err)
+		return Branch{}, false
+	}
+	dTgt, err := binary.ReadVarint(r.r)
+	if err != nil {
+		r.err = fmt.Errorf("trace: reading record %d target: %w", r.read, err)
+		return Branch{}, false
+	}
+	pc := r.prevPC + uint64(dPC)
+	r.prevPC = pc
+	r.read++
+	return Branch{PC: pc, Target: pc + uint64(dTgt), Taken: flags&1 != 0}, true
+}
+
+// Err returns the first decoding error encountered, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// WriteFile writes a whole trace to path.
+func WriteFile(path string, t *Trace) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: closing %s: %w", path, cerr)
+		}
+	}()
+	w, err := NewWriter(f, t.Name, t.Instructions, uint64(t.Len()))
+	if err != nil {
+		return err
+	}
+	for _, b := range t.Branches {
+		if err := w.WriteBranch(b); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// ReadFile loads a whole trace from path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{
+		Name:         r.Name(),
+		Instructions: r.Instructions(),
+		Branches:     make([]Branch, 0, r.Count()),
+	}
+	for {
+		b, ok := r.Next()
+		if !ok {
+			break
+		}
+		t.Branches = append(t.Branches, b)
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if uint64(t.Len()) != r.Count() {
+		return nil, fmt.Errorf("trace: %s truncated: %d of %d records", path, t.Len(), r.Count())
+	}
+	return t, nil
+}

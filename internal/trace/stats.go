@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"sort"
+
+	"bpred/internal/stats"
+)
+
+// BranchProfile summarizes one static branch's dynamic behavior.
+type BranchProfile struct {
+	PC    uint64
+	Count uint64
+	Taken uint64
+}
+
+// Bias returns max(taken, not-taken)/count — how predictable the
+// branch is for a static per-branch predictor. 1.0 means perfectly
+// one-sided.
+func (p BranchProfile) Bias() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	t := p.Taken
+	n := p.Count - p.Taken
+	if n > t {
+		t = n
+	}
+	return float64(t) / float64(p.Count)
+}
+
+// Stats characterizes a branch trace the way the paper's Tables 1
+// and 2 characterize its benchmarks.
+type Stats struct {
+	// Name is the workload name.
+	Name string
+	// Instructions is the represented dynamic instruction count.
+	Instructions uint64
+	// Dynamic is the dynamic conditional branch count.
+	Dynamic uint64
+	// TakenCount is the number of taken instances.
+	TakenCount uint64
+	// Static is the number of distinct branch PCs exercised.
+	Static int
+	// profiles holds per-branch data sorted by descending count.
+	profiles []BranchProfile
+	coverage *stats.Coverage
+}
+
+// Analyze computes trace statistics from a Source. Name and
+// instructions are caller-provided metadata (use AnalyzeTrace for
+// in-memory traces, which fills them automatically).
+func Analyze(src Source, name string, instructions uint64) *Stats {
+	counts := make(map[uint64]*BranchProfile)
+	s := &Stats{Name: name, Instructions: instructions}
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		s.Dynamic++
+		p := counts[b.PC]
+		if p == nil {
+			p = &BranchProfile{PC: b.PC}
+			counts[b.PC] = p
+		}
+		p.Count++
+		if b.Taken {
+			p.Taken++
+			s.TakenCount++
+		}
+	}
+	s.Static = len(counts)
+	s.profiles = make([]BranchProfile, 0, len(counts))
+	weights := make([]uint64, 0, len(counts))
+	for _, p := range counts {
+		s.profiles = append(s.profiles, *p)
+	}
+	sort.Slice(s.profiles, func(i, j int) bool {
+		if s.profiles[i].Count != s.profiles[j].Count {
+			return s.profiles[i].Count > s.profiles[j].Count
+		}
+		return s.profiles[i].PC < s.profiles[j].PC
+	})
+	for _, p := range s.profiles {
+		weights = append(weights, p.Count)
+	}
+	s.coverage = stats.NewCoverage(weights)
+	return s
+}
+
+// AnalyzeTrace characterizes an in-memory trace.
+func AnalyzeTrace(t *Trace) *Stats {
+	return Analyze(t.NewSource(), t.Name, t.Instructions)
+}
+
+// TakenRate returns the fraction of dynamic instances that were taken.
+func (s *Stats) TakenRate() float64 {
+	if s.Dynamic == 0 {
+		return 0
+	}
+	return float64(s.TakenCount) / float64(s.Dynamic)
+}
+
+// BranchFraction returns dynamic conditional branches as a fraction of
+// represented instructions (the parenthesized percentage in Table 1).
+func (s *Stats) BranchFraction() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Dynamic) / float64(s.Instructions)
+}
+
+// StaticFor returns the number of most-frequent static branches
+// covering the given fraction of dynamic instances — Table 1's
+// "static branches constituting 90%" column with frac=0.9.
+func (s *Stats) StaticFor(frac float64) int {
+	return s.coverage.ItemsForFraction(frac)
+}
+
+// CoverageBuckets returns the number of static branches in each
+// consecutive coverage band — Table 2 uses bands 0.50, 0.40, 0.09,
+// 0.01.
+func (s *Stats) CoverageBuckets(bands []float64) []int {
+	return s.coverage.Buckets(bands)
+}
+
+// Profiles returns per-branch profiles sorted by descending execution
+// count. The returned slice is owned by Stats; callers must not
+// modify it.
+func (s *Stats) Profiles() []BranchProfile { return s.profiles }
+
+// HighlyBiasedFraction returns the fraction of *dynamic instances*
+// arising from branches whose bias is at least threshold. The paper
+// observes that large programs execute proportionally more instances
+// of highly biased branches (loops, error checks, bounds checks).
+func (s *Stats) HighlyBiasedFraction(threshold float64) float64 {
+	if s.Dynamic == 0 {
+		return 0
+	}
+	var biased uint64
+	for _, p := range s.profiles {
+		if p.Bias() >= threshold {
+			biased += p.Count
+		}
+	}
+	return float64(biased) / float64(s.Dynamic)
+}

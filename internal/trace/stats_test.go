@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func statsFixture() *Trace {
+	tr := &Trace{Name: "fixture", Instructions: 10000}
+	// Branch A at 0x100: 60 instances, 54 taken (bias 0.9).
+	for i := 0; i < 60; i++ {
+		tr.Append(Branch{PC: 0x100, Target: 0x80, Taken: i < 54})
+	}
+	// Branch B at 0x200: 30 instances, 3 taken (bias 0.9 not-taken).
+	for i := 0; i < 30; i++ {
+		tr.Append(Branch{PC: 0x200, Target: 0x300, Taken: i < 3})
+	}
+	// Branch C at 0x300: 10 instances, 5 taken (bias 0.5).
+	for i := 0; i < 10; i++ {
+		tr.Append(Branch{PC: 0x300, Target: 0x400, Taken: i%2 == 0})
+	}
+	return tr
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	s := AnalyzeTrace(statsFixture())
+	if s.Dynamic != 100 {
+		t.Fatalf("Dynamic = %d, want 100", s.Dynamic)
+	}
+	if s.Static != 3 {
+		t.Fatalf("Static = %d, want 3", s.Static)
+	}
+	if s.TakenCount != 54+3+5 {
+		t.Fatalf("TakenCount = %d, want 62", s.TakenCount)
+	}
+	if got := s.TakenRate(); math.Abs(got-0.62) > 1e-12 {
+		t.Fatalf("TakenRate = %g, want 0.62", got)
+	}
+	if got := s.BranchFraction(); math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("BranchFraction = %g, want 0.01", got)
+	}
+}
+
+func TestProfilesSortedByCount(t *testing.T) {
+	s := AnalyzeTrace(statsFixture())
+	ps := s.Profiles()
+	if len(ps) != 3 {
+		t.Fatalf("%d profiles, want 3", len(ps))
+	}
+	if ps[0].PC != 0x100 || ps[1].PC != 0x200 || ps[2].PC != 0x300 {
+		t.Fatalf("unexpected order: %#x %#x %#x", ps[0].PC, ps[1].PC, ps[2].PC)
+	}
+	if ps[0].Count != 60 || ps[0].Taken != 54 {
+		t.Fatalf("profile A = %+v", ps[0])
+	}
+}
+
+func TestBias(t *testing.T) {
+	cases := []struct {
+		p    BranchProfile
+		want float64
+	}{
+		{BranchProfile{Count: 10, Taken: 9}, 0.9},
+		{BranchProfile{Count: 10, Taken: 1}, 0.9},
+		{BranchProfile{Count: 10, Taken: 5}, 0.5},
+		{BranchProfile{Count: 0, Taken: 0}, 0},
+		{BranchProfile{Count: 4, Taken: 4}, 1},
+	}
+	for _, c := range cases {
+		if got := c.p.Bias(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Bias(%+v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestStaticFor(t *testing.T) {
+	s := AnalyzeTrace(statsFixture())
+	// A alone covers 60%.
+	if got := s.StaticFor(0.5); got != 1 {
+		t.Errorf("StaticFor(0.5) = %d, want 1", got)
+	}
+	// A+B cover 90%.
+	if got := s.StaticFor(0.9); got != 2 {
+		t.Errorf("StaticFor(0.9) = %d, want 2", got)
+	}
+	if got := s.StaticFor(1.0); got != 3 {
+		t.Errorf("StaticFor(1.0) = %d, want 3", got)
+	}
+}
+
+func TestCoverageBuckets(t *testing.T) {
+	s := AnalyzeTrace(statsFixture())
+	b := s.CoverageBuckets([]float64{0.50, 0.40, 0.09, 0.01})
+	sum := 0
+	for _, n := range b {
+		sum += n
+	}
+	if sum != s.Static {
+		t.Fatalf("buckets %v do not partition %d static branches", b, s.Static)
+	}
+	if b[0] != 1 {
+		t.Errorf("first-50%% bucket = %d, want 1 (branch A covers 60%%)", b[0])
+	}
+}
+
+func TestHighlyBiasedFraction(t *testing.T) {
+	s := AnalyzeTrace(statsFixture())
+	// A (bias .9, 60 inst) and B (bias .9, 30 inst) qualify at 0.9;
+	// C (bias .5, 10 inst) does not.
+	if got := s.HighlyBiasedFraction(0.9); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("HighlyBiasedFraction(0.9) = %g, want 0.9", got)
+	}
+	if got := s.HighlyBiasedFraction(0.95); got != 0 {
+		t.Errorf("HighlyBiasedFraction(0.95) = %g, want 0", got)
+	}
+	if got := s.HighlyBiasedFraction(0.0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("HighlyBiasedFraction(0) = %g, want 1", got)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := AnalyzeTrace(&Trace{Name: "empty"})
+	if s.Dynamic != 0 || s.Static != 0 {
+		t.Fatal("empty trace produced nonzero counts")
+	}
+	if s.TakenRate() != 0 || s.BranchFraction() != 0 || s.HighlyBiasedFraction(0.5) != 0 {
+		t.Fatal("empty trace rates should be 0")
+	}
+	if s.StaticFor(0.9) != 0 {
+		t.Fatal("empty trace StaticFor should be 0")
+	}
+}
+
+func TestAnalyzeDeterministicTieBreak(t *testing.T) {
+	// Two branches with equal counts must sort by PC for reproducible
+	// output.
+	tr := &Trace{Name: "tie"}
+	tr.Append(Branch{PC: 0x200, Taken: true})
+	tr.Append(Branch{PC: 0x100, Taken: true})
+	s := AnalyzeTrace(tr)
+	ps := s.Profiles()
+	if ps[0].PC != 0x100 || ps[1].PC != 0x200 {
+		t.Fatalf("tie-break not by PC: %#x, %#x", ps[0].PC, ps[1].PC)
+	}
+}

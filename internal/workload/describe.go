@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ProgramSummary describes a built program's static structure — the
+// introspection behind `bptrace describe`.
+type ProgramSummary struct {
+	Name     string
+	Sites    int
+	Segments int
+	// Kind counts by behavior model.
+	Biased, Phased, Patterns, Correlated, Loops int
+	// Loop structure.
+	LoopSegments  int
+	TightLoops    int
+	JitteredLoops int
+	TripMin       int
+	TripMedian    int
+	TripMax       int
+	// Nested sites execute with probability < 1 per pass.
+	Nested int
+	// Phases and service set.
+	PhaseCount      int
+	CoreSegments    int
+	ServiceSegments int
+}
+
+// Summarize reports the program's static structure.
+func (p *Program) Summarize() ProgramSummary {
+	s := ProgramSummary{
+		Name:            p.profile.Name,
+		Sites:           p.Sites(),
+		Segments:        p.Segments(),
+		PhaseCount:      p.phaseCount,
+		ServiceSegments: len(p.service),
+	}
+	var trips []int
+	for i, seg := range p.segments {
+		if p.phaseOf[i] == -1 {
+			s.CoreSegments++
+		}
+		if seg.loop {
+			s.LoopSegments++
+			trips = append(trips, seg.trip)
+			if len(seg.sites) == 1 {
+				s.TightLoops++
+			}
+			if seg.tripJitter > 0 {
+				s.JitteredLoops++
+			}
+		}
+		for _, site := range seg.sites {
+			if site.execProb < 1 {
+				s.Nested++
+			}
+			switch site.kind {
+			case kindBiased:
+				s.Biased++
+				if site.phased {
+					s.Phased++
+				}
+			case kindPattern:
+				s.Patterns++
+			case kindCorrelated:
+				s.Correlated++
+			case kindLoop:
+				s.Loops++
+			}
+		}
+	}
+	if len(trips) > 0 {
+		sort.Ints(trips)
+		s.TripMin = trips[0]
+		s.TripMedian = trips[len(trips)/2]
+		s.TripMax = trips[len(trips)-1]
+	}
+	return s
+}
+
+// Render formats the summary for terminal output.
+func (s ProgramSummary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program:            %s\n", s.Name)
+	fmt.Fprintf(&b, "static sites:       %d in %d segments\n", s.Sites, s.Segments)
+	fmt.Fprintf(&b, "site kinds:         %d biased (%d phased), %d pattern, %d correlated, %d loop\n",
+		s.Biased, s.Phased, s.Patterns, s.Correlated, s.Loops)
+	fmt.Fprintf(&b, "loop segments:      %d (%d tight, %d jittered), trips %d/%d/%d (min/median/max)\n",
+		s.LoopSegments, s.TightLoops, s.JitteredLoops, s.TripMin, s.TripMedian, s.TripMax)
+	fmt.Fprintf(&b, "nested sites:       %d (execute conditionally per pass)\n", s.Nested)
+	fmt.Fprintf(&b, "phases:             %d rotating (%d always-active core segments)\n",
+		s.PhaseCount, s.CoreSegments)
+	if s.ServiceSegments > 0 {
+		fmt.Fprintf(&b, "service segments:   %d (kernel/X interrupt working set)\n", s.ServiceSegments)
+	}
+	return b.String()
+}

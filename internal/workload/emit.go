@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"bpred/internal/rng"
+	"bpred/internal/trace"
+)
+
+// siteState is the per-site mutable execution state, kept outside
+// Program so a built program can be emitted from concurrently.
+type siteState struct {
+	patPos      int
+	lastOutcome bool
+	// minority is true while a biased site is inside a burst of its
+	// minority outcome.
+	minority bool
+	// skipping is true while a nested site is inside a burst of
+	// not-executing.
+	skipping bool
+}
+
+// stickiness parameters: bursts of minority outcomes (and of skipped
+// executions) persist with these probabilities, giving branches the
+// phase behavior real data-dependent branches exhibit. Marginal rates
+// are preserved by scaling the entry probability (see enterProb).
+const (
+	stayMinority = 0.98
+	staySkipping = 0.95
+)
+
+// enterProb returns the per-step probability of entering a sticky
+// minority state so that its stationary frequency equals pMinor given
+// the stay probability.
+func enterProb(pMinor, stay float64) float64 {
+	if pMinor <= 0 {
+		return 0
+	}
+	if pMinor >= 1 {
+		return 1
+	}
+	return pMinor * (1 - stay) / (1 - pMinor)
+}
+
+// Emitter generates a branch stream from a Program. It implements
+// trace.Source, so simulations can consume workloads without
+// materializing them; Emit produces an in-memory trace.
+type Emitter struct {
+	prog  *Program
+	g     *rng.Xoshiro256
+	state [][]siteState
+
+	// pending buffers branches emitted by the current activation.
+	pending []trace.Branch
+	ppos    int
+
+	lastSeg       int
+	haveLast      bool
+	emitted       uint64
+	nextInterrupt uint64
+	phase         int
+	nextPhase     uint64
+	interruptLeft int
+}
+
+// NewEmitter returns an emitter producing the program's branch stream
+// for the given seed. Distinct seeds yield distinct (but
+// statistically identical) streams.
+func (p *Program) NewEmitter(seed uint64) *Emitter {
+	e := &Emitter{
+		prog:  p,
+		g:     rng.NewXoshiro256(rng.Mix64(seed) ^ 0x243F6A8885A308D3),
+		state: make([][]siteState, len(p.segments)),
+	}
+	for i := range p.segments {
+		e.state[i] = make([]siteState, len(p.segments[i].sites))
+	}
+	e.scheduleInterrupt()
+	e.schedulePhaseChange()
+	return e
+}
+
+func (e *Emitter) schedulePhaseChange() {
+	if e.prog.phaseCount <= 1 {
+		e.nextPhase = math.MaxUint64
+		return
+	}
+	gap := uint64(e.g.ExpFloat64() * float64(e.prog.phaseLen))
+	if gap == 0 {
+		gap = 1
+	}
+	e.nextPhase = e.emitted + gap
+}
+
+func (e *Emitter) scheduleInterrupt() {
+	mean := e.prog.profile.InterruptEvery
+	if mean <= 0 {
+		e.nextInterrupt = math.MaxUint64
+		return
+	}
+	gap := uint64(e.g.ExpFloat64() * float64(mean))
+	if gap == 0 {
+		gap = 1
+	}
+	e.nextInterrupt = e.emitted + gap
+}
+
+// Next returns the next branch in the stream. The stream is
+// unbounded; ok is always true.
+func (e *Emitter) Next() (trace.Branch, bool) {
+	for e.ppos >= len(e.pending) {
+		e.pending = e.pending[:0]
+		e.ppos = 0
+		e.runActivation()
+	}
+	b := e.pending[e.ppos]
+	e.ppos++
+	e.emitted++
+	return b, true
+}
+
+// runActivation executes one segment activation (or an interrupt
+// burst) and buffers its branches.
+func (e *Emitter) runActivation() {
+	var si int
+	switch {
+	case e.interruptLeft > 0:
+		// Inside an interrupt burst: keep running service segments.
+		si = e.prog.service[e.g.Intn(len(e.prog.service))]
+		e.interruptLeft--
+	case e.emitted >= e.nextInterrupt:
+		// Interrupt: a burst of service-set segments runs — modeling
+		// the OS and X-server activity interleaved with the
+		// application in the IBS traces, which both breaks up branch
+		// history and widens the instantaneous branch working set.
+		si = e.prog.service[e.g.Intn(len(e.prog.service))]
+		e.interruptLeft = 1 + e.g.Intn(4)
+		e.scheduleInterrupt()
+	case e.haveLast && e.g.Bool(e.prog.persist):
+		// Phase locality: re-run the previous segment.
+		si = e.lastSeg
+	default:
+		si = e.pickSegment()
+	}
+	e.lastSeg, e.haveLast = si, true
+
+	seg := &e.prog.segments[si]
+	st := e.state[si]
+	n := len(seg.sites)
+	if seg.loop {
+		body := n - 1
+		trip := seg.trip
+		if seg.tripJitter > 0 {
+			trip += e.g.Intn(2*seg.tripJitter+1) - seg.tripJitter
+			if trip < 1 {
+				trip = 1
+			}
+		}
+		for it := 0; it < trip; it++ {
+			for j := 0; j < body; j++ {
+				e.maybeEmit(seg, st, j)
+			}
+			e.emitLoop(seg, st, it < trip-1)
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		e.maybeEmit(seg, st, j)
+	}
+}
+
+// pickSegment samples the current phase's activation distribution,
+// rotating to the next phase when its span expires.
+func (e *Emitter) pickSegment() int {
+	if e.emitted >= e.nextPhase {
+		e.phase = (e.phase + 1) % e.prog.phaseCount
+		e.schedulePhaseChange()
+	}
+	cum := e.prog.cum
+	if e.prog.phaseCount > 1 {
+		cum = e.prog.cumPhase[e.phase]
+	}
+	u := e.g.Float64()
+	return sort.SearchFloat64s(cum, u)
+}
+
+func (e *Emitter) maybeEmit(seg *segment, st []siteState, j int) {
+	s := &seg.sites[j]
+	if s.execProb < 1 {
+		// Sticky skipping: once a nested site stops executing it
+		// tends to stay skipped for a few passes (its guarding
+		// predicate has phases), preserving the marginal rate.
+		if st[j].skipping {
+			if e.g.Bool(staySkipping) {
+				return
+			}
+			st[j].skipping = false
+		} else if e.g.Bool(enterProb(1-s.execProb, staySkipping)) {
+			st[j].skipping = true
+			return
+		}
+	}
+	e.emitSite(seg, st, j)
+}
+
+func (e *Emitter) emitLoop(seg *segment, st []siteState, taken bool) {
+	j := len(seg.sites) - 1
+	s := &seg.sites[j]
+	st[j].lastOutcome = taken
+	e.pending = append(e.pending, trace.Branch{PC: s.pc, Target: s.target, Taken: taken})
+}
+
+func (e *Emitter) emitSite(seg *segment, st []siteState, j int) {
+	s := &seg.sites[j]
+	var taken bool
+	switch s.kind {
+	case kindBiased:
+		if !s.phased {
+			taken = e.g.Bool(s.biasP)
+			break
+		}
+		// Phased bias: the minority outcome arrives in long bursts
+		// rather than as independent flips, so history patterns stay
+		// locally stable — the phase behavior of real data-dependent
+		// branches.
+		major := s.biasP >= 0.5
+		pMinor := s.biasP
+		if major {
+			pMinor = 1 - s.biasP
+		}
+		if st[j].minority {
+			if !e.g.Bool(stayMinority) {
+				st[j].minority = false
+			}
+		} else if e.g.Bool(enterProb(pMinor, stayMinority)) {
+			st[j].minority = true
+		}
+		taken = major == !st[j].minority
+	case kindPattern:
+		taken = (s.pattern>>uint(st[j].patPos))&1 == 1
+		st[j].patPos++
+		if st[j].patPos >= s.patLen {
+			st[j].patPos = 0
+		}
+	case kindCorrelated:
+		src := st[s.corrSrc].lastOutcome
+		taken = src != s.corrNeg
+		if e.g.Bool(s.corrNoise) {
+			taken = !taken
+		}
+	default:
+		// Loop sites are emitted by emitLoop; reaching here is a bug.
+		panic("workload: emitSite on loop site")
+	}
+	st[j].lastOutcome = taken
+	e.pending = append(e.pending, trace.Branch{PC: s.pc, Target: s.target, Taken: taken})
+}
+
+// Emit materializes a trace of exactly n branches.
+func (p *Program) Emit(n int, seed uint64) *trace.Trace {
+	e := p.NewEmitter(seed)
+	tr := &trace.Trace{
+		Name:     p.profile.Name,
+		Branches: make([]trace.Branch, 0, n),
+	}
+	for tr.Len() < n {
+		b, _ := e.Next()
+		tr.Append(b)
+	}
+	if p.profile.BranchFrac > 0 {
+		tr.Instructions = uint64(float64(n) / p.profile.BranchFrac)
+	}
+	return tr
+}
+
+// Generate builds the profile's program and emits n branches in one
+// call. Equivalent to Build(p, seed).Emit(n, seed+1).
+func Generate(p Profile, seed uint64, n int) *trace.Trace {
+	return Build(p, seed).Emit(n, seed+1)
+}
+
+var _ trace.Source = (*Emitter)(nil)

@@ -1,0 +1,53 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"bpred/internal/trace"
+	"bpred/internal/workload"
+)
+
+// Generating a calibrated synthetic workload and checking its hot-set
+// structure against the paper's characterization.
+func ExampleGenerate() {
+	profile, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(profile, 1, 200_000)
+	s := trace.AnalyzeTrace(tr)
+	fmt.Println("branches:", s.Dynamic)
+	fmt.Println("paper hot-50% target:", profile.Hot50)
+	hot := s.StaticFor(0.5)
+	fmt.Println("measured hot-50% within 2x of target:",
+		hot >= profile.Hot50/2 && hot <= profile.Hot50*2)
+	// Output:
+	// branches: 200000
+	// paper hot-50% target: 12
+	// measured hot-50% within 2x of target: true
+}
+
+// Streaming a workload without materializing a trace.
+func ExampleProgram_NewEmitter() {
+	profile, _ := workload.ProfileByName("eqntott")
+	program := workload.Build(profile, 7)
+	em := program.NewEmitter(7)
+	taken := 0
+	for i := 0; i < 10_000; i++ {
+		b, _ := em.Next()
+		if b.Taken {
+			taken++
+		}
+	}
+	fmt.Println("stream is taken-dominant:", taken > 5_000)
+	// Output:
+	// stream is taken-dominant: true
+}
+
+// Interleaving two programs into one multiprogrammed stream.
+func ExampleInterleaveProfiles() {
+	tr, err := workload.InterleaveProfiles([]string{"compress", "xlisp"}, 200, 50_000, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tr.Name, tr.Len())
+	// Output:
+	// interleave(compress+xlisp) 50000
+}

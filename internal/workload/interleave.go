@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"bpred/internal/rng"
+	"bpred/internal/trace"
+)
+
+// Interleave merges branch traces round-robin in quanta of roughly
+// `quantum` branches (exponentially distributed), modeling a
+// multiprogrammed system's context switches. The IBS traces the paper
+// uses capture exactly this effect — application, X server, and
+// kernel activity time-slicing one predictor — and interleaving is
+// the standard way to study its impact on predictor state (each
+// switch both pollutes history registers and widens the working set).
+//
+// The merged trace ends after maxLen branches or when any input is
+// exhausted, whichever comes first. Inputs are consumed as streams;
+// pass Emitters for unbounded sources.
+func Interleave(quantum, maxLen int, seed uint64, sources ...trace.Source) *trace.Trace {
+	if quantum <= 0 {
+		panic(fmt.Sprintf("workload: Interleave quantum %d", quantum))
+	}
+	if maxLen <= 0 {
+		panic(fmt.Sprintf("workload: Interleave maxLen %d", maxLen))
+	}
+	if len(sources) == 0 {
+		panic("workload: Interleave with no sources")
+	}
+	g := rng.NewXoshiro256(rng.Mix64(seed) ^ 0x452821E638D01377)
+	out := &trace.Trace{Name: "interleaved"}
+	cur := 0
+	for {
+		span := int(g.ExpFloat64() * float64(quantum))
+		if span < 1 {
+			span = 1
+		}
+		for i := 0; i < span; i++ {
+			b, ok := sources[cur].Next()
+			if !ok {
+				return out
+			}
+			out.Append(b)
+			if out.Len() >= maxLen {
+				return out
+			}
+		}
+		cur = (cur + 1) % len(sources)
+	}
+}
+
+// InterleaveProfiles builds and interleaves the named workloads for n
+// total branches, offsetting each program's addresses into its own
+// address-space slot so cross-program branches never share PCs (as
+// with per-process address spaces on MIPS). The Name records the mix.
+func InterleaveProfiles(names []string, quantum, n int, seed uint64) (*trace.Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: InterleaveProfiles n=%d", n)
+	}
+	var sources []trace.Source
+	for i, name := range names {
+		p, ok := ProfileByName(name)
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown profile %q", name)
+		}
+		prog := Build(p, seed+uint64(i))
+		em := prog.NewEmitter(seed + uint64(i)*7919)
+		sources = append(sources, &offsetSource{src: em, offset: uint64(i) << 28})
+	}
+	merged := Interleave(quantum, n, seed, sources...)
+	merged.Name = "interleave(" + strings.Join(names, "+") + ")"
+	return merged, nil
+}
+
+// offsetSource relocates a stream into its own address-space slot.
+type offsetSource struct {
+	src    trace.Source
+	offset uint64
+}
+
+func (o *offsetSource) Next() (trace.Branch, bool) {
+	b, ok := o.src.Next()
+	if !ok {
+		return b, false
+	}
+	b.PC += o.offset
+	b.Target += o.offset
+	return b, true
+}

@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"testing"
+
+	"bpred/internal/trace"
+)
+
+// constSource yields an endless stream of one branch.
+type constSource struct{ b trace.Branch }
+
+func (c constSource) Next() (trace.Branch, bool) { return c.b, true }
+
+// finiteSource yields n copies of one branch.
+type finiteSource struct {
+	b trace.Branch
+	n int
+}
+
+func (f *finiteSource) Next() (trace.Branch, bool) {
+	if f.n == 0 {
+		return trace.Branch{}, false
+	}
+	f.n--
+	return f.b, true
+}
+
+func TestInterleaveRoundRobinShares(t *testing.T) {
+	a := constSource{trace.Branch{PC: 0x100, Taken: true}}
+	b := constSource{trace.Branch{PC: 0x200, Taken: false}}
+	tr := Interleave(50, 10_000, 3, a, b)
+	if tr.Len() != 10_000 {
+		t.Fatalf("length %d", tr.Len())
+	}
+	counts := map[uint64]int{}
+	for _, br := range tr.Branches {
+		counts[br.PC]++
+	}
+	for pc, n := range counts {
+		if n < 3500 || n > 6500 {
+			t.Errorf("pc %#x got %d/10000 branches; shares should be near-equal", pc, n)
+		}
+	}
+}
+
+func TestInterleaveQuantaAlternate(t *testing.T) {
+	a := constSource{trace.Branch{PC: 0x100}}
+	b := constSource{trace.Branch{PC: 0x200}}
+	tr := Interleave(20, 5_000, 1, a, b)
+	switches := 0
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Branches[i].PC != tr.Branches[i-1].PC {
+			switches++
+		}
+	}
+	// Mean quantum 20 over 5000 branches: expect on the order of 250
+	// switches, certainly not 0 and not per-branch alternation.
+	if switches < 50 || switches > 1500 {
+		t.Errorf("%d context switches; quanta look wrong", switches)
+	}
+}
+
+func TestInterleaveStopsAtExhaustion(t *testing.T) {
+	a := &finiteSource{trace.Branch{PC: 0x100}, 100}
+	b := constSource{trace.Branch{PC: 0x200}}
+	tr := Interleave(10, 1_000_000, 2, a, b)
+	if tr.Len() >= 1_000_000 {
+		t.Fatal("did not stop at source exhaustion")
+	}
+	if tr.Len() < 100 {
+		t.Fatalf("stopped too early: %d", tr.Len())
+	}
+}
+
+func TestInterleaveDeterministic(t *testing.T) {
+	mk := func() *trace.Trace {
+		p, _ := ProfileByName("eqntott")
+		em := Build(p, 1).NewEmitter(2)
+		return Interleave(30, 5000, 9, em, constSource{trace.Branch{PC: 0x9000}})
+	}
+	a, b := mk(), mk()
+	for i := range a.Branches {
+		if a.Branches[i] != b.Branches[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestInterleavePanics(t *testing.T) {
+	src := constSource{}
+	for _, f := range []func(){
+		func() { Interleave(0, 10, 1, src) },
+		func() { Interleave(10, 0, 1, src) },
+		func() { Interleave(10, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad Interleave args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInterleaveProfiles(t *testing.T) {
+	tr, err := InterleaveProfiles([]string{"eqntott", "compress"}, 100, 60_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 60_000 {
+		t.Fatalf("length %d", tr.Len())
+	}
+	if tr.Name != "interleave(eqntott+compress)" {
+		t.Errorf("name %q", tr.Name)
+	}
+	// Address spaces must not overlap: slot 0 PCs < 1<<28, slot 1 in
+	// [1<<28, 2<<28).
+	var lo, hi int
+	for _, b := range tr.Branches {
+		switch b.PC >> 28 {
+		case 0:
+			lo++
+		case 1:
+			hi++
+		default:
+			t.Fatalf("pc %#x outside either address slot", b.PC)
+		}
+	}
+	if lo == 0 || hi == 0 {
+		t.Fatalf("one program missing: %d/%d", lo, hi)
+	}
+}
+
+func TestInterleaveProfilesErrors(t *testing.T) {
+	if _, err := InterleaveProfiles([]string{"nope"}, 100, 1000, 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := InterleaveProfiles([]string{"eqntott"}, 100, 0, 1); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+// The effect the utility exists to show: interleaving two programs
+// raises the misprediction rate of a small shared predictor above the
+// weighted average of the programs run alone (history pollution and
+// working-set widening).
+func TestInterleaveHurtsSharedPredictor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs moderate traces")
+	}
+	quantum, n := 150, 300_000
+	mixed, err := InterleaveProfiles([]string{"espresso", "xlisp"}, quantum, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloA := Generate(mustProfile(t, "espresso"), 3, n/2)
+	soloB := Generate(mustProfile(t, "xlisp"), 4, n/2)
+
+	rate := func(tr *trace.Trace) float64 {
+		// Small GAg: maximally history-sensitive.
+		wrong, total := 0, 0
+		p := newTestPredictor()
+		src := tr.NewSource()
+		for {
+			b, ok := src.Next()
+			if !ok {
+				break
+			}
+			if p.predict(b) != b.Taken {
+				wrong++
+			}
+			p.update(b)
+			total++
+		}
+		return float64(wrong) / float64(total)
+	}
+	mixedRate := rate(mixed)
+	soloRate := (rate(soloA) + rate(soloB)) / 2
+	if mixedRate <= soloRate {
+		t.Errorf("interleaving did not hurt: mixed %.3f vs solo avg %.3f", mixedRate, soloRate)
+	}
+}
+
+func mustProfile(t *testing.T, name string) Profile {
+	t.Helper()
+	p, ok := ProfileByName(name)
+	if !ok {
+		t.Fatalf("no profile %s", name)
+	}
+	return p
+}
+
+// newTestPredictor builds a tiny gshare-like predictor inline to avoid
+// an import cycle (workload cannot import core).
+type testPredictor struct {
+	hist  uint64
+	table [1 << 10]uint8
+}
+
+func newTestPredictor() *testPredictor {
+	p := &testPredictor{}
+	for i := range p.table {
+		p.table[i] = 2
+	}
+	return p
+}
+
+func (p *testPredictor) idx(b trace.Branch) int {
+	return int((p.hist ^ (b.PC >> 2)) & 1023)
+}
+
+func (p *testPredictor) predict(b trace.Branch) bool {
+	return p.table[p.idx(b)] >= 2
+}
+
+func (p *testPredictor) update(b trace.Branch) {
+	i := p.idx(b)
+	if b.Taken {
+		if p.table[i] < 3 {
+			p.table[i]++
+		}
+	} else if p.table[i] > 0 {
+		p.table[i]--
+	}
+	p.hist = (p.hist << 1) | boolBit(b.Taken)
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,309 @@
+// Package workload synthesizes branch traces with the statistical
+// structure of the paper's fourteen benchmarks (six SPECint92, eight
+// IBS-Ultrix).
+//
+// The original inputs were pixie and hardware-monitor traces of MIPS
+// R2000 workstations; those are unavailable, so this package
+// substitutes a calibrated program model (see DESIGN.md §1.2). A
+// Program is a set of weighted segments (functions) of branch sites;
+// sites are loops, biased conditionals, periodic-pattern branches, or
+// branches correlated with earlier branches in the same segment.
+// Segment weights and per-site execution probabilities are constructed
+// so the emitted trace's hot-set coverage curve matches the paper's
+// Table 1/Table 2 characterization of the corresponding benchmark:
+// the same number of static branches, the same number of branches
+// covering 50%/90% of dynamic instances, and a bias mix dominated by
+// highly biased branches.
+//
+// Everything is deterministic given (profile, seed, length).
+package workload
+
+import "fmt"
+
+// Suite identifies which benchmark suite a profile models.
+type Suite string
+
+// The two suites studied in the paper.
+const (
+	SPECint92 Suite = "SPECint92"
+	IBSUltrix Suite = "IBS-Ultrix"
+)
+
+// Profile parameterizes the synthetic generator to mimic one paper
+// benchmark. Coverage fields come straight from the paper's Tables 1
+// and 2; behavioral fractions encode the paper's qualitative
+// descriptions (small-footprint SPEC programs have lower-bias, more
+// correlated hot branches; large programs are dominated by highly
+// biased branches and loops).
+type Profile struct {
+	// Name is the benchmark name as printed in the paper.
+	Name string
+	// Suite is the benchmark's suite.
+	Suite Suite
+
+	// Static is the number of static conditional branch sites
+	// (Table 1, "Static Conditional Branches").
+	Static int
+	// Hot50 is the number of most-frequent static branches covering
+	// 50% of dynamic instances (Table 2 where given, otherwise
+	// derived; see DeriveBuckets).
+	Hot50 int
+	// Hot90 covers 90% (Table 1's last column).
+	Hot90 int
+	// Hot99 covers 99%; zero means derive it.
+	Hot99 int
+
+	// DynamicBranches is the paper's full-trace dynamic conditional
+	// branch count, kept as metadata (emitted traces are scaled).
+	DynamicBranches uint64
+	// BranchFrac is conditional branches / dynamic instructions
+	// (the parenthesized percentage in Table 1).
+	BranchFrac float64
+
+	// LoopFrac is the fraction of hot sites that are loop exit
+	// branches.
+	LoopFrac float64
+	// PatternFrac is the fraction of hot sites with short periodic
+	// outcome patterns (self-history predictable).
+	PatternFrac float64
+	// CorrFrac is the fraction of hot sites correlated with an
+	// earlier branch in their segment (global-history predictable).
+	CorrFrac float64
+	// HighBiasFrac is the probability that a plain conditional site
+	// is strongly biased (>= ~0.95 one-sided).
+	HighBiasFrac float64
+	// PhasedFrac is the fraction of plain conditionals whose noise
+	// arrives in long bursts (phases) rather than independently per
+	// instance. Phased noise is predictable by any adaptive scheme;
+	// iid noise is each predictor's floor.
+	PhasedFrac float64
+	// TripMean is the mean loop trip count.
+	TripMean float64
+	// InterruptEvery, when nonzero, is the mean number of branches
+	// between asynchronous interrupt bursts that execute a random
+	// cold segment — modeling the OS/X-server activity captured in
+	// the IBS traces. Zero disables interrupts.
+	InterruptEvery int
+}
+
+// profiles reproduces the paper's Table 1 (counts, fractions) plus
+// Table 2 hot-set data where the paper provides it. Behavioral knobs
+// follow §2's characterization: SPECint92's small-footprint programs
+// (all but gcc) concentrate execution in few, lower-bias, more
+// correlated branches; gcc and the IBS programs spread execution over
+// many, mostly highly biased branches.
+var profiles = []Profile{
+	// --- SPECint92 ---
+	{
+		Name: "compress", Suite: SPECint92,
+		Static: 236, Hot50: 3, Hot90: 13,
+		DynamicBranches: 11_739_532, BranchFrac: 0.140,
+		LoopFrac: 0.15, PatternFrac: 0.14, CorrFrac: 0.30,
+		HighBiasFrac: 0.60, PhasedFrac: 0.55, TripMean: 24,
+	},
+	{
+		Name: "eqntott", Suite: SPECint92,
+		Static: 494, Hot50: 2, Hot90: 5,
+		DynamicBranches: 342_595_193, BranchFrac: 0.246,
+		LoopFrac: 0.10, PatternFrac: 0.16, CorrFrac: 0.36,
+		HighBiasFrac: 0.50, PhasedFrac: 0.50, TripMean: 16,
+	},
+	{
+		Name: "espresso", Suite: SPECint92,
+		Static: 1764, Hot50: 12, Hot90: 110, Hot99: 12 + 93 + 296,
+		DynamicBranches: 76_466_469, BranchFrac: 0.147,
+		LoopFrac: 0.18, PatternFrac: 0.06, CorrFrac: 0.30,
+		HighBiasFrac: 0.70, PhasedFrac: 0.60, TripMean: 16,
+	},
+	{
+		Name: "gcc", Suite: SPECint92,
+		Static: 9531, Hot50: 210, Hot90: 2020,
+		DynamicBranches: 21_579_307, BranchFrac: 0.152,
+		LoopFrac: 0.15, PatternFrac: 0.05, CorrFrac: 0.14,
+		HighBiasFrac: 0.85, PhasedFrac: 0.45, TripMean: 12,
+	},
+	{
+		Name: "xlisp", Suite: SPECint92,
+		Static: 489, Hot50: 6, Hot90: 48,
+		DynamicBranches: 147_425_333, BranchFrac: 0.113,
+		LoopFrac: 0.12, PatternFrac: 0.12, CorrFrac: 0.25,
+		HighBiasFrac: 0.70, PhasedFrac: 0.60, TripMean: 14,
+	},
+	{
+		Name: "sc", Suite: SPECint92,
+		Static: 1269, Hot50: 16, Hot90: 157,
+		DynamicBranches: 150_381_340, BranchFrac: 0.169,
+		LoopFrac: 0.15, PatternFrac: 0.10, CorrFrac: 0.22,
+		HighBiasFrac: 0.72, PhasedFrac: 0.60, TripMean: 18,
+	},
+	// --- IBS-Ultrix ---
+	{
+		Name: "groff", Suite: IBSUltrix,
+		Static: 6333, Hot50: 48, Hot90: 459,
+		DynamicBranches: 11_901_481, BranchFrac: 0.113,
+		LoopFrac: 0.15, PatternFrac: 0.05, CorrFrac: 0.14,
+		HighBiasFrac: 0.85, PhasedFrac: 0.50, TripMean: 12, InterruptEvery: 700,
+	},
+	{
+		Name: "gs", Suite: IBSUltrix,
+		Static: 12852, Hot50: 120, Hot90: 1160,
+		DynamicBranches: 16_308_247, BranchFrac: 0.138,
+		LoopFrac: 0.15, PatternFrac: 0.05, CorrFrac: 0.14,
+		HighBiasFrac: 0.85, PhasedFrac: 0.50, TripMean: 12, InterruptEvery: 700,
+	},
+	{
+		Name: "mpeg_play", Suite: IBSUltrix,
+		Static: 5598, Hot50: 64, Hot90: 532, Hot99: 64 + 466 + 1372,
+		DynamicBranches: 9_566_290, BranchFrac: 0.096,
+		LoopFrac: 0.20, PatternFrac: 0.05, CorrFrac: 0.14,
+		HighBiasFrac: 0.85, PhasedFrac: 0.55, TripMean: 16, InterruptEvery: 700,
+	},
+	{
+		Name: "nroff", Suite: IBSUltrix,
+		Static: 5249, Hot50: 24, Hot90: 228,
+		DynamicBranches: 22_574_884, BranchFrac: 0.173,
+		LoopFrac: 0.15, PatternFrac: 0.05, CorrFrac: 0.14,
+		HighBiasFrac: 0.85, PhasedFrac: 0.50, TripMean: 12, InterruptEvery: 700,
+	},
+	{
+		Name: "real_gcc", Suite: IBSUltrix,
+		Static: 17361, Hot50: 327, Hot90: 3214, Hot99: 327 + 2877 + 6398,
+		DynamicBranches: 14_309_667, BranchFrac: 0.133,
+		LoopFrac: 0.12, PatternFrac: 0.05, CorrFrac: 0.14,
+		HighBiasFrac: 0.85, PhasedFrac: 0.40, TripMean: 10, InterruptEvery: 700,
+	},
+	{
+		Name: "sdet", Suite: IBSUltrix,
+		Static: 5310, Hot50: 8, Hot90: 506,
+		DynamicBranches: 5_514_439, BranchFrac: 0.131,
+		LoopFrac: 0.15, PatternFrac: 0.05, CorrFrac: 0.14,
+		HighBiasFrac: 0.85, PhasedFrac: 0.50, TripMean: 12, InterruptEvery: 600,
+	},
+	{
+		Name: "verilog", Suite: IBSUltrix,
+		Static: 4636, Hot50: 56, Hot90: 650,
+		DynamicBranches: 6_212_381, BranchFrac: 0.132,
+		LoopFrac: 0.15, PatternFrac: 0.05, CorrFrac: 0.14,
+		HighBiasFrac: 0.85, PhasedFrac: 0.50, TripMean: 12, InterruptEvery: 700,
+	},
+	{
+		Name: "video_play", Suite: IBSUltrix,
+		Static: 4606, Hot50: 68, Hot90: 757,
+		DynamicBranches: 5_759_231, BranchFrac: 0.110,
+		LoopFrac: 0.18, PatternFrac: 0.05, CorrFrac: 0.14,
+		HighBiasFrac: 0.85, PhasedFrac: 0.55, TripMean: 14, InterruptEvery: 700,
+	},
+}
+
+// Profiles returns the fourteen paper benchmark profiles, in the
+// paper's Table 1 order. The returned slice is a copy.
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// ProfileNames returns the benchmark names in Table 1 order.
+func ProfileNames() []string {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ProfileByName returns the named profile. ok is false if the name is
+// unknown.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// FocusProfiles returns the three benchmarks the paper's figures
+// focus on: espresso, mpeg_play, and real_gcc.
+func FocusProfiles() []Profile {
+	var out []Profile
+	for _, n := range []string{"espresso", "mpeg_play", "real_gcc"} {
+		p, _ := ProfileByName(n)
+		out = append(out, p)
+	}
+	return out
+}
+
+// Buckets describes a profile's coverage structure: how many static
+// sites receive the first 50%, next 40%, next 9%, and final 1% of
+// dynamic instances (the paper's Table 2 bands).
+type Buckets struct {
+	N50, N40, N9, N1 int
+}
+
+// Total returns the static site count.
+func (b Buckets) Total() int { return b.N50 + b.N40 + b.N9 + b.N1 }
+
+// DeriveBuckets computes the coverage bucket sizes for a profile. For
+// profiles with paper-provided Hot99 the split is exact; otherwise
+// the next-9% band is estimated as 30% of the sites beyond Hot90
+// (the paper's three Table 2 rows fall between 18% and 45%).
+func DeriveBuckets(p Profile) Buckets {
+	b := Buckets{N50: p.Hot50, N40: p.Hot90 - p.Hot50}
+	rest := p.Static - p.Hot90
+	if rest < 0 {
+		rest = 0
+	}
+	switch {
+	case p.Hot99 > 0:
+		b.N9 = p.Hot99 - p.Hot90
+	default:
+		b.N9 = rest * 30 / 100
+	}
+	if b.N9 > rest {
+		b.N9 = rest
+	}
+	if b.N9 < 0 {
+		b.N9 = 0
+	}
+	b.N1 = rest - b.N9
+	return b
+}
+
+// Validate checks a profile for the invariants Build requires plus
+// basic sanity of the behavioral knobs, returning a descriptive error
+// for the first violation. Library users constructing custom profiles
+// should validate before Build (which panics on structural errors, as
+// the built-in profiles are known good).
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile has no name")
+	case p.Static <= 0:
+		return fmt.Errorf("workload: %s: Static=%d", p.Name, p.Static)
+	case p.Hot50 <= 0:
+		return fmt.Errorf("workload: %s: Hot50=%d", p.Name, p.Hot50)
+	case p.Hot90 < p.Hot50:
+		return fmt.Errorf("workload: %s: Hot90=%d below Hot50=%d", p.Name, p.Hot90, p.Hot50)
+	case p.Static < p.Hot90:
+		return fmt.Errorf("workload: %s: Static=%d below Hot90=%d", p.Name, p.Static, p.Hot90)
+	case p.Hot99 != 0 && (p.Hot99 < p.Hot90 || p.Hot99 > p.Static):
+		return fmt.Errorf("workload: %s: Hot99=%d outside [Hot90, Static]", p.Name, p.Hot99)
+	case p.LoopFrac < 0 || p.PatternFrac < 0 || p.CorrFrac < 0:
+		return fmt.Errorf("workload: %s: negative behavior fraction", p.Name)
+	case p.LoopFrac+p.PatternFrac+p.CorrFrac >= 1:
+		return fmt.Errorf("workload: %s: behavior fractions sum to %.2f (must stay below 1)",
+			p.Name, p.LoopFrac+p.PatternFrac+p.CorrFrac)
+	case p.HighBiasFrac < 0 || p.HighBiasFrac > 1:
+		return fmt.Errorf("workload: %s: HighBiasFrac=%.2f", p.Name, p.HighBiasFrac)
+	case p.PhasedFrac < 0 || p.PhasedFrac > 1:
+		return fmt.Errorf("workload: %s: PhasedFrac=%.2f", p.Name, p.PhasedFrac)
+	case p.TripMean < 2:
+		return fmt.Errorf("workload: %s: TripMean=%.1f (need >= 2)", p.Name, p.TripMean)
+	case p.BranchFrac < 0 || p.BranchFrac > 1:
+		return fmt.Errorf("workload: %s: BranchFrac=%.2f", p.Name, p.BranchFrac)
+	case p.InterruptEvery < 0:
+		return fmt.Errorf("workload: %s: InterruptEvery=%d", p.Name, p.InterruptEvery)
+	}
+	return nil
+}

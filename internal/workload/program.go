@@ -1,0 +1,532 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"bpred/internal/rng"
+	"bpred/internal/stats"
+)
+
+// siteKind classifies a static branch site's behavior model.
+type siteKind uint8
+
+const (
+	kindBiased siteKind = iota
+	kindLoop
+	kindPattern
+	kindCorrelated
+)
+
+func (k siteKind) String() string {
+	switch k {
+	case kindBiased:
+		return "biased"
+	case kindLoop:
+		return "loop"
+	case kindPattern:
+		return "pattern"
+	case kindCorrelated:
+		return "correlated"
+	default:
+		return fmt.Sprintf("siteKind(%d)", uint8(k))
+	}
+}
+
+// site is one static conditional branch.
+type site struct {
+	pc     uint64
+	target uint64
+	kind   siteKind
+
+	// weight is the site's target fraction of dynamic instances.
+	weight float64
+	// execProb is the probability the site executes on a given pass
+	// through its segment: 1 for straight-line branches, < 1 for
+	// branches nested under other conditionals.
+	execProb float64
+
+	// kindBiased: P(taken). Phased sites emit their minority outcome
+	// in long bursts (low pattern entropy); iid sites flip
+	// independently per instance (they set the bimodal floor).
+	biasP  float64
+	phased bool
+
+	// kindPattern: repeating outcome pattern of period patLen.
+	pattern uint64
+	patLen  int
+
+	// kindCorrelated: outcome follows (possibly negated) the last
+	// outcome of an earlier site in the segment, with a small noise
+	// flip probability.
+	corrSrc   int
+	corrNeg   bool
+	corrNoise float64
+}
+
+// segment is a group of sites executed together in order, modeling a
+// function or inner code region. A segment may be a loop: its body
+// (all sites but the last) re-executes trip times, with the loop
+// branch — the segment's final site — taken on all but the last
+// iteration. Deterministic in-order execution is what gives global
+// history patterns their information content, exactly as structured
+// control flow does in real programs.
+type segment struct {
+	sites []site
+	// loop reports whether the final site is a loop-exit branch.
+	loop bool
+	// trip is the mean loop iteration count (1 when loop is false).
+	trip int
+	// tripJitter is the half-width of the per-activation trip range:
+	// each activation draws trip uniformly from [trip-j, trip+j].
+	// Zero means a fixed, self-history-predictable trip; real loops
+	// mostly have data-dependent trip counts, which is what keeps
+	// per-address schemes from predicting loop exits perfectly.
+	tripJitter int
+	// act is the segment's activation weight: expected per-site
+	// emission frequency divided by trip.
+	act float64
+}
+
+// Program is the built static structure for one profile: segments of
+// sites with addresses, weights, and behavior models. Build is pure;
+// all mutable execution state lives in an Emitter.
+type Program struct {
+	profile  Profile
+	segments []segment
+	// cum is the cumulative segment-activation distribution.
+	cum []float64
+	// persist is the probability an activation repeats the previous
+	// segment, modeling phase locality.
+	persist float64
+	// hotWeight is the weight of the rank-Hot90 site; sites at or
+	// above it are "hot" for behavior assignment.
+	hotWeight float64
+
+	// Phase structure: real instruction streams run in phases — in
+	// any window the active branch set is a fraction of the program,
+	// while the whole trace covers all of it. Segments containing
+	// 50%-set sites form an always-active core; every other segment
+	// belongs to one of phaseCount rotating phases. cumPhase[p] is
+	// the activation CDF over all segments with non-phase-p segments
+	// given zero weight; phaseLen is the mean number of branches
+	// between phase changes.
+	phaseCount int
+	phaseLen   int
+	phaseOf    []int // segment -> phase, -1 for always-active core
+	cumPhase   [][]float64
+
+	// service lists the segments that interrupt bursts run: a fixed,
+	// modest working set modeling the kernel and X-server paths the
+	// IBS traces capture. The same few paths recur across interrupts
+	// (they fit a 1024-entry history table but stress a 128-entry
+	// one, like the paper's first-level miss curves).
+	service []int
+}
+
+// Profile returns the profile the program was built from.
+func (p *Program) Profile() Profile { return p.profile }
+
+// Segments returns the segment count.
+func (p *Program) Segments() int { return len(p.segments) }
+
+// Sites returns the total static site count.
+func (p *Program) Sites() int {
+	n := 0
+	for _, s := range p.segments {
+		n += len(s.sites)
+	}
+	return n
+}
+
+// textBase is the MIPS user text segment base address.
+const textBase uint64 = 0x0040_0000
+
+// defaultPersist is the probability of re-running the previous
+// segment; it produces the temporal locality real instruction streams
+// exhibit (repeated calls to the same function, phase behavior).
+const defaultPersist = 0.45
+
+// Build constructs the static program for a profile. The same
+// (profile, seed) always yields the same program.
+func Build(p Profile, seed uint64) *Program {
+	if p.Static <= 0 {
+		panic(fmt.Sprintf("workload: profile %q has no static branches", p.Name))
+	}
+	if p.Hot50 <= 0 || p.Hot90 < p.Hot50 || p.Static < p.Hot90 {
+		panic(fmt.Sprintf("workload: profile %q has inconsistent hot-set sizes", p.Name))
+	}
+	g := rng.NewXoshiro256(rng.Mix64(seed) ^ 0xB7E151628AED2A6A)
+
+	weights := siteWeights(p)
+	kinds := siteKinds(p, g)
+	prog := &Program{profile: p, persist: defaultPersist}
+	if p.Hot90 <= len(weights) {
+		prog.hotWeight = weights[p.Hot90-1]
+	}
+	prog.buildSegments(weights, kinds, g)
+	prog.assignBehaviors(g)
+	prog.assignAddresses(g)
+	prog.assignPhases(weights, g)
+	prog.buildActivationCDF()
+	return prog
+}
+
+// assignPhases partitions non-core segments into rotating phases. The
+// phase count grows with program size, so small SPEC workloads run as
+// a single phase while large IBS workloads cycle among several,
+// shrinking the instantaneous branch working set the way real phased
+// execution (parse/optimize/emit, decode/render/display) does.
+func (prog *Program) assignPhases(weights []float64, g *rng.Xoshiro256) {
+	p := prog.profile
+	prog.phaseCount = p.Static / 700
+	if prog.phaseCount < 1 {
+		prog.phaseCount = 1
+	}
+	if prog.phaseCount > 10 {
+		prog.phaseCount = 10
+	}
+	prog.phaseLen = 50_000
+	prog.phaseOf = make([]int, len(prog.segments))
+	coreWeight := 0.0
+	if p.Hot50 >= 1 && p.Hot50 <= len(weights) {
+		coreWeight = weights[p.Hot50-1]
+	}
+	for i := range prog.segments {
+		seg := &prog.segments[i]
+		prog.phaseOf[i] = g.Intn(prog.phaseCount)
+		for _, s := range seg.sites {
+			if s.weight >= coreWeight {
+				prog.phaseOf[i] = -1 // always-active core
+				break
+			}
+		}
+	}
+	if p.InterruptEvery > 0 {
+		want := len(prog.segments) / 12
+		if want > 40 {
+			want = 40
+		}
+		if want < 1 {
+			want = 1
+		}
+		// Kernel service paths are short straight-line code: exclude
+		// loop segments so an interrupt burst cannot emit a long
+		// iteration stream that would distort the frequency
+		// calibration.
+		for _, i := range g.Perm(len(prog.segments)) {
+			if prog.segments[i].loop {
+				continue
+			}
+			prog.service = append(prog.service, i)
+			if len(prog.service) == want {
+				break
+			}
+		}
+	}
+}
+
+// siteWeights constructs per-rank target frequencies matching the
+// profile's coverage buckets: 50% of mass over the first N50 ranks,
+// 40% over the next N40, 9% over N9, 1% over the rest. Mass within a
+// bucket follows a mild Zipf so hot sets have realistic internal skew.
+func siteWeights(p Profile) []float64 {
+	b := DeriveBuckets(p)
+	w := make([]float64, 0, p.Static)
+	appendBucket := func(n int, mass, exponent float64) {
+		if n <= 0 {
+			return
+		}
+		z := stats.NewZipf(n, exponent)
+		for i := 0; i < n; i++ {
+			w = append(w, mass*z.Prob(i))
+		}
+	}
+	appendBucket(b.N50, 0.50, 0.6)
+	appendBucket(b.N40, 0.40, 0.4)
+	appendBucket(b.N9, 0.09, 0.3)
+	appendBucket(b.N1, 0.01, 0.0)
+	return w
+}
+
+// siteKinds assigns behavior models by rank. Hot sites (within the
+// 90% set) receive the profile's loop/pattern/correlation mix; cold
+// sites are overwhelmingly highly biased conditionals (error and
+// bounds checks), with a sprinkling of loops.
+func siteKinds(p Profile, g *rng.Xoshiro256) []siteKind {
+	kinds := make([]siteKind, p.Static)
+	for i := range kinds {
+		hot := i < p.Hot90
+		r := g.Float64()
+		switch {
+		case hot && r < p.LoopFrac:
+			kinds[i] = kindLoop
+		case hot && r < p.LoopFrac+p.PatternFrac:
+			kinds[i] = kindPattern
+		case hot && r < p.LoopFrac+p.PatternFrac+p.CorrFrac:
+			kinds[i] = kindCorrelated
+		case !hot && r < p.LoopFrac/2:
+			kinds[i] = kindLoop
+		default:
+			kinds[i] = kindBiased
+		}
+	}
+	return kinds
+}
+
+// buildSegments partitions ranks, in order, into segments of
+// geometric-ish size (mean about 9 sites), so consecutive ranks —
+// which have similar frequencies — share a segment the way branches
+// of one hot function do. At most one loop site survives per segment
+// and is moved to the segment's end as its backward loop branch;
+// extra loop-kind sites demote to biased conditionals. A third of
+// loop sites instead become *tight* loops — single-branch segments
+// spinning with no body, like memcpy/strlen inner loops — which
+// produce the all-taken global history patterns whose aliasing the
+// paper classifies as mostly harmless.
+func (prog *Program) buildSegments(weights []float64, kinds []siteKind, g *rng.Xoshiro256) {
+	p := prog.profile
+	i := 0
+	for i < len(weights) {
+		if kinds[i] == kindLoop && g.Bool(0.35) {
+			trip := drawTrip(p.TripMean, g)
+			if trip < 16 {
+				trip = 16 + g.Intn(33) // tight loops spin long
+			}
+			seg := segment{
+				sites: []site{{weight: weights[i], kind: kindLoop, execProb: 1}},
+				loop:  true,
+				trip:  trip,
+				act:   weights[i] / float64(trip),
+			}
+			if g.Bool(0.85) {
+				seg.tripJitter = 1 + trip/4
+			}
+			prog.segments = append(prog.segments, seg)
+			i++
+			continue
+		}
+		size := 4 + g.Intn(11) // 4..14, mean 9
+		if i+size > len(weights) {
+			size = len(weights) - i
+		}
+		seg := segment{sites: make([]site, size), trip: 1}
+		mean := 0.0
+		loopAt := -1
+		for j := 0; j < size; j++ {
+			k := kinds[i+j]
+			if k == kindLoop {
+				if loopAt < 0 && size > 1 {
+					loopAt = j
+				} else {
+					k = kindBiased
+				}
+			}
+			seg.sites[j] = site{weight: weights[i+j], kind: k, execProb: 1}
+			mean += weights[i+j]
+		}
+		mean /= float64(size)
+		if loopAt >= 0 {
+			// The loop branch closes the segment.
+			last := size - 1
+			seg.sites[loopAt], seg.sites[last] = seg.sites[last], seg.sites[loopAt]
+			seg.loop = true
+			seg.trip = drawTrip(p.TripMean, g)
+			if g.Bool(0.85) && seg.trip > 2 {
+				seg.tripJitter = 1 + seg.trip/4
+				if seg.tripJitter >= seg.trip {
+					seg.tripJitter = seg.trip - 1
+				}
+			}
+		}
+		seg.act = mean / float64(seg.trip)
+		prog.segments = append(prog.segments, seg)
+		i += size
+	}
+}
+
+// assignBehaviors fills in the kind-specific parameters, resolving
+// correlation sources within each segment and assigning conditional
+// nesting (execProb < 1) to a minority of sites.
+func (prog *Program) assignBehaviors(g *rng.Xoshiro256) {
+	p := prog.profile
+	for si := range prog.segments {
+		seg := &prog.segments[si]
+		last := len(seg.sites) - 1
+		for j := range seg.sites {
+			s := &seg.sites[j]
+			// About 15% of non-loop branches sit under another
+			// conditional and execute only on some passes.
+			if !(seg.loop && j == last) && g.Bool(0.15) {
+				s.execProb = 0.7 + 0.3*g.Float64()
+			}
+			switch s.kind {
+			case kindPattern:
+				s.patLen = 3 + g.Intn(8) // 3..10
+				s.pattern = nonConstantPattern(s.patLen, g)
+			case kindCorrelated:
+				src := correlationSource(seg.sites, j)
+				if src < 0 {
+					// No viable earlier source; degrade to a
+					// medium-bias conditional.
+					s.kind = kindBiased
+					s.biasP = mediumBias(g)
+					break
+				}
+				s.corrSrc = src
+				s.corrNeg = g.Bool(0.5)
+				s.corrNoise = 0.01 + 0.03*g.Float64()
+			}
+			if s.kind == kindBiased && s.biasP == 0 {
+				s.biasP = drawBias(p, s.weight >= prog.hotWeight, g)
+				s.phased = g.Bool(p.PhasedFrac)
+			}
+		}
+	}
+}
+
+// drawTrip draws a loop trip count with the given mean: a mixture of
+// short fixed loops (predictable with a few history bits) and longer
+// ones (all-ones history producers).
+func drawTrip(mean float64, g *rng.Xoshiro256) int {
+	if g.Bool(0.3) {
+		return 4 + g.Intn(7) // short: 4..10
+	}
+	t := int(math.Round(g.ExpFloat64() * mean))
+	if t < 8 {
+		t = 8
+	}
+	if t > 2048 {
+		t = 2048
+	}
+	return t
+}
+
+// nonConstantPattern draws a period-n outcome pattern containing both
+// taken and not-taken.
+func nonConstantPattern(n int, g *rng.Xoshiro256) uint64 {
+	for {
+		v := g.Uint64() & ((1 << n) - 1)
+		if v != 0 && v != (1<<n)-1 {
+			return v
+		}
+	}
+}
+
+// correlationSource picks an earlier site in the segment (within a
+// window of 6) to correlate with, preferring the nearest eligible
+// one.
+func correlationSource(sites []site, j int) int {
+	lo := j - 6
+	if lo < 0 {
+		lo = 0
+	}
+	best := -1
+	for k := lo; k < j; k++ {
+		switch sites[k].kind {
+		case kindPattern, kindCorrelated, kindBiased:
+			best = k
+		}
+	}
+	return best
+}
+
+// drawBias draws P(taken) for a plain conditional: strongly one-sided
+// with probability HighBiasFrac, otherwise medium. The mix is
+// deliberately bias-heavy — the paper stresses that most branch
+// instances come from branches that are "almost always or almost
+// never taken". Hot sites mix directions (58/42 toward taken), giving
+// program points distinctive history signatures while keeping the
+// taken-dominated runs that fill global histories with the all-ones
+// loop pattern; cold sites favor taken 65/35, keeping whole-trace
+// taken rates near the paper's.
+func drawBias(p Profile, hot bool, g *rng.Xoshiro256) float64 {
+	var bias float64
+	if g.Bool(p.HighBiasFrac) {
+		bias = 0.945 + 0.054*g.Float64() // 5.5% .. 0.1% noise
+	} else {
+		bias = mediumBias(g)
+	}
+	flip := 0.35
+	if hot {
+		flip = 0.42
+	}
+	if g.Bool(flip) {
+		bias = 1 - bias
+	}
+	return bias
+}
+
+// mediumBias draws a moderately predictable bias in [0.85, 0.98].
+func mediumBias(g *rng.Xoshiro256) float64 {
+	return 0.85 + 0.13*g.Float64()
+}
+
+// assignAddresses lays segments out in a shuffled order across the
+// text segment, with realistic spacing: branches a few words apart
+// inside a segment, larger gaps between segments. Loop branches jump
+// backward to their segment's start; conditional targets are short
+// forward skips.
+func (prog *Program) assignAddresses(g *rng.Xoshiro256) {
+	order := g.Perm(len(prog.segments))
+	pc := textBase
+	for _, si := range order {
+		seg := &prog.segments[si]
+		pc += uint64(4 * (16 + g.Intn(49))) // inter-segment gap: 16..64 words
+		start := pc
+		for j := range seg.sites {
+			pc += uint64(4 * (3 + g.Intn(10))) // 3..12 words between branches
+			s := &seg.sites[j]
+			s.pc = pc
+			s.target = pc + uint64(4*(2+g.Intn(30)))
+		}
+		if seg.loop {
+			seg.sites[len(seg.sites)-1].target = start
+		}
+	}
+}
+
+// buildActivationCDF prepares the cumulative distributions used to
+// sample which segment runs next: the whole-program distribution plus
+// one per phase (core segments active in every phase, phase segments
+// only in their own, at phaseCount-times weight so overall frequencies
+// are preserved across a full rotation).
+func (prog *Program) buildActivationCDF() {
+	prog.cum = cdfOf(prog.segments, func(int) float64 { return 1 })
+	prog.cumPhase = make([][]float64, prog.phaseCount)
+	for ph := 0; ph < prog.phaseCount; ph++ {
+		prog.cumPhase[ph] = cdfOf(prog.segments, func(i int) float64 {
+			switch prog.phaseOf[i] {
+			case -1:
+				return 1
+			case ph:
+				return float64(prog.phaseCount)
+			default:
+				return 0
+			}
+		})
+	}
+}
+
+// cdfOf builds a normalized cumulative distribution over segment
+// activation weights scaled by the given factor.
+func cdfOf(segs []segment, scale func(i int) float64) []float64 {
+	cum := make([]float64, len(segs))
+	acc := 0.0
+	for i, seg := range segs {
+		acc += seg.act * scale(i)
+		cum[i] = acc
+	}
+	if acc == 0 {
+		// Degenerate phase with no mass: fall back to uniform.
+		for i := range cum {
+			cum[i] = float64(i+1) / float64(len(cum))
+		}
+		return cum
+	}
+	for i := range cum {
+		cum[i] /= acc
+	}
+	cum[len(cum)-1] = 1
+	return cum
+}

@@ -1,0 +1,341 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"bpred/internal/trace"
+)
+
+func espressoProgram(t *testing.T) *Program {
+	t.Helper()
+	p, ok := ProfileByName("espresso")
+	if !ok {
+		t.Fatal("espresso profile missing")
+	}
+	return Build(p, 1)
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	p, _ := ProfileByName("espresso")
+	a := Build(p, 7)
+	b := Build(p, 7)
+	if a.Segments() != b.Segments() || a.Sites() != b.Sites() {
+		t.Fatal("same seed produced different structure")
+	}
+	ta := a.Emit(20000, 3)
+	tb := b.Emit(20000, 3)
+	for i := range ta.Branches {
+		if ta.Branches[i] != tb.Branches[i] {
+			t.Fatalf("same (profile, seed) diverged at branch %d", i)
+		}
+	}
+}
+
+func TestBuildDifferentSeedsDiffer(t *testing.T) {
+	p, _ := ProfileByName("espresso")
+	ta := Build(p, 1).Emit(5000, 1)
+	tb := Build(p, 2).Emit(5000, 1)
+	same := 0
+	for i := range ta.Branches {
+		if ta.Branches[i] == tb.Branches[i] {
+			same++
+		}
+	}
+	if same == len(ta.Branches) {
+		t.Fatal("different program seeds produced identical traces")
+	}
+}
+
+func TestSiteCountMatchesStatic(t *testing.T) {
+	for _, name := range []string{"compress", "espresso", "real_gcc"} {
+		p, _ := ProfileByName(name)
+		prog := Build(p, 1)
+		if prog.Sites() != p.Static {
+			t.Errorf("%s: %d sites, want %d", name, prog.Sites(), p.Static)
+		}
+		if prog.Segments() < p.Static/15 {
+			t.Errorf("%s: suspiciously few segments (%d)", name, prog.Segments())
+		}
+	}
+}
+
+func TestAddressesWordAlignedAndUnique(t *testing.T) {
+	prog := espressoProgram(t)
+	seen := make(map[uint64]bool)
+	for _, seg := range prog.segments {
+		for _, s := range seg.sites {
+			if s.pc%4 != 0 {
+				t.Fatalf("pc %#x not word aligned", s.pc)
+			}
+			if s.target%4 != 0 {
+				t.Fatalf("target %#x not word aligned", s.target)
+			}
+			if s.pc < textBase {
+				t.Fatalf("pc %#x below text base", s.pc)
+			}
+			if seen[s.pc] {
+				t.Fatalf("duplicate pc %#x", s.pc)
+			}
+			seen[s.pc] = true
+		}
+	}
+}
+
+func TestLoopsJumpBackward(t *testing.T) {
+	prog := espressoProgram(t)
+	loops := 0
+	for _, seg := range prog.segments {
+		if !seg.loop {
+			continue
+		}
+		loops++
+		lb := seg.sites[len(seg.sites)-1]
+		if lb.target >= lb.pc {
+			t.Fatalf("loop branch at %#x targets forward %#x", lb.pc, lb.target)
+		}
+		if seg.trip < 1 {
+			t.Fatalf("loop with trip %d", seg.trip)
+		}
+		if seg.tripJitter >= seg.trip {
+			t.Fatalf("trip jitter %d >= trip %d", seg.tripJitter, seg.trip)
+		}
+	}
+	if loops == 0 {
+		t.Fatal("espresso program built without any loops")
+	}
+}
+
+func TestNonLoopBranchesJumpForward(t *testing.T) {
+	prog := espressoProgram(t)
+	for _, seg := range prog.segments {
+		n := len(seg.sites)
+		for j, s := range seg.sites {
+			if seg.loop && j == n-1 {
+				continue
+			}
+			if s.target <= s.pc {
+				t.Fatalf("conditional at %#x targets backward %#x", s.pc, s.target)
+			}
+		}
+	}
+}
+
+func TestCorrelatedSitesHaveValidSources(t *testing.T) {
+	prog := espressoProgram(t)
+	found := 0
+	for _, seg := range prog.segments {
+		for j, s := range seg.sites {
+			if s.kind != kindCorrelated {
+				continue
+			}
+			found++
+			if s.corrSrc < 0 || s.corrSrc >= j {
+				t.Fatalf("correlated site %d has source %d", j, s.corrSrc)
+			}
+			if seg.sites[s.corrSrc].kind == kindLoop {
+				t.Fatalf("correlated site sources a loop branch")
+			}
+			if s.corrNoise <= 0 || s.corrNoise > 0.2 {
+				t.Fatalf("correlation noise %g out of range", s.corrNoise)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no correlated sites built for espresso (CorrFrac=0.30)")
+	}
+}
+
+func TestPatternSitesNonConstant(t *testing.T) {
+	prog := espressoProgram(t)
+	for _, seg := range prog.segments {
+		for _, s := range seg.sites {
+			if s.kind != kindPattern {
+				continue
+			}
+			if s.patLen < 2 {
+				t.Fatalf("pattern length %d", s.patLen)
+			}
+			m := uint64(1)<<s.patLen - 1
+			if s.pattern&m == 0 || s.pattern&m == m {
+				t.Fatalf("constant pattern %b/%d", s.pattern, s.patLen)
+			}
+		}
+	}
+}
+
+func TestExecProbsInRange(t *testing.T) {
+	prog := espressoProgram(t)
+	for _, seg := range prog.segments {
+		for _, s := range seg.sites {
+			if s.execProb <= 0 || s.execProb > 1 {
+				t.Fatalf("execProb %g out of (0,1]", s.execProb)
+			}
+			if s.kind == kindBiased && (s.biasP <= 0 || s.biasP >= 1) {
+				t.Fatalf("biasP %g out of (0,1)", s.biasP)
+			}
+		}
+	}
+}
+
+func TestPhaseAssignment(t *testing.T) {
+	// real_gcc is large: several phases plus an always-active core.
+	p, _ := ProfileByName("real_gcc")
+	prog := Build(p, 1)
+	if prog.phaseCount < 2 {
+		t.Fatalf("real_gcc phaseCount=%d, want >= 2", prog.phaseCount)
+	}
+	core := 0
+	for _, ph := range prog.phaseOf {
+		if ph == -1 {
+			core++
+		} else if ph < 0 || ph >= prog.phaseCount {
+			t.Fatalf("phase %d out of range", ph)
+		}
+	}
+	if core == 0 {
+		t.Fatal("no core segments")
+	}
+	if len(prog.cumPhase) != prog.phaseCount {
+		t.Fatalf("%d phase CDFs, want %d", len(prog.cumPhase), prog.phaseCount)
+	}
+	// Small SPEC programs run single-phase.
+	pe, _ := ProfileByName("eqntott")
+	if Build(pe, 1).phaseCount != 1 {
+		t.Error("eqntott should be single-phase")
+	}
+}
+
+func TestServiceSetOnlyForInterruptProfiles(t *testing.T) {
+	pIBS, _ := ProfileByName("mpeg_play")
+	if len(Build(pIBS, 1).service) == 0 {
+		t.Error("IBS profile built without a service set")
+	}
+	pSPEC, _ := ProfileByName("espresso")
+	if len(Build(pSPEC, 1).service) != 0 {
+		t.Error("SPEC profile built with a service set")
+	}
+}
+
+func TestBuildPanicsOnBadProfile(t *testing.T) {
+	cases := []Profile{
+		{Name: "zero"},
+		{Name: "inverted", Static: 100, Hot50: 50, Hot90: 20},
+		{Name: "overflow", Static: 10, Hot50: 5, Hot90: 20},
+	}
+	for _, p := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Build(%s) did not panic", p.Name)
+				}
+			}()
+			Build(p, 1)
+		}()
+	}
+}
+
+func TestSiteKindString(t *testing.T) {
+	want := map[siteKind]string{
+		kindBiased:     "biased",
+		kindLoop:       "loop",
+		kindPattern:    "pattern",
+		kindCorrelated: "correlated",
+		siteKind(9):    "siteKind(9)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestCDFsMonotoneNormalized(t *testing.T) {
+	p, _ := ProfileByName("real_gcc")
+	prog := Build(p, 1)
+	check := func(name string, cum []float64) {
+		prev := 0.0
+		for i, v := range cum {
+			if v < prev {
+				t.Fatalf("%s: CDF decreases at %d", name, i)
+			}
+			prev = v
+		}
+		if cum[len(cum)-1] != 1 {
+			t.Fatalf("%s: CDF ends at %g", name, cum[len(cum)-1])
+		}
+	}
+	check("global", prog.cum)
+	for i, c := range prog.cumPhase {
+		check("phase", c)
+		_ = i
+	}
+}
+
+// The emitted trace must be a valid branch stream: all PCs belong to
+// sites, outcomes for loop branches follow the trip structure.
+func TestEmitProducesKnownPCs(t *testing.T) {
+	prog := espressoProgram(t)
+	valid := make(map[uint64]bool)
+	for _, seg := range prog.segments {
+		for _, s := range seg.sites {
+			valid[s.pc] = true
+		}
+	}
+	tr := prog.Emit(50000, 2)
+	for i, b := range tr.Branches {
+		if !valid[b.PC] {
+			t.Fatalf("branch %d has unknown pc %#x", i, b.PC)
+		}
+	}
+	if tr.Len() != 50000 {
+		t.Fatalf("emitted %d branches, want 50000", tr.Len())
+	}
+	if tr.Instructions == 0 {
+		t.Fatal("instruction metadata not set")
+	}
+}
+
+func TestEmitterIsUnbounded(t *testing.T) {
+	prog := espressoProgram(t)
+	e := prog.NewEmitter(1)
+	for i := 0; i < 100000; i++ {
+		if _, ok := e.Next(); !ok {
+			t.Fatal("emitter ended")
+		}
+	}
+}
+
+func TestTraceSource(t *testing.T) {
+	// Emitter implements trace.Source.
+	var _ trace.Source = (*Emitter)(nil)
+}
+
+func TestSummarize(t *testing.T) {
+	p, _ := ProfileByName("mpeg_play")
+	s := Build(p, 1).Summarize()
+	if s.Name != "mpeg_play" || s.Sites != p.Static {
+		t.Fatalf("summary identity: %+v", s)
+	}
+	if s.Biased+s.Patterns+s.Correlated+s.Loops != s.Sites {
+		t.Errorf("kind counts do not partition sites: %+v", s)
+	}
+	if s.Phased > s.Biased {
+		t.Errorf("phased %d exceeds biased %d", s.Phased, s.Biased)
+	}
+	if s.LoopSegments == 0 || s.TightLoops == 0 || s.JitteredLoops == 0 {
+		t.Errorf("loop structure missing: %+v", s)
+	}
+	if s.TripMin < 1 || s.TripMedian < s.TripMin || s.TripMax < s.TripMedian {
+		t.Errorf("trip stats disordered: %d/%d/%d", s.TripMin, s.TripMedian, s.TripMax)
+	}
+	if s.PhaseCount < 2 || s.CoreSegments == 0 || s.ServiceSegments == 0 {
+		t.Errorf("dynamics summary wrong: %+v", s)
+	}
+	out := s.Render()
+	for _, want := range []string{"mpeg_play", "loop segments", "phases", "service"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
