@@ -1,0 +1,33 @@
+# Build/test/benchmark entry points. CI (.github/workflows/ci.yml)
+# runs the same commands.
+
+GO ?= go
+
+.PHONY: build test vet race bench-sim bench-short all
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-short is the smoke-level benchmark pass CI runs: one
+# iteration of everything, just to keep the benchmarks compiling and
+# non-crashing.
+bench-short:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-sim measures the simulation engine (generic vs batched
+# kernels, chunk-shared sweeps) and records the results as
+# BENCH_sim.json so the perf trajectory is tracked across PRs.
+bench-sim:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernels|BenchmarkSweepChunked' -benchtime 1s . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_sim.json

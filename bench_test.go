@@ -313,3 +313,62 @@ func BenchmarkAblationCounterWidth(b *testing.B) {
 		})
 	}
 }
+
+// --- Kernel fast-path benches (PR: batched, devirtualized kernels) ---
+
+// kernelBenchConfigs are the per-scheme configurations BenchmarkKernels
+// compares across the generic and batched execution paths.
+func kernelBenchConfigs() map[string]func() core.Predictor {
+	return map[string]func() core.Predictor{
+		"address": func() core.Predictor { return core.NewAddressIndexed(12) },
+		"gas":     func() core.Predictor { return core.NewGAs(8, 4) },
+		"gshare":  func() core.Predictor { return core.NewGShare(8, 4) },
+		"path":    func() core.Predictor { return core.NewPath(8, 4, 2) },
+		"pas-inf": func() core.Predictor { return core.NewPAs(2, history.NewPerfect(10)) },
+		"pas-1k4w": func() core.Predictor {
+			return core.NewPAs(2, history.NewSetAssoc(1024, 4, 10, history.PrefixReset))
+		},
+		"sas-256": func() core.Predictor { return core.NewSAs(256, 10, 2) },
+		"gshare-metered": func() core.Predictor {
+			return core.NewGShare(8, 4).EnableMeter()
+		},
+	}
+}
+
+// BenchmarkKernels compares the generic interface-dispatched loop
+// (sim.Run) against the batched monomorphic kernels (sim.RunTrace)
+// per scheme. The batched/generic ratio is the PR's headline number;
+// scripts/bench emits it as BENCH_sim.json for cross-PR tracking.
+func BenchmarkKernels(b *testing.B) {
+	prof, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(prof, 1, 500_000)
+	for name, mk := range kernelBenchConfigs() {
+		b.Run(name+"/generic", func(b *testing.B) {
+			b.SetBytes(int64(tr.Len()))
+			for i := 0; i < b.N; i++ {
+				sim.Run(mk(), tr.NewSource(), sim.Options{})
+			}
+		})
+		b.Run(name+"/batched", func(b *testing.B) {
+			b.SetBytes(int64(tr.Len()))
+			for i := 0; i < b.N; i++ {
+				sim.RunTrace(mk(), tr, sim.Options{})
+			}
+		})
+	}
+}
+
+// BenchmarkSweepChunked measures the chunk-shared multi-configuration
+// executor end to end: one gshare tier sweep, every configuration
+// sharing streamed trace chunks.
+func BenchmarkSweepChunked(b *testing.B) {
+	prof, _ := workload.ProfileByName("espresso")
+	tr := workload.Generate(prof, 1, 300_000)
+	configs := sweep.Configs(sweep.Options{Scheme: core.SchemeGShare, MinBits: 4, MaxBits: 10})
+	b.SetBytes(int64(tr.Len() * len(configs)))
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunConfigs(configs, tr, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -153,7 +153,7 @@ func TestFirstLevelPolicyPlumbed(t *testing.T) {
 		FirstLevel: FirstLevel{Kind: FirstLevelSetAssoc, Entries: 64, Ways: 4, Policy: history.OnesReset},
 	}
 	p := c.MustBuild().(*TwoLevel)
-	sel := p.sel.(*perAddressSelector)
+	sel := p.sel.(*PerAddressSelector)
 	sa := sel.bht.(*history.SetAssoc)
 	if sa.Policy() != history.OnesReset {
 		t.Errorf("policy %v not plumbed through", sa.Policy())

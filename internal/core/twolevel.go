@@ -93,6 +93,12 @@ func (t *TwoLevel) Name() string { return t.name }
 // Table exposes the second-level table (for tests and tooling).
 func (t *TwoLevel) Table() *counter.Table { return t.tab }
 
+// Selector exposes the first-level row selector. The batched
+// simulation kernels (bpred/internal/sim) type-switch on the concrete
+// selector to build a devirtualized fast path; custom selectors fall
+// back to the generic loop.
+func (t *TwoLevel) Selector() RowSelector { return t.sel }
+
 // Meter returns the attached aliasing meter, or nil when unmetered.
 func (t *TwoLevel) Meter() *AliasMeter { return t.meter }
 
@@ -108,7 +114,7 @@ func (t *TwoLevel) AliasStats() AliasStats {
 // FirstLevelMissRate implements FirstLevelReporter for per-address
 // selectors; it returns 0 for global schemes.
 func (t *TwoLevel) FirstLevelMissRate() float64 {
-	if pa, ok := t.sel.(*perAddressSelector); ok {
+	if pa, ok := t.sel.(*PerAddressSelector); ok {
 		return missRate(pa.bht)
 	}
 	return 0
@@ -122,82 +128,128 @@ func missRate(bht history.BranchHistoryTable) float64 {
 }
 
 // --- Row selectors ---
+//
+// The concrete selector types are exported so the batched simulation
+// kernels can recognize them and run monomorphic, interface-free inner
+// loops; their fields stay unexported and are reached through narrow
+// accessors. Constructing them outside the scheme constructors is not
+// supported.
 
-// zeroSelector implements address-indexed prediction: one row, so the
+// ZeroSelector implements address-indexed prediction: one row, so the
 // table degenerates to a column-indexed array of counters.
-type zeroSelector struct{}
+type ZeroSelector struct{}
 
-func (zeroSelector) Row(uint64) uint64   { return 0 }
-func (zeroSelector) Update(trace.Branch) {}
-func (zeroSelector) AllOnes() bool       { return false }
+// Row always selects row 0.
+func (ZeroSelector) Row(uint64) uint64 { return 0 }
 
-// globalSelector selects rows with a single global outcome history
+// Update is a no-op: there is no history state.
+func (ZeroSelector) Update(trace.Branch) {}
+
+// AllOnes is always false: there is no outcome history.
+func (ZeroSelector) AllOnes() bool { return false }
+
+// GlobalSelector selects rows with a single global outcome history
 // register (GAg/GAs).
-type globalSelector struct {
+type GlobalSelector struct {
 	reg *history.ShiftRegister
 }
 
-func (s *globalSelector) Row(uint64) uint64 { return s.reg.Value() }
-func (s *globalSelector) Update(b trace.Branch) {
+// Row returns the history register contents.
+func (s *GlobalSelector) Row(uint64) uint64 { return s.reg.Value() }
+
+// Update shifts the outcome into the register.
+func (s *GlobalSelector) Update(b trace.Branch) {
 	s.reg.Shift(b.Taken)
 }
-func (s *globalSelector) AllOnes() bool { return s.reg.AllOnes() }
 
-// gshareSelector XORs the global history with branch address bits
+// AllOnes reports an all-taken history.
+func (s *GlobalSelector) AllOnes() bool { return s.reg.AllOnes() }
+
+// Reg exposes the history register for the simulation kernels.
+func (s *GlobalSelector) Reg() *history.ShiftRegister { return s.reg }
+
+// GShareSelector XORs the global history with branch address bits
 // [McFarling92]. The XORed address bits are those *above* the column
 // selection bits, so that two branches aliased to the same column
 // still produce distinct rows — the whole point of the scheme.
-type gshareSelector struct {
+type GShareSelector struct {
 	reg     *history.ShiftRegister
 	colBits int
 }
 
-func (s *gshareSelector) Row(pc uint64) uint64 {
+// Row XORs history with the address bits above column selection.
+func (s *GShareSelector) Row(pc uint64) uint64 {
 	return s.reg.Value() ^ (pc >> (2 + uint(s.colBits)))
 }
-func (s *gshareSelector) Update(b trace.Branch) { s.reg.Shift(b.Taken) }
-func (s *gshareSelector) AllOnes() bool         { return s.reg.AllOnes() }
 
-// pathSelector keeps Nair's path history: low bits of the last few
+// Update shifts the outcome into the register.
+func (s *GShareSelector) Update(b trace.Branch) { s.reg.Shift(b.Taken) }
+
+// AllOnes reports an all-taken history.
+func (s *GShareSelector) AllOnes() bool { return s.reg.AllOnes() }
+
+// Reg exposes the history register for the simulation kernels.
+func (s *GShareSelector) Reg() *history.ShiftRegister { return s.reg }
+
+// ColBits returns the column-selection width the XOR skips over.
+func (s *GShareSelector) ColBits() int { return s.colBits }
+
+// PathSelector keeps Nair's path history: low bits of the last few
 // next-instruction addresses (the branch target when taken, the
 // fall-through otherwise), so outcomes are encoded implicitly at
 // bitsPerTarget bits per event [Nair95].
-type pathSelector struct {
+type PathSelector struct {
 	reg *history.PathRegister
 }
 
-func (s *pathSelector) Row(uint64) uint64 { return s.reg.Value() }
-func (s *pathSelector) Update(b trace.Branch) {
+// Row returns the path register contents.
+func (s *PathSelector) Row(uint64) uint64 { return s.reg.Value() }
+
+// Update records the next-instruction address.
+func (s *PathSelector) Update(b trace.Branch) {
 	next := b.PC + 4
 	if b.Taken {
 		next = b.Target
 	}
 	s.reg.Record(next)
 }
-func (s *pathSelector) AllOnes() bool { return false }
 
-// perAddressSelector keeps per-branch outcome history in a
+// AllOnes is always false: path history is not an outcome pattern.
+func (s *PathSelector) AllOnes() bool { return false }
+
+// Reg exposes the path register for the simulation kernels.
+func (s *PathSelector) Reg() *history.PathRegister { return s.reg }
+
+// PerAddressSelector keeps per-branch outcome history in a
 // BranchHistoryTable (PAg/PAs). With history.Perfect it is the
 // idealized first level of Figure 9; with history.SetAssoc it is the
 // realistic, conflict-prone first level of Figure 10.
-type perAddressSelector struct {
+type PerAddressSelector struct {
 	bht     history.BranchHistoryTable
 	lastRow uint64
 }
 
-func (s *perAddressSelector) Row(pc uint64) uint64 {
+// Row looks up (and on finite tables possibly allocates) pc's history.
+func (s *PerAddressSelector) Row(pc uint64) uint64 {
 	row, _ := s.bht.Lookup(pc)
 	s.lastRow = row
 	return row
 }
-func (s *perAddressSelector) Update(b trace.Branch) { s.bht.Update(b.PC, b.Taken) }
-func (s *perAddressSelector) AllOnes() bool {
+
+// Update shifts the outcome into pc's register.
+func (s *PerAddressSelector) Update(b trace.Branch) { s.bht.Update(b.PC, b.Taken) }
+
+// AllOnes reports whether the last looked-up history was all taken.
+func (s *PerAddressSelector) AllOnes() bool {
 	bits := s.bht.Bits()
 	if bits == 0 {
 		return true
 	}
 	return s.lastRow == (1<<uint(bits))-1
 }
+
+// BHT exposes the first-level table for the simulation kernels.
+func (s *PerAddressSelector) BHT() history.BranchHistoryTable { return s.bht }
 
 // --- Scheme constructors ---
 
@@ -208,7 +260,7 @@ func NewAddressIndexed(colBits int) *TwoLevel {
 	checkBits("colBits", colBits, 30)
 	return NewTwoLevel(
 		fmt.Sprintf("address-2^%d", colBits),
-		zeroSelector{},
+		ZeroSelector{},
 		counter.NewTable(0, colBits),
 	)
 }
@@ -228,7 +280,7 @@ func NewGAs(histBits, colBits int) *TwoLevel {
 	}
 	return NewTwoLevel(
 		name,
-		&globalSelector{reg: history.NewShiftRegister(histBits)},
+		&GlobalSelector{reg: history.NewShiftRegister(histBits)},
 		counter.NewTable(histBits, colBits),
 	)
 }
@@ -241,7 +293,7 @@ func NewGShare(histBits, colBits int) *TwoLevel {
 	checkBits("colBits", colBits, 30)
 	return NewTwoLevel(
 		fmt.Sprintf("gshare-2^%dx2^%d", histBits, colBits),
-		&gshareSelector{reg: history.NewShiftRegister(histBits), colBits: colBits},
+		&GShareSelector{reg: history.NewShiftRegister(histBits), colBits: colBits},
 		counter.NewTable(histBits, colBits),
 	)
 }
@@ -257,7 +309,7 @@ func NewPath(histBits, colBits, bitsPerTarget int) *TwoLevel {
 	checkBits("colBits", colBits, 30)
 	return NewTwoLevel(
 		fmt.Sprintf("path%d-2^%dx2^%d", bitsPerTarget, histBits, colBits),
-		&pathSelector{reg: history.NewPathRegister(histBits, bitsPerTarget)},
+		&PathSelector{reg: history.NewPathRegister(histBits, bitsPerTarget)},
 		counter.NewTable(histBits, colBits),
 	)
 }
@@ -286,7 +338,7 @@ func NewPAs(colBits int, bht history.BranchHistoryTable) *TwoLevel {
 	}
 	return NewTwoLevel(
 		name,
-		&perAddressSelector{bht: bht},
+		&PerAddressSelector{bht: bht},
 		counter.NewTable(histBits, colBits),
 	)
 }

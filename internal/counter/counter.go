@@ -58,15 +58,11 @@ func NewTwoBit() *Saturating { return NewSaturating(2, 2) }
 func (s *Saturating) Predict() bool { return s.state > s.max/2 }
 
 // Update increments the counter on taken, decrements on not-taken,
-// saturating at both ends.
+// saturating at both ends. Branchless, mirroring Table.Update.
 func (s *Saturating) Update(taken bool) {
-	if taken {
-		if s.state < s.max {
-			s.state++
-		}
-	} else if s.state > 0 {
-		s.state--
-	}
+	up := b2u8(taken)
+	s.state += up & b2u8(s.state < s.max)
+	s.state -= (1 - up) & b2u8(s.state > 0)
 }
 
 // Reset restores the initial state.

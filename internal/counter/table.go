@@ -84,6 +84,24 @@ func (t *Table) Index(row, col uint64) int {
 	return int((row&t.rowMask)<<t.colBits | col&t.colMask)
 }
 
+// RowMask returns the row-index mask (Rows()-1).
+func (t *Table) RowMask() uint64 { return t.rowMask }
+
+// ColMask returns the column-index mask (Cols()-1).
+func (t *Table) ColMask() uint64 { return t.colMask }
+
+// Raw exposes the backing counter array and saturation parameters for
+// the batched simulation kernels (bpred/internal/sim), which hoist
+// them into loop-local registers — Go's alias analysis cannot prove a
+// counter store leaves *Table fields intact, so going through the
+// methods would reload every field on every branch. An entry predicts
+// taken when state >= thresh; training saturates at [0, max].
+// Mutating the returned slice bypasses Reset bookkeeping; only the
+// kernels should use this.
+func (t *Table) Raw() (state []uint8, max, thresh uint8) {
+	return t.state, t.max, t.thresh
+}
+
 // CounterBits returns the counter width.
 func (t *Table) CounterBits() int {
 	bits := 0
@@ -96,16 +114,37 @@ func (t *Table) CounterBits() int {
 // Predict returns the prediction of entry idx (true = taken).
 func (t *Table) Predict(idx int) bool { return t.state[idx] >= t.thresh }
 
-// Update trains entry idx with the outcome.
+// Update trains entry idx with the outcome. The saturating step is
+// branchless (compare results become 0/1 masks) so the simulation hot
+// loop carries no data-dependent branches of its own.
 func (t *Table) Update(idx int, taken bool) {
 	s := t.state[idx]
-	if taken {
-		if s < t.max {
-			t.state[idx] = s + 1
-		}
-	} else if s > 0 {
-		t.state[idx] = s - 1
+	up := b2u8(taken)
+	s += up & b2u8(s < t.max)
+	s -= (1 - up) & b2u8(s > 0)
+	t.state[idx] = s
+}
+
+// Access is the fused predict-then-train step used by the batched
+// simulation kernels: one load serves both the prediction read and the
+// branchless saturating update. It is bit-identical to Predict
+// followed by Update.
+func (t *Table) Access(idx int, taken bool) bool {
+	s := t.state[idx]
+	up := b2u8(taken)
+	n := s + up&b2u8(s < t.max)
+	n -= (1 - up) & b2u8(s > 0)
+	t.state[idx] = n
+	return s >= t.thresh
+}
+
+// b2u8 converts a bool to 0/1; the compiler lowers it to a flag move,
+// not a branch.
+func b2u8(b bool) uint8 {
+	if b {
+		return 1
 	}
+	return 0
 }
 
 // State returns the raw counter state of entry idx.

@@ -233,3 +233,43 @@ func TestNewTableBitsPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestBranchlessUpdateMatchesReference sweeps every (width, state,
+// outcome) combination and checks the branchless saturating step and
+// the fused Access against the straightforward branchy definition.
+func TestBranchlessUpdateMatchesReference(t *testing.T) {
+	ref := func(s, max uint8, taken bool) uint8 {
+		if taken {
+			if s < max {
+				return s + 1
+			}
+			return s
+		}
+		if s > 0 {
+			return s - 1
+		}
+		return s
+	}
+	for bits := 1; bits <= 8; bits++ {
+		max := uint8(1<<bits - 1)
+		for s := 0; s <= int(max); s++ {
+			for _, taken := range []bool{false, true} {
+				tab := NewTableBits(0, 0, bits)
+				tab.state[0] = uint8(s)
+				wantPred := tab.Predict(0)
+				tab.Update(0, taken)
+				if got, want := tab.State(0), ref(uint8(s), max, taken); got != want {
+					t.Fatalf("bits=%d state=%d taken=%v: Update -> %d, want %d", bits, s, taken, got, want)
+				}
+
+				tab.state[0] = uint8(s)
+				if pred := tab.Access(0, taken); pred != wantPred {
+					t.Fatalf("bits=%d state=%d: Access predicted %v, want %v", bits, s, pred, wantPred)
+				}
+				if got, want := tab.State(0), ref(uint8(s), max, taken); got != want {
+					t.Fatalf("bits=%d state=%d taken=%v: Access -> %d, want %d", bits, s, taken, got, want)
+				}
+			}
+		}
+	}
+}

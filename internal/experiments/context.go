@@ -6,6 +6,12 @@
 // generated workload traces) returning structured results plus a text
 // rendering; the registry in registry.go exposes them by the paper's
 // table/figure numbers for cmd/bpsweep and the benchmark harness.
+//
+// All experiments run on the simulation engine's batched fast path
+// (sim.RunTrace / sim.RunPredictors / sim.RunConfigs — DESIGN.md §5):
+// the figure sweeps replay shared L2-resident trace chunks through
+// devirtualized per-scheme kernels, which is what keeps whole-paper
+// reproduction runs interactive.
 package experiments
 
 import (

@@ -59,17 +59,29 @@ func (r *ShiftRegister) Bits() int { return r.bits }
 // outcome.
 func (r *ShiftRegister) Value() uint64 { return r.value }
 
-// Shift records an outcome.
+// Shift records an outcome. The update is branchless: the outcome is
+// OR-ed in as a 0/1 value rather than conditionally set, so the
+// simulation hot loop carries no data-dependent branch here.
 func (r *ShiftRegister) Shift(taken bool) {
-	r.value <<= 1
-	if taken {
-		r.value |= 1
+	r.value = (r.value<<1 | b2u64(taken)) & r.mask
+}
+
+// b2u64 converts a bool to 0/1; the compiler lowers it to a flag
+// move, not a branch.
+func b2u64(b bool) uint64 {
+	if b {
+		return 1
 	}
-	r.value &= r.mask
+	return 0
 }
 
 // Set overwrites the register contents (masked to width).
 func (r *ShiftRegister) Set(v uint64) { r.value = v & r.mask }
+
+// Mask returns the width mask ((1<<bits)-1). The simulation kernels
+// keep the register value in a local and shift it with this mask,
+// writing back through Set at chunk boundaries.
+func (r *ShiftRegister) Mask() uint64 { return r.mask }
 
 // Reset clears the register.
 func (r *ShiftRegister) Reset() { r.value = 0 }
@@ -120,6 +132,13 @@ func (p *PathRegister) Record(target uint64) {
 	p.value = (p.value << p.bitsPerTarget) | ((target >> 2) & mask(p.bitsPerTarget))
 	p.value &= p.mask
 }
+
+// Set overwrites the register contents (masked to width).
+func (p *PathRegister) Set(v uint64) { p.value = v & p.mask }
+
+// Mask returns the width mask ((1<<bits)-1), for the simulation
+// kernels' loop-local shifting.
+func (p *PathRegister) Mask() uint64 { return p.mask }
 
 // Reset clears the register.
 func (p *PathRegister) Reset() { p.value = 0 }

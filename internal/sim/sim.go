@@ -51,9 +51,18 @@ type Options struct {
 	// (cold-start effects wash out over 10^7-10^8 branches); scaled
 	// traces benefit from a short warmup. Zero scores everything.
 	Warmup int
+	// Chunk overrides the branches-per-chunk granularity of the
+	// batched fast path (0 means the L2-sized default). Exposed
+	// mainly so tests can exercise chunk-boundary behavior.
+	Chunk int
 }
 
-// Run drives one predictor over a branch source.
+// Run drives one predictor over a branch source with the generic
+// interface-dispatched loop. It is the reference implementation the
+// batched kernels are validated against (kernel_test.go) and the
+// guaranteed-compatible path for third-party Source and Predictor
+// implementations; hot callers should prefer RunBatched or the
+// trace-level entry points, which select monomorphic kernels.
 func Run(p core.Predictor, src trace.Source, opt Options) Metrics {
 	m := Metrics{Name: p.Name()}
 	warm := opt.Warmup
@@ -82,9 +91,30 @@ func Run(p core.Predictor, src trace.Source, opt Options) Metrics {
 	return m
 }
 
-// RunTrace drives one predictor over an in-memory trace.
+// RunBatched drives one predictor over a source through the batched
+// fast path: a monomorphic kernel when the predictor is a known
+// scheme, the generic chunk loop otherwise. Results are bit-identical
+// to Run.
+func RunBatched(p core.Predictor, src trace.Source, opt Options) Metrics {
+	bs := trace.AsBatch(src)
+	r := newRunner(p, opt)
+	buf := make([]trace.Branch, chunkLen(opt))
+	for {
+		chunk := bs.NextBatch(buf)
+		if len(chunk) == 0 {
+			break
+		}
+		r.feed(chunk)
+	}
+	return r.finish()
+}
+
+// RunTrace drives one predictor over an in-memory trace on the
+// batched fast path (chunks are zero-copy windows into the trace).
 func RunTrace(p core.Predictor, t *trace.Trace, opt Options) Metrics {
-	return Run(p, t.NewSource(), opt)
+	r := newRunner(p, opt)
+	feedChunks(&r, t.Branches, chunkLen(opt))
+	return r.finish()
 }
 
 // RunConfigs builds every configuration and runs each over the trace,
@@ -99,50 +129,84 @@ func RunConfigs(configs []core.Config, t *trace.Trace, opt Options) ([]Metrics, 
 		}
 		preds[i] = p
 	}
-	out := make([]Metrics, len(configs))
-	runParallel(len(configs), func(i int) {
-		out[i] = RunTrace(preds[i], t, opt)
-	})
-	return out, nil
+	return RunPredictors(preds, t, opt), nil
 }
 
 // RunPredictors runs pre-built predictors over the trace in parallel.
 // Each predictor must be independent; they share only the read-only
 // trace.
+//
+// Execution is chunk-shared: predictors are partitioned into one
+// batch per worker, and each worker streams the trace in L2-sized
+// chunks, replaying every resident chunk through all of its batch's
+// predictors before moving on. One hot chunk thereby feeds many small
+// predictors (DESIGN.md design decision 1 taken to the cache level)
+// instead of every predictor streaming the full trace from DRAM.
 func RunPredictors(preds []core.Predictor, t *trace.Trace, opt Options) []Metrics {
 	out := make([]Metrics, len(preds))
-	runParallel(len(preds), func(i int) {
-		out[i] = RunTrace(preds[i], t, opt)
-	})
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(preds) {
+		workers = len(preds)
+	}
+	if workers <= 1 {
+		runBatch(preds, t.Branches, opt, out)
+		return out
+	}
+	// Strided assignment: worker w simulates predictors w, w+workers,
+	// ... so that sweeps enumerated small-to-large spread their heavy
+	// configurations across workers.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		batch := make([]core.Predictor, 0, (len(preds)+workers-1)/workers)
+		idx := make([]int, 0, cap(batch))
+		for i := w; i < len(preds); i += workers {
+			batch = append(batch, preds[i])
+			idx = append(idx, i)
+		}
+		wg.Add(1)
+		go func(batch []core.Predictor, idx []int) {
+			defer wg.Done()
+			res := make([]Metrics, len(batch))
+			runBatch(batch, t.Branches, opt, res)
+			for j, i := range idx {
+				out[i] = res[j]
+			}
+		}(batch, idx)
+	}
+	wg.Wait()
 	return out
 }
 
-// runParallel executes f(0..n-1) over a bounded worker pool.
-func runParallel(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+// runBatch simulates a batch of predictors over one branch stream,
+// chunk by chunk, writing out[i] for preds[i].
+func runBatch(preds []core.Predictor, branches []trace.Branch, opt Options, out []Metrics) {
+	rs := make([]runner, len(preds))
+	for i, p := range preds {
+		rs[i] = newRunner(p, opt)
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
+	step := chunkLen(opt)
+	for off := 0; off < len(branches); off += step {
+		end := off + step
+		if end > len(branches) {
+			end = len(branches)
 		}
-		return
+		chunk := branches[off:end]
+		for i := range rs {
+			rs[i].feed(chunk)
+		}
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
+	for i := range rs {
+		out[i] = rs[i].finish()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+}
+
+// feedChunks streams branches through a single runner in chunks.
+func feedChunks(r *runner, branches []trace.Branch, step int) {
+	for off := 0; off < len(branches); off += step {
+		end := off + step
+		if end > len(branches) {
+			end = len(branches)
+		}
+		r.feed(branches[off:end])
 	}
-	close(next)
-	wg.Wait()
 }

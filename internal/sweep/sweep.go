@@ -4,6 +4,11 @@
 // each tier. Results are collected into Surface values (tier x split
 // grids) supporting the paper's analyses: best-in-tier marking
 // (Figures 4, 6) and surface differencing (Figures 7, 8).
+//
+// Execution rides the simulation engine's batched fast path
+// (sim.RunConfigs): each worker streams the trace in L2-sized chunks
+// shared across its whole batch of configurations, with a
+// devirtualized kernel per scheme — see DESIGN.md §5.
 package sweep
 
 import (

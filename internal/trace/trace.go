@@ -11,6 +11,8 @@
 // whether they come from the synthetic workload generator or a file.
 package trace
 
+import "math/bits"
+
 // Branch is one dynamic conditional-branch instance.
 type Branch struct {
 	// PC is the branch instruction's address. Word-aligned, as on MIPS.
@@ -43,13 +45,59 @@ type Source interface {
 	Next() (b Branch, ok bool)
 }
 
+// BatchSource is a Source that can also yield branches in chunks,
+// the granularity the simulator's fast path consumes. NextBatch
+// returns the next chunk of at most len(buf) branches; the returned
+// slice is only valid until the following NextBatch call. In-memory
+// sources return direct windows into the trace (buf is untouched);
+// streaming sources fill buf. An empty result means exhaustion.
+// Mixing Next and NextBatch calls is allowed; both advance the same
+// cursor.
+type BatchSource interface {
+	Source
+	NextBatch(buf []Branch) []Branch
+}
+
+// AsBatch returns src itself when it already supports batch
+// iteration, or wraps it in an adapter that gathers chunks through
+// Next. The adapter lets the batched simulator consume arbitrary
+// third-party sources.
+func AsBatch(src Source) BatchSource {
+	if bs, ok := src.(BatchSource); ok {
+		return bs
+	}
+	return &batchAdapter{src: src}
+}
+
+// batchAdapter lifts a plain Source to BatchSource by buffering.
+type batchAdapter struct {
+	src Source
+}
+
+func (a *batchAdapter) Next() (Branch, bool) { return a.src.Next() }
+
+func (a *batchAdapter) NextBatch(buf []Branch) []Branch {
+	n := 0
+	for n < len(buf) {
+		b, ok := a.src.Next()
+		if !ok {
+			break
+		}
+		buf[n] = b
+		n++
+	}
+	return buf[:n]
+}
+
 // sliceSource adapts an in-memory trace to Source.
 type sliceSource struct {
 	branches []Branch
 	pos      int
 }
 
-// NewSource returns a Source over the trace's branches.
+// NewSource returns a Source over the trace's branches. The returned
+// source is also a BatchSource whose batches are zero-copy windows
+// into the trace.
 func (t *Trace) NewSource() Source {
 	return &sliceSource{branches: t.Branches}
 }
@@ -63,6 +111,20 @@ func (s *sliceSource) Next() (Branch, bool) {
 	return b, true
 }
 
+// NextBatch returns a direct window of at most len(buf) branches.
+func (s *sliceSource) NextBatch(buf []Branch) []Branch {
+	n := len(s.branches) - s.pos
+	if n <= 0 || len(buf) == 0 {
+		return nil
+	}
+	if n > len(buf) {
+		n = len(buf)
+	}
+	w := s.branches[s.pos : s.pos+n]
+	s.pos += n
+	return w
+}
+
 // Len returns the dynamic branch count.
 func (t *Trace) Len() int { return len(t.Branches) }
 
@@ -74,7 +136,11 @@ func (t *Trace) Append(b Branch) { t.Branches = append(t.Branches, b) }
 func (t *Trace) Slice(lo, hi int) *Trace {
 	sub := &Trace{Name: t.Name, Branches: t.Branches[lo:hi]}
 	if t.Len() > 0 {
-		sub.Instructions = t.Instructions * uint64(hi-lo) / uint64(t.Len())
+		// Scale through a 128-bit product: Instructions * (hi-lo) can
+		// exceed 64 bits for realistic (multi-billion-instruction)
+		// traces. The quotient fits because hi-lo <= Len.
+		phi, plo := bits.Mul64(t.Instructions, uint64(hi-lo))
+		sub.Instructions, _ = bits.Div64(phi, plo, uint64(t.Len()))
 	}
 	return sub
 }

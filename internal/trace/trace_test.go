@@ -311,3 +311,114 @@ func TestReaderRejectsHugeName(t *testing.T) {
 		t.Fatal("reader accepted a 1MB name length")
 	}
 }
+
+// fakeSource is a plain Source (no batch support) for adapter tests.
+type fakeSource struct {
+	branches []Branch
+	pos      int
+}
+
+func (s *fakeSource) Next() (Branch, bool) {
+	if s.pos >= len(s.branches) {
+		return Branch{}, false
+	}
+	b := s.branches[s.pos]
+	s.pos++
+	return b, true
+}
+
+func TestBatchSourceWindows(t *testing.T) {
+	tr := sample()
+	bs, ok := tr.NewSource().(BatchSource)
+	if !ok {
+		t.Fatal("in-memory source does not implement BatchSource")
+	}
+	buf := make([]Branch, 3)
+	var got []Branch
+	for {
+		chunk := bs.NextBatch(buf)
+		if len(chunk) == 0 {
+			break
+		}
+		if len(chunk) > len(buf) {
+			t.Fatalf("chunk of %d exceeds buffer %d", len(chunk), len(buf))
+		}
+		// In-memory batches must be zero-copy windows into the trace.
+		if &chunk[0] != &tr.Branches[len(got)] {
+			t.Fatalf("chunk at offset %d is not a direct window", len(got))
+		}
+		got = append(got, chunk...)
+	}
+	if len(got) != tr.Len() {
+		t.Fatalf("batched iteration yielded %d branches, want %d", len(got), tr.Len())
+	}
+	for i := range got {
+		if got[i] != tr.Branches[i] {
+			t.Fatalf("branch %d = %+v, want %+v", i, got[i], tr.Branches[i])
+		}
+	}
+}
+
+func TestBatchSourceMixedWithNext(t *testing.T) {
+	tr := sample()
+	bs := tr.NewSource().(BatchSource)
+	if b, ok := bs.Next(); !ok || b != tr.Branches[0] {
+		t.Fatalf("Next = %+v, %v", b, ok)
+	}
+	chunk := bs.NextBatch(make([]Branch, 2))
+	if len(chunk) != 2 || chunk[0] != tr.Branches[1] || chunk[1] != tr.Branches[2] {
+		t.Fatalf("NextBatch after Next = %+v", chunk)
+	}
+	if b, ok := bs.Next(); !ok || b != tr.Branches[3] {
+		t.Fatalf("Next after NextBatch = %+v, %v", b, ok)
+	}
+	if chunk := bs.NextBatch(make([]Branch, 2)); len(chunk) != 0 {
+		t.Fatalf("exhausted NextBatch returned %d branches", len(chunk))
+	}
+}
+
+func TestAsBatchAdapter(t *testing.T) {
+	tr := sample()
+	bs := AsBatch(&fakeSource{branches: tr.Branches})
+	buf := make([]Branch, 3)
+	var got []Branch
+	for {
+		chunk := bs.NextBatch(buf)
+		if len(chunk) == 0 {
+			break
+		}
+		got = append(got, chunk...)
+	}
+	if len(got) != tr.Len() {
+		t.Fatalf("adapter yielded %d branches, want %d", len(got), tr.Len())
+	}
+	for i := range got {
+		if got[i] != tr.Branches[i] {
+			t.Fatalf("branch %d = %+v, want %+v", i, got[i], tr.Branches[i])
+		}
+	}
+	// AsBatch must not double-wrap an existing BatchSource.
+	inner := tr.NewSource()
+	if AsBatch(inner) != inner {
+		t.Fatal("AsBatch re-wrapped a BatchSource")
+	}
+}
+
+func TestSliceMetadataOverflow(t *testing.T) {
+	// Instructions * (hi-lo) overflows uint64 when computed naively:
+	// 2^62 instructions over a 1M-branch trace.
+	tr := &Trace{Name: "huge", Instructions: 1 << 62}
+	tr.Branches = make([]Branch, 1<<20)
+	half := tr.Slice(0, tr.Len()/2)
+	if want := uint64(1) << 61; half.Instructions != want {
+		t.Fatalf("half-slice Instructions = %d, want %d", half.Instructions, want)
+	}
+	full := tr.Slice(0, tr.Len())
+	if full.Instructions != tr.Instructions {
+		t.Fatalf("full-slice Instructions = %d, want %d", full.Instructions, tr.Instructions)
+	}
+	empty := tr.Slice(3, 3)
+	if empty.Instructions != 0 {
+		t.Fatalf("empty-slice Instructions = %d, want 0", empty.Instructions)
+	}
+}
