@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench-sim bench-short all
+.PHONY: build test vet race bench-sim bench-short cover fuzz-smoke all
 
 all: build vet test
 
@@ -31,3 +31,26 @@ bench-short:
 bench-sim:
 	$(GO) test -run '^$$' -bench 'BenchmarkKernels|BenchmarkSweepChunked' -benchtime 1s . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_sim.json
+
+# COVER_FLOOR is ~10 points below current coverage of the execution
+# core (sim, sweep, checkpoint, obs sit at ~92%); the gate catches
+# accidental deletion of the cancellation/resume/robustness test
+# layer, not routine drift.
+COVER_FLOOR = 80
+
+cover:
+	$(GO) test -coverprofile=coverage.out \
+		./internal/sim/ ./internal/sweep/ ./internal/checkpoint/ ./internal/obs/
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
+
+# fuzz-smoke gives each fuzz target a short budget — enough to catch
+# shallow decoder regressions on every CI run without open-ended fuzz
+# time.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime 10s ./internal/checkpoint/
+	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/checkpoint/

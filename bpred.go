@@ -18,6 +18,7 @@
 package bpred
 
 import (
+	"context"
 	"fmt"
 
 	"bpred/internal/btb"
@@ -193,6 +194,20 @@ func SimulateAll(ps []Predictor, t *Trace, warmup int) []Metrics {
 	return sim.RunPredictors(ps, t, sim.Options{Warmup: warmup})
 }
 
+// SimulateCtx is Simulate with cancellation: it checks ctx at chunk
+// boundaries and on cancellation returns the partial tally together
+// with ctx's error.
+func SimulateCtx(ctx context.Context, p Predictor, t *Trace, warmup int) (Metrics, error) {
+	return sim.RunTraceCtx(ctx, p, t, sim.Options{Warmup: warmup})
+}
+
+// SimulateAllCtx is SimulateAll with cancellation. On cancellation
+// the returned slice holds completed entries (non-empty Name) and
+// zero values for interrupted ones, alongside ctx's error.
+func SimulateAllCtx(ctx context.Context, ps []Predictor, t *Trace, warmup int) ([]Metrics, error) {
+	return sim.RunPredictorsCtx(ctx, ps, t, sim.Options{Warmup: warmup})
+}
+
 // SimulateBreakdown additionally collects per-branch misprediction
 // counts.
 func SimulateBreakdown(p Predictor, t *Trace, warmup int) *Breakdown {
@@ -213,6 +228,13 @@ func SimulateFrontend(p Predictor, buf *BTB, t *Trace, warmup int) FrontendMetri
 // Sweep runs every row/column split of every counter budget in the
 // options over the trace, returning the result surface.
 func Sweep(o SweepOptions, t *Trace) (*Surface, error) { return sweep.Run(o, t) }
+
+// SweepCtx is Sweep with cancellation and optional checkpointing: set
+// SweepOptions.CheckpointDir to cache per-configuration results so an
+// interrupted sweep resumes from the completed cells.
+func SweepCtx(ctx context.Context, o SweepOptions, t *Trace) (*Surface, error) {
+	return sweep.RunCtx(ctx, o, t)
+}
 
 // RenderSurface formats a sweep surface as a tier-by-split text grid
 // with the best configuration per tier marked.

@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"bpred/internal/btb"
 	"bpred/internal/core"
@@ -42,8 +45,17 @@ func main() {
 		top          = flag.Int("top", 0, "also report the N worst-predicted branches (and, with -meter, the N most-conflicted table entries)")
 		btbEntries   = flag.Int("btb", 0, "also model a BTB of this many entries: report fetch redirects and pipeline CPI estimates")
 		btbWays      = flag.Int("btb-ways", 4, "BTB associativity")
+		timeout      = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	tr, err := loadTrace(*workloadName, *traceFile, *seed, *n)
 	if err != nil {
@@ -78,7 +90,16 @@ func main() {
 		bd = sim.RunBreakdown(pred, tr.NewSource(), sim.Options{Warmup: warm})
 		m = bd.Metrics
 	} else {
-		m = sim.RunTrace(pred, tr, sim.Options{Warmup: warm})
+		var runErr error
+		m, runErr = sim.RunTraceCtx(ctx, pred, tr, sim.Options{Warmup: warm})
+		if runErr != nil {
+			reason := "interrupted"
+			if errors.Is(runErr, context.DeadlineExceeded) {
+				reason = fmt.Sprintf("timed out after %s", *timeout)
+			}
+			fmt.Fprintf(os.Stderr, "bpsim: %s; reporting partial results (%d of %d scored branches)\n",
+				reason, m.Branches, tr.Len()-warm)
+		}
 	}
 
 	fmt.Printf("workload:          %s (%d branches, %d scored)\n", tr.Name, tr.Len(), m.Branches)

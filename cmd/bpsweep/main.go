@@ -12,13 +12,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"bpred/internal/experiments"
+	"bpred/internal/obs"
 )
 
 func main() {
@@ -35,6 +39,9 @@ func main() {
 		svgDir   = flag.String("svg", "", "also render surface/difference figures as SVG files into this directory")
 		htmlOut  = flag.String("html", "", "write a single self-contained HTML report (text + inline figures) to this file")
 		allBench = flag.Bool("all-benchmarks", false, "run surface experiments and table3 over all 14 benchmarks (the companion technical report's scope) instead of the paper's 3 focus benchmarks")
+		timeout  = flag.Duration("timeout", 0, "abort after this long (0 = no limit); partial sweep results are checkpointed when -resume is set")
+		resume   = flag.String("resume", "", "checkpoint directory: sweep cells are cached here and interrupted runs resume from it")
+		progress = flag.Bool("progress", false, "report run progress to stderr every 2s")
 	)
 	flag.Parse()
 
@@ -83,6 +90,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	runCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
+
+	counters := &obs.Counters{}
+	counters.Start()
+	if *progress {
+		go func() {
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-tick.C:
+					fmt.Fprintf(os.Stderr, "bpsweep: %s\n", counters.Snapshot())
+				}
+			}
+		}()
+	}
+
 	ctx := experiments.NewContext(experiments.Params{
 		Seed:          *seed,
 		FocusLength:   *focusLen,
@@ -90,6 +122,9 @@ func main() {
 		MinBits:       *minBits,
 		MaxBits:       *maxBits,
 		AllBenchmarks: *allBench,
+		Ctx:           runCtx,
+		CheckpointDir: *resume,
+		Obs:           counters,
 	})
 	if *htmlOut != "" {
 		f, err := os.Create(*htmlOut)
@@ -112,6 +147,15 @@ func main() {
 		res, err := experiments.Run(name, ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bpsweep: %v\n", err)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				if *progress {
+					fmt.Fprintf(os.Stderr, "bpsweep: %s\n", counters.Snapshot())
+				}
+				if *resume != "" {
+					fmt.Fprintf(os.Stderr, "bpsweep: completed sweep cells are checkpointed in %s; rerun with the same flags to resume\n", *resume)
+				}
+				os.Exit(130)
+			}
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "==== %s: %s [%s]\n\n", name, desc, time.Since(start).Round(time.Millisecond))
@@ -141,5 +185,8 @@ func main() {
 				}
 			}
 		}
+	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "bpsweep: done: %s\n", counters.Snapshot())
 	}
 }

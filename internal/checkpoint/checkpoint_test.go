@@ -1,0 +1,185 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bpred/internal/core"
+	"bpred/internal/sim"
+)
+
+func sampleFile() *File {
+	return &File{
+		TraceDigest: [32]byte{1, 2, 3, 0xfe},
+		Warmup:      1500,
+		Entries: map[string]sim.Metrics{
+			"cfg1|s2|r8|c2|f0.0.0.0|p0|b2|mfalse": {
+				Name: "gshare-2^8x2^2", Branches: 120_000, Mispredicts: 9_871,
+			},
+			"cfg1|s1|r0|c10|f0.0.0.0|p0|b2|mfalse": {
+				Name: "address-2^10", Branches: 120_000, Mispredicts: 14_002,
+				Alias: core.AliasStats{
+					Accesses: 120_000, Conflicts: 40_000, AllOnes: 10_000,
+					Agreeing: 25_000, Destructive: 15_000,
+				},
+			},
+			"cfg1|s4|r10|c2|f2.128.4.0|p0|b2|mfalse": {
+				Name: "PAs(128/4w)-2^10x2^2", Branches: 99_999, Mispredicts: 5_432,
+				FirstLevelMissRate: 0.03125,
+			},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	want := sampleFile()
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip diverged\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Write(&a, sampleFile()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, sampleFile()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two serializations of the same entries differ; map order leaked into the format")
+	}
+}
+
+func TestEmptyFileRoundTrip(t *testing.T) {
+	want := &File{Warmup: 7, Entries: map[string]sim.Metrics{}}
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("empty round trip diverged: %+v != %+v", got, want)
+	}
+}
+
+func TestStoreOpenFlushReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.bpc")
+	digest := [32]byte{9, 9, 9}
+	const warmup = 250
+
+	s, err := Open(path, digest, warmup)
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("fresh store has %d entries", s.Len())
+	}
+	m := sim.Metrics{Name: "gshare-2^8x2^2", Branches: 1000, Mispredicts: 77}
+	s.Add("fp-a", m)
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	re, err := Open(path, digest, warmup)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("reopened store has %d entries, want 1", re.Len())
+	}
+	got, ok := re.Lookup("fp-a")
+	if !ok || got != m {
+		t.Errorf("Lookup after reopen = %+v, %v; want %+v, true", got, ok, m)
+	}
+	if _, ok := re.Lookup("fp-missing"); ok {
+		t.Error("Lookup invented an entry")
+	}
+}
+
+func TestStoreOpenMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.bpc")
+	digest := [32]byte{1}
+
+	s, err := Open(path, digest, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add("fp", sim.Metrics{Name: "x", Branches: 1})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(path, [32]byte{2}, 100); !errors.Is(err, ErrMismatch) {
+		t.Errorf("different digest: err = %v, want ErrMismatch", err)
+	}
+	if _, err := Open(path, digest, 101); !errors.Is(err, ErrMismatch) {
+		t.Errorf("different warmup: err = %v, want ErrMismatch", err)
+	}
+	if _, err := Open(path, digest, 100); err != nil {
+		t.Errorf("matching binding: err = %v, want nil", err)
+	}
+}
+
+func TestStoreFlushNoOpWhenClean(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.bpc")
+	s, err := Open(path, [32]byte{5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add("fp", sim.Metrics{Name: "x", Branches: 1})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A clean flush must not rewrite the file.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Error("flush of a clean store rewrote the backing file")
+	}
+}
+
+func TestMemoryStoreFlushIsNoOp(t *testing.T) {
+	s := NewMemory([32]byte{3}, 10)
+	s.Add("fp", sim.Metrics{Name: "x", Branches: 1})
+	if err := s.Flush(); err != nil {
+		t.Errorf("memory-only flush: %v", err)
+	}
+	if s.Path() != "" {
+		t.Errorf("memory store has path %q", s.Path())
+	}
+}
+
+func TestFingerprintMatchesConfig(t *testing.T) {
+	c := core.Config{Scheme: core.SchemeGShare, RowBits: 8, ColBits: 2}
+	if Fingerprint(c) != c.Fingerprint() {
+		t.Error("package-level Fingerprint diverges from core.Config.Fingerprint")
+	}
+}

@@ -1,0 +1,69 @@
+package checkpoint
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"bpred/internal/core"
+	"bpred/internal/sim"
+)
+
+// FuzzRead checks the checkpoint decoder never panics on arbitrary
+// input.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, sampleFile()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("BPC1"))
+	f.Add([]byte("BPC1\x01"))
+	f.Add([]byte("BPT1 wrong family"))
+	f.Add(append([]byte("BPC1\x01"), make([]byte, 40)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Read(bytes.NewReader(data))
+	})
+}
+
+// FuzzRoundTrip checks arbitrary metric values survive the format
+// exactly, including extreme counters and NaN-adjacent floats.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add("fp-1", "gshare-2^8x2^2", uint64(1000), uint64(77), uint64(500), uint64(3), 0.25)
+	f.Add("", "", uint64(0), uint64(0), uint64(0), uint64(0), 0.0)
+	f.Add("fp|weird\x00bytes", "name\xff", ^uint64(0), ^uint64(0)>>1, uint64(1), uint64(2), -1.5)
+
+	f.Fuzz(func(t *testing.T, fp, name string, branches, mispredicts, accesses, conflicts uint64, miss float64) {
+		if len(fp) > maxStringLen || len(name) > maxStringLen {
+			t.Skip("beyond the format's declared string bound")
+		}
+		want := &File{
+			TraceDigest: [32]byte{0xab},
+			Warmup:      branches / 2,
+			Entries: map[string]sim.Metrics{
+				fp: {
+					Name: name, Branches: branches, Mispredicts: mispredicts,
+					Alias:              core.AliasStats{Accesses: accesses, Conflicts: conflicts},
+					FirstLevelMissRate: miss,
+				},
+			},
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, want); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			// NaN never compares equal; allow it iff both sides are NaN.
+			gm, wm := got.Entries[fp], want.Entries[fp]
+			if !(miss != miss && gm.FirstLevelMissRate != gm.FirstLevelMissRate) {
+				t.Errorf("round trip diverged\n got: %+v\nwant: %+v", gm, wm)
+			}
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"bpred/internal/rng"
+)
+
+// validStream serializes the sample file for corruption tests.
+func validStream(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleFile()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadRejectsMalformed drives Read through a table of hostile
+// inputs; every case must return a wrapped error, never panic.
+func TestReadRejectsMalformed(t *testing.T) {
+	valid := validStream(t)
+
+	huge := append([]byte{}, valid[:4]...)
+	huge = append(huge, 1)                            // version
+	huge = append(huge, make([]byte, 32)...)          // digest
+	huge = append(huge, 0)                            // warmup
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0x7f) // count ~ 2^34
+
+	longString := append([]byte{}, valid[:4]...)
+	longString = append(longString, 1)                   // version
+	longString = append(longString, make([]byte, 32)...) // digest
+	longString = append(longString, 0)                   // warmup
+	longString = append(longString, 1)                   // count = 1
+	longString = append(longString, 0xff, 0xff, 0x7f)    // fp length ~ 2^20
+
+	forgedCount := append([]byte{}, valid...)
+	// The count field sits right after magic+version+digest+warmup.
+	// Bumping it promises more entries than the stream holds.
+	countOff := 4 + 1 + 32 + len(encodeUvarint(sampleFile().Warmup))
+	forgedCount[countOff] = forgedCount[countOff] + 1
+
+	cases := []struct {
+		name string
+		data []byte
+		want error // nil = any error acceptable
+	}{
+		{"empty", nil, io.EOF},
+		{"short magic", []byte("BP"), io.ErrUnexpectedEOF},
+		{"bad magic", []byte("XXXX....................."), ErrBadMagic},
+		{"trace magic", []byte("BPT1....................."), ErrBadMagic},
+		{"magic only", []byte("BPC1"), io.EOF},
+		{"bad version", append([]byte("BPC1"), 99), ErrVersion},
+		{"huge count", huge, nil},
+		{"huge string length", longString, nil},
+		{"forged count", forgedCount, io.ErrUnexpectedEOF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("hostile input accepted")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadTruncationAtEveryPrefix truncates a valid stream at every
+// byte offset: every strict prefix must error (the format has no
+// trailing slack), and the error must never be a panic.
+func TestReadTruncationAtEveryPrefix(t *testing.T) {
+	valid := validStream(t)
+	for n := 0; n < len(valid); n++ {
+		if _, err := Read(bytes.NewReader(valid[:n])); err == nil {
+			t.Errorf("prefix of %d/%d bytes decoded without error", n, len(valid))
+		}
+	}
+	if _, err := Read(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("full stream: %v", err)
+	}
+}
+
+// TestReadSurvivesRandomBytes feeds arbitrary byte soup to Read.
+func TestReadSurvivesRandomBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Read(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadSurvivesBitFlips corrupts a valid stream beyond the magic;
+// Read must either decode something or error — never panic or hang.
+func TestReadSurvivesBitFlips(t *testing.T) {
+	orig := validStream(t)
+	g := rng.NewXoshiro256(11)
+	for trial := 0; trial < 300; trial++ {
+		data := make([]byte, len(orig))
+		copy(data, orig)
+		for k := 0; k < 1+g.Intn(3); k++ {
+			pos := 4 + g.Intn(len(data)-4)
+			data[pos] ^= byte(1 << g.Intn(8))
+		}
+		_, _ = Read(bytes.NewReader(data))
+	}
+}
+
+// TestDuplicateFingerprintRejected hand-builds a stream with the same
+// entry twice; accepting it would let a corrupt cache shadow results.
+func TestDuplicateFingerprintRejected(t *testing.T) {
+	f := sampleFile()
+	for fp := range f.Entries {
+		if len(f.Entries) > 1 {
+			delete(f.Entries, fp)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+
+	// Locate the single entry's bytes (everything after the count
+	// field) and append a second copy, bumping the count to 2.
+	countOff := 4 + 1 + 32 + len(encodeUvarint(f.Warmup))
+	if stream[countOff] != 1 {
+		t.Fatalf("unexpected count byte %d", stream[countOff])
+	}
+	entry := append([]byte{}, stream[countOff+1:]...)
+	doubled := append([]byte{}, stream[:countOff]...)
+	doubled = append(doubled, 2)
+	doubled = append(doubled, entry...)
+	doubled = append(doubled, entry...)
+
+	_, err := Read(bytes.NewReader(doubled))
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("duplicate")) {
+		t.Errorf("duplicated entry: err = %v, want duplicate-fingerprint error", err)
+	}
+}
+
+// encodeUvarint is a tiny test helper mirroring the writer's varint
+// encoding, used to compute header field offsets.
+func encodeUvarint(v uint64) []byte {
+	var out []byte
+	for v >= 0x80 {
+		out = append(out, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(out, byte(v))
+}

@@ -103,6 +103,33 @@ func (c Config) Name() string {
 	return p.Name()
 }
 
+// Fingerprint returns a canonical, build-free identity string
+// covering every field that can affect simulation results. Two
+// configurations with equal fingerprints build predictors that produce
+// bit-identical metrics over any trace, so the fingerprint (together
+// with a trace digest and the warmup setting) keys the checkpoint
+// layer's result cache. Zero-valued convenience fields are normalized
+// to their effective values (PathBits 0 -> DefaultPathBits,
+// CounterBits 0 -> 2) so equivalent spellings share cache cells.
+func (c Config) Fingerprint() string {
+	pb := c.PathBits
+	if c.Scheme == SchemePath && pb == 0 {
+		pb = DefaultPathBits
+	}
+	cb := c.CounterBits
+	if cb == 0 {
+		cb = 2
+	}
+	fl := c.FirstLevel
+	if c.Scheme != SchemePAs {
+		fl = FirstLevel{}
+	}
+	return fmt.Sprintf("cfg1|s%d|r%d|c%d|f%d.%d.%d.%d|p%d|b%d|m%t",
+		c.Scheme, c.RowBits, c.ColBits,
+		fl.Kind, fl.Entries, fl.Ways, fl.Policy,
+		pb, cb, c.Metered)
+}
+
 // Validate checks the configuration without building tables.
 func (c Config) Validate() error {
 	if c.RowBits < 0 || c.ColBits < 0 {

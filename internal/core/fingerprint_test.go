@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestFingerprintDistinguishes: configurations differing in any
+// result-affecting field must not share a fingerprint — a collision
+// would let the checkpoint cache serve one configuration's metrics
+// for another.
+func TestFingerprintDistinguishes(t *testing.T) {
+	configs := []Config{
+		{Scheme: SchemeAddress, ColBits: 10},
+		{Scheme: SchemeAddress, ColBits: 11},
+		{Scheme: SchemeGAs, RowBits: 6, ColBits: 4},
+		{Scheme: SchemeGAs, RowBits: 4, ColBits: 6},
+		{Scheme: SchemeGShare, RowBits: 6, ColBits: 4},
+		{Scheme: SchemeGShare, RowBits: 6, ColBits: 4, Metered: true},
+		{Scheme: SchemeGShare, RowBits: 6, ColBits: 4, CounterBits: 1},
+		{Scheme: SchemeGShare, RowBits: 6, ColBits: 4, CounterBits: 3},
+		{Scheme: SchemePath, RowBits: 6, ColBits: 4},
+		{Scheme: SchemePath, RowBits: 6, ColBits: 4, PathBits: 1},
+		{Scheme: SchemePath, RowBits: 6, ColBits: 4, PathBits: 3},
+		{Scheme: SchemePAs, RowBits: 8, ColBits: 2},
+		{Scheme: SchemePAs, RowBits: 8, ColBits: 2,
+			FirstLevel: FirstLevel{Kind: FirstLevelSetAssoc, Entries: 128, Ways: 4}},
+		{Scheme: SchemePAs, RowBits: 8, ColBits: 2,
+			FirstLevel: FirstLevel{Kind: FirstLevelSetAssoc, Entries: 256, Ways: 4}},
+		{Scheme: SchemePAs, RowBits: 8, ColBits: 2,
+			FirstLevel: FirstLevel{Kind: FirstLevelSetAssoc, Entries: 128, Ways: 2}},
+		{Scheme: SchemePAs, RowBits: 8, ColBits: 2,
+			FirstLevel: FirstLevel{Kind: FirstLevelUntagged, Entries: 128}},
+	}
+	seen := map[string]Config{}
+	for _, c := range configs {
+		fp := c.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision %q between %+v and %+v", fp, prev, c)
+		}
+		seen[fp] = c
+	}
+}
+
+// TestFingerprintNormalizesSpellings: zero-valued convenience fields
+// must fingerprint like their effective values so equivalent spellings
+// share a cache cell.
+func TestFingerprintNormalizesSpellings(t *testing.T) {
+	// PathBits 0 means DefaultPathBits for path predictors.
+	a := Config{Scheme: SchemePath, RowBits: 6, ColBits: 4}
+	b := Config{Scheme: SchemePath, RowBits: 6, ColBits: 4, PathBits: DefaultPathBits}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("default PathBits spelled two ways: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+	// CounterBits 0 means 2.
+	a = Config{Scheme: SchemeGShare, RowBits: 6, ColBits: 4}
+	b = Config{Scheme: SchemeGShare, RowBits: 6, ColBits: 4, CounterBits: 2}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("default CounterBits spelled two ways: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+	// FirstLevel is irrelevant (and ignored) outside PAs.
+	a = Config{Scheme: SchemeGShare, RowBits: 6, ColBits: 4}
+	b = Config{Scheme: SchemeGShare, RowBits: 6, ColBits: 4,
+		FirstLevel: FirstLevel{Kind: FirstLevelSetAssoc, Entries: 128, Ways: 4}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("non-PAs FirstLevel leaked into fingerprint: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+	// PathBits is irrelevant outside SchemePath... but stays as given:
+	// two gshare configs with different PathBits simulate identically,
+	// and the fingerprint must agree. (PathBits is only normalized for
+	// SchemePath; other schemes never set it.)
+}
+
+// TestFingerprintStable pins the format: changing it invalidates every
+// existing checkpoint file, which is fine but must be deliberate (bump
+// the cfg version prefix, not silently reshuffle fields).
+func TestFingerprintStable(t *testing.T) {
+	c := Config{Scheme: SchemeGShare, RowBits: 8, ColBits: 2, Metered: true}
+	const want = "cfg1|s2|r8|c2|f0.0.0.0|p0|b2|mtrue"
+	if got := c.Fingerprint(); got != want {
+		t.Errorf("Fingerprint() = %q, want pinned %q — if this change is deliberate, bump the cfg version prefix", got, want)
+	}
+}
+
+// TestFingerprintMatchesParseRoundTrip: a config parsed back from its
+// canonical name must fingerprint identically to the original —
+// otherwise checkpoints would miss for renamed-but-equal cells.
+func TestFingerprintMatchesParseRoundTrip(t *testing.T) {
+	configs := []Config{
+		{Scheme: SchemeAddress, ColBits: 10},
+		{Scheme: SchemeGShare, RowBits: 8, ColBits: 2},
+		{Scheme: SchemeGAs, RowBits: 6, ColBits: 4},
+		{Scheme: SchemePAs, RowBits: 8, ColBits: 2,
+			FirstLevel: FirstLevel{Kind: FirstLevelSetAssoc, Entries: 128, Ways: 4}},
+	}
+	for _, c := range configs {
+		parsed, err := ParseConfig(c.Name())
+		if err != nil {
+			t.Errorf("ParseConfig(%q): %v", c.Name(), err)
+			continue
+		}
+		if parsed.Fingerprint() != c.Fingerprint() {
+			t.Errorf("%q: parsed fingerprint %q != original %q",
+				c.Name(), parsed.Fingerprint(), c.Fingerprint())
+		}
+	}
+}

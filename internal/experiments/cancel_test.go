@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"bpred/internal/obs"
+)
+
+// TestRunCanceled: a canceled context must surface as a regular
+// wrapped error from experiments.Run — the cancellation panic used
+// internally to unwind figure helpers may not escape the package.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := NewContext(Params{
+		FocusLength: 20_000, SuiteLength: 20_000,
+		MinBits: 4, MaxBits: 6,
+		Ctx: ctx,
+	})
+	// Only experiments that simulate have cancellation points; the
+	// trace-characterization tables (table1/table2) run no predictor
+	// and legitimately complete under a canceled context.
+	for _, name := range []string{"fig4", "table3"} {
+		if _, ok := Describe(name); !ok {
+			continue
+		}
+		_, err := Run(name, c)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if err != nil && !strings.Contains(err.Error(), name) {
+			t.Errorf("%s: error %q does not say which experiment was canceled", name, err)
+		}
+	}
+}
+
+// TestRunUncanceledWithObs: a live context changes nothing, and the
+// observability counters see the work.
+func TestRunUncanceledWithObs(t *testing.T) {
+	counters := &obs.Counters{}
+	c := NewContext(Params{
+		FocusLength: 20_000, SuiteLength: 20_000,
+		MinBits: 4, MaxBits: 5,
+		Ctx: context.Background(),
+		Obs: counters,
+	})
+	if _, err := Run("fig4", c); err != nil {
+		t.Fatalf("fig4: %v", err)
+	}
+	s := counters.Snapshot()
+	if s.ConfigsCompleted == 0 {
+		t.Error("no completed configurations counted")
+	}
+	if s.Branches == 0 || s.Chunks == 0 {
+		t.Errorf("chunk counters never incremented: %+v", s)
+	}
+}

@@ -6,7 +6,6 @@ import (
 
 	"bpred/internal/core"
 	"bpred/internal/history"
-	"bpred/internal/sim"
 	"bpred/internal/workload"
 )
 
@@ -41,7 +40,7 @@ func Combining(c *Context) []CombiningRow {
 				core.NewAgreeGShare(11, 2),
 			}
 		}
-		ms := sim.RunPredictors(build(), tr, c.simOpts(tr.Len()))
+		ms := c.runPredictors(build(), tr)
 		rows = append(rows, CombiningRow{
 			Benchmark:  prof.Name,
 			GShare:     ms[0].MispredictRate(),

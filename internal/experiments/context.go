@@ -15,10 +15,15 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
+	"bpred/internal/core"
+	"bpred/internal/obs"
 	"bpred/internal/sim"
+	"bpred/internal/sweep"
 	"bpred/internal/trace"
 	"bpred/internal/workload"
 )
@@ -48,6 +53,20 @@ type Params struct {
 	// results for all of the benchmarks". Focus-length traces are
 	// generated for every benchmark, so this costs ~5x the runtime.
 	AllBenchmarks bool
+	// Ctx, when non-nil, cancels in-flight experiment work: every
+	// simulation entry point checks it at chunk boundaries and
+	// experiments.Run returns its error. (Carried in Params — against
+	// the usual context-in-struct advice — because the experiment
+	// registry's Runner signature is the stable extension surface and
+	// a Context is the only thing runners receive.)
+	Ctx context.Context
+	// CheckpointDir, when non-empty, makes every design-space sweep
+	// checkpoint per-cell results under this directory and resume from
+	// whatever a previous (possibly interrupted) run left there.
+	CheckpointDir string
+	// Obs, when non-nil, receives run-level progress counters from
+	// every simulation and sweep.
+	Obs *obs.Counters
 }
 
 func (p Params) withDefaults() Params {
@@ -126,7 +145,81 @@ func (c *Context) traceOf(name string, length int) *trace.Trace {
 // simOpts returns the simulation options for a trace of the given
 // length.
 func (c *Context) simOpts(length int) sim.Options {
-	return sim.Options{Warmup: warmup(length)}
+	return sim.Options{Warmup: warmup(length), Obs: c.params.Obs}
+}
+
+// ctx returns the cancellation context experiments run under.
+func (c *Context) ctx() context.Context {
+	if c.params.Ctx != nil {
+		return c.params.Ctx
+	}
+	return context.Background()
+}
+
+// canceled carries a context cancellation out of an experiment's call
+// tree; experiments.Run recovers it and returns the error. It is the
+// one panic the registry converts instead of propagating: unlike the
+// construction bugs the other panics flag, cancellation is an
+// expected runtime outcome, and threading an error return through
+// every figure/table helper would distort the whole package for its
+// rarest path.
+type canceled struct{ err error }
+
+// bail panics with a canceled sentinel when err is a context
+// cancellation; any other error is left untouched for the caller's
+// normal (usually panicking) handling.
+func bail(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		panic(canceled{err})
+	}
+}
+
+// runSweep executes one design-space sweep under the experiment
+// context's cancellation and checkpointing policy.
+func (c *Context) runSweep(what string, opts sweep.Options, tr *trace.Trace) *sweep.Surface {
+	opts.Sim = c.simOpts(tr.Len())
+	opts.CheckpointDir = c.params.CheckpointDir
+	s, err := sweep.RunCtx(c.ctx(), opts, tr)
+	if err != nil {
+		bail(err)
+		// Remaining errors are internally-constructed-options bugs.
+		panic(fmt.Sprintf("experiments: %s sweep on %s: %v", what, tr.Name, err))
+	}
+	return s
+}
+
+// runConfigs executes a configuration batch under the context's
+// cancellation policy.
+func (c *Context) runConfigs(what string, configs []core.Config, tr *trace.Trace) []sim.Metrics {
+	ms, err := sim.RunConfigsCtx(c.ctx(), configs, tr, c.simOpts(tr.Len()))
+	if err != nil {
+		bail(err)
+		panic(fmt.Sprintf("experiments: %s on %s: %v", what, tr.Name, err))
+	}
+	c.params.Obs.AddCompleted(uint64(len(configs)))
+	return ms
+}
+
+// runPredictors executes pre-built predictors under the context's
+// cancellation policy.
+func (c *Context) runPredictors(preds []core.Predictor, tr *trace.Trace) []sim.Metrics {
+	ms, err := sim.RunPredictorsCtx(c.ctx(), preds, tr, c.simOpts(tr.Len()))
+	if err != nil {
+		bail(err)
+	}
+	c.params.Obs.AddCompleted(uint64(len(preds)))
+	return ms
+}
+
+// runTrace executes one predictor under the context's cancellation
+// policy with the given options.
+func (c *Context) runTrace(p core.Predictor, tr *trace.Trace, opt sim.Options) sim.Metrics {
+	opt.Obs = c.params.Obs
+	m, err := sim.RunTraceCtx(c.ctx(), p, tr, opt)
+	if err != nil {
+		bail(err)
+	}
+	return m
 }
 
 // focusNames are the benchmarks the paper's Figures 4-10 and Table 3

@@ -6,7 +6,6 @@ import (
 
 	"bpred/internal/core"
 	"bpred/internal/dealias"
-	"bpred/internal/sim"
 	"bpred/internal/workload"
 )
 
@@ -38,7 +37,7 @@ func Dealias(c *Context) []DealiasRow {
 			dealias.NewGSkew(10, 10),
 			core.NewAgreeGShare(12, 0),
 		}
-		ms := sim.RunPredictors(preds, tr, c.simOpts(tr.Len()))
+		ms := c.runPredictors(preds, tr)
 		rows = append(rows, DealiasRow{
 			Benchmark: prof.Name,
 			GShare:    ms[0].MispredictRate(),

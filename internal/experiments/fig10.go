@@ -42,15 +42,11 @@ func Fig10(c *Context) *Fig10Result {
 		MissRates: make(map[int]float64),
 	}
 	run := func(fl core.FirstLevel, key int) {
-		s, err := sweep.Run(sweep.Options{
+		s := c.runSweep("fig10", sweep.Options{
 			Scheme:     core.SchemePAs,
 			FirstLevel: fl,
 			MinBits:    p.MinBits, MaxBits: p.MaxBits,
-			Sim: c.simOpts(tr.Len()),
 		}, tr)
-		if err != nil {
-			panic(fmt.Sprintf("experiments: fig10 sweep: %v", err))
-		}
 		res.Surfaces[key] = s
 		// The first-level miss rate is a property of (table, trace):
 		// read it from any point with history bits.

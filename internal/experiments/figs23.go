@@ -90,7 +90,7 @@ func RenderCurveSet(cs *CurveSet) string {
 // runOne drives a single predictor over a trace with the context's
 // warmup.
 func runOne(p core.Predictor, tr *trace.Trace, c *Context) sim.Metrics {
-	return sim.RunTrace(p, tr, c.simOpts(tr.Len()))
+	return c.runTrace(p, tr, c.simOpts(tr.Len()))
 }
 
 // SurfaceSet is shared by the surface figures (4, 5, 6, 9).

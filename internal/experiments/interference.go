@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"bpred/internal/core"
-	"bpred/internal/sim"
 )
 
 // InterferenceRow decomposes a finite global-history configuration's
@@ -57,9 +56,9 @@ func Interference(c *Context) []InterferenceRow {
 				cols = 0
 			}
 			cfg := core.Config{Scheme: core.SchemeGAs, RowBits: h, ColBits: cols}
-			finite := sim.RunTrace(cfg.MustBuild(), tr, c.simOpts(tr.Len()))
+			finite := c.runTrace(cfg.MustBuild(), tr, c.simOpts(tr.Len()))
 			free := core.NewUnaliased(h)
-			freeM := sim.RunTrace(free, tr, c.simOpts(tr.Len()))
+			freeM := c.runTrace(free, tr, c.simOpts(tr.Len()))
 			rows = append(rows, InterferenceRow{
 				Benchmark:  name,
 				HistBits:   h,

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"bpred/internal/core"
-	"bpred/internal/sim"
 )
 
 // IsoBitsBudgets are the storage budgets (in bits) compared: 2^14,
@@ -71,10 +70,7 @@ func IsoBits(c *Context) []IsoBitsRow {
 				configs := fam.configs(budget)
 				cell := IsoBitsCell{}
 				if len(configs) > 0 {
-					ms, err := sim.RunConfigs(configs, tr, c.simOpts(tr.Len()))
-					if err != nil {
-						panic(fmt.Sprintf("experiments: isobits %s/%s: %v", name, fam.name, err))
-					}
+					ms := c.runConfigs("isobits "+fam.name, configs, tr)
 					for i, m := range ms {
 						if !cell.Valid || m.MispredictRate() < cell.Rate {
 							bits, _ := configs[i].StorageBits(false)

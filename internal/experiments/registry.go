@@ -153,11 +153,24 @@ func Describe(name string) (string, bool) {
 	return e.Description, true
 }
 
-// Run executes an experiment by id.
-func Run(name string, c *Context) (Result, error) {
+// Run executes an experiment by id. When the context's cancellation
+// context (Params.Ctx) fires mid-experiment, Run returns the
+// cancellation error (context.Canceled or context.DeadlineExceeded,
+// wrapped); checkpointed sweep cells completed before the cancel stay
+// persisted, so rerunning the experiment resumes from them.
+func Run(name string, c *Context) (res Result, err error) {
 	e, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			cp, ok := r.(canceled)
+			if !ok {
+				panic(r) // a real bug, not a cancellation
+			}
+			res, err = nil, fmt.Errorf("experiments: %s canceled: %w", name, cp.err)
+		}
+	}()
 	return e.Run(c), nil
 }

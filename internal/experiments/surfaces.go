@@ -21,13 +21,7 @@ func focusSurfaces(c *Context, title string, opts sweep.Options) *SurfaceSet {
 	}
 	for _, name := range set.Benchmarks {
 		tr := c.FocusTrace(name)
-		opts.Sim = c.simOpts(tr.Len())
-		s, err := sweep.Run(opts, tr)
-		if err != nil {
-			// Options are constructed internally; failure is a bug.
-			panic(fmt.Sprintf("experiments: %s sweep on %s: %v", title, name, err))
-		}
-		set.Surfaces[name] = s
+		set.Surfaces[name] = c.runSweep(title, opts, tr)
 	}
 	return set
 }
@@ -122,17 +116,11 @@ func diffExperiment(c *Context, title string, opts sweep.Options) *DiffResult {
 	p := c.Params()
 	tr := c.FocusTrace("mpeg_play")
 
-	gasOpts := sweep.Options{Scheme: core.SchemeGAs, MinBits: p.MinBits, MaxBits: p.MaxBits, Sim: c.simOpts(tr.Len())}
-	opts.MinBits, opts.MaxBits, opts.Sim = p.MinBits, p.MaxBits, gasOpts.Sim
+	gasOpts := sweep.Options{Scheme: core.SchemeGAs, MinBits: p.MinBits, MaxBits: p.MaxBits}
+	opts.MinBits, opts.MaxBits = p.MinBits, p.MaxBits
 
-	gas, err := sweep.Run(gasOpts, tr)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: GAs sweep: %v", err))
-	}
-	other, err := sweep.Run(opts, tr)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %s sweep: %v", title, err))
-	}
+	gas := c.runSweep("GAs", gasOpts, tr)
+	other := c.runSweep(title, opts, tr)
 	// sweep.Diff(a, b) = b - a per slot; we want "other better than
 	// GAs" positive, i.e. gasRate - otherRate.
 	d, err := sweep.Diff(other, gas)

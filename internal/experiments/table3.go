@@ -87,11 +87,7 @@ func Table3(c *Context) []Table3Row {
 		for _, spec := range specs {
 			opts := spec.opts
 			opts.Tiers = tiers
-			opts.Sim = c.simOpts(tr.Len())
-			s, err := sweep.Run(opts, tr)
-			if err != nil {
-				panic(fmt.Sprintf("experiments: table3 sweep %s/%s: %v", name, spec.label, err))
-			}
+			s := c.runSweep("table3 "+spec.label, opts, tr)
 			row := Table3Row{Benchmark: name, Predictor: spec.label, HasMissRate: spec.miss}
 			for _, n := range Table3Sizes {
 				best, ok := s.BestInTier(n)

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"bpred/internal/core"
-	"bpred/internal/sim"
 	"bpred/internal/stats"
 	"bpred/internal/workload"
 )
@@ -77,10 +76,7 @@ func Variance(c *Context) []VarianceRow {
 		perConfig := make([][]float64, len(configs))
 		for seed := uint64(0); seed < varianceSeeds; seed++ {
 			tr := workload.Generate(prof, p.Seed+seed*101, length)
-			ms, err := sim.RunConfigs(configs, tr, c.simOpts(tr.Len()))
-			if err != nil {
-				panic(fmt.Sprintf("experiments: variance: %v", err))
-			}
+			ms := c.runConfigs("variance", configs, tr)
 			for i, m := range ms {
 				perConfig[i] = append(perConfig[i], m.MispredictRate())
 			}

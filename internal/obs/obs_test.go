@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAccumulate(t *testing.T) {
+	c := &Counters{}
+	c.AddChunk(8192)
+	c.AddChunk(100)
+	c.AddCompleted(3)
+	c.AddCached(2)
+	c.AddFailed(1)
+	c.TierDone(50 * time.Millisecond)
+	c.TierDone(25 * time.Millisecond)
+
+	s := c.Snapshot()
+	if s.Branches != 8292 || s.Chunks != 2 {
+		t.Errorf("branches/chunks = %d/%d, want 8292/2", s.Branches, s.Chunks)
+	}
+	if s.ConfigsCompleted != 3 || s.ConfigsCached != 2 || s.ConfigsFailed != 1 {
+		t.Errorf("configs = %d/%d/%d, want 3/2/1", s.ConfigsCompleted, s.ConfigsCached, s.ConfigsFailed)
+	}
+	if s.TiersCompleted != 2 || s.TierTime != 75*time.Millisecond {
+		t.Errorf("tiers = %d (%s), want 2 (75ms)", s.TiersCompleted, s.TierTime)
+	}
+	if s.Elapsed <= 0 {
+		t.Error("elapsed clock not anchored by producer touch")
+	}
+}
+
+// TestNilCountersAreSafe: a nil *Counters is the documented "off"
+// switch; every method must be callable on it.
+func TestNilCountersAreSafe(t *testing.T) {
+	var c *Counters
+	c.Start()
+	c.AddChunk(1)
+	c.AddCompleted(1)
+	c.AddCached(1)
+	c.AddFailed(1)
+	c.TierDone(time.Second)
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("nil snapshot = %+v, want zero", s)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := &Counters{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AddChunk(10)
+				c.AddCompleted(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Branches != 80_000 || s.Chunks != 8_000 || s.ConfigsCompleted != 8_000 {
+		t.Errorf("lost updates: %+v", s)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{
+		Branches: 1_000_000, Chunks: 123,
+		ConfigsCompleted: 7, ConfigsCached: 5, ConfigsFailed: 0,
+		TiersCompleted: 3, TierTime: time.Second, Elapsed: 2 * time.Second,
+	}
+	out := s.String()
+	for _, want := range []string{"1000000 branches", "7 run", "5 cached", "tiers: 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q, missing %q", out, want)
+		}
+	}
+}
+
+func TestBranchesPerSecond(t *testing.T) {
+	s := Snapshot{Branches: 4_000_000, Elapsed: 2 * time.Second}
+	if got := s.BranchesPerSecond(); got != 2_000_000 {
+		t.Errorf("BranchesPerSecond = %v, want 2e6", got)
+	}
+	if got := (Snapshot{Branches: 10}).BranchesPerSecond(); got != 0 {
+		t.Errorf("zero-elapsed throughput = %v, want 0", got)
+	}
+}
+
+func TestMarshalJSON(t *testing.T) {
+	c := &Counters{}
+	c.AddChunk(42)
+	c.AddCached(1)
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Branches != 42 || s.ConfigsCached != 1 {
+		t.Errorf("round-tripped snapshot = %+v", s)
+	}
+	if !strings.Contains(string(b), `"configs_cached"`) {
+		t.Errorf("JSON %s missing snake_case keys", b)
+	}
+}
+
+func TestPublishIdempotent(t *testing.T) {
+	c := &Counters{}
+	c.AddChunk(5)
+	c.Publish("obs-test-counters")
+	// A second Publish with the same name must not panic (expvar
+	// itself would); it is documented as a no-op.
+	c.Publish("obs-test-counters")
+
+	v := expvar.Get("obs-test-counters")
+	if v == nil {
+		t.Fatal("counters not published")
+	}
+	if !strings.Contains(v.String(), `"branches"`) {
+		t.Errorf("published value %s lacks snapshot fields", v.String())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bpred/internal/core"
 	"bpred/internal/counter"
 	"bpred/internal/history"
+	"bpred/internal/obs"
 	"bpred/internal/trace"
 )
 
@@ -356,15 +357,21 @@ type runner struct {
 	run  kernelFunc
 	warm int
 	m    Metrics
+	obs  *obs.Counters
 }
 
 func newRunner(p core.Predictor, opt Options) runner {
-	return runner{p: p, run: kernelFor(p), warm: opt.Warmup}
+	return runner{p: p, run: kernelFor(p), warm: opt.Warmup, obs: opt.Obs}
 }
 
 // feed processes one chunk, splitting it at the warmup boundary when
-// the boundary falls inside.
+// the boundary falls inside. The obs hook fires once per chunk — a
+// nil check when instrumentation is off — keeping the kernels
+// themselves untouched.
 func (r *runner) feed(chunk []trace.Branch) {
+	if r.obs != nil {
+		r.obs.AddChunk(uint64(len(chunk)))
+	}
 	if r.warm > 0 {
 		n := r.warm
 		if n > len(chunk) {

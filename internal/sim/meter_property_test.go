@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+
+	"bpred/internal/core"
+	"bpred/internal/history"
+)
+
+// meterableSchemes builds plain/metered predictor pairs for every
+// scheme family that supports aliasing meters. Both sides of a pair
+// are constructed identically except for the meter.
+func meterableSchemes() map[string]func(metered bool) core.Predictor {
+	withMeter := func(p *core.TwoLevel, metered bool) core.Predictor {
+		if metered {
+			return p.EnableMeter()
+		}
+		return p
+	}
+	return map[string]func(bool) core.Predictor{
+		"address": func(m bool) core.Predictor { return withMeter(core.NewAddressIndexed(10), m) },
+		"gag":     func(m bool) core.Predictor { return withMeter(core.NewGAg(10), m) },
+		"gas":     func(m bool) core.Predictor { return withMeter(core.NewGAs(7, 3), m) },
+		"gshare":  func(m bool) core.Predictor { return withMeter(core.NewGShare(9, 2), m) },
+		"path":    func(m bool) core.Predictor { return withMeter(core.NewPath(8, 3, 2), m) },
+		"pas-perfect": func(m bool) core.Predictor {
+			return withMeter(core.NewPAs(3, history.NewPerfect(7)), m)
+		},
+		"pas-finite": func(m bool) core.Predictor {
+			return withMeter(core.NewPAs(2, history.NewSetAssoc(256, 4, 8, history.PrefixReset)), m)
+		},
+	}
+}
+
+// TestMeterDoesNotPerturbPrediction is the property the aliasing
+// instrumentation must uphold for the paper's Figures 5 and 9 to be
+// comparable with the unmetered surfaces: attaching a meter changes
+// what is *observed*, never what is *predicted*. Metered and
+// unmetered runs must report identical branch and mispredict counts
+// (and first-level miss rates) for every scheme over randomized
+// traces, on both the generic and the batched path.
+func TestMeterDoesNotPerturbPrediction(t *testing.T) {
+	seeds := []uint64{1, 17, 999}
+	for name, build := range meterableSchemes() {
+		for _, seed := range seeds {
+			tr := kernelTrace(seed, 25_000)
+			opt := Options{Warmup: 500}
+
+			plain := RunTrace(build(false), tr, opt)
+			metered := RunTrace(build(true), tr, opt)
+			if plain.Branches != metered.Branches || plain.Mispredicts != metered.Mispredicts {
+				t.Errorf("%s seed %d (batched): metered run diverged: %d/%d vs %d/%d",
+					name, seed, metered.Mispredicts, metered.Branches,
+					plain.Mispredicts, plain.Branches)
+			}
+			if plain.FirstLevelMissRate != metered.FirstLevelMissRate {
+				t.Errorf("%s seed %d: first-level miss rate perturbed: %v vs %v",
+					name, seed, metered.FirstLevelMissRate, plain.FirstLevelMissRate)
+			}
+			if metered.Alias.Accesses == 0 {
+				t.Errorf("%s seed %d: metered run recorded no table accesses", name, seed)
+			}
+			if plain.Alias.Accesses != 0 {
+				t.Errorf("%s seed %d: unmetered run recorded alias stats", name, seed)
+			}
+
+			genericPlain := Run(build(false), tr.NewSource(), opt)
+			genericMetered := Run(build(true), tr.NewSource(), opt)
+			if genericPlain.Branches != genericMetered.Branches ||
+				genericPlain.Mispredicts != genericMetered.Mispredicts {
+				t.Errorf("%s seed %d (generic): metered run diverged: %d/%d vs %d/%d",
+					name, seed, genericMetered.Mispredicts, genericMetered.Branches,
+					genericPlain.Mispredicts, genericPlain.Branches)
+			}
+			if genericMetered.Mispredicts != metered.Mispredicts {
+				t.Errorf("%s seed %d: generic and batched metered runs disagree", name, seed)
+			}
+		}
+	}
+}
+
+// TestMeterConfigProperty re-checks the property through the Config
+// layer the sweeps actually use: for randomized traces, a Metered
+// config and its unmetered twin produce the same prediction counts.
+func TestMeterConfigProperty(t *testing.T) {
+	configs := []core.Config{
+		{Scheme: core.SchemeAddress, ColBits: 10},
+		{Scheme: core.SchemeGAs, RowBits: 6, ColBits: 4},
+		{Scheme: core.SchemeGShare, RowBits: 8, ColBits: 2},
+		{Scheme: core.SchemePath, RowBits: 7, ColBits: 3},
+		{Scheme: core.SchemePAs, RowBits: 8, ColBits: 2},
+		{Scheme: core.SchemePAs, RowBits: 8, ColBits: 2,
+			FirstLevel: core.FirstLevel{Kind: core.FirstLevelSetAssoc, Entries: 128, Ways: 4}},
+	}
+	for _, seed := range []uint64{3, 404} {
+		tr := kernelTrace(seed, 20_000)
+		for _, cfg := range configs {
+			plainCfg, meterCfg := cfg, cfg
+			meterCfg.Metered = true
+			ms, err := RunConfigs([]core.Config{plainCfg, meterCfg}, tr, Options{Warmup: 500})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", cfg.Name(), seed, err)
+			}
+			if ms[0].Branches != ms[1].Branches || ms[0].Mispredicts != ms[1].Mispredicts {
+				t.Errorf("%s seed %d: Metered config diverged: %d/%d vs %d/%d",
+					cfg.Name(), seed, ms[1].Mispredicts, ms[1].Branches,
+					ms[0].Mispredicts, ms[0].Branches)
+			}
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bpred/internal/checkpoint"
+	"bpred/internal/core"
+	"bpred/internal/obs"
+	"bpred/internal/sim"
+	"bpred/internal/trace"
+	"bpred/internal/workload"
+)
+
+func resumeTrace(t *testing.T, n int) *trace.Trace {
+	t.Helper()
+	prof, ok := workload.ProfileByName("espresso")
+	if !ok {
+		t.Fatal("espresso profile missing")
+	}
+	return workload.Generate(prof, 42, n)
+}
+
+// resumeSchemes covers every scheme family the checkpoint must
+// round-trip, including the metered and finite-first-level variants
+// whose Metrics carry the full alias/first-level payload.
+func resumeSchemes() map[string]Options {
+	return map[string]Options{
+		"address": {Scheme: core.SchemeAddress, MinBits: 4, MaxBits: 7},
+		"gas":     {Scheme: core.SchemeGAs, MinBits: 4, MaxBits: 7},
+		"gshare":  {Scheme: core.SchemeGShare, MinBits: 4, MaxBits: 7},
+		"path":    {Scheme: core.SchemePath, MinBits: 4, MaxBits: 7},
+		"pas-perfect": {
+			Scheme: core.SchemePAs, MinBits: 4, MaxBits: 6,
+		},
+		"pas-finite": {
+			Scheme: core.SchemePAs, MinBits: 4, MaxBits: 6,
+			FirstLevel: core.FirstLevel{Kind: core.FirstLevelSetAssoc, Entries: 128, Ways: 4},
+		},
+		"gshare-metered": {
+			Scheme: core.SchemeGShare, MinBits: 4, MaxBits: 6, Metered: true,
+		},
+	}
+}
+
+func surfaceBytes(t *testing.T, s *Surface) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	return b.Bytes()
+}
+
+// TestResumeEquivalence interrupts a checkpointed sweep after its
+// first tier, resumes it with the same store, and requires the
+// resumed Surface to be deep- and byte-identical to an uninterrupted
+// run — for every scheme family.
+func TestResumeEquivalence(t *testing.T) {
+	tr := resumeTrace(t, 30_000)
+	digest := tr.Digest()
+	const warmup = 1_000
+
+	for name, o := range resumeSchemes() {
+		o := o
+		o.Sim = sim.Options{Warmup: warmup}
+		t.Run(name, func(t *testing.T) {
+			baseline, err := Run(o, tr)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+
+			store := checkpoint.NewMemory(digest, warmup)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			interrupted := o
+			interrupted.Checkpoint = store
+			interrupted.afterTier = func(tableBits int) {
+				if tableBits == o.MinBits {
+					cancel()
+				}
+			}
+			if _, err := RunCtx(ctx, interrupted, tr); !errors.Is(err, context.Canceled) {
+				t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+			}
+			if store.Len() == 0 {
+				t.Fatal("interrupted run checkpointed nothing")
+			}
+			partial := store.Len()
+
+			counters := &obs.Counters{}
+			resumed := o
+			resumed.Checkpoint = store
+			resumed.Sim.Obs = counters
+			got, err := RunCtx(context.Background(), resumed, tr)
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			if cached := counters.Snapshot().ConfigsCached; cached != uint64(partial) {
+				t.Errorf("resume replayed %d cells from cache, want the %d checkpointed ones", cached, partial)
+			}
+			if !reflect.DeepEqual(got, baseline) {
+				t.Errorf("resumed surface differs from uninterrupted baseline")
+			}
+			if gb, bb := surfaceBytes(t, got), surfaceBytes(t, baseline); !bytes.Equal(gb, bb) {
+				t.Errorf("resumed surface serialization differs from baseline\n got: %q\nwant: %q", gb, bb)
+			}
+		})
+	}
+}
+
+// TestCheckpointDirResume exercises the file-backed path end to end:
+// a sweep interrupted mid-run leaves a checkpoint file behind, and a
+// second invocation pointed at the same directory completes from it.
+func TestCheckpointDirResume(t *testing.T) {
+	tr := resumeTrace(t, 30_000)
+	dir := t.TempDir()
+	const warmup = 500
+
+	base := Options{
+		Scheme: core.SchemeGShare, MinBits: 4, MaxBits: 7,
+		Sim: sim.Options{Warmup: warmup},
+	}
+	baseline, err := Run(base, tr)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted := base
+	interrupted.CheckpointDir = dir
+	interrupted.afterTier = func(tableBits int) {
+		if tableBits == base.MinBits+1 {
+			cancel()
+		}
+	}
+	if _, err := RunCtx(ctx, interrupted, tr); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "sweep-*.bpc"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("checkpoint files after interrupt: %v (err %v), want exactly one", files, err)
+	}
+
+	counters := &obs.Counters{}
+	resumed := base
+	resumed.CheckpointDir = dir
+	resumed.Sim.Obs = counters
+	got, err := RunCtx(context.Background(), resumed, tr)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	snap := counters.Snapshot()
+	if snap.ConfigsCached == 0 {
+		t.Error("resume did not read any cells back from the checkpoint file")
+	}
+	if snap.ConfigsCompleted == 0 {
+		t.Error("resume had nothing left to simulate; interruption point makes no sense")
+	}
+	if !bytes.Equal(surfaceBytes(t, got), surfaceBytes(t, baseline)) {
+		t.Error("file-resumed surface differs from uninterrupted baseline")
+	}
+
+	// A third run over the now-complete file is served entirely from
+	// cache.
+	counters2 := &obs.Counters{}
+	full := base
+	full.CheckpointDir = dir
+	full.Sim.Obs = counters2
+	again, err := RunCtx(context.Background(), full, tr)
+	if err != nil {
+		t.Fatalf("fully-cached run: %v", err)
+	}
+	snap2 := counters2.Snapshot()
+	if snap2.ConfigsCompleted != 0 {
+		t.Errorf("fully-cached run still simulated %d cells", snap2.ConfigsCompleted)
+	}
+	if !bytes.Equal(surfaceBytes(t, again), surfaceBytes(t, baseline)) {
+		t.Error("fully-cached surface differs from baseline")
+	}
+}
+
+// TestCheckpointDirMismatchedWarmup ensures a checkpoint written under
+// one warmup refuses to serve a run with another: silently mixing
+// results scored differently would corrupt the surface.
+func TestCheckpointDirMismatchedWarmup(t *testing.T) {
+	tr := resumeTrace(t, 20_000)
+	dir := t.TempDir()
+
+	o := Options{
+		Scheme: core.SchemeGAs, MinBits: 4, MaxBits: 5,
+		Sim:           sim.Options{Warmup: 500},
+		CheckpointDir: dir,
+	}
+	if _, err := Run(o, tr); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	o.Sim.Warmup = 600
+	if _, err := Run(o, tr); !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Fatalf("mismatched warmup: err = %v, want ErrMismatch", err)
+	}
+}
+
+// TestCheckpointDirMismatchedTrace ensures a different trace hashes to
+// a different file name, so two traces never share cells.
+func TestCheckpointDirMismatchedTrace(t *testing.T) {
+	trA := resumeTrace(t, 20_000)
+	prof, _ := workload.ProfileByName("espresso")
+	trB := workload.Generate(prof, 43, 20_000)
+	dir := t.TempDir()
+
+	o := Options{
+		Scheme: core.SchemeGAs, MinBits: 4, MaxBits: 5,
+		Sim:           sim.Options{Warmup: 500},
+		CheckpointDir: dir,
+	}
+	if _, err := Run(o, trA); err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	if _, err := Run(o, trB); err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "sweep-*.bpc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("got %d checkpoint files, want one per distinct trace (2)", len(files))
+	}
+	for _, f := range files {
+		if fi, err := os.Stat(f); err != nil || fi.Size() == 0 {
+			t.Errorf("checkpoint %s unreadable or empty (err %v)", f, err)
+		}
+	}
+}
+
+// TestSweepPreCanceled checks the no-checkpoint path surfaces the
+// context error without inventing a surface.
+func TestSweepPreCanceled(t *testing.T) {
+	tr := resumeTrace(t, 10_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	o := Options{Scheme: core.SchemeGShare, MinBits: 4, MaxBits: 6}
+	s, err := RunCtx(ctx, o, tr)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s != nil {
+		t.Error("canceled sweep returned a surface")
+	}
+}

@@ -12,8 +12,12 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
+	"path/filepath"
+	"time"
 
+	"bpred/internal/checkpoint"
 	"bpred/internal/core"
 	"bpred/internal/sim"
 	"bpred/internal/trace"
@@ -43,8 +47,23 @@ type Options struct {
 	PathBits int
 	// Metered attaches aliasing meters to every configuration.
 	Metered bool
-	// Sim carries simulation options (warmup).
+	// Sim carries simulation options (warmup, progress counters).
 	Sim sim.Options
+	// Checkpoint, when non-nil, is the result cache consulted before
+	// simulating each cell and updated (and flushed) as cells
+	// complete. The store must be bound to this trace and warmup; use
+	// CheckpointDir to have Run derive and verify that binding itself.
+	Checkpoint *checkpoint.Store
+	// CheckpointDir, when non-empty and Checkpoint is nil, enables
+	// checkpointing into a file under this directory named after the
+	// trace's content digest, so any sweep over the same trace content
+	// and warmup — across processes and even across schemes — shares
+	// one resumable cache file.
+	CheckpointDir string
+
+	// afterTier, when set, runs after each tier completes (tests use
+	// it to interrupt a sweep at a deterministic point).
+	afterTier func(tableBits int)
 }
 
 func (o Options) bounds() (int, int) {
@@ -163,48 +182,144 @@ func (s *Surface) BestInTier(tableBits int) (Point, bool) {
 func Configs(o Options) []core.Config {
 	var out []core.Config
 	for _, n := range o.tierList() {
-		for r := 0; r <= n; r++ {
-			if o.Scheme == core.SchemeAddress && r != 0 {
-				continue
-			}
-			c := core.Config{
-				Scheme:     o.Scheme,
-				RowBits:    r,
-				ColBits:    n - r,
-				FirstLevel: o.FirstLevel,
-				PathBits:   o.PathBits,
-				Metered:    o.Metered,
-			}
-			// Address-indexed is the r=0 edge of every family; GAs
-			// with 0 rows *is* address-indexed, so keep it: the
-			// paper's tiers run from address-indexed to GAg.
-			out = append(out, c)
+		out = append(out, tierConfigs(o, n)...)
+	}
+	return out
+}
+
+// tierConfigs enumerates one tier's configurations.
+func tierConfigs(o Options, n int) []core.Config {
+	var out []core.Config
+	for r := 0; r <= n; r++ {
+		if o.Scheme == core.SchemeAddress && r != 0 {
+			continue
 		}
+		c := core.Config{
+			Scheme:     o.Scheme,
+			RowBits:    r,
+			ColBits:    n - r,
+			FirstLevel: o.FirstLevel,
+			PathBits:   o.PathBits,
+			Metered:    o.Metered,
+		}
+		// Address-indexed is the r=0 edge of every family; GAs
+		// with 0 rows *is* address-indexed, so keep it: the
+		// paper's tiers run from address-indexed to GAg.
+		out = append(out, c)
 	}
 	return out
 }
 
 // Run executes the sweep over the trace and assembles the surface.
 func Run(o Options, tr *trace.Trace) (*Surface, error) {
+	return RunCtx(context.Background(), o, tr)
+}
+
+// RunCtx executes the sweep with cancellation and optional
+// checkpointing.
+//
+// Without a checkpoint store, every configuration runs in one
+// chunk-shared sim.RunConfigsCtx call (maximal trace-chunk reuse
+// across worker batches — DESIGN.md §5); a cancel is honored within
+// one chunk of per-worker work and the partial results are discarded.
+//
+// With a checkpoint store (Checkpoint or CheckpointDir set), the sweep
+// runs tier by tier: cached cells are placed without simulation, each
+// tier's missing cells run in one chunk-shared call, and completed
+// cells — including the completed subset of a tier interrupted
+// mid-flight — are added to the store and flushed at every tier
+// boundary and on the cancellation path. A canceled sweep therefore
+// returns ctx.Err() promptly while keeping everything it finished;
+// rerunning the same sweep resumes from the cache and produces a
+// Surface byte-identical to an uninterrupted run. Tier-by-tier
+// execution trades some cross-tier chunk sharing for that bounded
+// loss, which is why it is only active when checkpointing is on.
+func RunCtx(ctx context.Context, o Options, tr *trace.Trace) (*Surface, error) {
 	lo, hi := o.bounds()
 	if lo < 0 || hi > 30 || lo > hi {
 		return nil, fmt.Errorf("sweep: bad tier bounds [%d, %d]", lo, hi)
 	}
-	configs := Configs(o)
-	ms, err := sim.RunConfigs(configs, tr, o.Sim)
-	if err != nil {
-		return nil, err
+	store := o.Checkpoint
+	if store == nil && o.CheckpointDir != "" {
+		digest := tr.Digest()
+		path := filepath.Join(o.CheckpointDir, fmt.Sprintf("sweep-%x.bpc", digest[:12]))
+		var err error
+		if store, err = checkpoint.Open(path, digest, uint64(o.Sim.Warmup)); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
 	}
 	s := &Surface{Scheme: o.Scheme, Trace: tr.Name, MinBits: lo, MaxBits: hi}
 	s.points = make([][]Point, hi-lo+1)
 	for i := range s.points {
 		s.points[i] = make([]Point, lo+i+1)
 	}
-	for i, c := range configs {
-		t := c.TableBits() - lo
-		s.points[t][c.RowBits] = Point{Config: c, Metrics: ms[i]}
+
+	if store == nil {
+		configs := Configs(o)
+		ms, err := sim.RunConfigsCtx(ctx, configs, tr, o.Sim)
+		if err != nil {
+			return nil, err
+		}
+		o.Sim.Obs.AddCompleted(uint64(len(configs)))
+		for i, c := range configs {
+			s.points[c.TableBits()-lo][c.RowBits] = Point{Config: c, Metrics: ms[i]}
+		}
+		return s, nil
+	}
+
+	for _, n := range o.tierList() {
+		if err := ctx.Err(); err != nil {
+			return nil, flushOnCancel(store, err)
+		}
+		start := time.Now()
+		var missing []core.Config
+		for _, c := range tierConfigs(o, n) {
+			if m, ok := store.Lookup(c.Fingerprint()); ok {
+				s.points[c.TableBits()-lo][c.RowBits] = Point{Config: c, Metrics: m}
+				o.Sim.Obs.AddCached(1)
+				continue
+			}
+			missing = append(missing, c)
+		}
+		if len(missing) > 0 {
+			ms, err := sim.RunConfigsCtx(ctx, missing, tr, o.Sim)
+			if err != nil {
+				// Keep whatever completed before the cancel: finished
+				// worker batches carry final metrics (non-empty Name —
+				// sim's partial-result contract).
+				if ms != nil {
+					for i, c := range missing {
+						if ms[i].Name != "" {
+							store.Add(c.Fingerprint(), ms[i])
+							o.Sim.Obs.AddCompleted(1)
+						}
+					}
+				}
+				return nil, flushOnCancel(store, err)
+			}
+			for i, c := range missing {
+				store.Add(c.Fingerprint(), ms[i])
+				s.points[c.TableBits()-lo][c.RowBits] = Point{Config: c, Metrics: ms[i]}
+			}
+			o.Sim.Obs.AddCompleted(uint64(len(missing)))
+		}
+		if err := store.Flush(); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		o.Sim.Obs.TierDone(time.Since(start))
+		if o.afterTier != nil {
+			o.afterTier(n)
+		}
 	}
 	return s, nil
+}
+
+// flushOnCancel persists completed cells on the cancellation path; the
+// cancellation error wins over a (rare) flush failure, which would
+// only cost a re-simulation on resume.
+func flushOnCancel(store *checkpoint.Store, cancelErr error) error {
+	_ = store.Flush()
+	return cancelErr
 }
 
 // Diff computes b - a misprediction-rate differences for every grid

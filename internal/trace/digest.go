@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Digest returns a SHA-256 content digest of the trace: its name,
+// metadata, and every branch record. Two traces with the same digest
+// drive a deterministic simulator to identical results, which is what
+// lets the checkpoint layer (internal/checkpoint) key cached sweep
+// cells by trace content instead of by file path or generation
+// parameters.
+//
+// The digest covers the in-memory representation, not the BPT1 byte
+// stream, so it is insensitive to on-disk encoding details and equally
+// applicable to generated traces that never touch a file.
+func (t *Trace) Digest() [sha256.Size]byte {
+	h := sha256.New()
+	var hdr [8]byte
+	h.Write([]byte("bpred-trace-digest-v1\x00"))
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(t.Name)))
+	h.Write(hdr[:])
+	h.Write([]byte(t.Name))
+	binary.LittleEndian.PutUint64(hdr[:], t.Instructions)
+	h.Write(hdr[:])
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(t.Branches)))
+	h.Write(hdr[:])
+
+	// Records are hashed in fixed-width little-endian blocks; buffering
+	// amortizes the hasher's call overhead over ~3800 records at a time.
+	const recSize = 8 + 8 + 1
+	buf := make([]byte, 0, recSize*3855)
+	for i := range t.Branches {
+		b := &t.Branches[i]
+		var rec [recSize]byte
+		binary.LittleEndian.PutUint64(rec[0:], b.PC)
+		binary.LittleEndian.PutUint64(rec[8:], b.Target)
+		if b.Taken {
+			rec[16] = 1
+		}
+		buf = append(buf, rec[:]...)
+		if len(buf)+recSize > cap(buf) {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	h.Write(buf)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}

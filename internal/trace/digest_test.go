@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"testing"
+)
+
+func digestTrace() *Trace {
+	tr := &Trace{Name: "digest-sample", Instructions: 100}
+	tr.Append(Branch{PC: 0x1000, Target: 0x1100, Taken: true})
+	tr.Append(Branch{PC: 0x1008, Target: 0x0F00, Taken: false})
+	tr.Append(Branch{PC: 0x1010, Target: 0x1030, Taken: true})
+	return tr
+}
+
+func TestDigestStable(t *testing.T) {
+	a := digestTrace().Digest()
+	b := digestTrace().Digest()
+	if a != b {
+		t.Error("equal traces produced different digests")
+	}
+}
+
+// TestDigestSensitivity flips each field the digest claims to cover
+// and requires the digest to move.
+func TestDigestSensitivity(t *testing.T) {
+	base := digestTrace().Digest()
+
+	mutations := map[string]func(*Trace){
+		"name":         func(tr *Trace) { tr.Name = "other" },
+		"instructions": func(tr *Trace) { tr.Instructions++ },
+		"branch pc":    func(tr *Trace) { tr.Branches[1].PC ^= 4 },
+		"branch target": func(tr *Trace) {
+			tr.Branches[2].Target ^= 8
+		},
+		"branch taken": func(tr *Trace) { tr.Branches[0].Taken = !tr.Branches[0].Taken },
+		"append": func(tr *Trace) {
+			tr.Append(Branch{PC: 0x2000, Target: 0x2100, Taken: false})
+		},
+		"truncate": func(tr *Trace) { tr.Branches = tr.Branches[:len(tr.Branches)-1] },
+	}
+	for name, mutate := range mutations {
+		tr := digestTrace()
+		mutate(tr)
+		if tr.Digest() == base {
+			t.Errorf("mutating %s left the digest unchanged", name)
+		}
+	}
+}
+
+// TestDigestFieldBoundaries guards against concatenation ambiguity:
+// moving bytes between length-prefixed fields must change the digest.
+func TestDigestFieldBoundaries(t *testing.T) {
+	a := &Trace{Name: "ab", Instructions: 1}
+	b := &Trace{Name: "a", Instructions: 1}
+	if a.Digest() == b.Digest() {
+		t.Error("name boundary not covered by the digest")
+	}
+}
+
+// TestDigestLargeTraceBuffered crosses the internal hashing buffer
+// boundary (~3855 records) and checks the buffered path agrees with
+// itself and remains order-sensitive.
+func TestDigestLargeTraceBuffered(t *testing.T) {
+	const n = 10_000
+	mk := func() *Trace {
+		tr := &Trace{Name: "big", Instructions: n}
+		for i := 0; i < n; i++ {
+			tr.Append(Branch{PC: uint64(i) << 2, Target: uint64(i+1) << 2, Taken: i%3 == 0})
+		}
+		return tr
+	}
+	if mk().Digest() != mk().Digest() {
+		t.Error("large-trace digest unstable")
+	}
+	swapped := mk()
+	swapped.Branches[0], swapped.Branches[n-1] = swapped.Branches[n-1], swapped.Branches[0]
+	if swapped.Digest() == mk().Digest() {
+		t.Error("digest insensitive to record order")
+	}
+}

@@ -105,3 +105,61 @@ func TestReaderHugeCountTruncates(t *testing.T) {
 		t.Fatal("truncation not reported")
 	}
 }
+
+// TestReaderTruncationAtEveryPrefix truncates a valid BPT1 stream at
+// every byte offset. Each strict prefix must fail cleanly: either the
+// header parse errors, or fewer records than promised decode and Err
+// reports the truncation — never a panic, never a silently short read.
+func TestReaderTruncationAtEveryPrefix(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, tr.Name, tr.Instructions, uint64(tr.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range tr.Branches {
+		if err := w.WriteBranch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	for n := 0; n < len(valid); n++ {
+		r, err := NewReader(bytes.NewReader(valid[:n]))
+		if err != nil {
+			continue // failed at the header: fine
+		}
+		read := 0
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+			read++
+		}
+		if uint64(read) >= r.Count() {
+			t.Errorf("prefix of %d/%d bytes yielded all %d promised records", n, len(valid), read)
+		}
+		if r.Err() == nil {
+			t.Errorf("prefix of %d/%d bytes: %d records decoded with no truncation error", n, len(valid), read)
+		}
+	}
+
+	// The untruncated stream still decodes fully and cleanly.
+	r, err := NewReader(bytes.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		read++
+	}
+	if r.Err() != nil || read != tr.Len() {
+		t.Fatalf("full stream: %d records (want %d), err %v", read, tr.Len(), r.Err())
+	}
+}
