@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench-sim bench-short cover fuzz-smoke all
+.PHONY: build test vet race bench-sim bench-short cover fuzz-smoke diff-fuzz all
 
 all: build vet test
 
@@ -54,3 +54,17 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/checkpoint/
+
+# diff-fuzz differentially fuzzes every scheme family against the
+# independent reference model (internal/refmodel): random traces,
+# geometries, warmups, and chunk sizes must produce bit-identical
+# metrics between the batched kernels and the oracle. DIFF_FUZZTIME
+# is per family.
+DIFF_FUZZTIME ?= 60s
+
+diff-fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDiffAddress -fuzztime $(DIFF_FUZZTIME) ./internal/refmodel/diff/
+	$(GO) test -run '^$$' -fuzz FuzzDiffGlobal -fuzztime $(DIFF_FUZZTIME) ./internal/refmodel/diff/
+	$(GO) test -run '^$$' -fuzz FuzzDiffGShare -fuzztime $(DIFF_FUZZTIME) ./internal/refmodel/diff/
+	$(GO) test -run '^$$' -fuzz FuzzDiffPath -fuzztime $(DIFF_FUZZTIME) ./internal/refmodel/diff/
+	$(GO) test -run '^$$' -fuzz FuzzDiffPerAddress -fuzztime $(DIFF_FUZZTIME) ./internal/refmodel/diff/

@@ -117,7 +117,10 @@ func main() {
 	}
 	if *btbEntries > 0 {
 		fe := sim.RunFrontend(cfg.MustBuild(), btb.New(*btbEntries, *btbWays), tr.NewSource(), sim.Options{Warmup: warm})
-		branchFrac := float64(tr.Len()) / float64(tr.Instructions)
+		branchFrac := 0.0
+		if tr.Instructions > 0 {
+			branchFrac = float64(tr.Len()) / float64(tr.Instructions)
+		}
 		fmt.Printf("btb:               %d entries, %d-way (hit rate %.2f%%)\n",
 			*btbEntries, *btbWays, 100*fe.BTBHitRate)
 		fmt.Printf("fetch redirects:   %d (%.2f%% of branches; %.2f%% direction, rest target)\n",

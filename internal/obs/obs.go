@@ -33,18 +33,38 @@ type Counters struct {
 	tierNanos atomic.Int64
 
 	// start is set lazily by the first producer touch (or explicitly
-	// by Start) and anchors Snapshot.Elapsed.
-	startOnce sync.Once
-	start     atomic.Int64
+	// by Start) and anchors Snapshot.Elapsed. Zero means unanchored,
+	// so Reset can rearm it.
+	start atomic.Int64
 }
 
 // Start anchors the elapsed-time clock; producers also do this
-// implicitly on first touch.
+// implicitly on first touch. Only the first call after creation (or
+// after Reset) wins.
 func (c *Counters) Start() {
 	if c == nil {
 		return
 	}
-	c.startOnce.Do(func() { c.start.Store(time.Now().UnixNano()) })
+	if c.start.Load() == 0 {
+		c.start.CompareAndSwap(0, time.Now().UnixNano())
+	}
+}
+
+// Reset zeroes every counter and rearms the elapsed-time anchor, so a
+// long-lived process can reuse one Counters (and its published expvar
+// name) across runs.
+func (c *Counters) Reset() {
+	if c == nil {
+		return
+	}
+	c.branches.Store(0)
+	c.chunks.Store(0)
+	c.completed.Store(0)
+	c.cached.Store(0)
+	c.failed.Store(0)
+	c.tiers.Store(0)
+	c.tierNanos.Store(0)
+	c.start.Store(0)
 }
 
 // AddChunk records one processed chunk of n branches. Called by the
@@ -160,15 +180,37 @@ func (s Snapshot) String() string {
 		s.Elapsed.Round(time.Millisecond))
 }
 
+// published maps expvar names this package has registered to the
+// rebindable slot the expvar closure reads through. expvar panics on
+// duplicate registration and offers no unregister, so each name is
+// registered exactly once and later Publish calls swap the slot.
+var (
+	publishMu sync.Mutex
+	published = make(map[string]*atomic.Pointer[Counters])
+)
+
 // Publish registers the counters with the process-wide expvar registry
 // under the given name, so an importing server exposes them on
-// /debug/vars. Publishing the same name twice is a no-op (expvar
-// itself panics on duplicates, so the second registration is skipped).
+// /debug/vars. Publishing a name this package already registered is
+// idempotent: the name is rebound to c (a fresh run's counters replace
+// the stale ones) instead of panicking in expvar. A name registered
+// with expvar by other code is left untouched.
 func (c *Counters) Publish(name string) {
-	if c == nil || expvar.Get(name) != nil {
+	if c == nil {
 		return
 	}
-	expvar.Publish(name, expvar.Func(func() any { return c.Snapshot() }))
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	slot, ok := published[name]
+	if !ok {
+		if expvar.Get(name) != nil {
+			return // foreign registration owns the name
+		}
+		slot = new(atomic.Pointer[Counters])
+		published[name] = slot
+		expvar.Publish(name, expvar.Func(func() any { return slot.Load().Snapshot() }))
+	}
+	slot.Store(c)
 }
 
 // MarshalJSON lets a *Counters itself serialize as its snapshot.

@@ -129,3 +129,78 @@ func TestPublishIdempotent(t *testing.T) {
 		t.Errorf("published value %s lacks snapshot fields", v.String())
 	}
 }
+
+// TestPublishRebinds checks the second registration of a name this
+// package owns swaps the live counters instead of serving stale ones:
+// the regression for long-lived callers starting a second run.
+func TestPublishRebinds(t *testing.T) {
+	c1 := &Counters{}
+	c1.AddChunk(7)
+	c1.Publish("obs-test-rebind")
+	c2 := &Counters{}
+	c2.AddCompleted(3)
+	c2.Publish("obs-test-rebind") // must not panic, must rebind
+	v := expvar.Get("obs-test-rebind")
+	if v == nil {
+		t.Fatal("counters not published")
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Branches != 0 || s.ConfigsCompleted != 3 {
+		t.Errorf("published snapshot %+v still reflects the first run", s)
+	}
+}
+
+// TestPublishForeignNameUntouched checks Publish leaves names
+// registered directly with expvar alone.
+func TestPublishForeignNameUntouched(t *testing.T) {
+	foreign := expvar.NewInt("obs-test-foreign")
+	foreign.Set(99)
+	c := &Counters{}
+	c.Publish("obs-test-foreign") // must neither panic nor rebind
+	if got := expvar.Get("obs-test-foreign").String(); got != "99" {
+		t.Errorf("foreign var overwritten: %s", got)
+	}
+}
+
+// TestPublishConcurrent hammers one name from many goroutines; run
+// under -race this is the regression for the Get/Publish TOCTOU.
+func TestPublishConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &Counters{}
+			c.AddChunk(1)
+			c.Publish("obs-test-concurrent")
+		}()
+	}
+	wg.Wait()
+	if expvar.Get("obs-test-concurrent") == nil {
+		t.Fatal("counters not published")
+	}
+}
+
+// TestReset checks Reset zeroes the counters and rearms the
+// elapsed-time anchor.
+func TestReset(t *testing.T) {
+	c := &Counters{}
+	c.AddChunk(100)
+	c.AddCompleted(2)
+	c.TierDone(time.Second)
+	c.Reset()
+	s := c.Snapshot()
+	if s.Branches != 0 || s.Chunks != 0 || s.ConfigsCompleted != 0 ||
+		s.TiersCompleted != 0 || s.TierTime != 0 || s.Elapsed != 0 {
+		t.Errorf("snapshot after Reset = %+v", s)
+	}
+	c.AddChunk(1) // re-anchors the clock
+	if c.Snapshot().Elapsed <= 0 {
+		t.Error("elapsed clock not rearmed after Reset")
+	}
+	var nilC *Counters
+	nilC.Reset() // must not panic
+}

@@ -1,0 +1,103 @@
+package diff
+
+// Seed corpus of adversarial traces, checked into
+// internal/refmodel/testdata as BPT1 files. Each trace is shaped
+// like a divergence class the harness exists to catch: all-taken
+// tight loops (all-ones misclassification), first-level eviction
+// storms (reset-policy and LRU bugs), chunk-boundary-straddling
+// lengths (warmup split accounting), and the general biased mix.
+// The files also lock the BPT1 codec: the test verifies the decoded
+// bytes still equal the in-code construction before replaying the
+// whole battery over them.
+//
+// Regenerate with: go test ./internal/refmodel/diff -run TestSeedCorpus -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bpred/internal/sim"
+	"bpred/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata seed corpus and golden files")
+
+const corpusDir = "../testdata"
+
+// corpusTraces deterministically reconstructs every corpus trace.
+func corpusTraces() []*trace.Trace {
+	// allones-loop: two sites alternating in a tight all-taken loop,
+	// with a not-taken excursion every 97th branch so the history
+	// register repeatedly enters and leaves the all-ones pattern.
+	loop := &trace.Trace{Name: "allones-loop", Instructions: 4000}
+	for i := 0; i < 1000; i++ {
+		pc := uint64(0x1000 + (i%2)*0x40)
+		loop.Branches = append(loop.Branches, trace.Branch{
+			PC: pc, Target: 0x1000, Taken: i%97 != 96,
+		})
+	}
+
+	// eviction-storm: 64 distinct sites round-robin — more live
+	// branches than any small tagged first level holds, so every
+	// lookup evicts and every reset policy is exercised continuously.
+	storm := &trace.Trace{Name: "eviction-storm", Instructions: 8000}
+	for i := 0; i < 2000; i++ {
+		pc := uint64(0x2000 + (i%64)*4)
+		storm.Branches = append(storm.Branches, trace.Branch{
+			PC: pc, Target: pc + 16, Taken: i%3 != 0,
+		})
+	}
+
+	// chunk-straddle: one branch more than the default chunk, so a
+	// default-chunk run has a 1-branch tail and warmups near 8192 land
+	// on the boundary.
+	straddle := SynthTrace(0x57, 8193)
+	straddle.Name = "chunk-straddle"
+
+	// biased-mix: the generic synthetic shape.
+	mix := SynthTrace(42, 2000)
+	mix.Name = "biased-mix"
+
+	return []*trace.Trace{loop, storm, straddle, mix}
+}
+
+// TestSeedCorpus locks the corpus files to their in-code construction
+// and replays the full battery over each, demanding engine/oracle
+// agreement at several warmup/chunk settings.
+func TestSeedCorpus(t *testing.T) {
+	for _, want := range corpusTraces() {
+		path := filepath.Join(corpusDir, want.Name+".bpt")
+		if *update {
+			if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.WriteFile(path, want); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := trace.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with -update)", path, err)
+		}
+		if got.Name != want.Name || got.Len() != want.Len() {
+			t.Fatalf("%s: decoded %q/%d, want %q/%d", path, got.Name, got.Len(), want.Name, want.Len())
+		}
+		for i := range got.Branches {
+			if got.Branches[i] != want.Branches[i] {
+				t.Fatalf("%s: branch %d decoded %+v, want %+v (codec drift?)",
+					path, i, got.Branches[i], want.Branches[i])
+			}
+		}
+		for _, opt := range []sim.Options{
+			{},
+			{Warmup: got.Len() / 2, Chunk: 61},
+			{Warmup: 8192, Chunk: 0}, // default chunk, warmup at its boundary
+		} {
+			for _, cfg := range Battery(true) {
+				requireEqual(t, cfg, got, opt)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package diff
+
+// Differential fuzzing: each scheme family gets a fuzz target over
+// (trace seed, length, geometry, warmup, chunk) tuples. The geometry
+// word is hashed into bounded table shapes so every input is valid by
+// construction; the assertion is always the same — the batched engine
+// and the reference model must agree bit-for-bit on every metric.
+// `make diff-fuzz` runs each target as a timed smoke; CI wires it in.
+
+import (
+	"testing"
+
+	"bpred/internal/core"
+	"bpred/internal/history"
+	"bpred/internal/rng"
+	"bpred/internal/sim"
+)
+
+// fuzzGeom derives bounded geometry fields from one hashed word.
+type fuzzGeom struct {
+	rowBits, colBits, counterBits int
+	warmup, chunk, n              int
+	metered                       bool
+}
+
+func deriveGeom(geom uint64, nRaw, warmupRaw, chunkRaw uint16) fuzzGeom {
+	h := rng.Mix64(geom)
+	g := fuzzGeom{
+		rowBits:     int(h % 11),      // 0..10
+		colBits:     int(h >> 8 % 7),  // 0..6
+		counterBits: int(h>>16%4) + 1, // 1..4
+		metered:     h>>24&1 == 1,
+		n:           int(nRaw)%2048 + 1, // 1..2048
+	}
+	g.warmup = int(warmupRaw) % (g.n + 64) // sometimes beyond the trace
+	g.chunk = int(chunkRaw) % 512          // 0 means the default chunk
+	return g
+}
+
+// fuzzCompare is the shared assertion body.
+func fuzzCompare(t *testing.T, cfg core.Config, seed uint64, g fuzzGeom) {
+	t.Helper()
+	if err := cfg.Validate(); err != nil {
+		t.Skip() // unreachable with bounded geometry, but stay safe
+	}
+	tr := SynthTrace(seed, g.n)
+	opt := sim.Options{Warmup: g.warmup, Chunk: g.chunk}
+	res, err := Compare(cfg, tr, opt)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if res.Equal() {
+		return
+	}
+	msg := res.String()
+	if div, lerr := LockstepConfig(cfg, tr, 8); lerr == nil && div != nil {
+		msg += "\n" + div.String()
+	} else if idx, ok, berr := BisectBatched(cfg, tr, opt); berr == nil && ok {
+		msg += "\n(generic path agrees; batched kernel diverges at branch " + itoa(idx) + ")"
+	}
+	t.Fatalf("%s (warmup %d, chunk %d, n %d):\n%s",
+		cfg.Fingerprint(), g.warmup, g.chunk, g.n, msg)
+}
+
+func addSeeds(f *testing.F) {
+	f.Add(uint64(1), uint16(500), uint64(0), uint16(0), uint16(0))
+	f.Add(uint64(2), uint16(2000), uint64(0x5a5a), uint16(137), uint16(64))
+	f.Add(uint64(0xbeef), uint16(64), uint64(7), uint16(200), uint16(1))
+}
+
+func FuzzDiffAddress(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, geom uint64, warmup, chunk uint16) {
+		g := deriveGeom(geom, n, warmup, chunk)
+		cfg := core.Config{Scheme: core.SchemeAddress, ColBits: g.colBits,
+			CounterBits: g.counterBits, Metered: g.metered}
+		fuzzCompare(t, cfg, seed, g)
+	})
+}
+
+func FuzzDiffGlobal(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, geom uint64, warmup, chunk uint16) {
+		g := deriveGeom(geom, n, warmup, chunk)
+		cfg := core.Config{Scheme: core.SchemeGAs, RowBits: g.rowBits, ColBits: g.colBits,
+			CounterBits: g.counterBits, Metered: g.metered}
+		fuzzCompare(t, cfg, seed, g)
+	})
+}
+
+func FuzzDiffGShare(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, geom uint64, warmup, chunk uint16) {
+		g := deriveGeom(geom, n, warmup, chunk)
+		cfg := core.Config{Scheme: core.SchemeGShare, RowBits: g.rowBits, ColBits: g.colBits,
+			CounterBits: g.counterBits, Metered: g.metered}
+		fuzzCompare(t, cfg, seed, g)
+	})
+}
+
+func FuzzDiffPath(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, geom uint64, warmup, chunk uint16) {
+		g := deriveGeom(geom, n, warmup, chunk)
+		pathBits := int(rng.Mix64(geom^0x9e)%4) + 1 // 1..4 target bits per event
+		cfg := core.Config{Scheme: core.SchemePath, RowBits: g.rowBits, ColBits: g.colBits,
+			PathBits: pathBits, CounterBits: g.counterBits, Metered: g.metered}
+		fuzzCompare(t, cfg, seed, g)
+	})
+}
+
+func FuzzDiffPerAddress(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, geom uint64, warmup, chunk uint16) {
+		g := deriveGeom(geom, n, warmup, chunk)
+		h := rng.Mix64(geom ^ 0xc3ff)
+		var fl core.FirstLevel
+		switch h % 3 {
+		case 0:
+			fl = core.FirstLevel{Kind: core.FirstLevelPerfect}
+		case 1:
+			ways := 1 << (h >> 4 % 3)                  // 1, 2, 4
+			sets := 1 << (h >> 8 % 5)                  // 1..16 sets
+			policy := history.ResetPolicy(h >> 16 % 4) // all four policies
+			fl = core.FirstLevel{Kind: core.FirstLevelSetAssoc,
+				Entries: sets * ways, Ways: ways, Policy: policy}
+		case 2:
+			fl = core.FirstLevel{Kind: core.FirstLevelUntagged, Entries: 1 << (h >> 4 % 7)}
+		}
+		cfg := core.Config{Scheme: core.SchemePAs, RowBits: g.rowBits, ColBits: g.colBits,
+			FirstLevel: fl, CounterBits: g.counterBits, Metered: g.metered}
+		fuzzCompare(t, cfg, seed, g)
+	})
+}

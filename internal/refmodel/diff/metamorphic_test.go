@@ -1,0 +1,160 @@
+package diff
+
+// Metamorphic properties of the simulation engine: transformations of
+// how a trace is fed (chunking, interruption, concatenation) that must
+// not change any reported metric. Each property is checked across a
+// sample of scheme families; the warmup cases deliberately straddle
+// chunk boundaries and the trace end, the accounting the batched
+// kernels get wrong first when runner.feed's warmup split regresses.
+
+import (
+	"strconv"
+	"testing"
+
+	"bpred/internal/core"
+	"bpred/internal/sim"
+	"bpred/internal/trace"
+)
+
+// itoa shortens the failure labels.
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// metamorphicConfigs is a cross-family sample kept small enough to
+// run every property in a few seconds.
+func metamorphicConfigs() []core.Config {
+	return []core.Config{
+		{Scheme: core.SchemeAddress, ColBits: 5, Metered: true},
+		{Scheme: core.SchemeGShare, RowBits: 6, ColBits: 2, Metered: true},
+		{Scheme: core.SchemePath, RowBits: 5, ColBits: 1, Metered: true},
+		{Scheme: core.SchemePAs, RowBits: 5, ColBits: 1, Metered: true,
+			FirstLevel: core.FirstLevel{Kind: core.FirstLevelSetAssoc, Entries: 32, Ways: 4}},
+	}
+}
+
+// requireSameMetrics asserts two runs reported bit-identical metrics.
+func requireSameMetrics(t *testing.T, label string, a, b sim.Metrics) {
+	t.Helper()
+	if a.Branches != b.Branches || a.Mispredicts != b.Mispredicts {
+		t.Fatalf("%s: scored counts differ: %d/%d vs %d/%d",
+			label, a.Mispredicts, a.Branches, b.Mispredicts, b.Branches)
+	}
+	if a.Alias != b.Alias {
+		t.Fatalf("%s: alias stats differ: %+v vs %+v", label, a.Alias, b.Alias)
+	}
+	if a.FirstLevelMissRate != b.FirstLevelMissRate {
+		t.Fatalf("%s: first-level miss rate differs: %g vs %g",
+			label, a.FirstLevelMissRate, b.FirstLevelMissRate)
+	}
+}
+
+// TestChunkedEqualsUnchunked: the chunk size is an execution detail;
+// every chunking (including pathological chunk=1) must equal the
+// default and the generic scalar loop.
+func TestChunkedEqualsUnchunked(t *testing.T) {
+	tr := SynthTrace(21, 3000)
+	for _, cfg := range metamorphicConfigs() {
+		for _, warmup := range []int{0, 13, 2999, 3000} {
+			scalar := sim.Run(cfg.MustBuild(), tr.NewSource(), sim.Options{Warmup: warmup})
+			for _, chunk := range []int{1, 7, 100, 8192, 100000} {
+				batched := sim.RunTrace(cfg.MustBuild(), tr, sim.Options{Warmup: warmup, Chunk: chunk})
+				requireSameMetrics(t,
+					cfg.Fingerprint()+" warmup="+itoa(warmup)+" chunk="+itoa(chunk),
+					scalar, batched)
+			}
+		}
+	}
+}
+
+// TestWarmupBoundaries: warmup landing exactly on a chunk boundary,
+// mid-chunk, at the trace end, and beyond the trace must score
+// identically in the batched kernels, the scalar path, and the
+// oracle. Warmup > trace length must score zero branches (and the
+// rate accessors must not emit NaN).
+func TestWarmupBoundaries(t *testing.T) {
+	const chunk = 64
+	tr := SynthTrace(22, 10*chunk)
+	for _, cfg := range metamorphicConfigs() {
+		for _, warmup := range []int{chunk - 1, chunk, chunk + 1, 3 * chunk, 10*chunk - 1, 10 * chunk, 10*chunk + 50} {
+			opt := sim.Options{Warmup: warmup, Chunk: chunk}
+			scalar := sim.Run(cfg.MustBuild(), tr.NewSource(), sim.Options{Warmup: warmup})
+			batched := sim.RunTrace(cfg.MustBuild(), tr, opt)
+			requireSameMetrics(t, cfg.Fingerprint()+" warmup="+itoa(warmup), scalar, batched)
+			requireEqual(t, cfg, tr, opt)
+			if warmup >= tr.Len() {
+				if batched.Branches != 0 {
+					t.Fatalf("warmup %d ≥ trace %d scored %d branches", warmup, tr.Len(), batched.Branches)
+				}
+				if r := batched.MispredictRate(); r != 0 {
+					t.Fatalf("zero-branch run reported rate %g", r)
+				}
+			}
+		}
+	}
+}
+
+// TestInterruptResumeEqualsStraight: running the first half of a
+// trace, then the second half, on the same predictor instance must
+// equal one straight run — scored counts summing across legs, the
+// cumulative meters taken from the final leg. This is the in-process
+// equivalent of the checkpoint layer's interrupt-resume contract.
+func TestInterruptResumeEqualsStraight(t *testing.T) {
+	tr := SynthTrace(23, 2000)
+	for _, cfg := range metamorphicConfigs() {
+		for _, warmup := range []int{0, 700, 1200} { // before and after the split
+			straight := sim.RunTrace(cfg.MustBuild(), tr, sim.Options{Warmup: warmup, Chunk: 93})
+			cut := tr.Len() / 2
+			first := &trace.Trace{Name: tr.Name, Branches: tr.Branches[:cut]}
+			second := &trace.Trace{Name: tr.Name, Branches: tr.Branches[cut:]}
+			p := cfg.MustBuild()
+			w2 := warmup - cut
+			if w2 < 0 {
+				w2 = 0
+			}
+			leg1 := sim.RunTrace(p, first, sim.Options{Warmup: warmup, Chunk: 93})
+			leg2 := sim.RunTrace(p, second, sim.Options{Warmup: w2, Chunk: 93})
+			combined := sim.Metrics{
+				Name:               leg2.Name,
+				Branches:           leg1.Branches + leg2.Branches,
+				Mispredicts:        leg1.Mispredicts + leg2.Mispredicts,
+				Alias:              leg2.Alias, // meters are cumulative
+				FirstLevelMissRate: leg2.FirstLevelMissRate,
+			}
+			requireSameMetrics(t, cfg.Fingerprint()+" warmup="+itoa(warmup), straight, combined)
+		}
+	}
+}
+
+// TestConcatenationEqualsSequentialState: feeding trace A then trace
+// B through one predictor equals feeding their concatenation through
+// a fresh one — predictor state carries across trace boundaries with
+// no hidden reset. The same property is asserted for the oracle.
+func TestConcatenationEqualsSequentialState(t *testing.T) {
+	a, b := SynthTrace(24, 900), SynthTrace(25, 1100)
+	cat := &trace.Trace{Name: "cat", Branches: append(append([]trace.Branch{}, a.Branches...), b.Branches...)}
+	for _, cfg := range metamorphicConfigs() {
+		p := cfg.MustBuild()
+		sim.RunTrace(p, a, sim.Options{})
+		seq := sim.RunTrace(p, b, sim.Options{})
+		whole := sim.RunTrace(cfg.MustBuild(), cat, sim.Options{})
+		// Scored counts differ (seq's cover only b); the cumulative
+		// meters and final state must match exactly.
+		if seq.Alias != whole.Alias || seq.FirstLevelMissRate != whole.FirstLevelMissRate {
+			t.Fatalf("%s: state after A;B != state after A+B: %+v vs %+v",
+				cfg.Fingerprint(), seq.Alias, whole.Alias)
+		}
+
+		rc, err := RefConfig(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mustModel(t, rc)
+		ReplayOracle(m, a.Branches, 0)
+		ReplayOracle(m, b.Branches, 0)
+		m2 := mustModel(t, rc)
+		ReplayOracle(m2, cat.Branches, 0)
+		if m.Totals() != m2.Totals() {
+			t.Fatalf("%s: oracle A;B totals != A+B totals: %+v vs %+v",
+				cfg.Fingerprint(), m.Totals(), m2.Totals())
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package refmodel
+
+import (
+	"testing"
+
+	"bpred/internal/trace"
+)
+
+func mustNew(t *testing.T, cfg Config) *Model {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return m
+}
+
+func br(pc uint64, taken bool) trace.Branch {
+	return trace.Branch{PC: pc, Target: pc + 64, Taken: taken}
+}
+
+// TestBimodalCounter hand-checks the two-bit saturating counter: it
+// starts weakly taken, moves one step per outcome, and saturates at
+// the rails.
+func TestBimodalCounter(t *testing.T) {
+	m := mustNew(t, Config{Scheme: Bimodal, ColBits: 4})
+	b := br(0x100, false)
+	// Weakly taken start: predicts taken, is wrong.
+	if st := m.Step(b); !st.Predicted {
+		t.Fatal("fresh counter must predict taken")
+	}
+	// One not-taken training moved it to 0b01: still one more wrong
+	// not-taken prediction boundary — state 1 predicts not taken.
+	if st := m.Step(b); st.Predicted {
+		t.Fatal("after one not-taken, counter at 1 must predict not taken")
+	}
+	// Saturate downward, then two takens must flip it back to taken.
+	m.Step(b)
+	m.Step(b)
+	bT := br(0x100, true)
+	m.Step(bT)
+	if st := m.Step(bT); st.Predicted {
+		t.Fatal("one taken from floor reaches 1: still not taken")
+	}
+	m.Step(bT)
+	if st := m.Step(bT); !st.Predicted {
+		t.Fatal("three takens from floor cross the midpoint")
+	}
+	if got := m.Totals().Steps; got != 8 {
+		t.Fatalf("Steps = %d, want 8", got)
+	}
+}
+
+// TestColumnSelectionAndConflicts checks §3's aliasing definition:
+// two branches whose word addresses agree modulo the column count
+// share a counter and conflict; agreement/destructiveness follows
+// their outcomes at the collision.
+func TestColumnSelectionAndConflicts(t *testing.T) {
+	m := mustNew(t, Config{Scheme: Bimodal, ColBits: 2}) // 4 columns
+	a := br(0x100, true)                                 // word 0x40, column 0
+	b := br(0x110, true)                                 // word 0x44, column 0 — aliases with a
+	c := br(0x104, false)                                // word 0x41, column 1 — does not
+
+	m.Step(a)
+	m.Step(c)
+	if got := m.Totals().Conflicts; got != 0 {
+		t.Fatalf("distinct columns conflicted: %d", got)
+	}
+	m.Step(b) // same column, different PC, same outcome: agreeing
+	tot := m.Totals()
+	if tot.Conflicts != 1 || tot.Agreeing != 1 || tot.Destructive != 0 {
+		t.Fatalf("agreeing conflict miscounted: %+v", tot)
+	}
+	m.Step(br(0x100, false)) // back to a with flipped outcome: destructive
+	tot = m.Totals()
+	if tot.Conflicts != 2 || tot.Destructive != 1 {
+		t.Fatalf("destructive conflict miscounted: %+v", tot)
+	}
+	// Re-access by the same branch is not a conflict.
+	m.Step(br(0x100, false))
+	if got := m.Totals().Conflicts; got != 2 {
+		t.Fatalf("same-branch access counted as conflict: %d", got)
+	}
+}
+
+// TestGlobalHistoryRow hand-computes GAg row selection: the history
+// register holds the last HistBits outcomes, most recent in the low
+// bit.
+func TestGlobalHistoryRow(t *testing.T) {
+	m := mustNew(t, Config{Scheme: Global, HistBits: 3})
+	outcomes := []bool{true, false, true, true}
+	wantRows := []uint64{0, 1, 0b10, 0b101} // row seen *before* each update
+	for i, taken := range outcomes {
+		st := m.Step(br(0x200, taken))
+		if st.Row != wantRows[i] {
+			t.Fatalf("step %d: row %b, want %b", i, st.Row, wantRows[i])
+		}
+	}
+	// After T,N,T,T the register holds 011 (oldest fell off).
+	if st := m.Step(br(0x200, true)); st.Row != 0b011 {
+		t.Fatalf("register after TNTT = %b, want 011", st.Row)
+	}
+}
+
+// TestAllOnesClassification checks the tight-loop classification: a
+// conflict is all-ones only when the outcome history is the all-taken
+// pattern of the configured width.
+func TestAllOnesClassification(t *testing.T) {
+	m := mustNew(t, Config{Scheme: Global, HistBits: 2, ColBits: 0})
+	// Drive history to 11 with one branch; its third access touches
+	// row 3, so the colliding branch's row-3 access is a conflict.
+	m.Step(br(0x100, true))
+	m.Step(br(0x100, true))
+	m.Step(br(0x100, true))
+	st := m.Step(br(0x200, true)) // history is 11: all-ones access
+	if !st.AllOnes {
+		t.Fatal("history 11 not classified all-ones")
+	}
+	tot := m.Totals()
+	if tot.AllOnes != 1 {
+		t.Fatalf("all-ones conflicts = %d, want 1", tot.AllOnes)
+	}
+	// Path history is never an all-ones outcome pattern.
+	p := mustNew(t, Config{Scheme: Path, HistBits: 2, PathBits: 1})
+	p.Step(br(0x100, true))
+	if st := p.Step(br(0x100, true)); st.AllOnes {
+		t.Fatal("path pattern classified all-ones")
+	}
+}
+
+// TestGShareRow checks the XOR: the row is history XOR the address
+// bits above column selection, reduced to the row count.
+func TestGShareRow(t *testing.T) {
+	m := mustNew(t, Config{Scheme: GShare, HistBits: 4, ColBits: 2})
+	// Build history 0b1011.
+	for _, taken := range []bool{true, false, true, true} {
+		m.Step(br(0, taken))
+	}
+	// pc 0x1D8: word 0x76 = 0b1110110; column = 0b10, upper bits
+	// 0b11101; row = (0b1011 ^ 0b11101) mod 16 = 0b10110 mod 16 = 0b0110.
+	st := m.Step(br(0x1D8, true))
+	if st.Col != 0b10 {
+		t.Fatalf("column %b, want 10", st.Col)
+	}
+	if st.Row != 0b0110 {
+		t.Fatalf("row %b, want 0110", st.Row)
+	}
+}
+
+// TestPathRegister hand-computes Nair's path history: each event
+// shifts in PathBits low bits of the next-instruction word address.
+func TestPathRegister(t *testing.T) {
+	m := mustNew(t, Config{Scheme: Path, HistBits: 4, PathBits: 2})
+	// Taken branch to 0x20C: next word 0x83, low 2 bits 11.
+	m.Step(trace.Branch{PC: 0x100, Target: 0x20C, Taken: true})
+	// Not-taken branch at 0x104: fall-through 0x108, word 0x42, low bits 10.
+	st := m.Step(trace.Branch{PC: 0x104, Target: 0x300, Taken: false})
+	if st.Pattern != 0b11 {
+		t.Fatalf("pattern before second event = %b, want 11", st.Pattern)
+	}
+	st = m.Step(trace.Branch{PC: 0x108, Target: 0x400, Taken: true})
+	if st.Pattern != 0b1110 {
+		t.Fatalf("pattern after two events = %b, want 1110", st.Pattern)
+	}
+}
+
+// TestPerfectFirstLevel checks the idealized table: per-branch
+// histories never interfere and misses never occur.
+func TestPerfectFirstLevel(t *testing.T) {
+	m := mustNew(t, Config{Scheme: PerAddress, HistBits: 3, FirstLevel: Perfect})
+	m.Step(br(0x100, true))
+	m.Step(br(0x200, false))
+	m.Step(br(0x100, true))
+	st := m.Step(br(0x100, false))
+	if st.Pattern != 0b11 {
+		t.Fatalf("branch A history = %b, want 11", st.Pattern)
+	}
+	st = m.Step(br(0x200, false))
+	if st.Pattern != 0b00 {
+		t.Fatalf("branch B history = %b, want 00", st.Pattern)
+	}
+	tot := m.Totals()
+	if tot.FirstLevelMisses != 0 || tot.FirstLevelLookups != 5 {
+		t.Fatalf("perfect table misses/lookups = %d/%d", tot.FirstLevelMisses, tot.FirstLevelLookups)
+	}
+}
+
+// TestPrefixOf0xC3FF pins the paper's reset pattern: the width-w
+// prefix of 1100001111111111, repeating beyond 16 bits.
+func TestPrefixOf0xC3FF(t *testing.T) {
+	want := map[int]uint64{
+		0:  0,
+		1:  0b1,
+		2:  0b11,
+		3:  0b110,
+		4:  0b1100,
+		6:  0b110000,
+		8:  0b11000011,
+		10: 0b1100001111,
+		16: 0xC3FF,
+		20: 0xC3FFC,
+		32: 0xC3FFC3FF,
+	}
+	for w, v := range want {
+		if got := PrefixOf0xC3FF(w); got != v {
+			t.Errorf("PrefixOf0xC3FF(%d) = %#x, want %#x", w, got, v)
+		}
+	}
+}
+
+// TestTaggedConflictReset checks §5 semantics on a 1-entry table:
+// alternating branches evict each other, and each reallocation
+// resets the register to the 0xC3FF prefix.
+func TestTaggedConflictReset(t *testing.T) {
+	m := mustNew(t, Config{
+		Scheme: PerAddress, HistBits: 4,
+		FirstLevel: Tagged, Entries: 1, Ways: 1, Reset: ResetPrefix,
+	})
+	a, b := br(0x100, true), br(0x200, true)
+	m.Step(a) // cold miss, reset to 1100, then shifts in 1
+	st := m.Step(b)
+	if st.Pattern != 0b1100 {
+		t.Fatalf("conflict pattern = %b, want the 4-bit 0xC3FF prefix 1100", st.Pattern)
+	}
+	st = m.Step(a) // evicted by b: conflict again
+	if st.Pattern != 0b1100 {
+		t.Fatalf("re-conflict pattern = %b, want 1100", st.Pattern)
+	}
+	tot := m.Totals()
+	if tot.FirstLevelMisses != 3 || tot.FirstLevelLookups != 3 {
+		t.Fatalf("misses/lookups = %d/%d, want 3/3", tot.FirstLevelMisses, tot.FirstLevelLookups)
+	}
+}
+
+// TestTaggedLRU checks least-recently-used victim selection in a
+// 2-way set: touching an entry protects it from the next eviction.
+func TestTaggedLRU(t *testing.T) {
+	m := mustNew(t, Config{
+		Scheme: PerAddress, HistBits: 2,
+		FirstLevel: Tagged, Entries: 2, Ways: 2, Reset: ResetZeros,
+	})
+	a, b, c := br(0x100, true), br(0x200, true), br(0x300, true)
+	m.Step(a)
+	m.Step(b)
+	m.Step(a) // refresh a: b is now LRU
+	m.Step(c) // evicts b
+	before := m.Totals().FirstLevelMisses
+	m.Step(a) // must still hit
+	if got := m.Totals().FirstLevelMisses; got != before {
+		t.Fatalf("a was evicted despite being recently used (misses %d -> %d)", before, got)
+	}
+	m.Step(b) // was evicted: miss
+	if got := m.Totals().FirstLevelMisses; got != before+1 {
+		t.Fatalf("b unexpectedly resident (misses %d -> %d)", before, got)
+	}
+}
+
+// TestUntaggedSharing checks the tagless table: branches indexing the
+// same entry silently continue each other's history, and misses are
+// never detected.
+func TestUntaggedSharing(t *testing.T) {
+	m := mustNew(t, Config{
+		Scheme: PerAddress, HistBits: 3,
+		FirstLevel: Untagged, Entries: 2,
+	})
+	a := br(0x100, true)  // word 0x40: entry 0
+	b := br(0x108, false) // word 0x42: entry 0 — shares with a
+	m.Step(a)
+	st := m.Step(b)
+	if st.Pattern != 0b1 {
+		t.Fatalf("b did not inherit a's history: %b", st.Pattern)
+	}
+	st = m.Step(a)
+	if st.Pattern != 0b10 {
+		t.Fatalf("a did not see b's pollution: %b", st.Pattern)
+	}
+	if got := m.Totals().FirstLevelMisses; got != 0 {
+		t.Fatalf("untagged table reported %d misses", got)
+	}
+}
+
+// TestZeroWidthHistory checks the degenerate 0-bit register: one row,
+// pattern always 0, classified all-ones vacuously for outcome-history
+// schemes (a 0-bit history trivially contains no not-taken outcomes).
+func TestZeroWidthHistory(t *testing.T) {
+	for _, cfg := range []Config{
+		{Scheme: Global, HistBits: 0, ColBits: 2},
+		{Scheme: PerAddress, HistBits: 0, ColBits: 2, FirstLevel: Perfect},
+	} {
+		m := mustNew(t, cfg)
+		m.Step(br(0x100, true))
+		st := m.Step(br(0x200, true))
+		if st.Row != 0 {
+			t.Errorf("%v: zero-width row = %d", cfg.Scheme, st.Row)
+		}
+		if !st.AllOnes {
+			t.Errorf("%v: zero-width history not vacuously all-ones", cfg.Scheme)
+		}
+	}
+	// Bimodal has no outcome history at all: never all-ones.
+	m := mustNew(t, Config{Scheme: Bimodal, ColBits: 2})
+	m.Step(br(0x100, true))
+	if st := m.Step(br(0x200, true)); st.AllOnes {
+		t.Error("bimodal access classified all-ones")
+	}
+}
+
+// TestInvalidConfigs checks New rejects malformed configurations.
+func TestInvalidConfigs(t *testing.T) {
+	bad := []Config{
+		{Scheme: Global, HistBits: -1},
+		{Scheme: Global, HistBits: 33},
+		{Scheme: Global, HistBits: 20, ColBits: 20},
+		{Scheme: Path, HistBits: 4, PathBits: 0},
+		{Scheme: Path, HistBits: 4, PathBits: 40},
+		{Scheme: Global, CounterBits: 9},
+		{Scheme: PerAddress, FirstLevel: Tagged, Entries: 0, Ways: 1},
+		{Scheme: PerAddress, FirstLevel: Tagged, Entries: 12, Ways: 4},
+		{Scheme: PerAddress, FirstLevel: Untagged, Entries: 3},
+		{Scheme: Scheme(99)},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+// TestDumpState smoke-checks the divergence-report dump renders and
+// caps output.
+func TestDumpState(t *testing.T) {
+	m := mustNew(t, Config{Scheme: GShare, HistBits: 4, ColBits: 2})
+	for i := 0; i < 64; i++ {
+		m.Step(br(uint64(0x100+8*i), i%3 == 0))
+	}
+	s := m.DumpState(4)
+	if s == "" {
+		t.Fatal("empty dump")
+	}
+	if m.Totals().Steps != 64 {
+		t.Fatalf("steps = %d", m.Totals().Steps)
+	}
+}

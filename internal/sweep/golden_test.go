@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bpred/internal/core"
+	"bpred/internal/sim"
+	"bpred/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CSV testdata")
+
+// goldenTrace is a small deterministic workload: two interleaved
+// loops with opposite biases plus a drifting site, enough to produce
+// non-trivial mispredict and aliasing numbers at tiny table sizes.
+func goldenTrace() *trace.Trace {
+	t := &trace.Trace{Name: "golden", Instructions: 4000}
+	for i := 0; i < 800; i++ {
+		t.Branches = append(t.Branches,
+			trace.Branch{PC: 0x1000, Target: 0x0F00, Taken: i%7 != 0},
+			trace.Branch{PC: 0x1020, Target: 0x1100, Taken: i%3 == 0},
+			trace.Branch{PC: uint64(0x2000 + (i%16)*4), Target: 0x2200, Taken: i%2 == 0},
+		)
+	}
+	return t
+}
+
+// TestWriteCSVGolden locks Surface.WriteCSV's header and row
+// formatting to a checked-in golden file. Regenerate with:
+//
+//	go test ./internal/sweep -run TestWriteCSVGolden -update
+func TestWriteCSVGolden(t *testing.T) {
+	s, err := Run(Options{
+		Scheme:  core.SchemeGShare,
+		Tiers:   []int{4, 5},
+		Metered: true,
+		Sim:     sim.Options{Warmup: 100},
+	}, goldenTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "surface_golden.csv")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("CSV output drifted from %s (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// TestWriteCSVZeroBranchTrace is the zero-denominator regression: a
+// sweep over an empty trace must produce a header-only CSV with no
+// NaN or Inf anywhere, and the underlying metrics must report zero
+// rates rather than 0/0.
+func TestWriteCSVZeroBranchTrace(t *testing.T) {
+	empty := &trace.Trace{Name: "empty"}
+	s, err := Run(Options{Scheme: core.SchemeGAs, Tiers: []int{4}, Metered: true}, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("CSV contains non-finite values:\n%s", out)
+	}
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 1 {
+		t.Fatalf("zero-branch surface emitted %d lines, want header only:\n%s", len(lines), out)
+	}
+
+	m := sim.RunTrace(core.Config{Scheme: core.SchemeGAs, RowBits: 4, Metered: true}.MustBuild(), empty, sim.Options{})
+	if r := m.MispredictRate(); r != 0 {
+		t.Errorf("MispredictRate on empty trace = %v", r)
+	}
+	if r := m.Alias.ConflictRate(); r != 0 {
+		t.Errorf("ConflictRate on empty trace = %v", r)
+	}
+	if m.FirstLevelMissRate != 0 {
+		t.Errorf("FirstLevelMissRate on empty trace = %v", m.FirstLevelMissRate)
+	}
+}

@@ -26,6 +26,23 @@ import (
 
 var magic = [4]byte{'B', 'P', 'T', '1'}
 
+// Header sanity bounds. Header fields are attacker-controlled (traces
+// are shared artifacts), so nothing allocates proportionally to a
+// header value beyond these caps.
+const (
+	// maxNameLen bounds the workload name; real names are tens of
+	// bytes.
+	maxNameLen = 1 << 16
+	// maxRecordCount bounds the promised record count. Records are at
+	// least 3 bytes on disk, so no honest trace under 3 TB exceeds it,
+	// and iteration bounded by a lie this size still terminates.
+	maxRecordCount = 1 << 40
+	// preallocRecords caps ReadFile's upfront allocation (24 MB of
+	// Branch records); a header promising more only grows the slice as
+	// records actually decode.
+	preallocRecords = 1 << 20
+)
+
 // ErrBadMagic indicates the stream is not a version-1 branch trace.
 var ErrBadMagic = errors.New("trace: bad magic; not a BPT1 trace")
 
@@ -123,7 +140,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading name length: %w", err)
 	}
-	if nameLen > 1<<16 {
+	if nameLen > maxNameLen {
 		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
 	}
 	nameBuf := make([]byte, nameLen)
@@ -137,6 +154,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading record count: %w", err)
+	}
+	if count > maxRecordCount {
+		return nil, fmt.Errorf("trace: unreasonable record count %d", count)
 	}
 	return &Reader{r: br, name: string(nameBuf), instructions: instrs, count: count}, nil
 }
@@ -214,10 +234,14 @@ func ReadFile(path string) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	pre := r.Count()
+	if pre > preallocRecords {
+		pre = preallocRecords
+	}
 	t := &Trace{
 		Name:         r.Name(),
 		Instructions: r.Instructions(),
-		Branches:     make([]Branch, 0, r.Count()),
+		Branches:     make([]Branch, 0, pre),
 	}
 	for {
 		b, ok := r.Next()

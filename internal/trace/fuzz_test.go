@@ -23,6 +23,9 @@ func FuzzReader(f *testing.F) {
 	f.Add([]byte("BPT1"))
 	f.Add([]byte{})
 	f.Add([]byte("BPT1\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	// The allocation-bomb crasher: a header promising 2^50 records
+	// (also checked into testdata/fuzz/FuzzReader).
+	f.Add(craftHeader("bomb!", 5, 0, 1<<50))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// craftHeader builds a BPT1 header with arbitrary field values and no
+// records.
+func craftHeader(name string, nameLen, instrs, count uint64) []byte {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { buf.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	put(nameLen)
+	buf.WriteString(name)
+	put(instrs)
+	put(count)
+	return buf.Bytes()
+}
+
+// TestHeaderBombRejected is the regression test for the allocation
+// bomb: headers promising absurd name lengths or record counts must
+// be rejected at parse time, before any proportional allocation.
+func TestHeaderBombRejected(t *testing.T) {
+	huge := craftHeader("bomb!", 5, 0, 1<<50)
+	if _, err := NewReader(bytes.NewReader(huge)); err == nil ||
+		!strings.Contains(err.Error(), "unreasonable record count") {
+		t.Fatalf("count 1<<50 accepted: %v", err)
+	}
+	name := craftHeader("", 1<<40, 0, 0)
+	if _, err := NewReader(bytes.NewReader(name)); err == nil ||
+		!strings.Contains(err.Error(), "unreasonable name length") {
+		t.Fatalf("nameLen 1<<40 accepted: %v", err)
+	}
+	// At the bounds, headers still parse.
+	if _, err := NewReader(bytes.NewReader(craftHeader("", 0, 0, maxRecordCount))); err != nil {
+		t.Fatalf("count at cap rejected: %v", err)
+	}
+}
+
+// TestReadFilePreallocCapped checks a header promising a large (but
+// in-bounds) record count with no body fails with a truncation error
+// instead of preallocating gigabytes.
+func TestReadFilePreallocCapped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bomb.bpt")
+	// 1<<30 promised records would be 24 GB preallocated uncapped.
+	if err := os.WriteFile(path, craftHeader("bomb", 4, 0, 1<<30), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	if err == nil {
+		t.Fatal("empty-body trace with huge promised count read successfully")
+	}
+}
