@@ -1,0 +1,24 @@
+// Command bplint runs the project's static-analysis suite — the
+// kernel-purity, cancellation-contract, index-geometry, determinism,
+// and codec-error analyzers — over the module in the current
+// directory.
+//
+// Usage:
+//
+//	bplint [packages]
+//
+// With no arguments it checks ./... . Exit status is 0 when clean, 1
+// when findings were reported, 2 when the module failed to load. See
+// the "Static analysis" section of README.md for the invariant
+// catalogue and the //bplint:ignore suppression syntax.
+package main
+
+import (
+	"os"
+
+	"bpred/internal/analysis/bplint"
+)
+
+func main() {
+	os.Exit(bplint.Run(".", os.Args[1:], os.Stdout, os.Stderr))
+}

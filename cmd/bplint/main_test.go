@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"bpred/internal/analysis/bplint"
+)
+
+// TestCleanOnRealTree is the self-hosting check: the module's own
+// sources must pass the full suite. main() is os.Exit(bplint.Run(...)),
+// so exercising Run exercises the command.
+func TestCleanOnRealTree(t *testing.T) {
+	var out, errb strings.Builder
+	code := bplint.Run("../..", nil, &out, &errb)
+	if code != bplint.ExitClean {
+		t.Fatalf("bplint on the real tree exited %d, want %d\nfindings:\n%s%s",
+			code, bplint.ExitClean, out.String(), errb.String())
+	}
+}
+
+// TestNonzeroOnSeededViolations checks that the seeded fixture module
+// trips every analyzer in the suite and yields the findings exit code.
+func TestNonzeroOnSeededViolations(t *testing.T) {
+	var out, errb strings.Builder
+	code := bplint.Run("testdata/badmod", nil, &out, &errb)
+	if code != bplint.ExitFindings {
+		t.Fatalf("bplint on badmod exited %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, bplint.ExitFindings, out.String(), errb.String())
+	}
+	for _, name := range []string{"kernelpure", "ctxchunk", "geometry", "detrand", "codecerr"} {
+		if !strings.Contains(out.String(), "["+name+"]") {
+			t.Errorf("badmod findings missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestLoadErrorExitCode distinguishes load failures from findings.
+func TestLoadErrorExitCode(t *testing.T) {
+	var out, errb strings.Builder
+	code := bplint.Run("testdata/badmod", []string{"./nosuchpkg"}, &out, &errb)
+	if code != bplint.ExitError {
+		t.Fatalf("bplint on a bad pattern exited %d, want %d", code, bplint.ExitError)
+	}
+}

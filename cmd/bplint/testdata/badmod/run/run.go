@@ -1,0 +1,23 @@
+// Package run seeds one violation each for the ctxchunk and codecerr
+// analyzers.
+package run
+
+import "badfixture/trace"
+
+// ctxchunk: exported BatchSource consumer without a context.
+func RunAll(bs trace.BatchSource, w *trace.Writer) error {
+	buf := make([]trace.Branch, 16)
+	for {
+		chunk, err := bs.NextBatch(buf)
+		for _, b := range chunk {
+			if err := w.WriteBranch(b); err != nil {
+				return err
+			}
+		}
+		if err != nil || len(chunk) == 0 {
+			// codecerr: the close error is thrown away.
+			_ = w.Close()
+			return err
+		}
+	}
+}

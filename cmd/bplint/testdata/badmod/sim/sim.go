@@ -1,0 +1,28 @@
+// Package sim seeds one violation for each of the kernelpure,
+// geometry, and detrand analyzers; cmd/bplint's smoke test asserts
+// that all of them are reported.
+package sim
+
+import "time"
+
+// kernelpure: allocation inside an annotated kernel loop.
+//
+//bpred:kernel
+func Kernel(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		s := make([]int, 1)
+		total += x + s[0]
+	}
+	return total
+}
+
+// geometry: raw address bits index a table.
+func Lookup(t []uint8, pc uint64) uint8 {
+	return t[pc]
+}
+
+// detrand: wall-clock read in a simulation package.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,17 @@
+// Package trace is the seeded fixture's codec stand-in.
+package trace
+
+type Branch struct {
+	PC     uint64
+	Target uint64
+	Taken  bool
+}
+
+type BatchSource interface {
+	NextBatch(buf []Branch) ([]Branch, error)
+}
+
+type Writer struct{}
+
+func (w *Writer) WriteBranch(b Branch) error { return nil }
+func (w *Writer) Close() error               { return nil }

@@ -1,0 +1,123 @@
+// Package analysis is a self-contained static-analysis framework
+// modeled on golang.org/x/tools/go/analysis: an Analyzer inspects the
+// typed syntax trees of one package through a Pass and reports
+// Diagnostics. The engine's correctness invariants — kernel purity,
+// chunk-boundary cancellation, Figure-1 index geometry, deterministic
+// simulation, checked codec errors — are encoded as analyzers under
+// this package and enforced by cmd/bplint.
+//
+// The framework is implemented from scratch on the standard library
+// (go/parser, go/types, go/importer) because the module builds
+// offline with no external dependencies; the x/tools API shape is
+// kept deliberately so analyzers read like any other go/analysis
+// pass and could migrate to the upstream driver wholesale.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in scoped
+	// //bplint:ignore directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by bplint -list.
+	Doc string
+	// Run applies the analyzer to one package. The returned value is
+	// unused by the driver (kept for x/tools signature parity).
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one package's parsed and type-checked representation
+// to an Analyzer, plus the Report sink for diagnostics.
+type Pass struct {
+	// Analyzer is the pass being run.
+	Analyzer *Analyzer
+	// Fset maps token.Pos values in Files to file positions.
+	Fset *token.FileSet
+	// Files are the package's syntax trees, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds type information for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	// Pos is the finding's anchor position.
+	Pos token.Pos
+	// Message states the violated invariant.
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// PkgMatch reports whether a package import path denotes one of the
+// named logical packages: an exact match ("trace", as in test
+// fixtures) or a path ending in "/<name>" ("bpred/internal/trace").
+// Analyzers use it so the same rules bind the real module and the
+// small fixture packages under testdata.
+func PkgMatch(path string, names ...string) bool {
+	for _, n := range names {
+		if path == n || strings.HasSuffix(path, "/"+n) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDirective reports whether the comment group contains the comment
+// directive //<name> (directives have no space after the slashes, per
+// Go convention), optionally followed by arguments.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//"+name)
+		if ok && (text == "" || text[0] == ' ' || text[0] == '\t') {
+			return true
+		}
+	}
+	return false
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ReceiverPkgPath returns the import path of the package defining the
+// method or field selected by sel, or "" when unknown. For interface
+// methods this is the interface's package, for concrete methods the
+// receiver type's package.
+func ReceiverPkgPath(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok {
+		// Package-qualified call (pkg.Func): the object's package.
+		if obj, ok := info.Uses[sel.Sel]; ok && obj.Pkg() != nil {
+			return obj.Pkg().Path()
+		}
+		return ""
+	}
+	if obj := s.Obj(); obj != nil && obj.Pkg() != nil {
+		return obj.Pkg().Path()
+	}
+	return ""
+}

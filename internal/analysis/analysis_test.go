@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestPkgMatch(t *testing.T) {
+	cases := []struct {
+		path  string
+		names []string
+		want  bool
+	}{
+		{"trace", []string{"trace"}, true},
+		{"bpred/internal/trace", []string{"trace"}, true},
+		{"bpred/internal/trace", []string{"sim", "trace"}, true},
+		{"bpred/internal/tracer", []string{"trace"}, false},
+		{"backtrace", []string{"trace"}, false},
+		{"bpred/internal/sim", []string{"trace"}, false},
+		{"", []string{"trace"}, false},
+	}
+	for _, c := range cases {
+		if got := PkgMatch(c.path, c.names...); got != c.want {
+			t.Errorf("PkgMatch(%q, %v) = %v, want %v", c.path, c.names, got, c.want)
+		}
+	}
+}
+
+func TestHasDirective(t *testing.T) {
+	src := `package p
+
+// doc comment
+//
+//bpred:kernel
+func a() {}
+
+// bpred:kernel has a space, so it is prose, not a directive
+func b() {}
+
+//bpred:kernelish
+func c() {}
+
+func d() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"a": true, "b": false, "c": false, "d": false}
+	for _, decl := range f.Decls {
+		fn := decl.(*ast.FuncDecl)
+		if got := HasDirective(fn.Doc, "bpred:kernel"); got != want[fn.Name.Name] {
+			t.Errorf("HasDirective(%s) = %v, want %v", fn.Name.Name, got, want[fn.Name.Name])
+		}
+	}
+	if HasDirective(nil, "bpred:kernel") {
+		t.Error("HasDirective(nil) = true, want false")
+	}
+}
+
+func TestReportf(t *testing.T) {
+	var got []Diagnostic
+	p := &Pass{Report: func(d Diagnostic) { got = append(got, d) }}
+	p.Reportf(token.Pos(42), "bad %s at %d", "mask", 7)
+	if len(got) != 1 || got[0].Pos != token.Pos(42) || got[0].Message != "bad mask at 7" {
+		t.Fatalf("Reportf produced %+v", got)
+	}
+}

@@ -1,0 +1,138 @@
+// Package analysistest runs an analyzer over fixture packages under
+// the calling test's testdata directory and checks its diagnostics
+// against // want "regexp" comments, following the conventions of
+// golang.org/x/tools/go/analysis/analysistest: each want comment
+// carries one or more quoted regular expressions that must match, one
+// diagnostic each, on the comment's line; diagnostics without a
+// matching want, and wants without a matching diagnostic, fail the
+// test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bpred/internal/analysis"
+	"bpred/internal/analysis/load"
+)
+
+// expectation is one compiled want pattern awaiting a diagnostic.
+type expectation struct {
+	pos token.Position
+	re  *regexp.Regexp
+	hit bool
+}
+
+// Run loads the fixture packages at testdata/src/<path> for each
+// given path, applies the analyzer to each, and reports mismatches
+// between diagnostics and want comments through t.
+func Run(t *testing.T, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := load.Fixtures("testdata", ".", paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, pkg := range pkgs {
+		runPackage(t, a, pkg)
+	}
+}
+
+// runPackage checks one fixture package.
+func runPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	expects, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("%s: %v", pkg.Path, err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s: %v", pkg.Path, a.Name, err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(expects, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s: expected diagnostic matching %q, got none", e.pos, e.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's
+// line whose pattern matches, reporting whether one was found.
+func claim(expects []*expectation, pos token.Position, msg string) bool {
+	for _, e := range expects {
+		if e.hit || e.pos.Filename != pos.Filename || e.pos.Line != pos.Line {
+			continue
+		}
+		if e.re.MatchString(msg) {
+			e.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the want comments of one package.
+func collectWants(pkg *load.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				trimmed := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(trimmed, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				exps, err := parseWant(pos, rest)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, exps...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseWant compiles the sequence of quoted regexps after a want
+// marker.
+func parseWant(pos token.Position, text string) ([]*expectation, error) {
+	var out []*expectation
+	for {
+		text = strings.TrimSpace(text)
+		if text == "" {
+			return out, nil
+		}
+		q, err := strconv.QuotedPrefix(text)
+		if err != nil {
+			return nil, fmt.Errorf("%s: malformed want pattern %q", pos, text)
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("%s: malformed want pattern %q: %v", pos, q, err)
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+		}
+		out = append(out, &expectation{pos: pos, re: re})
+		text = text[len(q):]
+	}
+}

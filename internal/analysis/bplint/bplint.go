@@ -1,0 +1,65 @@
+// Package bplint assembles the project's analyzer suite and drives it
+// over a module, printing findings in the conventional
+// file:line:col: [analyzer] message form. It is the library behind
+// cmd/bplint and the `make lint` target.
+package bplint
+
+import (
+	"fmt"
+	"io"
+
+	"bpred/internal/analysis"
+	"bpred/internal/analysis/codecerr"
+	"bpred/internal/analysis/ctxchunk"
+	"bpred/internal/analysis/detrand"
+	"bpred/internal/analysis/driver"
+	"bpred/internal/analysis/geometry"
+	"bpred/internal/analysis/kernelpure"
+	"bpred/internal/analysis/load"
+)
+
+// Exit codes for Run.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // at least one finding
+	ExitError    = 2 // the module failed to load or an analyzer failed
+)
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		codecerr.Analyzer,
+		ctxchunk.Analyzer,
+		detrand.Analyzer,
+		geometry.Analyzer,
+		kernelpure.Analyzer,
+	}
+}
+
+// Run loads the packages matching patterns (default ./...) in the
+// module rooted at dir, applies the suite, and writes findings to
+// stdout and errors to stderr. The return value is the process exit
+// code.
+func Run(dir string, patterns []string, stdout, stderr io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Module(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "bplint: %v\n", err)
+		return ExitError
+	}
+	findings, err := driver.Run(pkgs, Analyzers())
+	if err != nil {
+		fmt.Fprintf(stderr, "bplint: %v\n", err)
+		return ExitError
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "bplint: %d finding(s)\n", len(findings))
+		return ExitFindings
+	}
+	return ExitClean
+}

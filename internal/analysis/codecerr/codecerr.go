@@ -1,0 +1,139 @@
+// Package codecerr enforces error discipline on the BPT1 trace codec
+// and the BPC1 checkpoint codec (internal/trace, internal/checkpoint).
+// Both formats carry integrity headers and checksums; an encoder
+// error that is dropped on the floor turns a short write into a
+// silently truncated artifact that every later run trusts. Any call
+// to an error-returning Write*, Flush, or Close method or function
+// declared in those packages must consume the error: discarding it as
+// an expression statement, assigning it to the blank identifier, or
+// deferring the call (which throws the error away) are all reported.
+//
+// Deliberate discards — a flush on an already-failing cancellation
+// path, for instance — must say so with a //bplint:ignore codecerr
+// directive and a reason.
+package codecerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"bpred/internal/analysis"
+)
+
+// Analyzer is the codecerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "codecerr",
+	Doc: "check that errors from BPT1/BPC1 codec Write/Flush/Close calls are " +
+		"consumed, not discarded",
+	Run: run,
+}
+
+// codecPkgs are the logical packages whose encoder errors are guarded.
+var codecPkgs = []string{"trace", "checkpoint"}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, name, ok := codecCall(pass, s.X); ok {
+					pass.Reportf(call.Pos(), "error from %s is discarded; a dropped codec error means a truncated artifact", name)
+				}
+			case *ast.DeferStmt:
+				if call, name, ok := codecCall(pass, s.Call); ok {
+					pass.Reportf(call.Pos(), "deferred %s discards its error; close explicitly and check", name)
+				}
+			case *ast.GoStmt:
+				if call, name, ok := codecCall(pass, s.Call); ok {
+					pass.Reportf(call.Pos(), "go %s discards its error", name)
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, s)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkAssign reports codec calls whose error lands in the blank
+// identifier.
+func checkAssign(pass *analysis.Pass, s *ast.AssignStmt) {
+	// Tuple form: v, _ := r.ReadBranch() style — the error is the
+	// last result.
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		if call, name, ok := codecCall(pass, s.Rhs[0]); ok && isBlank(s.Lhs[len(s.Lhs)-1]) {
+			pass.Reportf(call.Pos(), "error from %s assigned to _; handle it or suppress with //bplint:ignore codecerr <reason>", name)
+		}
+		return
+	}
+	for i, rhs := range s.Rhs {
+		if i >= len(s.Lhs) {
+			break
+		}
+		if call, name, ok := codecCall(pass, rhs); ok && isBlank(s.Lhs[i]) {
+			pass.Reportf(call.Pos(), "error from %s assigned to _; handle it or suppress with //bplint:ignore codecerr <reason>", name)
+		}
+	}
+}
+
+// codecCall reports whether e is a call to an error-returning
+// Write*/Flush/Close entry point of a codec package, returning the
+// call and a printable name.
+func codecCall(pass *analysis.Pass, e ast.Expr) (*ast.CallExpr, string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	name := sel.Sel.Name
+	if name != "Flush" && name != "Close" && !strings.HasPrefix(name, "Write") {
+		return nil, "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil || !analysis.PkgMatch(obj.Pkg().Path(), codecPkgs...) {
+		return nil, "", false
+	}
+	if !returnsError(pass, call) {
+		return nil, "", false
+	}
+	return call, exprName(sel), true
+}
+
+// returnsError reports whether the call's last result is error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// exprName renders receiver.Method for the report.
+func exprName(sel *ast.SelectorExpr) string {
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		return id.Name + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

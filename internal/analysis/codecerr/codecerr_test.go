@@ -1,0 +1,12 @@
+package codecerr_test
+
+import (
+	"testing"
+
+	"bpred/internal/analysis/analysistest"
+	"bpred/internal/analysis/codecerr"
+)
+
+func TestCodecErr(t *testing.T) {
+	analysistest.Run(t, codecerr.Analyzer, "trace", "codec")
+}

@@ -1,0 +1,32 @@
+// Package codec exercises the codecerr analyzer: every codec encoder
+// error must be consumed.
+package codec
+
+import "trace"
+
+func Bad(w *trace.Writer, pcs []uint64) {
+	w.Flush()                   // want `error from w.Flush is discarded`
+	_ = w.Close()               // want `error from w.Close assigned to _`
+	_, _ = w.WriteAll(pcs)      // want `error from w.WriteAll assigned to _`
+	w.WriteBranch(pcs[0], true) // want `error from w.WriteBranch is discarded`
+}
+
+func BadDefer(w *trace.Writer) {
+	defer w.Close() // want `deferred w.Close discards its error`
+}
+
+func BadGo(w *trace.Writer) {
+	go w.Flush() // want `go w.Flush discards its error`
+}
+
+func Good(w *trace.Writer, pcs []uint64) error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	n, err := w.WriteAll(pcs)
+	if err != nil || n != len(pcs) {
+		return err
+	}
+	w.Reset()
+	return w.Close()
+}

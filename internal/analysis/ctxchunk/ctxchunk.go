@@ -1,0 +1,143 @@
+// Package ctxchunk enforces the chunk-boundary cancellation contract
+// of the batched simulation engine (DESIGN.md §6): long runs must be
+// cancellable, and cancellation must cost the kernels nothing.
+//
+// Two rules:
+//
+//  1. An exported function outside the trace package that iterates a
+//     trace.BatchSource (calls its NextBatch) must accept a
+//     context.Context — otherwise the run it drives cannot be
+//     cancelled at all.
+//  2. A per-branch loop — any range over a []trace.Branch chunk —
+//     must not consult the context: no context method calls
+//     (ctx.Err, ctx.Done, ...), no select, and no channel operations
+//     inside. Cancellation checks belong at chunk boundaries, where
+//     their cost amortizes to zero; inside the branch loop they put
+//     a channel poll on the hot path the kernels exist to keep
+//     arithmetic-only.
+package ctxchunk
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bpred/internal/analysis"
+)
+
+// Analyzer is the ctxchunk pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxchunk",
+	Doc: "check that exported BatchSource consumers take a context.Context and " +
+		"that per-branch loops never consult it",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Rule 1 binds consumers of the trace package, not the package
+	// itself (its own adapters legitimately call NextBatch without a
+	// context).
+	checkConsumers := !analysis.PkgMatch(pass.Pkg.Path(), "trace")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if checkConsumers && fn.Name.IsExported() && callsNextBatch(pass, fn.Body) && !hasContextParam(pass, fn) {
+				pass.Reportf(fn.Name.Pos(),
+					"exported %s iterates a trace.BatchSource but takes no context.Context; "+
+						"long runs must be cancellable at chunk boundaries", fn.Name.Name)
+			}
+			checkBranchLoops(pass, fn.Body)
+		}
+	}
+	return nil, nil
+}
+
+// callsNextBatch reports whether body calls NextBatch on a value
+// whose method is declared in the trace package (the BatchSource
+// interface or one of its in-package implementations).
+func callsNextBatch(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "NextBatch" {
+			return true
+		}
+		if analysis.PkgMatch(analysis.ReceiverPkgPath(pass.TypesInfo, sel), "trace") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// hasContextParam reports whether fn has a context.Context parameter.
+func hasContextParam(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && analysis.IsContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBranchLoops finds every range over []trace.Branch in body and
+// rejects context consultation inside it.
+func checkBranchLoops(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isBranchSlice(pass, rng.X) {
+			return true
+		}
+		ast.Inspect(rng.Body, func(inner ast.Node) bool {
+			switch e := inner.(type) {
+			case *ast.SelectStmt:
+				pass.Reportf(e.Pos(), "select inside a per-branch loop; check cancellation at chunk boundaries instead")
+			case *ast.SendStmt:
+				pass.Reportf(e.Pos(), "channel send inside a per-branch loop; kernels must stay arithmetic-only")
+			case *ast.UnaryExpr:
+				if e.Op == token.ARROW {
+					pass.Reportf(e.Pos(), "channel receive inside a per-branch loop; check cancellation at chunk boundaries instead")
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+					if s, ok := pass.TypesInfo.Selections[sel]; ok &&
+						s.Kind() == types.MethodVal && analysis.IsContextType(s.Recv()) {
+						pass.Reportf(e.Pos(),
+							"ctx.%s inside a per-branch loop; the cancellation contract is chunk-boundary only",
+							sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// isBranchSlice reports whether e is a []trace.Branch (a chunk).
+func isBranchSlice(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Branch" && obj.Pkg() != nil && analysis.PkgMatch(obj.Pkg().Path(), "trace")
+}

@@ -1,0 +1,12 @@
+package ctxchunk_test
+
+import (
+	"testing"
+
+	"bpred/internal/analysis/analysistest"
+	"bpred/internal/analysis/ctxchunk"
+)
+
+func TestCtxChunk(t *testing.T) {
+	analysistest.Run(t, ctxchunk.Analyzer, "trace", "consumer")
+}

@@ -1,0 +1,84 @@
+// Package consumer exercises the ctxchunk analyzer: exported
+// BatchSource consumers must take a context, and per-branch loops
+// must never consult it.
+package consumer
+
+import (
+	"context"
+
+	"trace"
+)
+
+func RunAll(bs trace.BatchSource) (int, error) { // want `exported RunAll iterates a trace.BatchSource but takes no context.Context`
+	buf := make([]trace.Branch, 16)
+	n := 0
+	for {
+		chunk, err := bs.NextBatch(buf)
+		n += len(chunk)
+		if err != nil || len(chunk) == 0 {
+			return n, err
+		}
+	}
+}
+
+// RunCtx is the compliant shape: context parameter, cancellation
+// checked at the chunk boundary, branch loop left pure.
+func RunCtx(ctx context.Context, bs trace.BatchSource) (int, error) {
+	buf := make([]trace.Branch, 16)
+	taken := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return taken, err
+		}
+		chunk, err := bs.NextBatch(buf)
+		for _, b := range chunk {
+			if b.Taken {
+				taken++
+			}
+		}
+		if err != nil || len(chunk) == 0 {
+			return taken, err
+		}
+	}
+}
+
+// runAll is unexported, so the context rule does not bind it.
+func runAll(bs trace.BatchSource) {
+	buf := make([]trace.Branch, 16)
+	for {
+		chunk, err := bs.NextBatch(buf)
+		if err != nil || len(chunk) == 0 {
+			return
+		}
+	}
+}
+
+// Count polls the context on every branch — the per-branch rule.
+func Count(ctx context.Context, chunk []trace.Branch) int {
+	n := 0
+	for _, b := range chunk {
+		if ctx.Err() != nil { // want `ctx.Err inside a per-branch loop`
+			return n
+		}
+		if b.Taken {
+			n++
+		}
+	}
+	return n
+}
+
+// Drain puts channel machinery on the per-branch path.
+func Drain(done chan struct{}, chunk []trace.Branch) int {
+	n := 0
+	for _, b := range chunk {
+		select { // want `select inside a per-branch loop`
+		case <-done: // want `channel receive inside a per-branch loop`
+			return n
+		default:
+		}
+		if b.Taken {
+			n++
+		}
+	}
+	return n
+}

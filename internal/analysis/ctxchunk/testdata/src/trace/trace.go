@@ -1,0 +1,28 @@
+// Package trace is a minimal stand-in for the engine's trace package:
+// the Branch record and the BatchSource chunk iterator the ctxchunk
+// analyzer keys on.
+package trace
+
+type Branch struct {
+	PC     uint64
+	Target uint64
+	Taken  bool
+}
+
+type BatchSource interface {
+	NextBatch(buf []Branch) ([]Branch, error)
+}
+
+// Drain is an in-package adapter: the trace package itself may call
+// NextBatch without a context.
+func Drain(bs BatchSource) (int, error) {
+	buf := make([]Branch, 16)
+	n := 0
+	for {
+		chunk, err := bs.NextBatch(buf)
+		n += len(chunk)
+		if err != nil || len(chunk) == 0 {
+			return n, err
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package detrand enforces the determinism contract (DESIGN.md §4,
+// CONTRIBUTING.md ground rules):
+// every simulation result must be a pure function of the trace, the
+// configuration, and the workload seed. Inside the simulation
+// packages that means no ambient entropy — no math/rand (whose
+// global generator is seeded per-process) and no wall-clock reads.
+// All randomness flows through internal/rng's seeded SplitMix64
+// streams, and all timing belongs to the observability layer, which
+// sits outside the result path.
+//
+// Two rules, scoped to the simulation packages (internal/rng itself
+// and the observability/CLI layers are exempt):
+//
+//  1. Importing math/rand or math/rand/v2 is an error.
+//  2. Calling a wall-clock or timer function from package time
+//     (time.Now, time.Since, time.Tick, ...) is an error. Pure
+//     conversions and constants (time.Duration, time.Millisecond)
+//     remain legal.
+package detrand
+
+import (
+	"go/ast"
+	"strconv"
+
+	"bpred/internal/analysis"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand and wall-clock time reads in simulation packages; " +
+		"randomness must flow through internal/rng",
+	Run: run,
+}
+
+// scopedPkgs are the logical package names whose results must be
+// deterministic. The observability layer (obs), the CLI front-ends
+// (cmd/...), and internal/rng itself are deliberately absent.
+var scopedPkgs = []string{
+	"sim", "sweep", "checkpoint", "core", "trace", "history",
+	"counter", "workload", "refmodel", "dealias", "btb",
+	"experiments", "paperdata", "stats",
+}
+
+// forbiddenImports are entropy sources that bypass the seeded
+// streams.
+var forbiddenImports = map[string]string{
+	"math/rand":    "math/rand is process-seeded",
+	"math/rand/v2": "math/rand/v2 is process-seeded",
+}
+
+// clockFuncs are the package time functions that read the wall clock
+// or schedule against it.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "NewTicker": true, "After": true, "AfterFunc": true,
+	"NewTimer": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PkgMatch(pass.Pkg.Path(), scopedPkgs...) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := forbiddenImports[path]; ok {
+				pass.Reportf(imp.Pos(),
+					"import of %s in a simulation package: %s; use internal/rng streams instead",
+					path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !clockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if obj, ok := pass.TypesInfo.Uses[sel.Sel]; ok && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+				pass.Reportf(call.Pos(),
+					"time.%s in a simulation package: results must be a pure function of "+
+						"trace, config, and seed; move timing into the observability layer",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"bpred/internal/analysis/analysistest"
+	"bpred/internal/analysis/detrand"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "sim", "other")
+}

@@ -1,0 +1,9 @@
+// Package other sits outside the simulation scope: presentation and
+// observability code may read the wall clock freely.
+package other
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,31 @@
+// Package sim exercises the detrand analyzer inside a scoped
+// simulation package: no ambient entropy, no wall-clock reads.
+package sim
+
+import (
+	"math/rand" // want `import of math/rand in a simulation package`
+	"time"
+)
+
+func Jitter(n int) int {
+	return rand.Intn(n)
+}
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a simulation package`
+}
+
+func Pace(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in a simulation package`
+}
+
+func Throttle() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in a simulation package`
+}
+
+// Durations and conversions are pure and stay legal.
+const tick = 5 * time.Millisecond
+
+func Scale(d time.Duration) float64 {
+	return d.Seconds()
+}

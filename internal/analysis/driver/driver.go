@@ -1,0 +1,159 @@
+// Package driver runs analyzers over loaded packages and post-
+// processes their diagnostics: findings are filtered through
+// //bplint:ignore suppression directives, stamped with positions, and
+// sorted deterministically. It is the library behind cmd/bplint.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"bpred/internal/analysis"
+	"bpred/internal/analysis/load"
+)
+
+// Finding is one post-processed diagnostic.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name ("bplint" for
+	// directive-hygiene findings produced by the driver itself).
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message states the violated invariant.
+	Message string
+}
+
+// String renders the conventional file:line:col: [analyzer] message
+// form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// ignoreDirective is one parsed //bplint:ignore comment.
+type ignoreDirective struct {
+	analyzer string // "" = all analyzers
+	reason   string
+	pos      token.Position
+}
+
+// Run applies every analyzer to every package, filters the
+// diagnostics through //bplint:ignore directives, and returns the
+// surviving findings sorted by position. An ignore directive
+// suppresses matching findings on its own line and on the following
+// line (so it can trail the offending statement or sit on the line
+// above it); it must carry a reason, optionally scoped to one
+// analyzer: //bplint:ignore <analyzer> <reason> or
+// //bplint:ignore <reason>. A reason-less directive is itself
+// reported as a finding.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores, bad := collectIgnores(pkg, known)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("driver: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed(ignores, a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// collectIgnores parses the //bplint:ignore directives of one
+// package, keyed by file and line. Malformed directives (no reason)
+// come back as findings.
+func collectIgnores(pkg *load.Package, known map[string]bool) (map[string][]ignoreDirective, []Finding) {
+	ignores := make(map[string][]ignoreDirective)
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := cutDirective(c)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				dir := ignoreDirective{pos: pos}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 && known[fields[0]] {
+					dir.analyzer = fields[0]
+					fields = fields[1:]
+				}
+				dir.reason = strings.Join(fields, " ")
+				if dir.reason == "" {
+					bad = append(bad, Finding{
+						Analyzer: "bplint",
+						Pos:      pos,
+						Message:  "//bplint:ignore requires a reason (\"//bplint:ignore [analyzer] why this is safe\")",
+					})
+					continue
+				}
+				ignores[pos.Filename] = append(ignores[pos.Filename], dir)
+			}
+		}
+	}
+	return ignores, bad
+}
+
+// cutDirective returns the text after //bplint:ignore, if c is that
+// directive.
+func cutDirective(c *ast.Comment) (string, bool) {
+	rest, ok := strings.CutPrefix(c.Text, "//bplint:ignore")
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return rest, true
+}
+
+// suppressed reports whether a finding by analyzer at pos is covered
+// by an ignore directive on the same or the preceding line.
+func suppressed(ignores map[string][]ignoreDirective, analyzer string, pos token.Position) bool {
+	for _, dir := range ignores[pos.Filename] {
+		if dir.analyzer != "" && dir.analyzer != analyzer {
+			continue
+		}
+		if dir.pos.Line == pos.Line || dir.pos.Line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

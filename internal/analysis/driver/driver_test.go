@@ -1,0 +1,48 @@
+package driver_test
+
+import (
+	"strings"
+	"testing"
+
+	"bpred/internal/analysis"
+	"bpred/internal/analysis/codecerr"
+	"bpred/internal/analysis/detrand"
+	"bpred/internal/analysis/driver"
+	"bpred/internal/analysis/load"
+)
+
+// TestIgnoreDirectives checks every suppression shape against the sim
+// fixture: Stamp and Stamp2 are suppressed, Stamp3's reason-less
+// directive becomes a finding without suppressing, and Stamp4's
+// wrong-analyzer scope leaves its finding alive. codecerr is in the
+// suite only so its name registers as a valid scope.
+func TestIgnoreDirectives(t *testing.T) {
+	pkgs, err := load.Fixtures("testdata", ".", "sim")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := driver.Run(pkgs, []*analysis.Analyzer{detrand.Analyzer, codecerr.Analyzer})
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Analyzer)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings %v, want 3 (bplint, detrand x2)", len(findings), findings)
+	}
+	// Sorted by position: Stamp3's directive finding and unsuppressed
+	// time.Now share a line (directive column is larger), then Stamp4.
+	if findings[0].Analyzer != "detrand" || findings[1].Analyzer != "bplint" || findings[2].Analyzer != "detrand" {
+		t.Fatalf("wrong analyzers in findings: %v", got)
+	}
+	if !strings.Contains(findings[1].Message, "requires a reason") {
+		t.Errorf("directive finding message = %q, want reason complaint", findings[1].Message)
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.String(), "["+f.Analyzer+"]") {
+			t.Errorf("String() = %q, want embedded [%s]", f.String(), f.Analyzer)
+		}
+	}
+}

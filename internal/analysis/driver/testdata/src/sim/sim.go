@@ -1,0 +1,28 @@
+// Package sim exercises the driver's //bplint:ignore handling against
+// the detrand analyzer: scoped and unscoped suppressions, the
+// next-line form, reason-less directives, and wrong-analyzer scopes.
+package sim
+
+import "time"
+
+// suppressed on the same line, scoped to the right analyzer.
+func Stamp() int64 {
+	return time.Now().UnixNano() //bplint:ignore detrand fixture exercises same-line scoped suppression
+}
+
+// suppressed by an unscoped directive on the preceding line.
+func Stamp2() int64 {
+	//bplint:ignore fixture exercises next-line unscoped suppression
+	return time.Now().UnixNano()
+}
+
+// reason-less: the directive itself is a finding and suppresses
+// nothing.
+func Stamp3() int64 {
+	return time.Now().UnixNano() //bplint:ignore
+}
+
+// scoped to a different analyzer: does not cover detrand.
+func Stamp4() int64 {
+	return time.Now().UnixNano() //bplint:ignore codecerr fixture exercises wrong-analyzer scope
+}

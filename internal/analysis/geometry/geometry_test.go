@@ -1,0 +1,12 @@
+package geometry_test
+
+import (
+	"testing"
+
+	"bpred/internal/analysis/analysistest"
+	"bpred/internal/analysis/geometry"
+)
+
+func TestGeometry(t *testing.T) {
+	analysistest.Run(t, geometry.Analyzer, "history", "geom")
+}

@@ -1,0 +1,67 @@
+// Package geom exercises the geometry analyzer's index rules: PC and
+// history bits must be masked to a power-of-two table size before
+// indexing.
+package geom
+
+import "history"
+
+type branch struct {
+	PC     uint64
+	Target uint64
+	Taken  bool
+}
+
+// Good masks a combined history-and-address index with len(t)-1.
+func Good(t []uint8, reg *history.ShiftRegister, b branch) uint8 {
+	idx := (reg.Value() ^ (b.PC >> 2)) & uint64(len(t)-1)
+	return t[idx]
+}
+
+// GoodMod bounds the index with modulo instead of a mask.
+func GoodMod(t []uint8, b branch) uint8 {
+	return t[b.PC%uint64(len(t))]
+}
+
+// GoodConstMask uses a 2^k-1 literal mask.
+func GoodConstMask(t []uint8, pc uint64) uint8 {
+	return t[pc&0x3f]
+}
+
+// BadPC indexes with raw address bits.
+func BadPC(t []uint8, b branch) uint8 {
+	return t[b.PC>>2] // want `unmasked table index`
+}
+
+// BadHist indexes with a raw history pattern.
+func BadHist(t []uint8, reg *history.ShiftRegister) uint8 {
+	return t[reg.Value()] // want `unmasked table index`
+}
+
+// BadPropagated shows taint flowing through a local.
+func BadPropagated(t []uint8, pc uint64) uint8 {
+	idx := pc >> 2
+	idx ^= idx >> 7
+	return t[idx] // want `unmasked table index`
+}
+
+// BadTuple shows taint flowing out of a history Lookup.
+func BadTuple(ht *history.Table, t []uint8, pc uint64) uint8 {
+	h, _ := ht.Lookup(pc)
+	return t[h] // want `unmasked table index`
+}
+
+// BadMask masks with a constant that is not 2^k-1, silently changing
+// the table geometry.
+func BadMask(t []uint8, pc uint64) uint8 {
+	return t[pc&0xfe] // want `constant mask 254 over PC/history bits is not of the form 2\^k-1`
+}
+
+// MapsExempt: map lookups cannot alias, any key is fine.
+func MapsExempt(m map[uint64]int, pc uint64) int {
+	return m[pc]
+}
+
+// CleanIndex: indices not derived from PC or history need no mask.
+func CleanIndex(t []uint8, i int) uint8 {
+	return t[i]
+}

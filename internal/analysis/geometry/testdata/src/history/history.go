@@ -1,0 +1,67 @@
+// Package history is a minimal stand-in for the engine's history
+// package: its field names (value, hist) and method names (Value,
+// Lookup) are the geometry analyzer's taint sources, and its update
+// methods exercise the history-register masking rules.
+package history
+
+type ShiftRegister struct {
+	value uint64
+	mask  uint64
+}
+
+func (r *ShiftRegister) Value() uint64 { return r.value }
+
+// Record is the compliant shift-register update: shift, merge, and
+// re-mask in one expression.
+func (r *ShiftRegister) Record(bit uint64) {
+	r.value = (r.value<<1 | bit) & r.mask
+}
+
+// BadRecord drops the mask: the register grows without bound.
+func (r *ShiftRegister) BadRecord(bit uint64) {
+	r.value = r.value<<1 | bit // want `history register shift is not re-masked`
+}
+
+// BadDouble is the multiplicative spelling of the same bug.
+func (r *ShiftRegister) BadDouble(bit uint64) {
+	r.value = r.value*2 + bit // want `history register shift is not re-masked`
+}
+
+// BadShiftAssign cannot re-mask within the statement at all.
+func (r *ShiftRegister) BadShiftAssign() {
+	r.value <<= 1 // want `history register shifted with <<= cannot be re-masked`
+}
+
+// BadOr stores a tainted merge without bounding it.
+func (r *ShiftRegister) BadOr(bit uint64) {
+	r.value = r.value | bit // want `unmasked value stored into a history register`
+}
+
+// Set is a compliant masked store.
+func (r *ShiftRegister) Set(v uint64) {
+	r.value = v & r.mask
+}
+
+// Table is a per-branch history table; hist elements are patterns.
+type Table struct {
+	hist []uint64
+	bits int
+}
+
+// Lookup returns the pattern for pc, masked on the way in.
+func (t *Table) Lookup(pc uint64) (uint64, bool) {
+	return t.hist[int(pc)&(len(t.hist)-1)], false
+}
+
+// BadUpdate widens a stored pattern without re-masking it.
+func (t *Table) BadUpdate(pc uint64, bit uint64) {
+	i := int(pc) & (len(t.hist) - 1)
+	v := t.hist[i]<<1 | bit
+	t.hist[i] = v // want `unmasked value stored into a history register`
+}
+
+// Update is the masked version of the same store.
+func (t *Table) Update(pc uint64, bit uint64) {
+	i := int(pc) & (len(t.hist) - 1)
+	t.hist[i] = (t.hist[i]<<1 | bit) & ((1 << t.bits) - 1)
+}

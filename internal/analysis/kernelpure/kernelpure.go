@@ -1,0 +1,188 @@
+// Package kernelpure enforces the purity contract of the batched
+// simulation kernels (internal/sim/kernel.go, DESIGN.md §5): inside a
+// function annotated //bpred:kernel, every loop body — the per-branch
+// hot path — must stay free of allocation, interface dispatch, and
+// scheduling constructs. The constructor prologue outside the loops
+// may allocate (the returned closure itself is an allocation); the
+// loops may not.
+//
+// Rejected inside kernel loops:
+//   - allocation: make/new/append, composite literals, func literals,
+//     string concatenation, conversions to interface types
+//   - dynamic dispatch: method calls through an interface receiver
+//   - scheduling and unwinding: go, defer, recover, select, channel
+//     operations
+//   - I/O-shaped calls: anything from fmt, log, or context
+//
+// The static pass is the compile-time complement of the runtime
+// checks in kernel_test.go (testing.AllocsPerRun == 0): it cannot see
+// allocations inside callees, but it pins the direct constructs that
+// the zero-alloc test would only catch after the regression ships.
+package kernelpure
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bpred/internal/analysis"
+)
+
+// Directive is the annotation marking a kernel constructor.
+const Directive = "bpred:kernel"
+
+// Analyzer is the kernelpure pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "kernelpure",
+	Doc: "check that //bpred:kernel functions keep their loop bodies free of " +
+		"allocation, interface calls, defer/recover, and fmt/log/context",
+	Run: run,
+}
+
+// forbiddenPkgs are packages whose use inside a kernel loop defeats
+// its purpose (formatting allocates, context checks cost per-branch
+// time the chunk-boundary contract promises to avoid).
+var forbiddenPkgs = map[string]bool{"fmt": true, "log": true, "context": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !analysis.HasDirective(fn.Doc, Directive) {
+				continue
+			}
+			if fn.Body == nil {
+				pass.Reportf(fn.Pos(), "//%s on a function with no body", Directive)
+				continue
+			}
+			walk(pass, fn.Body, false)
+		}
+	}
+	return nil, nil
+}
+
+// walk descends the annotated function, flipping into checking mode
+// inside any for/range body (the branch loops, at any nesting depth,
+// including inside the returned closures).
+func walk(pass *analysis.Pass, n ast.Node, inLoop bool) {
+	if n == nil {
+		return
+	}
+	switch s := n.(type) {
+	case *ast.ForStmt:
+		walkChecked(pass, s.Init, inLoop)
+		walkChecked(pass, s.Cond, inLoop)
+		walkChecked(pass, s.Post, inLoop)
+		walk(pass, s.Body, true)
+		return
+	case *ast.RangeStmt:
+		walkChecked(pass, s.X, inLoop)
+		walk(pass, s.Body, true)
+		return
+	}
+	if inLoop {
+		check(pass, n)
+	}
+	for _, child := range children(n) {
+		walk(pass, child, inLoop)
+	}
+}
+
+// walkChecked walks a sub-expression that belongs to the enclosing
+// scope (loop headers are checked only if the loop is itself nested
+// in another loop).
+func walkChecked(pass *analysis.Pass, n ast.Node, inLoop bool) {
+	if n != nil {
+		walk(pass, n, inLoop)
+	}
+}
+
+// children returns n's direct AST children.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// check reports any forbidden construct at node n itself (children
+// are visited by walk).
+func check(pass *analysis.Pass, n ast.Node) {
+	switch e := n.(type) {
+	case *ast.DeferStmt:
+		pass.Reportf(e.Pos(), "defer inside a kernel loop")
+	case *ast.GoStmt:
+		pass.Reportf(e.Pos(), "goroutine launch inside a kernel loop")
+	case *ast.SelectStmt:
+		pass.Reportf(e.Pos(), "select inside a kernel loop")
+	case *ast.SendStmt:
+		pass.Reportf(e.Pos(), "channel send inside a kernel loop")
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			pass.Reportf(e.Pos(), "channel receive inside a kernel loop")
+		}
+	case *ast.CompositeLit:
+		pass.Reportf(e.Pos(), "composite literal allocates inside a kernel loop")
+	case *ast.FuncLit:
+		pass.Reportf(e.Pos(), "closure allocates inside a kernel loop")
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD && isString(pass, e.X) {
+			pass.Reportf(e.Pos(), "string concatenation allocates inside a kernel loop")
+		}
+	case *ast.CallExpr:
+		checkCall(pass, e)
+	}
+}
+
+// checkCall classifies one call inside a kernel loop.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// Conversions: flag boxing into an interface; allow numeric ones.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) {
+			pass.Reportf(call.Pos(), "conversion to interface type %s allocates inside a kernel loop", tv.Type)
+		}
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				pass.Reportf(call.Pos(), "%s allocates inside a kernel loop", b.Name())
+			case "recover":
+				pass.Reportf(call.Pos(), "recover inside a kernel loop")
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal && types.IsInterface(sel.Recv()) {
+				pass.Reportf(call.Pos(), "interface method call %s.%s inside a kernel loop (devirtualize first)",
+					sel.Recv(), fun.Sel.Name)
+			}
+			return
+		}
+		// Package-qualified call: pkg.Func.
+		if obj, ok := pass.TypesInfo.Uses[fun.Sel]; ok && obj.Pkg() != nil && forbiddenPkgs[obj.Pkg().Path()] {
+			pass.Reportf(call.Pos(), "call to %s.%s inside a kernel loop", obj.Pkg().Path(), fun.Sel.Name)
+		}
+	}
+}
+
+// isString reports whether e has string type.
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

@@ -1,0 +1,12 @@
+package kernelpure_test
+
+import (
+	"testing"
+
+	"bpred/internal/analysis/analysistest"
+	"bpred/internal/analysis/kernelpure"
+)
+
+func TestKernelPure(t *testing.T) {
+	analysistest.Run(t, kernelpure.Analyzer, "kernel")
+}

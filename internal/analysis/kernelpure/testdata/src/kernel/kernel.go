@@ -1,0 +1,99 @@
+// Package kernel exercises the kernelpure analyzer: annotated
+// functions may allocate in their prologue but not inside any loop.
+package kernel
+
+import "fmt"
+
+type adder interface{ Add(int) int }
+
+type concrete struct{ n int }
+
+func (c *concrete) Add(v int) int { c.n += v; return c.n }
+
+// good is a well-formed kernel: the prologue allocates, the loop body
+// stays arithmetic-only with concrete calls.
+//
+//bpred:kernel
+func good(xs []int, c *concrete) int {
+	buf := make([]int, 8)
+	total := 0
+	for _, x := range xs {
+		total += c.Add(x) + buf[0]
+	}
+	return total
+}
+
+//bpred:kernel
+func badAllocs(xs []int, c *concrete) int {
+	total := 0
+	for _, x := range xs {
+		s := make([]int, 1) // want `make allocates inside a kernel loop`
+		s = append(s, x)    // want `append allocates inside a kernel loop`
+		_ = new(int)        // want `new allocates inside a kernel loop`
+		_ = concrete{n: x}  // want `composite literal allocates inside a kernel loop`
+		f := func() int {   // want `closure allocates inside a kernel loop`
+			return x
+		}
+		total += f() + s[0]
+	}
+	return total
+}
+
+//bpred:kernel
+func badDispatch(xs []int, a adder, c *concrete) int {
+	total := 0
+	for _, x := range xs {
+		total += a.Add(x) // want `interface method call`
+		_ = adder(c)      // want `conversion to interface type`
+	}
+	return total
+}
+
+//bpred:kernel
+func badSched(xs []int, c *concrete, ch chan int) {
+	for _, x := range xs {
+		defer c.Add(x) // want `defer inside a kernel loop`
+		go c.Add(x)    // want `goroutine launch inside a kernel loop`
+		ch <- x        // want `channel send inside a kernel loop`
+		<-ch           // want `channel receive inside a kernel loop`
+		select {       // want `select inside a kernel loop`
+		default:
+		}
+		_ = recover() // want `recover inside a kernel loop`
+	}
+}
+
+//bpred:kernel
+func badCalls(xs []int, name string) string {
+	for _, x := range xs {
+		fmt.Println(x)    // want `call to fmt.Println inside a kernel loop`
+		name = name + "y" // want `string concatenation allocates inside a kernel loop`
+	}
+	return name
+}
+
+// unannotated is identical to badAllocs but carries no directive, so
+// the analyzer must stay silent.
+func unannotated(xs []int, a adder) int {
+	total := 0
+	for _, x := range xs {
+		s := make([]int, 1)
+		total += a.Add(x) + s[0]
+	}
+	return total
+}
+
+// nested checks that the loop scan descends into closures returned by
+// the constructor — the shape every real kernel has.
+//
+//bpred:kernel
+func nested(c *concrete) func([]int) int {
+	return func(xs []int) int {
+		total := 0
+		for _, x := range xs {
+			_ = make([]int, 1) // want `make allocates inside a kernel loop`
+			total += c.Add(x)
+		}
+		return total
+	}
+}

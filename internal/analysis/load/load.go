@@ -1,0 +1,337 @@
+// Package load turns Go source into the type-checked representation
+// the analyzers consume, without golang.org/x/tools: package metadata
+// and compiled export data come from `go list -export -json -deps`,
+// syntax from go/parser, and types from go/types with the standard
+// gc importer reading the export files out of the build cache. Two
+// loaders are provided: Module for real packages inside a module
+// (cmd/bplint) and Fixtures for the GOPATH-shaped testdata trees used
+// by analysistest.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Fset maps positions for Files (shared across one load).
+	Fset *token.FileSet
+	// Files are the parsed sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type facts analyzers query.
+	Info *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loaders use.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -json -deps` in dir over patterns
+// and returns the decoded package stream.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Name,GoFiles,Export,DepOnly,Error",
+		"-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a types importer resolving import paths
+// through the given path->export-file map.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// newInfo allocates the types.Info maps analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// Module loads and type-checks the packages matched by patterns
+// (e.g. "./...") in the module rooted at or containing dir. Only
+// non-test sources are loaded, matching `go vet`'s primary variant.
+func Module(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []listPkg
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		files, err := parseFiles(fset, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("load: type-checking %s: %v", t.ImportPath, err)
+		}
+		out = append(out, &Package{Path: t.ImportPath, Fset: fset, Files: files, Types: pkg, Info: info})
+	}
+	return out, nil
+}
+
+// parseFiles parses the named files in dir with comments retained.
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Fixtures loads the named packages from a GOPATH-shaped tree: the
+// sources of package "p" live in <root>/src/p. Imports resolve first
+// against the tree itself (fixture packages may import fixture stubs
+// like "trace"), then against the standard library via export data.
+// The go command is invoked from goDir, which must lie inside a
+// module (any module; the fixtures only need it to locate a
+// toolchain build cache).
+func Fixtures(root, goDir string, paths ...string) ([]*Package, error) {
+	fx := &fixtureLoader{
+		root:   root,
+		fset:   token.NewFileSet(),
+		loaded: make(map[string]*Package),
+		asts:   make(map[string][]*ast.File),
+	}
+	// Pre-scan: parse every reachable fixture package and collect the
+	// external (stdlib) import closure so one go list call fetches all
+	// export data.
+	external := make(map[string]bool)
+	queue := append([]string(nil), paths...)
+	seen := make(map[string]bool)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		files, err := fx.parse(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if fx.isLocal(ip) {
+					queue = append(queue, ip)
+				} else {
+					external[ip] = true
+				}
+			}
+		}
+	}
+	if len(external) > 0 {
+		var pats []string
+		for p := range external {
+			pats = append(pats, p)
+		}
+		sort.Strings(pats)
+		listed, err := goList(goDir, pats)
+		if err != nil {
+			return nil, err
+		}
+		exports := make(map[string]string)
+		for _, p := range listed {
+			if p.Error != nil {
+				return nil, fmt.Errorf("load: fixture dependency %s: %s", p.ImportPath, p.Error.Err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+		fx.std = exportImporter(fx.fset, exports)
+	}
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := fx.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// fixtureLoader resolves fixture-tree packages recursively.
+type fixtureLoader struct {
+	root    string
+	fset    *token.FileSet
+	std     types.Importer
+	loaded  map[string]*Package
+	asts    map[string][]*ast.File
+	loading []string // DFS stack for cycle reporting
+}
+
+func (fx *fixtureLoader) dir(path string) string {
+	return filepath.Join(fx.root, "src", filepath.FromSlash(path))
+}
+
+func (fx *fixtureLoader) isLocal(path string) bool {
+	st, err := os.Stat(fx.dir(path))
+	return err == nil && st.IsDir()
+}
+
+// parse returns the cached or freshly parsed ASTs for a fixture
+// package.
+func (fx *fixtureLoader) parse(path string) ([]*ast.File, error) {
+	if files, ok := fx.asts[path]; ok {
+		return files, nil
+	}
+	dir := fx.dir(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: fixture package %q: %v", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: fixture package %q has no Go files", path)
+	}
+	sort.Strings(names)
+	files, err := parseFiles(fx.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	fx.asts[path] = files
+	return files, nil
+}
+
+// load type-checks one fixture package, loading local imports first.
+func (fx *fixtureLoader) load(path string) (*Package, error) {
+	if pkg, ok := fx.loaded[path]; ok {
+		return pkg, nil
+	}
+	for _, p := range fx.loading {
+		if p == path {
+			return nil, fmt.Errorf("load: fixture import cycle through %q", path)
+		}
+	}
+	fx.loading = append(fx.loading, path)
+	defer func() { fx.loading = fx.loading[:len(fx.loading)-1] }()
+
+	files, err := fx.parse(path)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: (*fixtureImporter)(fx)}
+	tpkg, err := conf.Check(path, fx.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking fixture %s: %v", path, err)
+	}
+	pkg := &Package{Path: path, Fset: fx.fset, Files: files, Types: tpkg, Info: info}
+	fx.loaded[path] = pkg
+	return pkg, nil
+}
+
+// fixtureImporter adapts fixtureLoader to types.Importer: local
+// fixture paths are type-checked from source, everything else
+// delegates to stdlib export data.
+type fixtureImporter fixtureLoader
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	fx := (*fixtureLoader)(fi)
+	if fx.isLocal(path) {
+		pkg, err := fx.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if fx.std == nil {
+		return nil, fmt.Errorf("load: no export data loaded for %q", path)
+	}
+	return fx.std.Import(path)
+}

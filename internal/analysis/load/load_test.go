@@ -1,0 +1,56 @@
+package load
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestModule loads a real package of the enclosing module and checks
+// the parts analyzers depend on: parsed files with comments, a
+// type-checked package, and populated info maps.
+func TestModule(t *testing.T) {
+	pkgs, err := Module("../../..", "./internal/trace")
+	if err != nil {
+		t.Fatalf("Module: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "bpred/internal/trace" {
+		t.Errorf("Path = %q, want bpred/internal/trace", p.Path)
+	}
+	if len(p.Files) == 0 {
+		t.Fatal("no files parsed")
+	}
+	if p.Types == nil || p.Types.Name() != "trace" {
+		t.Errorf("Types = %v, want package trace", p.Types)
+	}
+	if len(p.Info.Defs) == 0 || len(p.Info.Uses) == 0 || len(p.Info.Selections) == 0 {
+		t.Error("type info maps are empty; analyzers would see nothing")
+	}
+	comments := 0
+	for _, f := range p.Files {
+		comments += len(f.Comments)
+	}
+	if comments == 0 {
+		t.Error("comments were not retained; want directives and ignores to survive parsing")
+	}
+	if p.Fset == (*token.FileSet)(nil) {
+		t.Error("nil FileSet")
+	}
+}
+
+// TestModuleBadPattern surfaces go list errors instead of half-loading.
+func TestModuleBadPattern(t *testing.T) {
+	if _, err := Module("../../..", "./no/such/dir"); err == nil {
+		t.Fatal("Module on a bad pattern succeeded, want error")
+	}
+}
+
+// TestFixturesMissing reports unknown fixture packages.
+func TestFixturesMissing(t *testing.T) {
+	if _, err := Fixtures("testdata", ".", "nonexistent"); err == nil {
+		t.Fatal("Fixtures on a missing package succeeded, want error")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"bpred/internal/obs"
 	"bpred/internal/svgplot"
 	"bpred/internal/sweep"
 )
@@ -71,7 +72,7 @@ func WriteHTMLReport(w io.Writer, c *Context, names []string) error {
 	}
 	data := reportData{
 		Title:     "Correlation and Aliasing in Dynamic Branch Predictors — reproduction report",
-		Generated: time.Now().Format(time.RFC1123),
+		Generated: obs.Now().Format(time.RFC1123),
 		Params:    c.Params(),
 	}
 	for _, name := range names {
@@ -79,7 +80,7 @@ func WriteHTMLReport(w io.Writer, c *Context, names []string) error {
 		if !ok {
 			return fmt.Errorf("experiments: unknown experiment %q", name)
 		}
-		start := time.Now()
+		elapsed := obs.Stopwatch()
 		res, err := Run(name, c)
 		if err != nil {
 			return err
@@ -88,7 +89,7 @@ func WriteHTMLReport(w io.Writer, c *Context, names []string) error {
 			ID:          name,
 			Description: desc,
 			Text:        res.Render(),
-			Elapsed:     time.Since(start).Round(time.Millisecond).String(),
+			Elapsed:     elapsed().Round(time.Millisecond).String(),
 		}
 		sec.Figures = inlineFigures(res)
 		data.Sections = append(data.Sections, sec)

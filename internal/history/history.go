@@ -129,8 +129,7 @@ func (p *PathRegister) Value() uint64 { return p.value }
 // Record shifts in the low bits of target (above 2 alignment bits,
 // matching word-aligned MIPS branch targets).
 func (p *PathRegister) Record(target uint64) {
-	p.value = (p.value << p.bitsPerTarget) | ((target >> 2) & mask(p.bitsPerTarget))
-	p.value &= p.mask
+	p.value = ((p.value << p.bitsPerTarget) | ((target >> 2) & mask(p.bitsPerTarget))) & p.mask
 }
 
 // Set overwrites the register contents (masked to width).

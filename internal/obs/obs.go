@@ -116,6 +116,30 @@ func (c *Counters) TierDone(d time.Duration) {
 	c.tierNanos.Add(int64(d))
 }
 
+// TierTimer starts a stopwatch for one sweep tier; the returned stop
+// function records the tier and its wall time via TierDone. A nil
+// receiver returns a working stop function that records nothing.
+func (c *Counters) TierTimer() (stop func()) {
+	elapsed := Stopwatch()
+	return func() { c.TierDone(elapsed()) }
+}
+
+// Now returns the current wall-clock time. Simulation packages must
+// not read the clock directly — results are a pure function of trace,
+// config, and seed, and the detrand analyzer enforces it — so every
+// presentation-layer timestamp flows through this single audited
+// accessor instead.
+func Now() time.Time { return time.Now() }
+
+// Stopwatch starts a wall-clock timer and returns a function yielding
+// the elapsed time since the call. Like Now, it exists so that timing
+// concerns live in the observability layer rather than in simulation
+// code.
+func Stopwatch() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
 // Snapshot is a consistent-enough point-in-time copy of the counters
 // (each field is read atomically; the set is not cut atomically, which
 // is fine for progress reporting). It marshals to JSON for machine

@@ -108,6 +108,7 @@ func genericKernel(p core.Predictor) kernelFunc {
 // the closure body fully flattened. The other kernel constructors are
 // already over the inlining budget; this one is only borderline.
 //
+//bpred:kernel
 //go:noinline
 func zeroKernel(tab *counter.Table, meter *core.AliasMeter) kernelFunc {
 	state, max, thresh := tab.Raw()
@@ -142,6 +143,8 @@ func zeroKernel(tab *counter.Table, meter *core.AliasMeter) kernelFunc {
 }
 
 // globalKernel is the GAg/GAs fast path: row = global history.
+//
+//bpred:kernel
 func globalKernel(tab *counter.Table, meter *core.AliasMeter, reg *history.ShiftRegister) kernelFunc {
 	state, max, thresh := tab.Raw()
 	rowMask, colMask, colBits := tab.RowMask(), tab.ColMask(), uint(tab.ColBits())
@@ -183,6 +186,8 @@ func globalKernel(tab *counter.Table, meter *core.AliasMeter, reg *history.Shift
 
 // gshareKernel is McFarling's XOR fast path: row = history XOR the
 // address bits above column selection.
+//
+//bpred:kernel
 func gshareKernel(tab *counter.Table, meter *core.AliasMeter, reg *history.ShiftRegister, colBits int) kernelFunc {
 	state, max, thresh := tab.Raw()
 	rowMask, colMask, colShift := tab.RowMask(), tab.ColMask(), uint(tab.ColBits())
@@ -227,6 +232,8 @@ func gshareKernel(tab *counter.Table, meter *core.AliasMeter, reg *history.Shift
 
 // pathKernel is Nair's path-history fast path: row = target-address
 // bit history; AllOnes never applies to path patterns.
+//
+//bpred:kernel
 func pathKernel(tab *counter.Table, meter *core.AliasMeter, reg *history.PathRegister) kernelFunc {
 	state, max, thresh := tab.Raw()
 	rowMask, colMask, colBits := tab.RowMask(), tab.ColMask(), uint(tab.ColBits())
@@ -282,6 +289,8 @@ func pathKernel(tab *counter.Table, meter *core.AliasMeter, reg *history.PathReg
 // implementations keep the reference loop. For every concrete table
 // the all-ones test reduces to row == mask (a 0-bit register always
 // reads 0 == 0, matching the selector's vacuous-truth convention).
+//
+//bpred:kernel
 func perAddressKernel(tab *counter.Table, meter *core.AliasMeter, sel *core.PerAddressSelector) kernelFunc {
 	state, max, thresh := tab.Raw()
 	rowMask, colMask, colBits := tab.RowMask(), tab.ColMask(), uint(tab.ColBits())

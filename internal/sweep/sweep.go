@@ -15,7 +15,6 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
-	"time"
 
 	"bpred/internal/checkpoint"
 	"bpred/internal/core"
@@ -271,7 +270,7 @@ func RunCtx(ctx context.Context, o Options, tr *trace.Trace) (*Surface, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, flushOnCancel(store, err)
 		}
-		start := time.Now()
+		tierDone := o.Sim.Obs.TierTimer()
 		var missing []core.Config
 		for _, c := range tierConfigs(o, n) {
 			if m, ok := store.Lookup(c.Fingerprint()); ok {
@@ -306,7 +305,7 @@ func RunCtx(ctx context.Context, o Options, tr *trace.Trace) (*Surface, error) {
 		if err := store.Flush(); err != nil {
 			return nil, fmt.Errorf("sweep: %w", err)
 		}
-		o.Sim.Obs.TierDone(time.Since(start))
+		tierDone()
 		if o.afterTier != nil {
 			o.afterTier(n)
 		}
@@ -318,7 +317,7 @@ func RunCtx(ctx context.Context, o Options, tr *trace.Trace) (*Surface, error) {
 // cancellation error wins over a (rare) flush failure, which would
 // only cost a re-simulation on resume.
 func flushOnCancel(store *checkpoint.Store, cancelErr error) error {
-	_ = store.Flush()
+	_ = store.Flush() //bplint:ignore codecerr the cancellation error wins; a lost flush only costs re-simulation on resume
 	return cancelErr
 }
 
