@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race bench-sim bench-short cover fuzz-smoke diff-fuzz all
+.PHONY: build test vet lint race bench-sim bench-short cover fuzz-smoke diff-fuzz serve serve-test all
 
 all: build vet lint test
 
@@ -24,6 +24,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# serve runs the sweep service locally (README "Sweep service").
+SERVE_ADDR ?= :8149
+SERVE_DATA ?= ./bpserved-data
+
+serve:
+	$(GO) run ./cmd/bpserved -listen $(SERVE_ADDR) -data $(SERVE_DATA)
+
+# serve-test runs the service subsystem's full suite — concurrency
+# stress, drain/restart, golden interop, and the binary-level SIGTERM
+# integration test — under the race detector.
+serve-test:
+	$(GO) test -race ./internal/service/ ./cmd/bpserved/
 
 # bench-short is the smoke-level benchmark pass CI runs: one
 # iteration of everything, just to keep the benchmarks compiling and
@@ -49,12 +62,12 @@ COVER_FLOOR = 80
 # -coverpkg spans the gated set so cross-package exercise counts: the
 # analyzer fixtures drive load/analysistest, and cmd/bplint's smoke
 # test drives the bplint driver package.
-COVER_PKGS = ./internal/sim/,./internal/sweep/,./internal/checkpoint/,./internal/obs/,./internal/analysis/...
+COVER_PKGS = ./internal/sim/,./internal/sweep/,./internal/checkpoint/,./internal/obs/,./internal/analysis/...,./internal/service/
 
 cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=$(COVER_PKGS) \
 		./internal/sim/ ./internal/sweep/ ./internal/checkpoint/ ./internal/obs/ \
-		./internal/analysis/... ./cmd/bplint/
+		./internal/analysis/... ./cmd/bplint/ ./internal/service/
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \

@@ -1,0 +1,98 @@
+// bpserved serves branch-predictor sweeps over HTTP: upload BPT1
+// traces, submit sweep jobs, poll status, stream progress, and fetch
+// results, with all simulation deduplicated through the shared BPC1
+// checkpoint cache.
+//
+// Usage:
+//
+//	bpserved -data ./bpserved-data                 # listen on :8149
+//	bpserved -listen 127.0.0.1:0 -workers 4        # ephemeral port
+//
+// The chosen listen address is printed to stderr as
+// "bpserved: listening on ADDR" once the socket is bound, so wrappers
+// can parse it when using port 0. SIGINT/SIGTERM drains gracefully:
+// running jobs stop at their next chunk boundary, checkpoints are
+// flushed, the job table is persisted, and the process exits 0; a
+// restart over the same -data directory resumes interrupted jobs and
+// keeps serving completed results.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bpred/internal/service"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8149", "listen address (host:port; port 0 picks a free port)")
+		dataDir  = flag.String("data", "", "data directory for traces, checkpoints, results, and the job table (required)")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = 2)")
+		queue    = flag.Int("queue", 0, "job queue depth before submissions see 429 (0 = 64)")
+		maxBr    = flag.Uint64("max-trace-branches", 0, "per-trace record cap (0 = 16M)")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for running jobs to reach a chunk boundary")
+	)
+	flag.Parse()
+
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "bpserved: -data required")
+		os.Exit(2)
+	}
+
+	m, err := service.NewManager(service.Config{
+		DataDir:          *dataDir,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		MaxTraceBranches: *maxBr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bpserved: %v\n", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bpserved: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bpserved: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: service.NewServer(m)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "bpserved: %v: draining\n", s)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "bpserved: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	// Drain first (stop accepting work, interrupt jobs at the next
+	// chunk boundary, flush checkpoints, persist the job table), then
+	// close the HTTP side.
+	if err := m.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "bpserved: drain: %v\n", err)
+		srv.Close()
+		os.Exit(1)
+	}
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "bpserved: shutdown: %v\n", err)
+	}
+	<-errCh // Serve has returned http.ErrServerClosed
+	fmt.Fprintln(os.Stderr, "bpserved: drained, exiting")
+}

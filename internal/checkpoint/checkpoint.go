@@ -241,10 +241,32 @@ func eofToUnexpected(err error) error {
 // configuration identity.
 func Fingerprint(c core.Config) string { return c.Fingerprint() }
 
+// PathFor returns the canonical checkpoint file path for a (trace
+// digest, warmup) binding under dir. Every front-end that checkpoints
+// by directory — bpsweep -resume, the bpserved sweep service — derives
+// paths through this one function, so a cache written by one is found
+// (and its entries replayed) by the others. Warmup is part of the
+// address because it is part of the store's identity: a file holds
+// results for exactly one warmup, and addressing by digest alone would
+// make sweeps with different warmups over one trace collide on (and
+// refuse to open) each other's files.
+func PathFor(dir string, digest [32]byte, warmup uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("sweep-%x-w%d.bpc", digest[:12], warmup))
+}
+
 // Store is a concurrency-safe result cache bound to one (trace,
 // warmup) identity, optionally backed by a file. The zero-value-ish
 // NewMemory form is file-less (Flush is a no-op); Open loads or
 // creates the backing file and Flush atomically rewrites it.
+//
+// All methods of one Store may be called concurrently (the server's
+// worker pool adds, looks up, and flushes the same entry from many
+// goroutines — checkpoint_concurrent_test.go stresses this under
+// -race). Two Stores opened on the same path do NOT merge: Flush
+// rewrites the whole file, so the last flusher wins and the other's
+// unflushed entries are lost from disk. Concurrent writers must share
+// a single Store per path, which is what bpserved's per-(trace,
+// warmup) store registry guarantees.
 type Store struct {
 	mu    sync.Mutex
 	path  string // "" = memory-only

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -164,6 +165,24 @@ type Snapshot struct {
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
+// Merge folds a snapshot's counts into c, so one run's counters can
+// be aggregated into a longer-lived set (bpserved merges each job's
+// counters into its process-global set at tier boundaries). Elapsed
+// is ignored: it derives from the receiver's own start anchor.
+func (c *Counters) Merge(s Snapshot) {
+	if c == nil {
+		return
+	}
+	c.Start()
+	c.branches.Add(s.Branches)
+	c.chunks.Add(s.Chunks)
+	c.completed.Add(s.ConfigsCompleted)
+	c.cached.Add(s.ConfigsCached)
+	c.failed.Add(s.ConfigsFailed)
+	c.tiers.Add(s.TiersCompleted)
+	c.tierNanos.Add(int64(s.TierTime))
+}
+
 // Snapshot returns the current counter values. A nil receiver yields
 // a zero Snapshot.
 func (c *Counters) Snapshot() Snapshot {
@@ -183,6 +202,23 @@ func (c *Counters) Snapshot() Snapshot {
 		s.Elapsed = time.Since(time.Unix(0, start))
 	}
 	return s
+}
+
+// Sub returns the counting-field deltas s - prev (Elapsed is carried
+// over from s unchanged; it is an instant, not a count). Producers
+// that fold a live run into an aggregate use Sub between successive
+// snapshots so each increment is merged exactly once.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		Branches:         s.Branches - prev.Branches,
+		Chunks:           s.Chunks - prev.Chunks,
+		ConfigsCompleted: s.ConfigsCompleted - prev.ConfigsCompleted,
+		ConfigsCached:    s.ConfigsCached - prev.ConfigsCached,
+		ConfigsFailed:    s.ConfigsFailed - prev.ConfigsFailed,
+		TiersCompleted:   s.TiersCompleted - prev.TiersCompleted,
+		TierTime:         s.TierTime - prev.TierTime,
+		Elapsed:          s.Elapsed,
+	}
 }
 
 // BranchesPerSecond returns the simulation throughput so far.
@@ -235,6 +271,29 @@ func (c *Counters) Publish(name string) {
 		expvar.Publish(name, expvar.Func(func() any { return slot.Load().Snapshot() }))
 	}
 	slot.Store(c)
+}
+
+// NamedSnapshot pairs a published counter set's name with its
+// point-in-time snapshot.
+type NamedSnapshot struct {
+	Name string `json:"name"`
+	Snapshot
+}
+
+// Published returns a stable, name-sorted snapshot of every counter
+// set this package has registered via Publish. Renderers that emit
+// all published counters — the bpserved /metrics endpoint — need
+// deterministic ordering; iterating the registry map directly would
+// be map-random.
+func Published() []NamedSnapshot {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	out := make([]NamedSnapshot, 0, len(published))
+	for name, slot := range published {
+		out = append(out, NamedSnapshot{Name: name, Snapshot: slot.Load().Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // MarshalJSON lets a *Counters itself serialize as its snapshot.

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"expvar"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -203,4 +204,100 @@ func TestReset(t *testing.T) {
 	}
 	var nilC *Counters
 	nilC.Reset() // must not panic
+}
+
+func TestMergeAndSub(t *testing.T) {
+	var job Counters
+	job.AddChunk(100)
+	job.AddChunk(50)
+	job.AddCompleted(2)
+	job.AddCached(1)
+	job.AddFailed(1)
+	job.TierDone(3 * time.Second)
+
+	var global Counters
+	prev := Snapshot{}
+	snap := job.Snapshot()
+	global.Merge(snap.Sub(prev))
+	prev = snap
+
+	// More per-job activity, merged as a delta: each increment must
+	// land in the aggregate exactly once.
+	job.AddChunk(25)
+	job.AddCompleted(1)
+	snap = job.Snapshot()
+	global.Merge(snap.Sub(prev))
+
+	g := global.Snapshot()
+	if g.Branches != 175 || g.Chunks != 3 {
+		t.Errorf("merged branches/chunks = %d/%d, want 175/3", g.Branches, g.Chunks)
+	}
+	if g.ConfigsCompleted != 3 || g.ConfigsCached != 1 || g.ConfigsFailed != 1 {
+		t.Errorf("merged configs = %d/%d/%d, want 3/1/1",
+			g.ConfigsCompleted, g.ConfigsCached, g.ConfigsFailed)
+	}
+	if g.TiersCompleted != 1 || g.TierTime != 3*time.Second {
+		t.Errorf("merged tiers = %d (%s), want 1 (3s)", g.TiersCompleted, g.TierTime)
+	}
+}
+
+func TestMergeNilSafe(t *testing.T) {
+	var c *Counters
+	c.Merge(Snapshot{Branches: 1}) // must not panic
+}
+
+func TestPublishedSortedAndStable(t *testing.T) {
+	var a, b, c Counters
+	// Deliberately publish out of name order.
+	c.Publish("obs-test-published-c")
+	a.Publish("obs-test-published-a")
+	b.Publish("obs-test-published-b")
+	a.AddChunk(10)
+	b.AddCompleted(2)
+
+	ours := func(sets []NamedSnapshot) []NamedSnapshot {
+		var out []NamedSnapshot
+		for _, s := range sets {
+			if strings.HasPrefix(s.Name, "obs-test-published-") {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+
+	sets := Published()
+	if !sort.SliceIsSorted(sets, func(i, j int) bool { return sets[i].Name < sets[j].Name }) {
+		t.Errorf("Published() not sorted: %v", sets)
+	}
+	got := ours(sets)
+	if len(got) != 3 {
+		t.Fatalf("got %d of our sets, want 3", len(got))
+	}
+	wantNames := []string{"obs-test-published-a", "obs-test-published-b", "obs-test-published-c"}
+	for i, w := range wantNames {
+		if got[i].Name != w {
+			t.Errorf("set %d = %q, want %q", i, got[i].Name, w)
+		}
+	}
+	if got[0].Branches != 10 || got[1].ConfigsCompleted != 2 {
+		t.Errorf("snapshots lost values: %+v", got)
+	}
+
+	// A second call must return the same names in the same order, and
+	// rebinding a name must surface the new counters' values.
+	var a2 Counters
+	a2.AddChunk(99)
+	a2.Publish("obs-test-published-a")
+	again := ours(Published())
+	if len(again) != 3 {
+		t.Fatalf("second call lost sets: %d", len(again))
+	}
+	for i := range again {
+		if again[i].Name != got[i].Name {
+			t.Errorf("ordering unstable: %q vs %q", again[i].Name, got[i].Name)
+		}
+	}
+	if again[0].Branches != 99 {
+		t.Errorf("rebound set reads %d branches, want 99", again[0].Branches)
+	}
 }

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// TestDrainAndRestartResumes exercises the graceful-degradation
+// contract in-process: a drain interrupts a running job at a tier
+// boundary, flushes its completed cells, and persists the job table;
+// a new manager over the same data directory re-enqueues the job,
+// replays the completed cells from the BPC1 cache, and finishes it.
+func TestDrainAndRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+	reached := make(chan struct{})
+	m1, err := NewManager(Config{
+		DataDir: dir, Workers: 1, PublishName: "test-drain-1",
+	})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	m1.hookTierDone = func(ctx context.Context, j *Job, tier int) {
+		if tier == 4 {
+			close(reached)
+			<-ctx.Done() // hold mid-job so the drain catches it running
+		}
+	}
+
+	tr := genTrace(t, 5000, 11)
+	info, err := m1.Traces().Ingest(bytes.NewReader(encodeBPT1(t, tr)))
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	spec := JobSpec{Trace: info.Digest, Scheme: "gshare", Tiers: []int{4, 5, 6}}
+	j, deduped, err := m1.Submit(spec)
+	if err != nil || deduped {
+		t.Fatalf("Submit: %v (deduped=%v)", err, deduped)
+	}
+	select {
+	case <-reached:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never completed tier 4")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m1.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if st := j.State(); st != StateInterrupted {
+		t.Fatalf("state after drain = %s, want interrupted", st)
+	}
+	res, err := m1.Result(j.ID)
+	if err != nil {
+		t.Fatalf("Result after drain: %v", err)
+	}
+	if !res.Partial || len(res.Cells) < 5 {
+		t.Fatalf("drained result = partial=%v cells=%d", res.Partial, len(res.Cells))
+	}
+	firstCells := len(res.Cells)
+
+	// Restart over the same directory: the interrupted job comes back
+	// queued and runs to completion, with tier 4 served from the cache.
+	m2, err := NewManager(Config{
+		DataDir: dir, Workers: 1, PublishName: "test-drain-2",
+	})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := m2.Drain(ctx); err != nil {
+			t.Errorf("final drain: %v", err)
+		}
+	}()
+
+	j2, err := m2.Job(j.ID)
+	if err != nil {
+		t.Fatalf("job lost across restart: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for !j2.State().terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job stuck in %s", j2.State())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := j2.State(); st != StateDone {
+		t.Fatalf("resumed job = %s", st)
+	}
+	res2, err := m2.Result(j.ID)
+	if err != nil {
+		t.Fatalf("Result after resume: %v", err)
+	}
+	if res2.Partial || len(res2.Cells) != res2.CellsTotal {
+		t.Fatalf("resumed result = partial=%v cells=%d/%d", res2.Partial, len(res2.Cells), res2.CellsTotal)
+	}
+	snap := j2.Obs.Snapshot()
+	if snap.ConfigsCached < uint64(firstCells) {
+		t.Fatalf("resume re-simulated cached cells: cached=%d, want >= %d", snap.ConfigsCached, firstCells)
+	}
+	if snap.ConfigsCompleted != uint64(res2.CellsTotal)-snap.ConfigsCached {
+		t.Fatalf("resume accounting: completed=%d cached=%d total=%d",
+			snap.ConfigsCompleted, snap.ConfigsCached, res2.CellsTotal)
+	}
+
+	// Re-submitting the same spec on the restarted server dedups onto
+	// the completed job.
+	j3, deduped, err := m2.Submit(spec)
+	if err != nil || !deduped || j3.ID != j.ID {
+		t.Fatalf("post-restart submit = %v deduped=%v id=%s", err, deduped, j3.ID)
+	}
+}
+
+// TestDrainRefusesNewWork pins the drain-time API contract.
+func TestDrainRefusesNewWork(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(Config{DataDir: dir, Workers: 1, PublishName: "test-drain-3"})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	info, err := m.Traces().Ingest(bytes.NewReader(encodeBPT1(t, genTrace(t, 500, 12))))
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := m.Drain(ctx); err != nil { // idempotent
+		t.Fatalf("second Drain: %v", err)
+	}
+	if _, _, err := m.Submit(JobSpec{Trace: info.Digest, Scheme: "gshare", Tiers: []int{4}}); err != ErrDraining {
+		t.Fatalf("Submit while draining = %v, want ErrDraining", err)
+	}
+}

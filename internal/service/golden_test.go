@@ -1,0 +1,131 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bpred/internal/checkpoint"
+	"bpred/internal/sim"
+	"bpred/internal/sweep"
+)
+
+// TestServerCheckpointMatchesCLI pins the interop contract between
+// bpsweep -resume and bpserved: for the same (trace, warmup, sweep
+// slice), the BPC1 file the service writes is byte-identical to the
+// one the CLI path (sweep.RunCtx with CheckpointDir) writes. Both
+// derive the file path from checkpoint.PathFor and serialize entries
+// fingerprint-sorted, so either side can resume from — or serve cache
+// hits out of — a file the other produced.
+func TestServerCheckpointMatchesCLI(t *testing.T) {
+	tr := genTrace(t, 8000, 13)
+	const warmup = 200
+	scheme, err := parseScheme("gshare")
+	if err != nil {
+		t.Fatalf("parseScheme: %v", err)
+	}
+	opts := sweep.Options{
+		Scheme: scheme,
+		Tiers:  []int{4, 5},
+		Sim:    sim.Options{Warmup: warmup},
+	}
+
+	// CLI path: a checkpointed sweep over its own directory.
+	cliDir := t.TempDir()
+	opts.CheckpointDir = cliDir
+	if _, err := sweep.RunCtx(context.Background(), opts, tr); err != nil {
+		t.Fatalf("sweep.RunCtx: %v", err)
+	}
+	digest := tr.Digest()
+	cliFile := checkpoint.PathFor(cliDir, digest, warmup)
+	cliBytes, err := os.ReadFile(cliFile)
+	if err != nil {
+		t.Fatalf("CLI checkpoint missing: %v", err)
+	}
+
+	// Service path: the same slice as a job.
+	dataDir := t.TempDir()
+	m, err := NewManager(Config{DataDir: dataDir, Workers: 1, PublishName: "test-golden"})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := m.Drain(ctx); err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+	}()
+	info, err := m.Traces().Ingest(bytes.NewReader(encodeBPT1(t, tr)))
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	j, _, err := m.Submit(JobSpec{Trace: info.Digest, Scheme: "gshare", Tiers: []int{4, 5}, Warmup: warmup})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for !j.State().terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", j.State())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := j.State(); st != StateDone {
+		t.Fatalf("job = %s", st)
+	}
+
+	srvFile := checkpoint.PathFor(filepath.Join(dataDir, "checkpoints"), digest, warmup)
+	srvBytes, err := os.ReadFile(srvFile)
+	if err != nil {
+		t.Fatalf("server checkpoint missing: %v", err)
+	}
+	if filepath.Base(srvFile) != filepath.Base(cliFile) {
+		t.Fatalf("file names differ: %s vs %s", filepath.Base(srvFile), filepath.Base(cliFile))
+	}
+	if !bytes.Equal(srvBytes, cliBytes) {
+		t.Fatalf("server BPC1 (%d bytes) differs from CLI BPC1 (%d bytes)", len(srvBytes), len(cliBytes))
+	}
+
+	// And the CLI file resumes under the service: a fresh manager fed
+	// the CLI's checkpoint file serves the whole job from cache.
+	dataDir2 := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dataDir2, "checkpoints"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(checkpoint.PathFor(filepath.Join(dataDir2, "checkpoints"), digest, warmup), cliBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewManager(Config{DataDir: dataDir2, Workers: 1, PublishName: "test-golden-2"})
+	if err != nil {
+		t.Fatalf("NewManager 2: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := m2.Drain(ctx); err != nil {
+			t.Errorf("Drain 2: %v", err)
+		}
+	}()
+	if _, err := m2.Traces().Ingest(bytes.NewReader(encodeBPT1(t, tr))); err != nil {
+		t.Fatalf("Ingest 2: %v", err)
+	}
+	j2, _, err := m2.Submit(JobSpec{Trace: info.Digest, Scheme: "gshare", Tiers: []int{4, 5}, Warmup: warmup})
+	if err != nil {
+		t.Fatalf("Submit 2: %v", err)
+	}
+	for !j2.State().terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job 2 stuck in %s", j2.State())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	snap := j2.Obs.Snapshot()
+	if j2.State() != StateDone || snap.ConfigsCompleted != 0 {
+		t.Fatalf("CLI checkpoint not honored: state=%s simulated=%d (want all %d cached)",
+			j2.State(), snap.ConfigsCompleted, snap.ConfigsCached)
+	}
+}

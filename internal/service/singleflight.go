@@ -1,0 +1,81 @@
+package service
+
+import (
+	"sync"
+
+	"bpred/internal/sim"
+)
+
+// flight is one in-progress simulation cell. The leader settles it
+// exactly once with publish (success) or abandon (failure/cancel);
+// everyone else selects on done and reads m/err afterwards.
+type flight struct {
+	done chan struct{}
+	m    sim.Metrics
+	err  error
+}
+
+// flightGroup collapses concurrent executions of the same simulation
+// cell — keyed by (trace digest, warmup, config fingerprint) — onto
+// one leader, the way x/sync/singleflight collapses calls. Together
+// with the BPC1 store it gives the service its exactly-once kernel
+// guarantee: a cell is either served from the checkpoint cache, led
+// by exactly one job, or waited on.
+//
+// Settled flights are removed from the table rather than memoized:
+// the leader adds its result to the checkpoint store *before*
+// publishing, so by the time a later claimant could observe a stale
+// flight the store lookup already hits. Failed flights are removed
+// too, which is what lets a waiter retry — and possibly inherit
+// leadership — after a leader was canceled mid-cell.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// claim returns the flight for key and whether the caller became its
+// leader. A leader MUST eventually call publish or abandon with the
+// returned flight, or waiters block forever.
+func (g *flightGroup) claim(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// publish settles a successful flight with its metrics.
+func (g *flightGroup) publish(key string, f *flight, m sim.Metrics) {
+	f.m = m
+	g.release(key, f, nil)
+}
+
+// abandon settles a failed or canceled flight. Waiters see err and
+// retry the claim, so a canceled leader never wedges other jobs.
+func (g *flightGroup) abandon(key string, f *flight, err error) {
+	g.release(key, f, err)
+}
+
+func (g *flightGroup) release(key string, f *flight, err error) {
+	f.err = err
+	g.mu.Lock()
+	if g.m[key] == f {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	close(f.done)
+}
+
+// inFlight returns the number of unsettled cells (metrics surface).
+func (g *flightGroup) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"bpred/internal/sim"
+)
+
+func TestFlightGroupSingleLeader(t *testing.T) {
+	g := newFlightGroup()
+	const n = 64
+	var wg sync.WaitGroup
+	leaders := make([]bool, n)
+	flights := make([]*flight, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			flights[i], leaders[i] = g.claim("cell")
+		}(i)
+	}
+	wg.Wait()
+	var leader int
+	for i := 0; i < n; i++ {
+		if leaders[i] {
+			leader++
+		}
+		if flights[i] != flights[0] {
+			t.Fatalf("claim %d returned a different flight", i)
+		}
+	}
+	if leader != 1 {
+		t.Fatalf("%d leaders, want exactly 1", leader)
+	}
+	if g.inFlight() != 1 {
+		t.Fatalf("inFlight = %d", g.inFlight())
+	}
+
+	want := sim.Metrics{Name: "x", Branches: 9}
+	g.publish("cell", flights[0], want)
+	<-flights[0].done
+	if flights[0].err != nil || flights[0].m.Branches != 9 {
+		t.Fatalf("settled flight = %+v err=%v", flights[0].m, flights[0].err)
+	}
+	if g.inFlight() != 0 {
+		t.Fatalf("flight not released: inFlight = %d", g.inFlight())
+	}
+	// The key is free again: the store, not the flight table, is the
+	// durable cache.
+	if _, leader := g.claim("cell"); !leader {
+		t.Fatal("key not reclaimable after publish")
+	}
+}
+
+func TestFlightGroupAbandon(t *testing.T) {
+	g := newFlightGroup()
+	f, leader := g.claim("k")
+	if !leader {
+		t.Fatal("first claim not leader")
+	}
+	f2, leader2 := g.claim("k")
+	if leader2 || f2 != f {
+		t.Fatal("second claim should wait on the first")
+	}
+	boom := errors.New("boom")
+	g.abandon("k", f, boom)
+	<-f.done
+	if !errors.Is(f.err, boom) {
+		t.Fatalf("abandoned flight err = %v", f.err)
+	}
+	// Waiters seeing the failure retry the claim and inherit the lead.
+	f3, leader3 := g.claim("k")
+	if !leader3 || f3 == f {
+		t.Fatal("abandoned key not reclaimable")
+	}
+}

@@ -1,0 +1,273 @@
+package service
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"bpred/internal/trace"
+)
+
+// ErrNoTrace marks a lookup for a digest the store has never seen.
+var ErrNoTrace = errors.New("service: no such trace")
+
+// ErrTraceTooLarge marks an upload whose decoded form exceeds the
+// store's size cap.
+var ErrTraceTooLarge = errors.New("service: trace exceeds size cap")
+
+// TraceInfo is the stored metadata of one ingested trace.
+type TraceInfo struct {
+	// Digest is the hex SHA-256 content digest — the trace's identity
+	// everywhere in the service and in the checkpoint layer.
+	Digest string `json:"digest"`
+	// Name is the workload name from the BPT1 header.
+	Name string `json:"name"`
+	// Branches is the record count.
+	Branches uint64 `json:"branches"`
+	// Instructions is the represented dynamic instruction count.
+	Instructions uint64 `json:"instructions"`
+}
+
+// TraceStore ingests, persists, and serves BPT1 traces keyed by
+// content digest. Uploads are streamed through the existing decoder
+// (hostile input yields wrapped errors, never panics), capped in
+// decoded size, and persisted as canonical .bpt files under
+// dir/<digest>.bpt so a restarted server still serves every trace.
+// Decoded traces are cached in memory on first use; the index
+// (dir/index.json) makes listing cheap without decoding anything.
+type TraceStore struct {
+	dir string
+	// maxBranches caps a single trace's record count; together with
+	// the HTTP layer's body-size cap it bounds per-upload memory.
+	maxBranches uint64
+
+	mu     sync.Mutex
+	infos  map[string]TraceInfo    // digest hex -> metadata
+	loaded map[string]*trace.Trace // digest hex -> decoded trace
+}
+
+// NewTraceStore opens (or creates) a trace store rooted at dir.
+func NewTraceStore(dir string, maxBranches uint64) (*TraceStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s := &TraceStore{
+		dir:         dir,
+		maxBranches: maxBranches,
+		infos:       make(map[string]TraceInfo),
+		loaded:      make(map[string]*trace.Trace),
+	}
+	if err := s.loadIndex(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *TraceStore) indexPath() string { return filepath.Join(s.dir, "index.json") }
+
+func (s *TraceStore) tracePath(digest string) string {
+	return filepath.Join(s.dir, digest+".bpt")
+}
+
+func (s *TraceStore) loadIndex() error {
+	raw, err := os.ReadFile(s.indexPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("service: reading trace index: %w", err)
+	}
+	var infos []TraceInfo
+	if err := json.Unmarshal(raw, &infos); err != nil {
+		return fmt.Errorf("service: corrupt trace index %s: %w", s.indexPath(), err)
+	}
+	for _, in := range infos {
+		// Only believe index entries whose backing file survived.
+		if _, err := os.Stat(s.tracePath(in.Digest)); err == nil {
+			s.infos[in.Digest] = in
+		}
+	}
+	return nil
+}
+
+// persistIndex atomically rewrites the index. Callers hold s.mu.
+func (s *TraceStore) persistIndex() error {
+	infos := make([]TraceInfo, 0, len(s.infos))
+	for _, in := range s.infos {
+		infos = append(infos, in)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Digest < infos[j].Digest })
+	raw, err := json.MarshalIndent(infos, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return atomicWrite(s.indexPath(), raw)
+}
+
+// Ingest decodes one BPT1 stream, validates it end to end, persists
+// it, and returns its metadata. Re-uploading an existing trace is
+// idempotent: the stored copy is kept and its metadata returned.
+// Decode failures and cap violations surface as errors the HTTP layer
+// maps to 4xx responses.
+func (s *TraceStore) Ingest(r io.Reader) (TraceInfo, error) {
+	tr, err := decodeTrace(r, s.maxBranches)
+	if err != nil {
+		return TraceInfo{}, err
+	}
+	digest := tr.Digest()
+	key := hex.EncodeToString(digest[:])
+	info := TraceInfo{
+		Digest:       key,
+		Name:         tr.Name,
+		Branches:     uint64(tr.Len()),
+		Instructions: tr.Instructions,
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.infos[key]; ok {
+		return s.infos[key], nil
+	}
+	// Persist through a temp file + rename so a crash mid-write never
+	// leaves a half trace under a valid digest name.
+	tmp := s.tracePath(key) + ".tmp"
+	if err := trace.WriteFile(tmp, tr); err != nil {
+		if rmErr := os.Remove(tmp); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+			return TraceInfo{}, errors.Join(err, rmErr)
+		}
+		return TraceInfo{}, err
+	}
+	if err := os.Rename(tmp, s.tracePath(key)); err != nil {
+		return TraceInfo{}, fmt.Errorf("service: %w", err)
+	}
+	s.infos[key] = info
+	s.loaded[key] = tr
+	if err := s.persistIndex(); err != nil {
+		return TraceInfo{}, err
+	}
+	return info, nil
+}
+
+// decodeTrace streams one BPT1 trace into memory with a record cap.
+func decodeTrace(r io.Reader, maxBranches uint64) (*trace.Trace, error) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	if tr.Count() > maxBranches {
+		return nil, fmt.Errorf("%w: header promises %d records, cap is %d",
+			ErrTraceTooLarge, tr.Count(), maxBranches)
+	}
+	t := &trace.Trace{
+		Name:         tr.Name(),
+		Instructions: tr.Instructions(),
+		Branches:     make([]trace.Branch, 0, tr.Count()),
+	}
+	for {
+		b, ok := tr.Next()
+		if !ok {
+			break
+		}
+		t.Branches = append(t.Branches, b)
+	}
+	if err := tr.Err(); err != nil {
+		return nil, err
+	}
+	if uint64(t.Len()) != tr.Count() {
+		return nil, fmt.Errorf("trace: truncated upload: %d of %d records", t.Len(), tr.Count())
+	}
+	return t, nil
+}
+
+// Info returns the metadata for a digest.
+func (s *TraceStore) Info(digest string) (TraceInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in, ok := s.infos[digest]
+	if !ok {
+		return TraceInfo{}, ErrNoTrace
+	}
+	return in, nil
+}
+
+// List returns all stored traces, sorted by digest.
+func (s *TraceStore) List() []TraceInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TraceInfo, 0, len(s.infos))
+	for _, in := range s.infos {
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
+	return out
+}
+
+// Len returns the number of stored traces.
+func (s *TraceStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.infos)
+}
+
+// Trace returns the decoded trace for a digest, loading (and digest-
+// verifying) the persisted file on first use after a restart.
+func (s *TraceStore) Trace(digest string) (*trace.Trace, error) {
+	s.mu.Lock()
+	if t, ok := s.loaded[digest]; ok {
+		s.mu.Unlock()
+		return t, nil
+	}
+	_, known := s.infos[digest]
+	s.mu.Unlock()
+	if !known {
+		return nil, ErrNoTrace
+	}
+	// Load outside the lock: decoding can be slow and must not stall
+	// uploads or listings. A duplicate concurrent load is harmless
+	// (same content, last store wins).
+	t, err := trace.ReadFile(s.tracePath(digest))
+	if err != nil {
+		return nil, fmt.Errorf("service: loading trace %s: %w", digest, err)
+	}
+	sum := t.Digest()
+	if hex.EncodeToString(sum[:]) != digest {
+		return nil, fmt.Errorf("service: trace file %s content does not match its digest name", s.tracePath(digest))
+	}
+	s.mu.Lock()
+	s.loaded[digest] = t
+	s.mu.Unlock()
+	return t, nil
+}
+
+// atomicWrite writes data to path via a same-directory temp file and
+// rename, so readers never observe a torn file.
+func atomicWrite(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: %w", err)
+	}
+	return nil
+}

@@ -186,10 +186,12 @@ func TestCheckpointDirResume(t *testing.T) {
 	}
 }
 
-// TestCheckpointDirMismatchedWarmup ensures a checkpoint written under
-// one warmup refuses to serve a run with another: silently mixing
-// results scored differently would corrupt the surface.
-func TestCheckpointDirMismatchedWarmup(t *testing.T) {
+// TestCheckpointDirDistinctWarmups ensures sweeps with different
+// warmups over one directory never share cells: warmup is part of the
+// file address (checkpoint.PathFor), so each warmup gets its own
+// cache file and silently mixing results scored differently is
+// impossible by construction.
+func TestCheckpointDirDistinctWarmups(t *testing.T) {
 	tr := resumeTrace(t, 20_000)
 	dir := t.TempDir()
 
@@ -203,8 +205,20 @@ func TestCheckpointDirMismatchedWarmup(t *testing.T) {
 	}
 
 	o.Sim.Warmup = 600
-	if _, err := Run(o, tr); !errors.Is(err, checkpoint.ErrMismatch) {
-		t.Fatalf("mismatched warmup: err = %v, want ErrMismatch", err)
+	if _, err := Run(o, tr); err != nil {
+		t.Fatalf("second warmup over same dir: %v", err)
+	}
+
+	digest := tr.Digest()
+	for _, warmup := range []uint64{500, 600} {
+		path := checkpoint.PathFor(dir, digest, warmup)
+		s, err := checkpoint.Open(path, digest, warmup)
+		if err != nil {
+			t.Fatalf("reopening warmup-%d cache: %v", warmup, err)
+		}
+		if s.Len() == 0 {
+			t.Errorf("warmup-%d cache is empty", warmup)
+		}
 	}
 }
 

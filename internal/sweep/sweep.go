@@ -14,7 +14,6 @@ package sweep
 import (
 	"context"
 	"fmt"
-	"path/filepath"
 
 	"bpred/internal/checkpoint"
 	"bpred/internal/core"
@@ -241,7 +240,7 @@ func RunCtx(ctx context.Context, o Options, tr *trace.Trace) (*Surface, error) {
 	store := o.Checkpoint
 	if store == nil && o.CheckpointDir != "" {
 		digest := tr.Digest()
-		path := filepath.Join(o.CheckpointDir, fmt.Sprintf("sweep-%x.bpc", digest[:12]))
+		path := checkpoint.PathFor(o.CheckpointDir, digest, uint64(o.Sim.Warmup))
 		var err error
 		if store, err = checkpoint.Open(path, digest, uint64(o.Sim.Warmup)); err != nil {
 			return nil, fmt.Errorf("sweep: %w", err)
