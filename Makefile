@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race bench-sim bench-short cover fuzz-smoke diff-fuzz serve serve-test all
+.PHONY: build test vet lint race bench-sim bench-short bench-check cover fuzz-smoke diff-fuzz serve serve-test all
 
 all: build vet lint test
 
@@ -44,12 +44,27 @@ serve-test:
 bench-short:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-sim measures the simulation engine (generic vs batched
-# kernels, chunk-shared sweeps) and records the results as
-# BENCH_sim.json so the perf trajectory is tracked across PRs.
+# bench-sim measures the simulation engine (generic vs byte-batched
+# vs bit-packed kernels, fused vs per-config sweeps) and records the
+# results as BENCH_sim.json so the perf trajectory is tracked across
+# PRs.
+BENCH_PATTERN = BenchmarkKernels|BenchmarkSweepChunked|BenchmarkSweepFusion
+
 bench-sim:
-	$(GO) test -run '^$$' -bench 'BenchmarkKernels|BenchmarkSweepChunked' -benchtime 1s . \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_sim.json
+
+# bench-check is the perf-regression gate: rerun the tracked
+# benchmarks and fail if any MB/s figure dropped more than BENCH_TOL
+# percent below the checked-in BENCH_sim.json. BENCH_TIME can be
+# shortened for smoke-level CI runs (noisier, hence the wide default
+# tolerance there — see .github/workflows/ci.yml).
+BENCH_TOL ?= 15
+BENCH_TIME ?= 1s
+
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -check -baseline BENCH_sim.json -tolerance $(BENCH_TOL)
 
 # COVER_FLOOR is ~10 points below current coverage of the execution
 # core (sim, sweep, checkpoint, obs sit at ~92%); the gate catches
@@ -62,12 +77,12 @@ COVER_FLOOR = 80
 # -coverpkg spans the gated set so cross-package exercise counts: the
 # analyzer fixtures drive load/analysistest, and cmd/bplint's smoke
 # test drives the bplint driver package.
-COVER_PKGS = ./internal/sim/,./internal/sweep/,./internal/checkpoint/,./internal/obs/,./internal/analysis/...,./internal/service/
+COVER_PKGS = ./internal/sim/,./internal/sweep/,./internal/checkpoint/,./internal/obs/,./internal/analysis/...,./internal/service/,./internal/counter/
 
 cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=$(COVER_PKGS) \
 		./internal/sim/ ./internal/sweep/ ./internal/checkpoint/ ./internal/obs/ \
-		./internal/analysis/... ./cmd/bplint/ ./internal/service/
+		./internal/analysis/... ./cmd/bplint/ ./internal/service/ ./internal/counter/
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \

@@ -9,11 +9,23 @@
 //
 // Non-benchmark lines are ignored, so the full `go test` output can
 // be piped in unfiltered.
+//
+// With -check, benchjson instead compares the run on stdin against a
+// checked-in baseline and exits non-zero if any benchmark's MB/s
+// regressed by more than -tolerance percent:
+//
+//	go test -run '^$' -bench . . | go run ./cmd/benchjson -check -baseline BENCH_sim.json -tolerance 15
+//
+// Benchmarks present in the run but absent from the baseline are
+// reported as new and never fail the gate; baseline entries missing
+// from the run are warned about but tolerated, so a scoped -bench
+// filter can gate a subset.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -39,10 +51,35 @@ type Doc struct {
 }
 
 func main() {
+	check := flag.Bool("check", false, "compare stdin against -baseline instead of emitting JSON")
+	baseline := flag.String("baseline", "BENCH_sim.json", "baseline JSON document for -check")
+	tolerance := flag.Float64("tolerance", 15, "max tolerated MB/s regression for -check, in percent")
+	flag.Parse()
+
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *check {
+		base, err := readDoc(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rep := compare(doc, base, *tolerance)
+		for _, line := range rep.notes {
+			fmt.Fprintln(os.Stderr, "benchjson:", line)
+		}
+		for _, line := range rep.failures {
+			fmt.Fprintln(os.Stderr, "benchjson: FAIL:", line)
+		}
+		if len(rep.failures) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.0f%% of %s\n",
+			rep.compared, *tolerance, *baseline)
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -50,6 +87,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// throughputUnit is the metric the regression gate compares. MB/s is
+// what every simulation benchmark reports (1 branch record = 1 byte
+// of SetBytes, so MB/s reads as Mbranches/s).
+const throughputUnit = "MB/s"
+
+// report is the outcome of one baseline comparison.
+type report struct {
+	compared int      // benchmarks present in both documents with MB/s
+	notes    []string // informational: new benchmarks, missing metrics
+	failures []string // regressions beyond tolerance
+}
+
+// compare checks every current result against the baseline document.
+// Only MB/s regressions fail: a benchmark missing from the baseline is
+// new (noted, not failed), and baseline entries absent from the
+// current run are noted so a narrowed -bench filter is visible.
+func compare(cur, base Doc, tolerance float64) report {
+	var rep report
+	baseBy := map[string]Result{}
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	seen := map[string]bool{}
+	for _, r := range cur.Results {
+		seen[r.Name] = true
+		b, ok := baseBy[r.Name]
+		if !ok {
+			rep.notes = append(rep.notes, fmt.Sprintf("%s: not in baseline (new benchmark)", r.Name))
+			continue
+		}
+		cv, cok := r.Metrics[throughputUnit]
+		bv, bok := b.Metrics[throughputUnit]
+		if !cok || !bok || bv <= 0 {
+			rep.notes = append(rep.notes, fmt.Sprintf("%s: no %s to compare", r.Name, throughputUnit))
+			continue
+		}
+		rep.compared++
+		drop := (bv - cv) / bv * 100
+		if drop > tolerance {
+			rep.failures = append(rep.failures, fmt.Sprintf(
+				"%s: %.2f %s vs baseline %.2f %s (-%.1f%%, tolerance %.0f%%)",
+				r.Name, cv, throughputUnit, bv, throughputUnit, drop, tolerance))
+		}
+	}
+	for _, r := range base.Results {
+		if !seen[r.Name] {
+			rep.notes = append(rep.notes, fmt.Sprintf("%s: in baseline but not in this run", r.Name))
+		}
+	}
+	return rep
+}
+
+// readDoc loads a JSON document previously emitted by benchjson.
+func readDoc(path string) (Doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Doc{}, err
+	}
+	defer f.Close()
+	var doc Doc
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return Doc{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return doc, nil
 }
 
 func parse(sc *bufio.Scanner) (Doc, error) {

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: bpred
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKernels/gshare/batched-4         	     446	   2738084 ns/op	 182.61 MB/s
+BenchmarkKernels/gshare/packed-4          	     900	   1350000 ns/op	 370.00 MB/s
+BenchmarkSweepChunked-4                   	      20	  58269360 ns/op	 189.24 MB/s
+ok  	bpred	12.3s
+`
+
+func parseText(t *testing.T, text string) Doc {
+	t.Helper()
+	doc, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return doc
+}
+
+func TestParse(t *testing.T) {
+	doc := parseText(t, benchText)
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "bpred" {
+		t.Errorf("header fields wrong: %+v", doc)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkKernels/gshare/batched" || r.Procs != 4 || r.Iterations != 446 {
+		t.Errorf("result[0] = %+v", r)
+	}
+	if r.Metrics["MB/s"] != 182.61 || r.Metrics["ns/op"] != 2738084 {
+		t.Errorf("result[0] metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("ok bpred 1s\n"))); err == nil {
+		t.Error("parse of bench-free input succeeded; want error")
+	}
+}
+
+// result builds a Doc entry with one MB/s metric.
+func result(name string, mbs float64) Result {
+	m := map[string]float64{}
+	if mbs > 0 {
+		m["MB/s"] = mbs
+	}
+	return Result{Name: name, Procs: 1, Iterations: 1, Metrics: m}
+}
+
+func TestCompare(t *testing.T) {
+	base := Doc{Results: []Result{
+		result("a", 100),
+		result("b", 100),
+		result("gone", 50),
+		result("nombs", 0),
+	}}
+	cur := Doc{Results: []Result{
+		result("a", 90),  // -10%: within 15% tolerance
+		result("b", 80),  // -20%: regression
+		result("new", 5), // not in baseline: noted only
+		result("nombs", 0),
+	}}
+	rep := compare(cur, base, 15)
+	if rep.compared != 2 {
+		t.Errorf("compared = %d, want 2", rep.compared)
+	}
+	if len(rep.failures) != 1 || !strings.Contains(rep.failures[0], "b:") {
+		t.Errorf("failures = %v, want exactly one for b", rep.failures)
+	}
+	joined := strings.Join(rep.notes, "\n")
+	for _, want := range []string{"new: not in baseline", "nombs: no MB/s", "gone: in baseline but not in this run"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompareTolerance(t *testing.T) {
+	base := Doc{Results: []Result{result("a", 100)}}
+	for _, tc := range []struct {
+		cur, tol float64
+		fail     bool
+	}{
+		{86, 15, false}, // -14%
+		{84, 15, true},  // -16%
+		{84, 20, false},
+		{120, 15, false}, // improvement never fails
+	} {
+		rep := compare(Doc{Results: []Result{result("a", tc.cur)}}, base, tc.tol)
+		if got := len(rep.failures) > 0; got != tc.fail {
+			t.Errorf("cur=%v tol=%v: fail=%v, want %v (%v)", tc.cur, tc.tol, got, tc.fail, rep.failures)
+		}
+	}
+}

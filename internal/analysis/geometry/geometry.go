@@ -9,11 +9,14 @@
 //
 // The analyzer runs a small function-local taint analysis. Taint
 // sources are branch-address bits (selectors .PC/.Target, parameters
-// named pc/addr/target), history patterns (calls to Value/Lookup/Row
-// on history, core, or refmodel types; history-register fields like
-// hist/value/ghist/phist), and anything arithmetically derived from
-// them. A masking operation — x & m or x % m — launders the result
-// clean. Three rules are enforced:
+// named pc/addr/target), history patterns (calls to
+// Value/Lookup/Row/Val/Access on history, core, or refmodel types;
+// history-register fields like hist/value/ghist/phist), and anything
+// arithmetically derived from them. A masking operation — x & m or
+// x % m — launders the result clean; derivations of a clean index
+// stay clean, which is what admits the bit-packed counter-bank idiom
+// (word = idx>>5, lane = idx&31 from an already-masked idx). Three
+// rules are enforced:
 //
 //  1. A slice or array index expression must be clean: every tainted
 //     term must pass through & (len(t)-1), & ((1<<bits)-1), or % m
@@ -55,7 +58,13 @@ var histFields = map[string]bool{
 }
 
 // taintedMethods are methods whose results are history patterns.
-var taintedMethods = map[string]bool{"Value": true, "Lookup": true, "Row": true}
+// Val reads the open-addressed per-branch register file (PCMap) and
+// Access is the fused lookup+update probe on Perfect BHTs; both
+// return patterns the caller must mask to its own width.
+var taintedMethods = map[string]bool{
+	"Value": true, "Lookup": true, "Row": true,
+	"Val": true, "Access": true,
+}
 
 // addrParams are parameter names treated as raw branch-address bits.
 var addrParams = map[string]bool{"pc": true, "addr": true, "target": true}

@@ -56,6 +56,37 @@ func BadMask(t []uint8, pc uint64) uint8 {
 	return t[pc&0xfe] // want `constant mask 254 over PC/history bits is not of the form 2\^k-1`
 }
 
+// GoodPacked derives a bit-packed counter lane from a masked index:
+// word = idx>>5 and shift = (idx&31)<<1 inherit the masked index's
+// cleanliness, so the packed-bank idiom needs no extra annotation.
+func GoodPacked(words []uint64, reg *history.ShiftRegister, b branch) uint64 {
+	idx := (reg.Value() ^ (b.PC >> 2)) & 0x3ff
+	sh := (idx & 31) << 1
+	return words[idx>>5] >> sh & 3
+}
+
+// BadPackedWord selects a packed word from an unmasked index: the
+// lane shift narrows the value but does not bound it.
+func BadPackedWord(words []uint64, reg *history.ShiftRegister) uint64 {
+	idx := reg.Value()
+	return words[idx>>5] // want `unmasked table index`
+}
+
+// BadVal indexes with a raw register-file pattern.
+func BadVal(t []uint8, m *history.PCMap, slot int) uint8 {
+	return t[m.Val(slot)] // want `unmasked table index`
+}
+
+// GoodVal masks the register-file pattern to the table geometry.
+func GoodVal(t []uint8, m *history.PCMap, slot int) uint8 {
+	return t[m.Val(slot)&uint64(len(t)-1)]
+}
+
+// BadAccess indexes with the fused probe's returned pattern.
+func BadAccess(t []uint8, p *history.Perfect, b branch) uint8 {
+	return t[p.Access(b.PC, b.Taken)] // want `unmasked table index`
+}
+
 // MapsExempt: map lookups cannot alias, any key is fine.
 func MapsExempt(m map[uint64]int, pc uint64) int {
 	return m[pc]

@@ -65,3 +65,22 @@ func (t *Table) Update(pc uint64, bit uint64) {
 	i := int(pc) & (len(t.hist) - 1)
 	t.hist[i] = (t.hist[i]<<1 | bit) & ((1 << t.bits) - 1)
 }
+
+// PCMap stands in for the open-addressed per-branch register file:
+// Val returns a stored pattern unmasked (callers mask to their own
+// width), so its result is a taint source.
+type PCMap struct {
+	vals []uint64
+}
+
+func (m *PCMap) Val(slot int) uint64 { return m.vals[slot] }
+
+// Perfect stands in for the perfect BHT whose Access folds lookup
+// and update into one probe and returns the pre-update pattern.
+type Perfect struct {
+	regs PCMap
+}
+
+func (p *Perfect) Access(pc uint64, taken bool) uint64 {
+	return p.regs.Val(int(pc) & (len(p.regs.vals) - 1))
+}

@@ -1,0 +1,137 @@
+package counter
+
+import "fmt"
+
+// PackedBank stores 2-bit saturating counters packed 32 per uint64
+// word — one quarter the footprint of Table's byte-per-counter layout.
+// It exists for the batched simulation kernels (bpred/internal/sim):
+// packing keeps whole sweep tiers L1-resident, and the lane update is
+// branchless mask arithmetic (extract lane, saturate via compare
+// masks, write back with one XOR), so the hot loop trades a byte
+// load/store for a word load/shift/store with no new branches.
+//
+// PackedBank is only defined for the paper's 2-bit counters; wider
+// machines keep the byte layout (counter.Table). State values and
+// transition semantics are bit-identical to a 2-bit Table: states
+// 0..3, predict taken when state >= 2, saturate at both ends.
+type PackedBank struct {
+	words []uint64
+	size  int
+}
+
+// Packed-lane geometry: 32 two-bit lanes per word. A counter index
+// idx splits into word = idx >> LaneShift and lane = idx & LaneMask;
+// the lane's bit offset is (idx & LaneMask) << 1.
+const (
+	// LanesPerWord is the number of 2-bit counters in one uint64.
+	LanesPerWord = 32
+	// LaneShift converts a counter index to its word index.
+	LaneShift = 5
+	// LaneMask extracts the lane number from a counter index.
+	LaneMask = LanesPerWord - 1
+)
+
+// packedInit is a word of 32 lanes all in the weakly-taken state 2
+// (0b10 repeated), matching Table's initial state.
+const packedInit = 0xAAAAAAAAAAAAAAAA
+
+// NewPackedBank returns a bank of size counters initialized to weakly
+// taken, the same initial state as a fresh 2-bit Table.
+func NewPackedBank(size int) *PackedBank {
+	if size < 0 {
+		panic(fmt.Sprintf("counter: NewPackedBank(%d) with negative size", size))
+	}
+	b := &PackedBank{
+		words: make([]uint64, (size+LanesPerWord-1)/LanesPerWord),
+		size:  size,
+	}
+	for i := range b.words {
+		b.words[i] = packedInit
+	}
+	return b
+}
+
+// PackFrom returns a bank holding the same counter states as the
+// byte-per-counter slice (each value must be a 2-bit state 0..3).
+// The simulation kernels use it to mirror a Table's state into packed
+// form at run start; Unpack restores it at run end, so the Table
+// round-trips bit-identically through a packed run.
+func PackFrom(state []uint8) *PackedBank {
+	b := NewPackedBank(len(state))
+	for i, s := range state {
+		b.Set(i, s)
+	}
+	return b
+}
+
+// Unpack writes every lane back into the byte-per-counter slice,
+// which must have length Size().
+func (b *PackedBank) Unpack(state []uint8) {
+	if len(state) != b.size {
+		panic(fmt.Sprintf("counter: Unpack into %d bytes, bank holds %d lanes", len(state), b.size))
+	}
+	for i := range state {
+		state[i] = b.Get(i)
+	}
+}
+
+// Size returns the number of counters.
+func (b *PackedBank) Size() int { return b.size }
+
+// Words exposes the packed backing array for the simulation kernels,
+// which hoist it into a loop local (the same aliasing rationale as
+// Table.Raw). Lane i lives at bits (i&LaneMask)*2 of words[i>>LaneShift].
+func (b *PackedBank) Words() []uint64 { return b.words }
+
+// Get returns the 2-bit state of lane idx.
+func (b *PackedBank) Get(idx int) uint8 {
+	return uint8(b.words[idx>>LaneShift] >> ((uint(idx) & LaneMask) << 1) & 3)
+}
+
+// Set overwrites lane idx with a 2-bit state.
+func (b *PackedBank) Set(idx int, s uint8) {
+	if s > 3 {
+		panic(fmt.Sprintf("counter: PackedBank.Set state %d out of [0,3]", s))
+	}
+	sh := (uint(idx) & LaneMask) << 1
+	w := b.words[idx>>LaneShift]
+	b.words[idx>>LaneShift] = w&^(3<<sh) | uint64(s)<<sh
+}
+
+// Predict returns the prediction of lane idx (state >= 2), matching
+// Table.Predict for 2-bit counters.
+func (b *PackedBank) Predict(idx int) bool {
+	return b.words[idx>>LaneShift]>>((uint(idx)&LaneMask)<<1)&3 >= 2
+}
+
+// Access is the fused predict-then-train step on one lane, the packed
+// counterpart of Table.Access: one word load serves the prediction
+// read and the branchless saturating update, and the write-back is a
+// single XOR of the changed lane bits. Bit-identical to a 2-bit
+// Table.Access; the simulation kernels inline this arithmetic on a
+// hoisted Words() local.
+func (b *PackedBank) Access(idx int, taken bool) bool {
+	sh := (uint(idx) & LaneMask) << 1
+	w := b.words[idx>>LaneShift]
+	s := w >> sh & 3
+	up := b2u64(taken)
+	ns := s + up&b2u64(s < 3) - (1-up)&b2u64(s > 0)
+	b.words[idx>>LaneShift] = w ^ (s^ns)<<sh
+	return s >= 2
+}
+
+// Reset restores every lane to weakly taken.
+func (b *PackedBank) Reset() {
+	for i := range b.words {
+		b.words[i] = packedInit
+	}
+}
+
+// b2u64 converts a bool to 0/1; the compiler lowers it to a flag
+// move, not a branch.
+func b2u64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

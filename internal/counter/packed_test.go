@@ -1,0 +1,129 @@
+package counter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackedBankInit(t *testing.T) {
+	for _, size := range []int{0, 1, 31, 32, 33, 100, 1024} {
+		b := NewPackedBank(size)
+		if b.Size() != size {
+			t.Fatalf("size %d: Size() = %d", size, b.Size())
+		}
+		for i := 0; i < size; i++ {
+			if b.Get(i) != 2 {
+				t.Fatalf("size %d: lane %d initialized to %d, want 2 (weakly taken)", size, i, b.Get(i))
+			}
+			if !b.Predict(i) {
+				t.Fatalf("size %d: fresh lane %d predicts not-taken", size, i)
+			}
+		}
+	}
+}
+
+// TestPackedAccessMatchesSaturating checks every (state, outcome)
+// transition of the packed lane arithmetic against the reference 2-bit
+// saturating machine.
+func TestPackedAccessMatchesSaturating(t *testing.T) {
+	for state := uint8(0); state <= 3; state++ {
+		for _, taken := range []bool{false, true} {
+			b := NewPackedBank(64)
+			// Exercise a middle lane so neighbors can catch corruption.
+			const idx = 37
+			b.Set(idx, state)
+			ref := NewSaturating(2, int(state))
+			wantPred := ref.Predict()
+			ref.Update(taken)
+			gotPred := b.Access(idx, taken)
+			if gotPred != wantPred {
+				t.Errorf("state %d taken %v: prediction %v, want %v", state, taken, gotPred, wantPred)
+			}
+			if got, want := b.Get(idx), uint8(ref.State()); got != want {
+				t.Errorf("state %d taken %v: next state %d, want %d", state, taken, got, want)
+			}
+			for i := 0; i < b.Size(); i++ {
+				if i != idx && b.Get(i) != 2 {
+					t.Fatalf("state %d taken %v: Access(%d) corrupted lane %d", state, taken, idx, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPackedRoundTrip(t *testing.T) {
+	state := make([]uint8, 101)
+	for i := range state {
+		state[i] = uint8(i * 7 % 4)
+	}
+	b := PackFrom(state)
+	for i, s := range state {
+		if b.Get(i) != s {
+			t.Fatalf("PackFrom lost lane %d: got %d, want %d", i, b.Get(i), s)
+		}
+	}
+	out := make([]uint8, len(state))
+	b.Unpack(out)
+	for i := range state {
+		if out[i] != state[i] {
+			t.Fatalf("Unpack lost lane %d: got %d, want %d", i, out[i], state[i])
+		}
+	}
+}
+
+// TestPackedVsTableProperty drives random access streams through a
+// PackedBank and a 2-bit Table of the same size: every prediction and
+// every final state must match.
+func TestPackedVsTableProperty(t *testing.T) {
+	f := func(seed uint64, accesses []uint16) bool {
+		tab := NewTable(3, 4) // 128 counters
+		bank := PackFrom(func() []uint8 { s, _, _ := tab.Raw(); return s }())
+		for _, a := range accesses {
+			idx := int(a) % tab.Size()
+			taken := a&0x8000 != 0
+			if bank.Access(idx, taken) != tab.Access(idx, taken) {
+				return false
+			}
+		}
+		for i := 0; i < tab.Size(); i++ {
+			if bank.Get(i) != tab.State(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackedSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Set with a 3-bit state did not panic")
+		}
+	}()
+	NewPackedBank(32).Set(0, 4)
+}
+
+func TestPackedUnpackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Unpack into a wrong-sized slice did not panic")
+		}
+	}()
+	NewPackedBank(32).Unpack(make([]uint8, 31))
+}
+
+func TestPackedReset(t *testing.T) {
+	b := NewPackedBank(64)
+	for i := 0; i < 64; i++ {
+		b.Access(i, i%2 == 0)
+	}
+	b.Reset()
+	for i := 0; i < 64; i++ {
+		if b.Get(i) != 2 {
+			t.Fatalf("Reset left lane %d at %d", i, b.Get(i))
+		}
+	}
+}

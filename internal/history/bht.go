@@ -61,16 +61,27 @@ func (p ResetPolicy) resetValue(old uint64, width int) uint64 {
 // Perfect is the idealized unbounded branch-history table used for the
 // paper's Figure 9 ("PAs schemes with perfect histories"): every
 // branch gets its own register and no conflicts ever occur.
+//
+// Registers live in a preallocated open-addressing PCMap rather than
+// a Go map: the per-branch runtime-map hash dominated the pas-inf
+// kernels (10x slower than every other scheme) and the flat probe
+// table removes it. Register values are stored unmasked (the full
+// shifted-in outcome stream) and masked to the declared width on
+// read, which both spares a mask per update and lets the fused
+// config-parallel kernels share one wide table across register
+// widths.
 type Perfect struct {
 	bits    int
-	regs    map[uint64]uint64
+	regs    PCMap
 	lookups uint64
 }
 
 // NewPerfect returns an unbounded table of width-bits registers.
 func NewPerfect(bits int) *Perfect {
 	checkBits(bits)
-	return &Perfect{bits: bits, regs: make(map[uint64]uint64)}
+	p := &Perfect{bits: bits}
+	p.regs.init(pcMapMinSlots)
+	return p
 }
 
 // Lookup returns pc's history; unseen branches start at zero history
@@ -78,16 +89,26 @@ func NewPerfect(bits int) *Perfect {
 // table, only cold start).
 func (p *Perfect) Lookup(pc uint64) (uint64, bool) {
 	p.lookups++
-	return p.regs[pc], false
+	return p.regs.Val(p.regs.Slot(pc)) & mask(p.bits), false
 }
 
 // Update shifts outcome into pc's register.
 func (p *Perfect) Update(pc uint64, taken bool) {
-	v := p.regs[pc] << 1
-	if taken {
-		v |= 1
-	}
-	p.regs[pc] = v & mask(p.bits)
+	s := p.regs.Slot(pc)
+	p.regs.SetVal(s, p.regs.Val(s)<<1|b2u64(taken))
+}
+
+// Access is the fused Lookup-then-Update step used by the batched
+// simulation kernels: one probe serves both, returning the history
+// pattern as it stood before the update (what Lookup would have
+// returned). Bit-identical to Lookup followed by Update, including
+// the lookup count.
+func (p *Perfect) Access(pc uint64, taken bool) uint64 {
+	p.lookups++
+	s := p.regs.Slot(pc)
+	h := p.regs.Val(s)
+	p.regs.SetVal(s, h<<1|b2u64(taken))
+	return h & mask(p.bits)
 }
 
 // Bits returns the register width.
@@ -99,9 +120,12 @@ func (p *Perfect) Misses() uint64 { return 0 }
 // Lookups returns the cumulative lookup count.
 func (p *Perfect) Lookups() uint64 { return p.lookups }
 
+// Entries returns the number of distinct branches seen.
+func (p *Perfect) Entries() int { return p.regs.Len() }
+
 // Reset clears all registers and statistics.
 func (p *Perfect) Reset() {
-	p.regs = make(map[uint64]uint64)
+	p.regs.Reset()
 	p.lookups = 0
 }
 
@@ -244,6 +268,24 @@ func (t *SetAssoc) Update(pc uint64, taken bool) {
 	}
 }
 
+// Access folds Lookup and the same-pc Update into a single set
+// search. Lookup resolves pc to exactly one entry — a tag hit or the
+// way it just installed — and records it in lastHit; under the
+// simulator's lookup-then-update discipline Update's re-search would
+// match that same entry, so the shift-in reuses the resolved index.
+// Counts, LRU stamps, and reset behavior are bit-identical to the
+// two-call sequence.
+func (t *SetAssoc) Access(pc uint64, taken bool) (uint64, bool) {
+	h, miss := t.Lookup(pc)
+	i := t.lastHit
+	v := t.hist[i] << 1
+	if taken {
+		v |= 1
+	}
+	t.hist[i] = v & mask(t.bits)
+	return h, miss
+}
+
 // Misses returns the cumulative conflict count.
 func (t *SetAssoc) Misses() uint64 { return t.misses }
 
@@ -316,6 +358,20 @@ func (t *Untagged) Update(pc uint64, taken bool) {
 		v |= 1
 	}
 	t.hist[i] = v & mask(t.bits)
+}
+
+// Access folds Lookup and Update into one probe of the (possibly
+// shared) register, returning the pre-update pattern.
+func (t *Untagged) Access(pc uint64, taken bool) (uint64, bool) {
+	t.lookups++
+	i := (pc >> 2) & t.idxMask
+	h := t.hist[i]
+	v := h << 1
+	if taken {
+		v |= 1
+	}
+	t.hist[i] = v & mask(t.bits)
+	return h, false
 }
 
 // Bits returns the register width.

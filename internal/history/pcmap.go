@@ -1,0 +1,96 @@
+package history
+
+// PCMap is a preallocated open-addressing hash table from branch
+// addresses to 64-bit payloads. It replaces the Go map behind the
+// idealized Perfect history table on the simulation fast path: a
+// runtime map lookup costs a hash call, bucket walk, and write
+// barrier per branch, which made pas-inf an order of magnitude
+// slower than every other kernel. PCMap probes linearly from a
+// Fibonacci-hashed slot over flat arrays, so the steady-state cost
+// is one multiply, one shift, and (almost always) one compare.
+//
+// Growth doubles the table at 3/4 load and reinserts; amortized over
+// a trace this allocates only while the working set is still being
+// discovered, which the zero-alloc kernel tests account for by
+// warming predictors first.
+type PCMap struct {
+	keys  []uint64
+	used  []bool
+	vals  []uint64
+	mask  uint64
+	shift uint
+	n     int
+}
+
+// pcMapMinSlots is the initial capacity (power of two).
+const pcMapMinSlots = 256
+
+// fibMult is the 64-bit Fibonacci hashing multiplier
+// (2^64 / golden ratio, forced odd); the high product bits are the
+// well-mixed ones, so Slot takes the hash from the top.
+const fibMult = 0x9E3779B97F4A7C15
+
+// NewPCMap returns an empty table.
+func NewPCMap() *PCMap {
+	m := &PCMap{}
+	m.init(pcMapMinSlots)
+	return m
+}
+
+func (m *PCMap) init(slots int) {
+	m.keys = make([]uint64, slots)
+	m.used = make([]bool, slots)
+	m.vals = make([]uint64, slots)
+	m.mask = uint64(slots - 1)
+	m.shift = 64 - uint(log2(slots))
+	m.n = 0
+}
+
+// Len returns the number of distinct keys inserted.
+func (m *PCMap) Len() int { return m.n }
+
+// Slot returns the index of pc's entry, inserting a zero-valued entry
+// when pc is new. The returned slot is valid until the next insertion
+// (growth moves entries), matching the lookup-then-update discipline
+// of the simulation loop.
+func (m *PCMap) Slot(pc uint64) int {
+	i := (pc * fibMult) >> m.shift & m.mask
+	for m.used[i] {
+		if m.keys[i] == pc {
+			return int(i)
+		}
+		i = (i + 1) & m.mask
+	}
+	if m.n >= len(m.keys)-len(m.keys)/4 {
+		m.grow()
+		return m.Slot(pc)
+	}
+	m.used[i] = true
+	m.keys[i] = pc
+	m.n++
+	return int(i)
+}
+
+// Val returns the payload at a slot returned by Slot.
+func (m *PCMap) Val(slot int) uint64 { return m.vals[slot] }
+
+// SetVal overwrites the payload at a slot returned by Slot.
+func (m *PCMap) SetVal(slot int, v uint64) { m.vals[slot] = v }
+
+// grow doubles the table and reinserts every live entry.
+func (m *PCMap) grow() {
+	keys, used, vals := m.keys, m.used, m.vals
+	m.init(2 * len(keys))
+	for i, u := range used {
+		if !u {
+			continue
+		}
+		s := m.Slot(keys[i])
+		m.vals[s] = vals[i]
+	}
+}
+
+// Reset drops every entry, shrinking back to the initial capacity.
+func (m *PCMap) Reset() {
+	m.init(pcMapMinSlots)
+}

@@ -1,0 +1,123 @@
+package history
+
+import (
+	"testing"
+
+	"bpred/internal/rng"
+)
+
+func TestPCMapBasic(t *testing.T) {
+	m := NewPCMap()
+	if m.Len() != 0 {
+		t.Fatalf("fresh map Len() = %d", m.Len())
+	}
+	s := m.Slot(0x4000)
+	if m.Val(s) != 0 {
+		t.Fatal("new entry should start at zero")
+	}
+	m.SetVal(s, 42)
+	if m.Len() != 1 {
+		t.Fatalf("Len() = %d after one insert", m.Len())
+	}
+	if got := m.Val(m.Slot(0x4000)); got != 42 {
+		t.Fatalf("re-lookup read %d, want 42", got)
+	}
+	// pc 0 is an ordinary key, not a sentinel.
+	z := m.Slot(0)
+	m.SetVal(z, 7)
+	if got := m.Val(m.Slot(0)); got != 7 {
+		t.Fatalf("pc=0 read %d, want 7", got)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", m.Len())
+	}
+}
+
+// TestPCMapVsGoMap checks the open-addressing table against a Go map
+// over a random key stream with heavy reuse, across several growths.
+func TestPCMapVsGoMap(t *testing.T) {
+	r := rng.NewXoshiro256(99)
+	m := NewPCMap()
+	ref := make(map[uint64]uint64)
+	keys := make([]uint64, 3000)
+	for i := range keys {
+		keys[i] = uint64(r.Intn(1<<30)) << 2
+	}
+	for i := 0; i < 100_000; i++ {
+		pc := keys[r.Intn(len(keys))]
+		s := m.Slot(pc)
+		if m.Val(s) != ref[pc] {
+			t.Fatalf("iteration %d: pc %#x reads %d, want %d", i, pc, m.Val(s), ref[pc])
+		}
+		v := m.Val(s)<<1 | uint64(i&1)
+		m.SetVal(s, v)
+		ref[pc] = v
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len() = %d, want %d distinct keys", m.Len(), len(ref))
+	}
+}
+
+func TestPCMapReset(t *testing.T) {
+	m := NewPCMap()
+	for i := 0; i < 5000; i++ {
+		m.SetVal(m.Slot(uint64(i)<<2), uint64(i))
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len() = %d after Reset", m.Len())
+	}
+	if got := m.Val(m.Slot(8)); got != 0 {
+		t.Fatalf("entry survived Reset with value %d", got)
+	}
+}
+
+// TestPerfectAccessEquivalence: the kernels' fused Access step must be
+// bit-identical to Lookup followed by Update, including the lookup
+// statistics.
+func TestPerfectAccessEquivalence(t *testing.T) {
+	r := rng.NewXoshiro256(7)
+	a := NewPerfect(9)
+	b := NewPerfect(9)
+	pcs := make([]uint64, 300)
+	for i := range pcs {
+		pcs[i] = uint64(r.Intn(1<<20)) << 2
+	}
+	for i := 0; i < 50_000; i++ {
+		pc := pcs[r.Intn(len(pcs))]
+		taken := r.Bool(0.6)
+		wantRow, _ := a.Lookup(pc)
+		a.Update(pc, taken)
+		if gotRow := b.Access(pc, taken); gotRow != wantRow {
+			t.Fatalf("iteration %d: Access returned %#x, Lookup returned %#x", i, gotRow, wantRow)
+		}
+	}
+	if a.Lookups() != b.Lookups() {
+		t.Errorf("lookup counts diverge: %d vs %d", a.Lookups(), b.Lookups())
+	}
+	if a.Entries() != b.Entries() {
+		t.Errorf("entry counts diverge: %d vs %d", a.Entries(), b.Entries())
+	}
+	for _, pc := range pcs {
+		ra, _ := a.Lookup(pc)
+		rb, _ := b.Lookup(pc)
+		if ra != rb {
+			t.Fatalf("final history for pc %#x diverges: %#x vs %#x", pc, ra, rb)
+		}
+	}
+}
+
+func TestPerfectEntries(t *testing.T) {
+	p := NewPerfect(4)
+	for i := 0; i < 10; i++ {
+		p.Update(uint64(i)<<2, true)
+		p.Update(uint64(i)<<2, false) // same key, no new entry
+	}
+	if p.Entries() != 10 {
+		t.Fatalf("Entries() = %d, want 10", p.Entries())
+	}
+	p.Reset()
+	if p.Entries() != 0 || p.Lookups() != 0 {
+		t.Fatalf("Reset left entries=%d lookups=%d", p.Entries(), p.Lookups())
+	}
+}

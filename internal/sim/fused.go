@@ -1,0 +1,880 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"bpred/internal/core"
+	"bpred/internal/counter"
+	"bpred/internal/history"
+	"bpred/internal/obs"
+	"bpred/internal/trace"
+)
+
+// This file is the config-parallel fast path: one trace pass drives an
+// entire mask-compatible sweep axis at once, instead of re-reading the
+// chunk stream once per configuration.
+//
+// The fusion rests on one identity. A k-bit LSB-shift-in history
+// register is exactly the low k bits of any wider register fed the
+// same outcomes: shifting in then masking with 2^k-1 commutes with
+// masking first ((x & m) << 1 | o) & m == ((x << 1 | o) & m). So every
+// geometry of a scheme that differs only in RowBits/ColBits can share
+// ONE wide history value and apply its own row mask at index time —
+// which is also literally what the per-config kernels compute, since
+// they mask the register on every use. The same argument covers path
+// registers (shift-in of bitsPerTarget target bits, for configurations
+// agreeing on bitsPerTarget) and the Perfect per-address table (which
+// stores unmasked outcome streams and masks on read, see
+// history.Perfect). Address-indexed configurations trivially fuse: they
+// have no history at all.
+//
+// Mask-compatibility therefore means: same scheme (same effective
+// PathBits for path; Perfect first level for PAs), 2-bit counters, and
+// no alias meter. SetAssoc/Untagged first levels are excluded — their
+// conflict behavior (ResetPrefix(width), tag geometry) depends on the
+// register width, so the lanes would not share first-level state.
+// Metered configurations are excluded because the meter's per-access
+// taxonomy is per-geometry work with no shared part worth fusing; they
+// fall back to the per-config kernels, as do wider counters.
+//
+// Each fused lane holds one geometry's packed counter bank and its
+// masks; the inner loop hoists the branch decode (PC column bits, the
+// outcome bit, the shared history value) once per branch and then runs
+// the packed counter step per lane. Results are bit-identical to the
+// per-config kernels — enforced by fused_test.go and the refmodel
+// differential suite — so fusion changes only how often the trace is
+// decoded, never what is computed: fingerprints, checkpoint cells, and
+// sweep Surfaces are unaffected.
+
+// fuseKey identifies one mask-compatible class of configurations.
+type fuseKey struct {
+	scheme   core.Scheme
+	pathBits int
+}
+
+// fuseKeyFor classifies a configuration, reporting false when it must
+// run on the per-config path.
+func fuseKeyFor(c core.Config) (fuseKey, bool) {
+	if c.Metered || (c.CounterBits != 0 && c.CounterBits != 2) {
+		return fuseKey{}, false
+	}
+	switch c.Scheme {
+	case core.SchemeAddress, core.SchemeGAs, core.SchemeGShare:
+		return fuseKey{scheme: c.Scheme}, true
+	case core.SchemePath:
+		pb := c.PathBits
+		if pb == 0 {
+			pb = core.DefaultPathBits
+		}
+		return fuseKey{scheme: c.Scheme, pathBits: pb}, true
+	case core.SchemePAs:
+		if c.FirstLevel.Kind == core.FirstLevelPerfect {
+			return fuseKey{scheme: c.Scheme}, true
+		}
+	}
+	return fuseKey{}, false
+}
+
+// fuseGroup is one fusable batch of configuration indices.
+type fuseGroup struct {
+	key fuseKey
+	idx []int
+}
+
+// fuseGroups partitions configuration indices into fusable groups (in
+// first-seen order) and a remainder for the per-config path. Singleton
+// groups gain nothing from fusion and join the remainder.
+func fuseGroups(configs []core.Config) ([]fuseGroup, []int) {
+	var groups []fuseGroup
+	pos := make(map[fuseKey]int)
+	var rest []int
+	for i, c := range configs {
+		key, ok := fuseKeyFor(c)
+		if !ok {
+			rest = append(rest, i)
+			continue
+		}
+		j, seen := pos[key]
+		if !seen {
+			j = len(groups)
+			pos[key] = j
+			groups = append(groups, fuseGroup{key: key})
+		}
+		groups[j].idx = append(groups[j].idx, i)
+	}
+	kept := groups[:0]
+	for _, g := range groups {
+		if len(g.idx) >= 2 {
+			kept = append(kept, g)
+		} else {
+			rest = append(rest, g.idx...)
+		}
+	}
+	return kept, rest
+}
+
+// fusedLane is one geometry's slice of a fused batch: its counter
+// bank plus the index masks, everything the per-branch inner loop
+// needs. Exactly one of words/bytes is set: small geometries run on
+// the table's own byte counters (a packed bank would fold the whole
+// table into one or two uint64 words, serializing every update behind
+// a store-to-load forward on the same address; distinct byte
+// addresses forward independently), while large geometries take the
+// bit-packed bank for its 4x footprint reduction.
+type fusedLane struct {
+	rowMask uint64
+	colMask uint64
+	colBits uint
+	pcShift uint // gshare: address bits skipped by the XOR
+	words   []uint64
+	bytes   []uint8
+	miss    uint64
+}
+
+// fusedPackMin is the counter count at which a fused lane switches
+// from the byte bank to the packed bank: 1<<15 counters is 32 KiB of
+// bytes vs 8 KiB packed, the point where footprint starts to matter
+// more than the packed word's update serialization.
+const fusedPackMin = 1 << 15
+
+// fusedBatch runs one group of mask-compatible geometries over the
+// trace in a single pass. It mirrors runner's warmup accounting at
+// batch granularity: warm branches train every lane but score none.
+type fusedBatch struct {
+	run    func(chunk []trace.Branch) // scheme loop, called per tile
+	lanes  []fusedLane
+	names  []string
+	idx    []int // out indices, parallel to lanes
+	warm   int
+	scored uint64
+	obs    *obs.Counters
+
+	// shared history state, per scheme
+	val      uint64 // wide shift/path register value
+	wideMask uint64
+	bpt      uint           // path: bits per target
+	tgtMask  uint64         // path: target bit extraction
+	regs     *history.PCMap // PAs-Perfect: shared wide per-branch registers
+
+	// Per-tile decode scratch, shared by every lane: the PC column
+	// bits, the outcome bit, and the wide history value before each
+	// branch. Decoding once and running each lane as its own tight
+	// loop keeps the lane's masks, bank pointer, and miss tally in
+	// registers instead of re-loading lane state per branch.
+	pcs []uint64
+	ups []uint8
+	hs  []uint64
+}
+
+// fusedTile is the number of branches decoded ahead of the lane loops:
+// 1024 branches keep the scratch arrays (~17 KiB) L1-resident while
+// every lane streams them, where a full 8192-branch chunk (~136 KiB)
+// would spill each lane's re-read to L2.
+const fusedTile = 1024
+
+// newFusedBatch assembles the lanes and scheme loop for one group.
+// preds must be the configurations' built predictors (all TwoLevel for
+// fusable schemes); their tables seed the packed banks, and their
+// names label the metrics — the predictors themselves are not run.
+func newFusedBatch(key fuseKey, idx []int, preds []core.Predictor, opt Options) *fusedBatch {
+	fb := &fusedBatch{
+		lanes: make([]fusedLane, len(idx)),
+		names: make([]string, len(idx)),
+		idx:   idx,
+		warm:  opt.Warmup,
+		obs:   opt.Obs,
+		pcs:   make([]uint64, fusedTile),
+		ups:   make([]uint8, fusedTile),
+		hs:    make([]uint64, fusedTile),
+	}
+	for j, i := range idx {
+		t := preds[i].(*core.TwoLevel)
+		tab := t.Table()
+		state, _, _ := tab.Raw()
+		l := &fb.lanes[j]
+		l.rowMask = tab.RowMask()
+		l.colMask = tab.ColMask()
+		l.colBits = uint(tab.ColBits())
+		if len(state) >= fusedPackMin {
+			l.words = counter.PackFrom(state).Words()
+		} else {
+			l.bytes = state
+		}
+		if sel, ok := t.Selector().(*core.GShareSelector); ok {
+			l.pcShift = 2 + uint(sel.ColBits())
+			// The byte-lane kernels fold the XOR's address shift into
+			// the shifted row mask (see laneGShareBytes4), which is
+			// only sound when the selector and the table agree on the
+			// column width — true by construction in NewGShare.
+			if uint(sel.ColBits()) != l.colBits {
+				panic("sim: gshare selector/table column width mismatch")
+			}
+		}
+		if l.rowMask > fb.wideMask {
+			fb.wideMask = l.rowMask
+		}
+		fb.names[j] = t.Name()
+	}
+	switch key.scheme {
+	case core.SchemeAddress:
+		fb.run = fb.tiled(fb.runAddress)
+	case core.SchemeGAs:
+		fb.run = fb.tiled(fb.runGlobal)
+	case core.SchemeGShare:
+		fb.run = fb.tiled(fb.runGShare)
+	case core.SchemePath:
+		fb.bpt = uint(key.pathBits)
+		fb.tgtMask = uint64(1)<<fb.bpt - 1
+		fb.run = fb.tiled(fb.runPath)
+	case core.SchemePAs:
+		fb.regs = history.NewPCMap()
+		fb.run = fb.tiled(fb.runPerfect)
+	default:
+		panic("sim: newFusedBatch on unfusable scheme")
+	}
+	return fb
+}
+
+// feed processes one chunk with runner.feed's exact warmup semantics:
+// warm branches train every lane, and lane tallies reset at the warm
+// boundary so only scored branches count. The obs hook fires once per
+// lane per chunk, matching the per-config path's accounting.
+func (f *fusedBatch) feed(chunk []trace.Branch) {
+	if f.obs != nil {
+		for range f.lanes {
+			f.obs.AddChunk(uint64(len(chunk)))
+		}
+	}
+	if f.warm > 0 {
+		n := f.warm
+		if n > len(chunk) {
+			n = len(chunk)
+		}
+		f.run(chunk[:n])
+		f.warm -= n
+		if f.warm == 0 {
+			for k := range f.lanes {
+				f.lanes[k].miss = 0
+			}
+		}
+		chunk = chunk[n:]
+		if len(chunk) == 0 {
+			return
+		}
+	}
+	f.scored += uint64(len(chunk))
+	f.run(chunk)
+}
+
+// tiled subdivides each chunk so the decode scratch stays L1-resident
+// across the lane loops; the scheme loops carry history state through
+// f, so splitting is invisible to them.
+func (f *fusedBatch) tiled(run func([]trace.Branch)) func([]trace.Branch) {
+	return func(chunk []trace.Branch) {
+		for base := 0; base < len(chunk); base += fusedTile {
+			end := base + fusedTile
+			if end > len(chunk) {
+				end = len(chunk)
+			}
+			run(chunk[base:end])
+		}
+	}
+}
+
+// finishInto writes each lane's Metrics to its configuration slot. The
+// non-tally fields are zero by construction: fused configurations are
+// unmetered (AliasStats zero) and the only fused first level is
+// Perfect, whose miss rate is identically 0.
+func (f *fusedBatch) finishInto(out []Metrics) {
+	for k := range f.lanes {
+		miss := f.lanes[k].miss
+		if f.scored == 0 {
+			miss = 0 // trace ended inside warmup; nothing was scored
+		}
+		out[f.idx[k]] = Metrics{Name: f.names[k], Branches: f.scored, Mispredicts: miss}
+	}
+}
+
+// The fused scheme loops run lane-major: one decode pass writes the
+// per-branch values every geometry shares (PC column bits, outcome
+// bit, the wide history value before the branch — which never depends
+// on any lane), then each lane streams the decoded chunk in its own
+// tight loop. That keeps the lane's masks, bank pointer, and miss
+// tally in registers; the branch-major alternative re-loads lane state
+// and read-modify-writes the tally in memory on every lane-branch
+// step, which profiles as the dominant cost. Per-config masking
+// happens where the per-config kernels do it, in the index expression.
+
+// ctrXor tabulates the 2-bit saturating counter transition as an XOR
+// delta: ctrXor[s<<1|u] == s ^ next(s, u). Indexing a tiny L1-resident
+// table replaces the two compares and three mask-arithmetic terms of
+// the branchless update — measurably cheaper in the fused loops, where
+// the counter step is the entire per-lane cost.
+var ctrXor = [8]uint64{
+	0b00<<1 | 0: 0 ^ 0, 0b00<<1 | 1: 0 ^ 1,
+	0b01<<1 | 0: 1 ^ 0, 0b01<<1 | 1: 1 ^ 2,
+	0b10<<1 | 0: 2 ^ 1, 0b10<<1 | 1: 2 ^ 3,
+	0b11<<1 | 0: 3 ^ 2, 0b11<<1 | 1: 3 ^ 3,
+}
+
+// ctrStep fuses the transition and the mispredict bit for the
+// byte-bank lanes: ctrStep[s<<1|u] == next(s,u) | ((s>>1)^u)<<8. The
+// table is sized 256 and indexed by a uint8 expression so the compiler
+// elides the bounds check without a masking AND; entries past 7 are
+// never reached (counter states are 0..3).
+var ctrStep = [256]uint16{
+	0b00<<1 | 0: 0 | 0<<8, 0b00<<1 | 1: 1 | 1<<8,
+	0b01<<1 | 0: 0 | 0<<8, 0b01<<1 | 1: 2 | 1<<8,
+	0b10<<1 | 0: 1 | 1<<8, 0b10<<1 | 1: 3 | 0<<8,
+	0b11<<1 | 0: 2 | 1<<8, 0b11<<1 | 1: 3 | 0<<8,
+}
+
+// laneAddress streams one decoded chunk through an address-indexed
+// lane (no history; lanes differ only in column mask).
+//
+//bpred:kernel
+func laneAddress(l *fusedLane, pcs []uint64, ups []uint8) {
+	words := l.words
+	colMask := l.colMask
+	miss := l.miss
+	pcs = pcs[:len(ups)]
+	for j := range ups {
+		u := uint64(ups[j])
+		idx := pcs[j] & colMask
+		sh := (idx & counter.LaneMask) << 1
+		w := words[idx>>counter.LaneShift]
+		s := w >> sh & 3
+		words[idx>>counter.LaneShift] = w ^ ctrXor[s<<1|u&1]<<sh
+		miss += (s >> 1) ^ u // prediction bit is the counter MSB
+	}
+	l.miss = miss
+}
+
+// laneHist streams one decoded chunk through a history-indexed lane
+// (global, path, and per-address geometries share this index shape).
+//
+//bpred:kernel
+func laneHist(l *fusedLane, pcs, hs []uint64, ups []uint8) {
+	words := l.words
+	rowMask, colMask, colBits := l.rowMask, l.colMask, l.colBits
+	miss := l.miss
+	pcs = pcs[:len(ups)]
+	hs = hs[:len(ups)]
+	for j := range ups {
+		u := uint64(ups[j])
+		idx := (hs[j]&rowMask)<<colBits | pcs[j]&colMask
+		sh := (idx & counter.LaneMask) << 1
+		w := words[idx>>counter.LaneShift]
+		s := w >> sh & 3
+		words[idx>>counter.LaneShift] = w ^ ctrXor[s<<1|u&1]<<sh
+		miss += (s >> 1) ^ u
+	}
+	l.miss = miss
+}
+
+// laneGShare streams one decoded chunk through a gshare lane: the XOR
+// happens per lane, each geometry skipping its own column bits (the
+// decoded PC column is pc>>2, so the per-lane shift is pcShift-2).
+//
+//bpred:kernel
+func laneGShare(l *fusedLane, pcs, hs []uint64, ups []uint8) {
+	words := l.words
+	rowMask, colMask, colBits := l.rowMask, l.colMask, l.colBits
+	csh := l.pcShift - 2
+	miss := l.miss
+	pcs = pcs[:len(ups)]
+	hs = hs[:len(ups)]
+	for j := range ups {
+		u := uint64(ups[j])
+		pc2 := pcs[j]
+		row := (hs[j] ^ pc2>>csh) & rowMask
+		idx := row<<colBits | pc2&colMask
+		sh := (idx & counter.LaneMask) << 1
+		w := words[idx>>counter.LaneShift]
+		s := w >> sh & 3
+		words[idx>>counter.LaneShift] = w ^ ctrXor[s<<1|u&1]<<sh
+		miss += (s >> 1) ^ u
+	}
+	l.miss = miss
+}
+
+// laneAddressBytes2 runs two byte-bank address lanes in one pass over
+// the decoded tile (see laneGShareBytes2).
+//
+//bpred:kernel
+func laneAddressBytes2(l0, l1 *fusedLane, pcs []uint64, ups []uint8) {
+	bank0, bank1 := l0.bytes, l1.bytes
+	colMask0, colMask1 := l0.colMask, l1.colMask
+	miss0, miss1 := l0.miss, l1.miss
+	pcs = pcs[:len(ups)]
+	for j := range ups {
+		u := ups[j]
+		pc2 := pcs[j]
+		idx0 := pc2 & colMask0
+		idx1 := pc2 & colMask1
+		t0 := ctrStep[bank0[idx0]<<1|u]
+		t1 := ctrStep[bank1[idx1]<<1|u]
+		bank0[idx0] = uint8(t0)
+		bank1[idx1] = uint8(t1)
+		miss0 += uint64(t0 >> 8)
+		miss1 += uint64(t1 >> 8)
+	}
+	l0.miss = miss0
+	l1.miss = miss1
+}
+
+// laneAddressBytes is laneAddress over a byte-bank lane.
+//
+//bpred:kernel
+func laneAddressBytes(l *fusedLane, pcs []uint64, ups []uint8) {
+	bank := l.bytes
+	colMask := l.colMask
+	miss := l.miss
+	pcs = pcs[:len(ups)]
+	for j := range ups {
+		u := ups[j]
+		idx := pcs[j] & colMask
+		t := ctrStep[bank[idx]<<1|u]
+		bank[idx] = uint8(t)
+		miss += uint64(t >> 8)
+	}
+	l.miss = miss
+}
+
+// laneHistBytes2 runs two byte-bank history lanes in one pass over the
+// decoded tile (see laneGShareBytes2).
+//
+//bpred:kernel
+func laneHistBytes2(l0, l1 *fusedLane, pcs, hs []uint64, ups []uint8) {
+	bank0, bank1 := l0.bytes, l1.bytes
+	rm0, colMask0, colBits0 := l0.rowMask<<l0.colBits, l0.colMask, l0.colBits
+	rm1, colMask1, colBits1 := l1.rowMask<<l1.colBits, l1.colMask, l1.colBits
+	miss0, miss1 := l0.miss, l1.miss
+	pcs = pcs[:len(ups)]
+	hs = hs[:len(ups)]
+	for j := range ups {
+		u := ups[j]
+		pc2 := pcs[j]
+		h := hs[j]
+		idx0 := (h<<colBits0)&rm0 | pc2&colMask0
+		idx1 := (h<<colBits1)&rm1 | pc2&colMask1
+		t0 := ctrStep[bank0[idx0]<<1|u]
+		t1 := ctrStep[bank1[idx1]<<1|u]
+		bank0[idx0] = uint8(t0)
+		bank1[idx1] = uint8(t1)
+		miss0 += uint64(t0 >> 8)
+		miss1 += uint64(t1 >> 8)
+	}
+	l0.miss = miss0
+	l1.miss = miss1
+}
+
+// laneHistBytes is laneHist over a byte-bank lane.
+//
+//bpred:kernel
+func laneHistBytes(l *fusedLane, pcs, hs []uint64, ups []uint8) {
+	bank := l.bytes
+	rm, colMask, colBits := l.rowMask<<l.colBits, l.colMask, l.colBits
+	miss := l.miss
+	pcs = pcs[:len(ups)]
+	hs = hs[:len(ups)]
+	for j := range ups {
+		u := ups[j]
+		idx := (hs[j]<<colBits)&rm | pcs[j]&colMask
+		t := ctrStep[bank[idx]<<1|u]
+		bank[idx] = uint8(t)
+		miss += uint64(t >> 8)
+	}
+	l.miss = miss
+}
+
+// laneGShareBytes4 runs four byte-bank gshare lanes in one pass over
+// the decoded tile: each scratch load feeds all four lanes, and the
+// four independent update chains overlap in the pipeline. The lane
+// parameters exceed the register file, but the spill reloads hit L1
+// and sit off the critical path.
+//
+// The index uses ((h<<cb)^pc2)&(rowMask<<cb) in place of the
+// per-config ((h^(pc2>>cb))&rowMask)<<cb: the two agree bit for bit
+// (the shifted mask zeroes the low cb bits either way) and the
+// rewrite drops one shift from the critical path. It relies on the
+// gshare XOR skipping exactly the table's column bits, asserted in
+// newFusedBatch.
+//
+//bpred:kernel
+func laneGShareBytes4(l0, l1, l2, l3 *fusedLane, pcs, hs []uint64, ups []uint8) {
+	bank0, bank1, bank2, bank3 := l0.bytes, l1.bytes, l2.bytes, l3.bytes
+	rm0, colMask0, colBits0 := l0.rowMask<<l0.colBits, l0.colMask, l0.colBits
+	rm1, colMask1, colBits1 := l1.rowMask<<l1.colBits, l1.colMask, l1.colBits
+	rm2, colMask2, colBits2 := l2.rowMask<<l2.colBits, l2.colMask, l2.colBits
+	rm3, colMask3, colBits3 := l3.rowMask<<l3.colBits, l3.colMask, l3.colBits
+	miss0, miss1, miss2, miss3 := l0.miss, l1.miss, l2.miss, l3.miss
+	pcs = pcs[:len(ups)]
+	hs = hs[:len(ups)]
+	for j := range ups {
+		u := ups[j]
+		pc2 := pcs[j]
+		h := hs[j]
+		idx0 := (h<<colBits0^pc2)&rm0 | pc2&colMask0
+		idx1 := (h<<colBits1^pc2)&rm1 | pc2&colMask1
+		idx2 := (h<<colBits2^pc2)&rm2 | pc2&colMask2
+		idx3 := (h<<colBits3^pc2)&rm3 | pc2&colMask3
+		t0 := ctrStep[bank0[idx0]<<1|u]
+		t1 := ctrStep[bank1[idx1]<<1|u]
+		t2 := ctrStep[bank2[idx2]<<1|u]
+		t3 := ctrStep[bank3[idx3]<<1|u]
+		bank0[idx0] = uint8(t0)
+		bank1[idx1] = uint8(t1)
+		bank2[idx2] = uint8(t2)
+		bank3[idx3] = uint8(t3)
+		miss0 += uint64(t0 >> 8)
+		miss1 += uint64(t1 >> 8)
+		miss2 += uint64(t2 >> 8)
+		miss3 += uint64(t3 >> 8)
+	}
+	l0.miss = miss0
+	l1.miss = miss1
+	l2.miss = miss2
+	l3.miss = miss3
+}
+
+// laneGShareBytes2 runs two byte-bank gshare lanes in one pass over
+// the decoded tile: each scratch load feeds both lanes, and the two
+// independent update chains overlap in the pipeline.
+//
+//bpred:kernel
+func laneGShareBytes2(l0, l1 *fusedLane, pcs, hs []uint64, ups []uint8) {
+	bank0, bank1 := l0.bytes, l1.bytes
+	rm0, colMask0, colBits0 := l0.rowMask<<l0.colBits, l0.colMask, l0.colBits
+	rm1, colMask1, colBits1 := l1.rowMask<<l1.colBits, l1.colMask, l1.colBits
+	miss0, miss1 := l0.miss, l1.miss
+	pcs = pcs[:len(ups)]
+	hs = hs[:len(ups)]
+	for j := range ups {
+		u := ups[j]
+		pc2 := pcs[j]
+		h := hs[j]
+		idx0 := (h<<colBits0^pc2)&rm0 | pc2&colMask0
+		idx1 := (h<<colBits1^pc2)&rm1 | pc2&colMask1
+		t0 := ctrStep[bank0[idx0]<<1|u]
+		t1 := ctrStep[bank1[idx1]<<1|u]
+		bank0[idx0] = uint8(t0)
+		bank1[idx1] = uint8(t1)
+		miss0 += uint64(t0 >> 8)
+		miss1 += uint64(t1 >> 8)
+	}
+	l0.miss = miss0
+	l1.miss = miss1
+}
+
+// laneGShareBytes is laneGShare over a byte-bank lane.
+//
+//bpred:kernel
+func laneGShareBytes(l *fusedLane, pcs, hs []uint64, ups []uint8) {
+	bank := l.bytes
+	rm, colMask, colBits := l.rowMask<<l.colBits, l.colMask, l.colBits
+	miss := l.miss
+	pcs = pcs[:len(ups)]
+	hs = hs[:len(ups)]
+	for j := range ups {
+		u := ups[j]
+		pc2 := pcs[j]
+		idx := (hs[j]<<colBits^pc2)&rm | pc2&colMask
+		t := ctrStep[bank[idx]<<1|u]
+		bank[idx] = uint8(t)
+		miss += uint64(t >> 8)
+	}
+	l.miss = miss
+}
+
+// histLanes dispatches the history-indexed lane loops (global, path,
+// and per-address geometries share this index shape), pairing up
+// byte-bank lanes.
+//
+//bpred:kernel
+func (f *fusedBatch) histLanes(pcs, hs []uint64, ups []uint8) {
+	var pend *fusedLane
+	for k := range f.lanes {
+		l := &f.lanes[k]
+		if l.bytes == nil {
+			laneHist(l, pcs, hs, ups)
+			continue
+		}
+		if pend == nil {
+			pend = l
+			continue
+		}
+		laneHistBytes2(pend, l, pcs, hs, ups)
+		pend = nil
+	}
+	if pend != nil {
+		laneHistBytes(pend, pcs, hs, ups)
+	}
+}
+
+// runAddress fuses address-indexed geometries.
+//
+//bpred:kernel
+func (f *fusedBatch) runAddress(chunk []trace.Branch) {
+	n := len(chunk)
+	pcs, ups := f.pcs[:n], f.ups[:n]
+	for i := range chunk {
+		b := chunk[i]
+		pcs[i] = b.PC >> 2
+		ups[i] = uint8(b2u64(b.Taken))
+	}
+	var pend *fusedLane
+	for k := range f.lanes {
+		l := &f.lanes[k]
+		if l.bytes == nil {
+			laneAddress(l, pcs, ups)
+			continue
+		}
+		if pend == nil {
+			pend = l
+			continue
+		}
+		laneAddressBytes2(pend, l, pcs, ups)
+		pend = nil
+	}
+	if pend != nil {
+		laneAddressBytes(pend, pcs, ups)
+	}
+}
+
+// runGlobal fuses GAg/GAs geometries over one wide global register.
+//
+//bpred:kernel
+func (f *fusedBatch) runGlobal(chunk []trace.Branch) {
+	n := len(chunk)
+	pcs, ups, hs := f.pcs[:n], f.ups[:n], f.hs[:n]
+	val, wideMask := f.val, f.wideMask
+	for i := range chunk {
+		b := chunk[i]
+		pcs[i] = b.PC >> 2
+		u := b2u64(b.Taken)
+		ups[i] = uint8(u)
+		hs[i] = val
+		val = (val<<1 | u) & wideMask
+	}
+	f.val = val
+	f.histLanes(pcs, hs, ups)
+}
+
+// runGShare fuses gshare geometries: the register shift-in happens
+// once per branch in the decode pass, the XOR per lane.
+//
+//bpred:kernel
+func (f *fusedBatch) runGShare(chunk []trace.Branch) {
+	n := len(chunk)
+	pcs, ups, hs := f.pcs[:n], f.ups[:n], f.hs[:n]
+	val, wideMask := f.val, f.wideMask
+	for i := range chunk {
+		b := chunk[i]
+		pcs[i] = b.PC >> 2
+		u := b2u64(b.Taken)
+		ups[i] = uint8(u)
+		hs[i] = val
+		val = (val<<1 | u) & wideMask
+	}
+	f.val = val
+	var pend [4]*fusedLane
+	np := 0
+	for k := range f.lanes {
+		l := &f.lanes[k]
+		if l.bytes == nil {
+			laneGShare(l, pcs, hs, ups)
+			continue
+		}
+		pend[np] = l
+		np++
+		if np == 4 {
+			laneGShareBytes4(pend[0], pend[1], pend[2], pend[3], pcs, hs, ups)
+			np = 0
+		}
+	}
+	switch np {
+	case 3:
+		laneGShareBytes2(pend[0], pend[1], pcs, hs, ups)
+		laneGShareBytes(pend[2], pcs, hs, ups)
+	case 2:
+		laneGShareBytes2(pend[0], pend[1], pcs, hs, ups)
+	case 1:
+		laneGShareBytes(pend[0], pcs, hs, ups)
+	}
+}
+
+// runPath fuses path geometries sharing bitsPerTarget over one wide
+// path register.
+//
+//bpred:kernel
+func (f *fusedBatch) runPath(chunk []trace.Branch) {
+	n := len(chunk)
+	pcs, ups, hs := f.pcs[:n], f.ups[:n], f.hs[:n]
+	val, wideMask := f.val, f.wideMask
+	bpt, tgtMask := f.bpt, f.tgtMask
+	for i := range chunk {
+		b := chunk[i]
+		pcs[i] = b.PC >> 2
+		ups[i] = uint8(b2u64(b.Taken))
+		hs[i] = val
+		next := b.PC + 4
+		if b.Taken {
+			next = b.Target
+		}
+		val = (val<<bpt | (next>>2)&tgtMask) & wideMask
+	}
+	f.val = val
+	f.histLanes(pcs, hs, ups)
+}
+
+// runPerfect fuses PAs-with-perfect-history geometries over one shared
+// unmasked per-branch register table (one probe per branch serves
+// every lane — see history.Perfect on why unmasked storage makes the
+// wide register exact for all widths).
+//
+//bpred:kernel
+func (f *fusedBatch) runPerfect(chunk []trace.Branch) {
+	n := len(chunk)
+	pcs, ups, hs := f.pcs[:n], f.ups[:n], f.hs[:n]
+	regs := f.regs
+	for i := range chunk {
+		b := chunk[i]
+		pcs[i] = b.PC >> 2
+		u := b2u64(b.Taken)
+		ups[i] = uint8(u)
+		slot := regs.Slot(b.PC)
+		h := regs.Val(slot)
+		hs[i] = h
+		regs.SetVal(slot, h<<1|u)
+	}
+	f.histLanes(pcs, hs, ups)
+}
+
+// runFusedBatch streams the trace through one fused batch under the
+// standard chunk-boundary cancellation contract; it reports false
+// without touching out when canceled mid-stream.
+func runFusedBatch(ctx context.Context, fb *fusedBatch, branches []trace.Branch, opt Options, out []Metrics) bool {
+	step := chunkLen(opt)
+	done := ctx.Done()
+	for off := 0; off < len(branches); off += step {
+		if done != nil {
+			select {
+			case <-done:
+				return false
+			default:
+			}
+		}
+		end := off + step
+		if end > len(branches) {
+			end = len(branches)
+		}
+		fb.feed(branches[off:end])
+	}
+	fb.finishInto(out)
+	return true
+}
+
+// RunConfigsFused runs configurations with config-parallel fused
+// execution wherever a mask-compatible group exists, and the standard
+// per-config batched kernels for the remainder. It is the default
+// behind RunConfigsCtx; results are bit-identical to the per-config
+// path (same Metrics, same partial-result contract at batch
+// granularity on cancellation).
+func RunConfigsFused(ctx context.Context, configs []core.Config, t *trace.Trace, opt Options) ([]Metrics, error) {
+	preds, err := buildConfigs(configs, opt)
+	if err != nil {
+		return nil, err
+	}
+	groups, rest := fuseGroups(configs)
+	if len(groups) == 0 {
+		return RunPredictorsCtx(ctx, preds, t, opt)
+	}
+	out := make([]Metrics, len(configs))
+	workers := runtime.GOMAXPROCS(0)
+
+	// Carve each group (and the per-config remainder) into strided
+	// sub-batches sized by its share of the total config count, so all
+	// workers stay busy and heavy geometries spread across tasks. Each
+	// task owns a disjoint set of out slots.
+	var tasks []func()
+	for _, g := range groups {
+		for _, sub := range strideSplit(g.idx, taskShare(workers, len(g.idx), len(configs))) {
+			fb := newFusedBatch(g.key, sub, preds, opt)
+			tasks = append(tasks, func() {
+				runFusedBatch(ctx, fb, t.Branches, opt, out)
+			})
+		}
+	}
+	for _, sub := range strideSplit(rest, taskShare(workers, len(rest), len(configs))) {
+		sub := sub
+		tasks = append(tasks, func() {
+			batch := make([]core.Predictor, len(sub))
+			for j, i := range sub {
+				batch[j] = preds[i]
+			}
+			res := make([]Metrics, len(batch))
+			if !runBatch(ctx, batch, t.Branches, opt, res) {
+				return // canceled: leave this batch's entries zero
+			}
+			for j, i := range sub {
+				out[i] = res[j]
+			}
+		})
+	}
+	if len(tasks) == 1 {
+		tasks[0]()
+	} else {
+		var wg sync.WaitGroup
+		for _, task := range tasks {
+			wg.Add(1)
+			go func(task func()) {
+				defer wg.Done()
+				task()
+			}(task)
+		}
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// taskShare apportions worker slots to a group of n configurations out
+// of total, at least one and at most n.
+func taskShare(workers, n, total int) int {
+	if n == 0 {
+		return 0
+	}
+	share := workers * n / total
+	if share < 1 {
+		share = 1
+	}
+	if share > n {
+		share = n
+	}
+	return share
+}
+
+// strideSplit partitions idx into n strided sub-slices (w, w+n, ...),
+// the same small-to-large spreading as RunPredictorsCtx's worker
+// assignment.
+func strideSplit(idx []int, n int) [][]int {
+	if n <= 0 {
+		return nil
+	}
+	subs := make([][]int, 0, n)
+	for w := 0; w < n; w++ {
+		var sub []int
+		for i := w; i < len(idx); i += n {
+			sub = append(sub, idx[i])
+		}
+		if len(sub) > 0 {
+			subs = append(subs, sub)
+		}
+	}
+	return subs
+}

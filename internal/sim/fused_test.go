@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"bpred/internal/core"
+)
+
+// fusedAxes enumerates sweep-axis-shaped configuration lists per
+// fusable class, plus a mixed list interleaving fusable and unfusable
+// configurations (metered, wide counters, finite first levels) to
+// exercise the group/remainder split.
+func fusedAxes() map[string][]core.Config {
+	axes := map[string][]core.Config{}
+	var gshare, gas, address, path, pasPerfect []core.Config
+	for rb := 4; rb <= 10; rb++ {
+		gshare = append(gshare, core.Config{Scheme: core.SchemeGShare, RowBits: rb, ColBits: 2})
+		gas = append(gas, core.Config{Scheme: core.SchemeGAs, RowBits: rb, ColBits: 3})
+	}
+	for cb := 4; cb <= 10; cb++ {
+		address = append(address, core.Config{Scheme: core.SchemeAddress, ColBits: cb})
+	}
+	for rb := 4; rb <= 8; rb++ {
+		path = append(path, core.Config{Scheme: core.SchemePath, RowBits: rb, ColBits: 3})
+	}
+	// A second path width: must land in its own fuse group.
+	path = append(path,
+		core.Config{Scheme: core.SchemePath, RowBits: 6, ColBits: 3, PathBits: 3},
+		core.Config{Scheme: core.SchemePath, RowBits: 8, ColBits: 3, PathBits: 3})
+	for rb := 2; rb <= 6; rb++ {
+		pasPerfect = append(pasPerfect, core.Config{Scheme: core.SchemePAs, RowBits: rb, ColBits: 2})
+	}
+	axes["gshare"] = gshare
+	axes["gas"] = gas
+	axes["address"] = address
+	axes["path"] = path
+	axes["pas-perfect"] = pasPerfect
+
+	mixed := []core.Config{
+		{Scheme: core.SchemeGShare, RowBits: 8, ColBits: 2, Metered: true},
+		{Scheme: core.SchemeGAs, RowBits: 6, ColBits: 3, CounterBits: 3},
+		{Scheme: core.SchemePAs, RowBits: 5, ColBits: 2,
+			FirstLevel: core.FirstLevel{Kind: core.FirstLevelSetAssoc, Entries: 128, Ways: 4}},
+		{Scheme: core.SchemePAs, RowBits: 5, ColBits: 2,
+			FirstLevel: core.FirstLevel{Kind: core.FirstLevelUntagged, Entries: 128}},
+		{Scheme: core.SchemeGShare, RowBits: 5, ColBits: 2, CounterBits: 1},
+	}
+	mixed = append(mixed, gshare...)
+	mixed = append(mixed, pasPerfect...)
+	mixed = append(mixed, core.Config{Scheme: core.SchemeAddress, ColBits: 9}) // singleton group -> remainder
+	axes["mixed"] = mixed
+	return axes
+}
+
+// TestFusedEquivalence is the correctness contract of config-parallel
+// execution: for every axis, the fused RunConfigs results are
+// bit-identical to the per-config path (NoFuse) and to the generic
+// reference loop, across warmup and chunk-boundary edge cases.
+func TestFusedEquivalence(t *testing.T) {
+	tr := kernelTrace(21, 20_011)
+	opts := []Options{
+		{},
+		{Warmup: 1037},
+		{Warmup: 3, Chunk: 511},
+		{Warmup: 20_011},           // trace ends inside warmup
+		{Warmup: 25_000, Chunk: 7}, // warmup exceeds the trace
+	}
+	for name, configs := range fusedAxes() {
+		for oi, opt := range opts {
+			t.Run(name, func(t *testing.T) {
+				fused, err := RunConfigs(configs, tr, opt)
+				if err != nil {
+					t.Fatalf("opt %d: fused: %v", oi, err)
+				}
+				unopt := opt
+				unopt.NoFuse = true
+				unfused, err := RunConfigs(configs, tr, unopt)
+				if err != nil {
+					t.Fatalf("opt %d: unfused: %v", oi, err)
+				}
+				for i, c := range configs {
+					if fused[i] != unfused[i] {
+						t.Errorf("opt %d config %d (%s): fused diverges from per-config\n got: %+v\nwant: %+v",
+							oi, i, c.Fingerprint(), fused[i], unfused[i])
+					}
+					want := Run(c.MustBuild(), tr.NewSource(), opt)
+					if fused[i] != want {
+						t.Errorf("opt %d config %d (%s): fused diverges from generic reference\n got: %+v\nwant: %+v",
+							oi, i, c.Fingerprint(), fused[i], want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFuseGroups checks the partitioning rules directly.
+func TestFuseGroups(t *testing.T) {
+	configs := []core.Config{
+		{Scheme: core.SchemeGShare, RowBits: 6, ColBits: 2},                // 0: gshare group
+		{Scheme: core.SchemeGShare, RowBits: 8, ColBits: 2},                // 1: gshare group
+		{Scheme: core.SchemeGShare, RowBits: 8, ColBits: 2, Metered: true}, // 2: metered -> rest
+		{Scheme: core.SchemeGAs, RowBits: 6, ColBits: 2},                   // 3: singleton -> rest
+		{Scheme: core.SchemePath, RowBits: 6, ColBits: 2},                  // 4: path(2) group
+		{Scheme: core.SchemePath, RowBits: 7, ColBits: 2, PathBits: 2},     // 5: path(2) group (0 == default)
+		{Scheme: core.SchemePath, RowBits: 7, ColBits: 2, PathBits: 3},     // 6: path(3) singleton -> rest
+		{Scheme: core.SchemePAs, RowBits: 4, ColBits: 2},                   // 7: PAs-perfect group
+		{Scheme: core.SchemePAs, RowBits: 5, ColBits: 2},                   // 8: PAs-perfect group
+		{Scheme: core.SchemePAs, RowBits: 5, ColBits: 2,
+			FirstLevel: core.FirstLevel{Kind: core.FirstLevelSetAssoc, Entries: 128, Ways: 4}}, // 9: rest
+		{Scheme: core.SchemeGAs, RowBits: 6, ColBits: 2, CounterBits: 3}, // 10: wide counters -> rest
+	}
+	groups, rest := fuseGroups(configs)
+	if len(groups) != 3 {
+		t.Fatalf("got %d fuse groups, want 3 (gshare, path2, pas-perfect): %+v", len(groups), groups)
+	}
+	wantGroups := [][]int{{0, 1}, {4, 5}, {7, 8}}
+	for g, want := range wantGroups {
+		got := groups[g].idx
+		if len(got) != len(want) {
+			t.Fatalf("group %d = %v, want %v", g, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("group %d = %v, want %v", g, got, want)
+			}
+		}
+	}
+	wantRest := map[int]bool{2: true, 3: true, 6: true, 9: true, 10: true}
+	if len(rest) != len(wantRest) {
+		t.Fatalf("rest = %v, want indices %v", rest, wantRest)
+	}
+	for _, i := range rest {
+		if !wantRest[i] {
+			t.Fatalf("rest = %v contains unexpected index %d", rest, i)
+		}
+	}
+}
+
+// TestFusedPreCanceled: a canceled fused run honors the partial-result
+// contract — full-length slice, ctx.Err(), all entries absent.
+func TestFusedPreCanceled(t *testing.T) {
+	tr := kernelTrace(22, 10_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	configs := fusedAxes()["gshare"]
+	out, err := RunConfigsFused(ctx, configs, tr, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out) != len(configs) {
+		t.Fatalf("len(out) = %d, want %d", len(out), len(configs))
+	}
+	for i, m := range out {
+		if m != (Metrics{}) {
+			t.Errorf("entry %d of a pre-canceled fused run is non-zero: %+v", i, m)
+		}
+	}
+}
+
+// TestFusedPartialContract cancels a fused fan-out mid-run via a
+// deadline-free race and checks that every entry is either wholly
+// complete (full scored count) or wholly absent — never a torn tally.
+func TestFusedPartialContract(t *testing.T) {
+	const total, warmup = 30_000, 1_000
+	tr := kernelTrace(23, total)
+	configs := append(fusedAxes()["gshare"], fusedAxes()["address"]...)
+	want, err := RunConfigs(configs, tr, Options{Warmup: warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel() // races with the run: any prefix of batches may finish
+	out, err := RunConfigsFused(ctx, configs, tr, Options{Warmup: warmup, Chunk: 512})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil or context.Canceled", err)
+	}
+	for i, m := range out {
+		switch {
+		case m.Name == "":
+			if m != (Metrics{}) {
+				t.Errorf("entry %d: interrupted yet carries counts: %+v", i, m)
+			}
+		default:
+			if m != want[i] {
+				t.Errorf("entry %d: marked complete but differs from uninterrupted run\n got: %+v\nwant: %+v", i, m, want[i])
+			}
+		}
+	}
+}
+
+// FuzzFusedEquivalence drives randomized traces, run options, and axis
+// shapes through the fused path, asserting bit-identity with the
+// per-config kernels.
+func FuzzFusedEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint16(512), uint16(0), uint16(0))
+	f.Add(uint64(42), uint16(8192), uint16(1000), uint16(511))
+	f.Add(uint64(7), uint16(1), uint16(5), uint16(1))
+	f.Fuzz(func(t *testing.T, seed uint64, n, warmup, chunk uint16) {
+		tr := kernelTrace(seed, int(n)+1)
+		opt := Options{Warmup: int(warmup), Chunk: int(chunk)}
+		for name, configs := range fusedAxes() {
+			fused, err := RunConfigsCtx(context.Background(), configs, tr, opt)
+			if err != nil {
+				t.Fatalf("%s: fused: %v", name, err)
+			}
+			unopt := opt
+			unopt.NoFuse = true
+			unfused, err := RunConfigsCtx(context.Background(), configs, tr, unopt)
+			if err != nil {
+				t.Fatalf("%s: unfused: %v", name, err)
+			}
+			for i := range configs {
+				if fused[i] != unfused[i] {
+					t.Errorf("%s config %d: fused %+v != per-config %+v", name, i, fused[i], unfused[i])
+				}
+			}
+		}
+	})
+}
+
+// TestFusedSingleThreaded pins GOMAXPROCS-independence: the fused path
+// must partition and produce identical results regardless of worker
+// count (exercised here with a sequential-looking tiny axis and the
+// trace source interface untouched).
+func TestFusedSingleConfigFallsBack(t *testing.T) {
+	tr := kernelTrace(24, 5_000)
+	configs := []core.Config{{Scheme: core.SchemeGShare, RowBits: 8, ColBits: 2}}
+	got, err := RunConfigs(configs, tr, Options{Warmup: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Run(configs[0].MustBuild(), tr.NewSource(), Options{Warmup: 100})
+	if got[0] != want {
+		t.Errorf("singleton axis diverges: got %+v, want %+v", got[0], want)
+	}
+}

@@ -46,29 +46,50 @@ func chunkLen(opt Options) int {
 // caller's concern.
 type kernelFunc func(chunk []trace.Branch) uint64
 
+// kernel is one selected fast path: the chunk loop plus an optional
+// epilogue. Kernels that mirror predictor state into a faster layout
+// (the packed counter banks of kernel_packed.go) set flush to write
+// the final state back into the predictor; kernels operating on the
+// predictor's own storage leave it nil.
+type kernel struct {
+	run   kernelFunc
+	flush func()
+}
+
 // kernelFor returns the monomorphic kernel for p, or the generic
-// interface-driven chunk loop when no fast path applies.
-func kernelFor(p core.Predictor) kernelFunc {
+// interface-driven chunk loop when no fast path applies. The default
+// is the byte-per-counter kernels: a single predictor's table update
+// is load-dependent, and on the cores we measure the packed bank's
+// extra lane arithmetic costs more than its 4x footprint saves (see
+// DESIGN.md). KernelPacked forces the bit-packed bank for 2-bit
+// counter tables — kept as a first-class mode for differential
+// testing and for cache-constrained hosts where the footprint wins.
+func kernelFor(p core.Predictor, mode KernelMode) kernel {
 	t, ok := p.(*core.TwoLevel)
 	if !ok {
-		return genericKernel(p)
+		return kernel{run: genericKernel(p)}
 	}
 	tab, meter := t.Table(), t.Meter()
-	switch sel := t.Selector().(type) {
-	case core.ZeroSelector:
-		return zeroKernel(tab, meter)
-	case *core.GlobalSelector:
-		return globalKernel(tab, meter, sel.Reg())
-	case *core.GShareSelector:
-		return gshareKernel(tab, meter, sel.Reg(), sel.ColBits())
-	case *core.PathSelector:
-		return pathKernel(tab, meter, sel.Reg())
-	case *core.PerAddressSelector:
-		if k := perAddressKernel(tab, meter, sel); k != nil {
+	if mode == KernelPacked && tab.CounterBits() == 2 {
+		if k := packedKernelFor(t); k.run != nil {
 			return k
 		}
 	}
-	return genericKernel(p)
+	switch sel := t.Selector().(type) {
+	case core.ZeroSelector:
+		return kernel{run: zeroKernel(tab, meter)}
+	case *core.GlobalSelector:
+		return kernel{run: globalKernel(tab, meter, sel.Reg())}
+	case *core.GShareSelector:
+		return kernel{run: gshareKernel(tab, meter, sel.Reg(), sel.ColBits())}
+	case *core.PathSelector:
+		return kernel{run: pathKernel(tab, meter, sel.Reg())}
+	case *core.PerAddressSelector:
+		if k := perAddressKernel(tab, meter, sel); k != nil {
+			return kernel{run: k}
+		}
+	}
+	return kernel{run: genericKernel(p)}
 }
 
 // genericKernel adapts any Predictor to the chunk interface with the
@@ -97,6 +118,14 @@ func genericKernel(p core.Predictor) kernelFunc {
 // is the branchless form of Table.Update, verified bit-identical by
 // the counter package tests and by kernel_test.go.
 
+// The unmetered kernels additionally specialize the paper's default
+// 2-bit counters: the ctrStep table (fused.go) folds the saturating
+// transition and the mispredict bit into one L1-resident lookup,
+// replacing the compare-and-mask saturate plus the threshold compare.
+// For 2-bit state the threshold test (s >= 2) is exactly the counter
+// MSB, so ctrStep's mispredict bit equals (s >= thresh) != taken.
+// Wider counters and metered runs keep the general branchless form.
+
 // zeroKernel is the address-indexed (bimodal) fast path: row 0, so
 // only the column index varies.
 //
@@ -113,6 +142,19 @@ func genericKernel(p core.Predictor) kernelFunc {
 func zeroKernel(tab *counter.Table, meter *core.AliasMeter) kernelFunc {
 	state, max, thresh := tab.Raw()
 	colMask := tab.ColMask()
+	if meter == nil && max == 3 && thresh == 2 {
+		return func(chunk []trace.Branch) uint64 {
+			var miss uint64
+			for i := range chunk {
+				b := chunk[i]
+				idx := int((b.PC >> 2) & colMask)
+				t := ctrStep[state[idx]<<1|b2u8(b.Taken)]
+				state[idx] = uint8(t)
+				miss += uint64(t >> 8)
+			}
+			return miss
+		}
+	}
 	if meter != nil {
 		return func(chunk []trace.Branch) uint64 {
 			var miss uint64
@@ -149,6 +191,25 @@ func globalKernel(tab *counter.Table, meter *core.AliasMeter, reg *history.Shift
 	state, max, thresh := tab.Raw()
 	rowMask, colMask, colBits := tab.RowMask(), tab.ColMask(), uint(tab.ColBits())
 	regMask := reg.Mask()
+	if meter == nil && max == 3 && thresh == 2 {
+		rm := rowMask << colBits
+		return func(chunk []trace.Branch) uint64 {
+			var miss uint64
+			val := reg.Value()
+			for i := range chunk {
+				b := chunk[i]
+				pc2 := b.PC >> 2
+				idx := int((val<<colBits)&rm | pc2&colMask)
+				up := b2u8(b.Taken)
+				t := ctrStep[state[idx]<<1|up]
+				state[idx] = uint8(t)
+				val = (val<<1 | uint64(up)) & regMask
+				miss += uint64(t >> 8)
+			}
+			reg.Set(val)
+			return miss
+		}
+	}
 	if meter != nil {
 		return func(chunk []trace.Branch) uint64 {
 			var miss uint64
@@ -193,6 +254,28 @@ func gshareKernel(tab *counter.Table, meter *core.AliasMeter, reg *history.Shift
 	rowMask, colMask, colShift := tab.RowMask(), tab.ColMask(), uint(tab.ColBits())
 	shift := 2 + uint(colBits)
 	regMask := reg.Mask()
+	if meter == nil && max == 3 && thresh == 2 && uint(colBits) == colShift {
+		// Selector and table agree on the column width (true by
+		// construction in NewGShare), so the XOR's address shift folds
+		// into the shifted row mask exactly as in laneGShareBytes4.
+		rm := rowMask << colShift
+		return func(chunk []trace.Branch) uint64 {
+			var miss uint64
+			val := reg.Value()
+			for i := range chunk {
+				b := chunk[i]
+				pc2 := b.PC >> 2
+				idx := int((val<<colShift^pc2)&rm | pc2&colMask)
+				up := b2u8(b.Taken)
+				t := ctrStep[state[idx]<<1|up]
+				state[idx] = uint8(t)
+				val = (val<<1 | uint64(up)) & regMask
+				miss += uint64(t >> 8)
+			}
+			reg.Set(val)
+			return miss
+		}
+	}
 	if meter != nil {
 		return func(chunk []trace.Branch) uint64 {
 			var miss uint64
@@ -240,6 +323,28 @@ func pathKernel(tab *counter.Table, meter *core.AliasMeter, reg *history.PathReg
 	regMask := reg.Mask()
 	bpt := uint(reg.BitsPerTarget())
 	tgtMask := uint64(1)<<bpt - 1
+	if meter == nil && max == 3 && thresh == 2 {
+		rm := rowMask << colBits
+		return func(chunk []trace.Branch) uint64 {
+			var miss uint64
+			val := reg.Value()
+			for i := range chunk {
+				b := chunk[i]
+				pc2 := b.PC >> 2
+				idx := int((val<<colBits)&rm | pc2&colMask)
+				t := ctrStep[state[idx]<<1|b2u8(b.Taken)]
+				state[idx] = uint8(t)
+				next := b.PC + 4
+				if b.Taken {
+					next = b.Target
+				}
+				val = (val<<bpt | (next>>2)&tgtMask) & regMask
+				miss += uint64(t >> 8)
+			}
+			reg.Set(val)
+			return miss
+		}
+	}
 	if meter != nil {
 		return func(chunk []trace.Branch) uint64 {
 			var miss uint64
@@ -301,11 +406,14 @@ func perAddressKernel(tab *counter.Table, meter *core.AliasMeter, sel *core.PerA
 	}
 	switch bht := sel.BHT().(type) {
 	case *history.Perfect:
+		// Perfect.Access folds Lookup+Update into one table probe;
+		// history and counter state are independent, so reordering the
+		// history write before the counter write is bit-identical.
 		return func(chunk []trace.Branch) uint64 {
 			var miss uint64
 			for i := range chunk {
 				b := chunk[i]
-				row, _ := bht.Lookup(b.PC)
+				row := bht.Access(b.PC, b.Taken)
 				idx := int((row&rowMask)<<colBits | (b.PC>>2)&colMask)
 				s := state[idx]
 				if meter != nil {
@@ -313,17 +421,20 @@ func perAddressKernel(tab *counter.Table, meter *core.AliasMeter, sel *core.PerA
 				}
 				up := b2u8(b.Taken)
 				state[idx] = s + up&b2u8(s < max) - (1-up)&b2u8(s > 0)
-				bht.Update(b.PC, b.Taken)
 				miss += b2u64((s >= thresh) != b.Taken)
 			}
 			return miss
 		}
 	case *history.SetAssoc:
+		// Access reuses Lookup's resolved way for the shift-in,
+		// halving the tag-search work per branch; as with Perfect,
+		// moving the history write ahead of the counter write is
+		// bit-identical because the two states are independent.
 		return func(chunk []trace.Branch) uint64 {
 			var miss uint64
 			for i := range chunk {
 				b := chunk[i]
-				row, _ := bht.Lookup(b.PC)
+				row, _ := bht.Access(b.PC, b.Taken)
 				idx := int((row&rowMask)<<colBits | (b.PC>>2)&colMask)
 				s := state[idx]
 				if meter != nil {
@@ -331,7 +442,6 @@ func perAddressKernel(tab *counter.Table, meter *core.AliasMeter, sel *core.PerA
 				}
 				up := b2u8(b.Taken)
 				state[idx] = s + up&b2u8(s < max) - (1-up)&b2u8(s > 0)
-				bht.Update(b.PC, b.Taken)
 				miss += b2u64((s >= thresh) != b.Taken)
 			}
 			return miss
@@ -341,7 +451,7 @@ func perAddressKernel(tab *counter.Table, meter *core.AliasMeter, sel *core.PerA
 			var miss uint64
 			for i := range chunk {
 				b := chunk[i]
-				row, _ := bht.Lookup(b.PC)
+				row, _ := bht.Access(b.PC, b.Taken)
 				idx := int((row&rowMask)<<colBits | (b.PC>>2)&colMask)
 				s := state[idx]
 				if meter != nil {
@@ -349,7 +459,6 @@ func perAddressKernel(tab *counter.Table, meter *core.AliasMeter, sel *core.PerA
 				}
 				up := b2u8(b.Taken)
 				state[idx] = s + up&b2u8(s < max) - (1-up)&b2u8(s > 0)
-				bht.Update(b.PC, b.Taken)
 				miss += b2u64((s >= thresh) != b.Taken)
 			}
 			return miss
@@ -363,14 +472,14 @@ func perAddressKernel(tab *counter.Table, meter *core.AliasMeter, sel *core.PerA
 // does: warm branches train (and meter) but are not scored.
 type runner struct {
 	p    core.Predictor
-	run  kernelFunc
+	k    kernel
 	warm int
 	m    Metrics
 	obs  *obs.Counters
 }
 
 func newRunner(p core.Predictor, opt Options) runner {
-	return runner{p: p, run: kernelFor(p), warm: opt.Warmup, obs: opt.Obs}
+	return runner{p: p, k: kernelFor(p, opt.Kernel), warm: opt.Warmup, obs: opt.Obs}
 }
 
 // feed processes one chunk, splitting it at the warmup boundary when
@@ -386,7 +495,7 @@ func (r *runner) feed(chunk []trace.Branch) {
 		if n > len(chunk) {
 			n = len(chunk)
 		}
-		r.run(chunk[:n])
+		r.k.run(chunk[:n])
 		r.warm -= n
 		chunk = chunk[n:]
 		if len(chunk) == 0 {
@@ -394,12 +503,16 @@ func (r *runner) feed(chunk []trace.Branch) {
 		}
 	}
 	r.m.Branches += uint64(len(chunk))
-	r.m.Mispredicts += r.run(chunk)
+	r.m.Mispredicts += r.k.run(chunk)
 }
 
 // finish assembles the final Metrics, mirroring the reference loop's
-// epilogue.
+// epilogue. Kernels holding mirrored state flush it back first so the
+// predictor is left bit-identical to a byte-kernel or generic run.
 func (r *runner) finish() Metrics {
+	if r.k.flush != nil {
+		r.k.flush()
+	}
 	m := r.m
 	m.Name = r.p.Name()
 	if ar, ok := r.p.(core.AliasReporter); ok {

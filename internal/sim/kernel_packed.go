@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"bpred/internal/core"
+	"bpred/internal/counter"
+	"bpred/internal/history"
+	"bpred/internal/trace"
+)
+
+// This file holds the bit-packed variants of the batched kernels: the
+// 2-bit counter table is mirrored into a counter.PackedBank (32 lanes
+// per uint64) for the duration of the run and written back through
+// kernel.flush, so a packed run leaves the predictor bit-identical to
+// a byte-kernel run. Inside the loop the counter step is the inlined
+// form of PackedBank.Access — lane extract, branchless saturate,
+// XOR write-back — on a hoisted Words() local; the index arithmetic
+// is byte-kernel identical, with the lane split (word = idx >>
+// counter.LaneShift, bit offset = (idx & counter.LaneMask) << 1)
+// layered on top.
+//
+// Packing quarters the table footprint. That never pays for a single
+// configuration on the ALU-bound cores we measure — the extra lane
+// arithmetic outweighs the cache savings, which is why KernelAuto
+// picks the byte kernels — so these variants exist for KernelPacked
+// callers, differential tests, and cache-constrained hosts. The fused
+// sweep path (fused.go) makes the same byte-vs-packed call per lane
+// by table size.
+
+// packedKernelFor selects the packed kernel for a 2-bit TwoLevel, or
+// a zero kernel when the selector (or first-level table) has no
+// packed fast path and the caller should fall back.
+func packedKernelFor(t *core.TwoLevel) kernel {
+	tab, meter := t.Table(), t.Meter()
+	switch sel := t.Selector().(type) {
+	case core.ZeroSelector:
+		return zeroKernelPacked(tab, meter)
+	case *core.GlobalSelector:
+		return globalKernelPacked(tab, meter, sel.Reg())
+	case *core.GShareSelector:
+		return gshareKernelPacked(tab, meter, sel.Reg(), sel.ColBits())
+	case *core.PathSelector:
+		return pathKernelPacked(tab, meter, sel.Reg())
+	case *core.PerAddressSelector:
+		return perAddressKernelPacked(tab, meter, sel)
+	}
+	return kernel{}
+}
+
+// zeroKernelPacked is the packed address-indexed (bimodal) fast path.
+//
+// The noinline directive mirrors zeroKernel's: keep the constructor
+// out of line so the closure body stays fully flattened.
+//
+//bpred:kernel
+//go:noinline
+func zeroKernelPacked(tab *counter.Table, meter *core.AliasMeter) kernel {
+	state, _, _ := tab.Raw()
+	bank := counter.PackFrom(state)
+	words := bank.Words()
+	colMask := tab.ColMask()
+	flush := func() { bank.Unpack(state) }
+	if meter != nil {
+		return kernel{flush: flush, run: func(chunk []trace.Branch) uint64 {
+			var miss uint64
+			for i := range chunk {
+				b := chunk[i]
+				idx := (b.PC >> 2) & colMask
+				sh := (idx & counter.LaneMask) << 1
+				w := words[idx>>counter.LaneShift]
+				s := w >> sh & 3
+				meter.Record(int(idx), b.PC, b.Taken, false)
+				up := b2u64(b.Taken)
+				ns := s + up&b2u64(s < 3) - (1-up)&b2u64(s > 0)
+				words[idx>>counter.LaneShift] = w ^ (s^ns)<<sh
+				miss += b2u64((s >= 2) != b.Taken)
+			}
+			return miss
+		}}
+	}
+	return kernel{flush: flush, run: func(chunk []trace.Branch) uint64 {
+		var miss uint64
+		for i := range chunk {
+			b := chunk[i]
+			idx := (b.PC >> 2) & colMask
+			sh := (idx & counter.LaneMask) << 1
+			w := words[idx>>counter.LaneShift]
+			s := w >> sh & 3
+			up := b2u64(b.Taken)
+			ns := s + up&b2u64(s < 3) - (1-up)&b2u64(s > 0)
+			words[idx>>counter.LaneShift] = w ^ (s^ns)<<sh
+			miss += b2u64((s >= 2) != b.Taken)
+		}
+		return miss
+	}}
+}
+
+// globalKernelPacked is the packed GAg/GAs fast path.
+//
+//bpred:kernel
+func globalKernelPacked(tab *counter.Table, meter *core.AliasMeter, reg *history.ShiftRegister) kernel {
+	state, _, _ := tab.Raw()
+	bank := counter.PackFrom(state)
+	words := bank.Words()
+	rowMask, colMask, colBits := tab.RowMask(), tab.ColMask(), uint(tab.ColBits())
+	regMask := reg.Mask()
+	flush := func() { bank.Unpack(state) }
+	if meter != nil {
+		return kernel{flush: flush, run: func(chunk []trace.Branch) uint64 {
+			var miss uint64
+			val := reg.Value()
+			for i := range chunk {
+				b := chunk[i]
+				idx := (val&rowMask)<<colBits | (b.PC>>2)&colMask
+				sh := (idx & counter.LaneMask) << 1
+				w := words[idx>>counter.LaneShift]
+				s := w >> sh & 3
+				meter.Record(int(idx), b.PC, b.Taken, val == regMask)
+				up := b2u64(b.Taken)
+				ns := s + up&b2u64(s < 3) - (1-up)&b2u64(s > 0)
+				words[idx>>counter.LaneShift] = w ^ (s^ns)<<sh
+				val = (val<<1 | up) & regMask
+				miss += b2u64((s >= 2) != b.Taken)
+			}
+			reg.Set(val)
+			return miss
+		}}
+	}
+	return kernel{flush: flush, run: func(chunk []trace.Branch) uint64 {
+		var miss uint64
+		val := reg.Value()
+		for i := range chunk {
+			b := chunk[i]
+			idx := (val&rowMask)<<colBits | (b.PC>>2)&colMask
+			sh := (idx & counter.LaneMask) << 1
+			w := words[idx>>counter.LaneShift]
+			s := w >> sh & 3
+			up := b2u64(b.Taken)
+			ns := s + up&b2u64(s < 3) - (1-up)&b2u64(s > 0)
+			words[idx>>counter.LaneShift] = w ^ (s^ns)<<sh
+			val = (val<<1 | up) & regMask
+			miss += b2u64((s >= 2) != b.Taken)
+		}
+		reg.Set(val)
+		return miss
+	}}
+}
+
+// gshareKernelPacked is the packed gshare fast path.
+//
+//bpred:kernel
+func gshareKernelPacked(tab *counter.Table, meter *core.AliasMeter, reg *history.ShiftRegister, colBits int) kernel {
+	state, _, _ := tab.Raw()
+	bank := counter.PackFrom(state)
+	words := bank.Words()
+	rowMask, colMask, colShift := tab.RowMask(), tab.ColMask(), uint(tab.ColBits())
+	shift := 2 + uint(colBits)
+	regMask := reg.Mask()
+	flush := func() { bank.Unpack(state) }
+	if meter != nil {
+		return kernel{flush: flush, run: func(chunk []trace.Branch) uint64 {
+			var miss uint64
+			val := reg.Value()
+			for i := range chunk {
+				b := chunk[i]
+				row := (val ^ (b.PC >> shift)) & rowMask
+				idx := row<<colShift | (b.PC>>2)&colMask
+				sh := (idx & counter.LaneMask) << 1
+				w := words[idx>>counter.LaneShift]
+				s := w >> sh & 3
+				meter.Record(int(idx), b.PC, b.Taken, val == regMask)
+				up := b2u64(b.Taken)
+				ns := s + up&b2u64(s < 3) - (1-up)&b2u64(s > 0)
+				words[idx>>counter.LaneShift] = w ^ (s^ns)<<sh
+				val = (val<<1 | up) & regMask
+				miss += b2u64((s >= 2) != b.Taken)
+			}
+			reg.Set(val)
+			return miss
+		}}
+	}
+	return kernel{flush: flush, run: func(chunk []trace.Branch) uint64 {
+		var miss uint64
+		val := reg.Value()
+		for i := range chunk {
+			b := chunk[i]
+			row := (val ^ (b.PC >> shift)) & rowMask
+			idx := row<<colShift | (b.PC>>2)&colMask
+			sh := (idx & counter.LaneMask) << 1
+			w := words[idx>>counter.LaneShift]
+			s := w >> sh & 3
+			up := b2u64(b.Taken)
+			ns := s + up&b2u64(s < 3) - (1-up)&b2u64(s > 0)
+			words[idx>>counter.LaneShift] = w ^ (s^ns)<<sh
+			val = (val<<1 | up) & regMask
+			miss += b2u64((s >= 2) != b.Taken)
+		}
+		reg.Set(val)
+		return miss
+	}}
+}
+
+// pathKernelPacked is the packed path-history fast path.
+//
+//bpred:kernel
+func pathKernelPacked(tab *counter.Table, meter *core.AliasMeter, reg *history.PathRegister) kernel {
+	state, _, _ := tab.Raw()
+	bank := counter.PackFrom(state)
+	words := bank.Words()
+	rowMask, colMask, colBits := tab.RowMask(), tab.ColMask(), uint(tab.ColBits())
+	regMask := reg.Mask()
+	bpt := uint(reg.BitsPerTarget())
+	tgtMask := uint64(1)<<bpt - 1
+	flush := func() { bank.Unpack(state) }
+	if meter != nil {
+		return kernel{flush: flush, run: func(chunk []trace.Branch) uint64 {
+			var miss uint64
+			val := reg.Value()
+			for i := range chunk {
+				b := chunk[i]
+				idx := (val&rowMask)<<colBits | (b.PC>>2)&colMask
+				sh := (idx & counter.LaneMask) << 1
+				w := words[idx>>counter.LaneShift]
+				s := w >> sh & 3
+				meter.Record(int(idx), b.PC, b.Taken, false)
+				up := b2u64(b.Taken)
+				ns := s + up&b2u64(s < 3) - (1-up)&b2u64(s > 0)
+				words[idx>>counter.LaneShift] = w ^ (s^ns)<<sh
+				next := b.PC + 4
+				if b.Taken {
+					next = b.Target
+				}
+				val = (val<<bpt | (next>>2)&tgtMask) & regMask
+				miss += b2u64((s >= 2) != b.Taken)
+			}
+			reg.Set(val)
+			return miss
+		}}
+	}
+	return kernel{flush: flush, run: func(chunk []trace.Branch) uint64 {
+		var miss uint64
+		val := reg.Value()
+		for i := range chunk {
+			b := chunk[i]
+			idx := (val&rowMask)<<colBits | (b.PC>>2)&colMask
+			sh := (idx & counter.LaneMask) << 1
+			w := words[idx>>counter.LaneShift]
+			s := w >> sh & 3
+			up := b2u64(b.Taken)
+			ns := s + up&b2u64(s < 3) - (1-up)&b2u64(s > 0)
+			words[idx>>counter.LaneShift] = w ^ (s^ns)<<sh
+			next := b.PC + 4
+			if b.Taken {
+				next = b.Target
+			}
+			val = (val<<bpt | (next>>2)&tgtMask) & regMask
+			miss += b2u64((s >= 2) != b.Taken)
+		}
+		reg.Set(val)
+		return miss
+	}}
+}
+
+// perAddressKernelPacked is the packed PAg/PAs fast path, switching on
+// the concrete first-level table like perAddressKernel. The Perfect
+// case rides the single-probe Access; unknown implementations return
+// a zero kernel so kernelFor falls back.
+//
+//bpred:kernel
+func perAddressKernelPacked(tab *counter.Table, meter *core.AliasMeter, sel *core.PerAddressSelector) kernel {
+	state, _, _ := tab.Raw()
+	bank := counter.PackFrom(state)
+	words := bank.Words()
+	rowMask, colMask, colBits := tab.RowMask(), tab.ColMask(), uint(tab.ColBits())
+	bits := sel.BHT().Bits()
+	allMask := uint64(0)
+	if bits > 0 {
+		allMask = 1<<uint(bits) - 1
+	}
+	flush := func() { bank.Unpack(state) }
+	switch bht := sel.BHT().(type) {
+	case *history.Perfect:
+		return kernel{flush: flush, run: func(chunk []trace.Branch) uint64 {
+			var miss uint64
+			for i := range chunk {
+				b := chunk[i]
+				row := bht.Access(b.PC, b.Taken)
+				idx := (row&rowMask)<<colBits | (b.PC>>2)&colMask
+				sh := (idx & counter.LaneMask) << 1
+				w := words[idx>>counter.LaneShift]
+				s := w >> sh & 3
+				if meter != nil {
+					meter.Record(int(idx), b.PC, b.Taken, row == allMask)
+				}
+				up := b2u64(b.Taken)
+				ns := s + up&b2u64(s < 3) - (1-up)&b2u64(s > 0)
+				words[idx>>counter.LaneShift] = w ^ (s^ns)<<sh
+				miss += b2u64((s >= 2) != b.Taken)
+			}
+			return miss
+		}}
+	case *history.SetAssoc:
+		return kernel{flush: flush, run: func(chunk []trace.Branch) uint64 {
+			var miss uint64
+			for i := range chunk {
+				b := chunk[i]
+				row, _ := bht.Access(b.PC, b.Taken)
+				idx := (row&rowMask)<<colBits | (b.PC>>2)&colMask
+				sh := (idx & counter.LaneMask) << 1
+				w := words[idx>>counter.LaneShift]
+				s := w >> sh & 3
+				if meter != nil {
+					meter.Record(int(idx), b.PC, b.Taken, row == allMask)
+				}
+				up := b2u64(b.Taken)
+				ns := s + up&b2u64(s < 3) - (1-up)&b2u64(s > 0)
+				words[idx>>counter.LaneShift] = w ^ (s^ns)<<sh
+				miss += b2u64((s >= 2) != b.Taken)
+			}
+			return miss
+		}}
+	case *history.Untagged:
+		return kernel{flush: flush, run: func(chunk []trace.Branch) uint64 {
+			var miss uint64
+			for i := range chunk {
+				b := chunk[i]
+				row, _ := bht.Access(b.PC, b.Taken)
+				idx := (row&rowMask)<<colBits | (b.PC>>2)&colMask
+				sh := (idx & counter.LaneMask) << 1
+				w := words[idx>>counter.LaneShift]
+				s := w >> sh & 3
+				if meter != nil {
+					meter.Record(int(idx), b.PC, b.Taken, row == allMask)
+				}
+				up := b2u64(b.Taken)
+				ns := s + up&b2u64(s < 3) - (1-up)&b2u64(s > 0)
+				words[idx>>counter.LaneShift] = w ^ (s^ns)<<sh
+				miss += b2u64((s >= 2) != b.Taken)
+			}
+			return miss
+		}}
+	}
+	return kernel{}
+}

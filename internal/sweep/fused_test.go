@@ -1,0 +1,103 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"bpred/internal/checkpoint"
+	"bpred/internal/core"
+	"bpred/internal/sim"
+)
+
+// TestFusedSurfaceIdentity requires the config-parallel fused path to
+// produce Surfaces deep- and byte-identical to the per-config path for
+// every scheme family the sweep enumerates — the BPC1 cell contents
+// and CSV serialization must not know or care which execution strategy
+// produced them.
+func TestFusedSurfaceIdentity(t *testing.T) {
+	tr := resumeTrace(t, 30_000)
+	for name, o := range resumeSchemes() {
+		o := o
+		o.Sim = sim.Options{Warmup: 1_000}
+		t.Run(name, func(t *testing.T) {
+			fused, err := Run(o, tr)
+			if err != nil {
+				t.Fatalf("fused: %v", err)
+			}
+			plain := o
+			plain.Sim.NoFuse = true
+			unfused, err := Run(plain, tr)
+			if err != nil {
+				t.Fatalf("per-config: %v", err)
+			}
+			if !reflect.DeepEqual(fused, unfused) {
+				t.Error("fused surface differs from per-config surface")
+			}
+			if fb, ub := surfaceBytes(t, fused), surfaceBytes(t, unfused); !bytes.Equal(fb, ub) {
+				t.Errorf("fused surface serialization differs\n got: %q\nwant: %q", fb, ub)
+			}
+		})
+	}
+}
+
+// TestFusedResumeCrossPath interrupts a fused sweep, then resumes it
+// with fusion disabled (and vice versa): checkpoint cells written by
+// one execution strategy must be byte-compatible with the other, since
+// cell identity is keyed purely on config fingerprint + trace digest +
+// warmup.
+func TestFusedResumeCrossPath(t *testing.T) {
+	tr := resumeTrace(t, 30_000)
+	digest := tr.Digest()
+	const warmup = 1_000
+
+	base := Options{
+		Scheme: core.SchemeGShare, MinBits: 4, MaxBits: 7,
+		Sim: sim.Options{Warmup: warmup},
+	}
+	baseline, err := Run(base, tr)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	for _, dir := range []struct {
+		name                 string
+		interrupted, resumed bool // NoFuse flags
+	}{
+		{"fused-then-per-config", false, true},
+		{"per-config-then-fused", true, false},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			store := checkpoint.NewMemory(digest, warmup)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			interrupted := base
+			interrupted.Sim.NoFuse = dir.interrupted
+			interrupted.Checkpoint = store
+			interrupted.afterTier = func(tableBits int) {
+				if tableBits == base.MinBits {
+					cancel()
+				}
+			}
+			if _, err := RunCtx(ctx, interrupted, tr); !errors.Is(err, context.Canceled) {
+				t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+			}
+			if store.Len() == 0 {
+				t.Fatal("interrupted run checkpointed nothing")
+			}
+
+			resumed := base
+			resumed.Sim.NoFuse = dir.resumed
+			resumed.Checkpoint = store
+			got, err := RunCtx(context.Background(), resumed, tr)
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			if !bytes.Equal(surfaceBytes(t, got), surfaceBytes(t, baseline)) {
+				t.Error("cross-path resumed surface differs from uninterrupted baseline")
+			}
+		})
+	}
+}
