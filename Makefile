@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race bench-sim bench-short bench-check cover fuzz-smoke diff-fuzz serve serve-test all
+.PHONY: build test vet lint race bench-sim bench-short bench-check cover fuzz-smoke diff-fuzz serve serve-test cluster-test all
 
 all: build vet lint test
 
@@ -37,6 +37,13 @@ serve:
 # integration test — under the race detector.
 serve-test:
 	$(GO) test -race ./internal/service/ ./cmd/bpserved/
+
+# cluster-test runs the distributed-sweep subsystem under the race
+# detector: ring/key/coordinator unit tests, the HTTP transport
+# end-to-end, and the failure-injection (chaos) scenarios, every one
+# of which must reproduce the single-node artifacts byte for byte.
+cluster-test:
+	$(GO) test -race -count=1 ./internal/cluster/
 
 # bench-short is the smoke-level benchmark pass CI runs: one
 # iteration of everything, just to keep the benchmarks compiling and
@@ -77,12 +84,13 @@ COVER_FLOOR = 80
 # -coverpkg spans the gated set so cross-package exercise counts: the
 # analyzer fixtures drive load/analysistest, and cmd/bplint's smoke
 # test drives the bplint driver package.
-COVER_PKGS = ./internal/sim/,./internal/sweep/,./internal/checkpoint/,./internal/obs/,./internal/analysis/...,./internal/service/,./internal/counter/
+COVER_PKGS = ./internal/sim/,./internal/sweep/,./internal/checkpoint/,./internal/obs/,./internal/analysis/...,./internal/service/,./internal/counter/,./internal/cluster/
 
 cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=$(COVER_PKGS) \
 		./internal/sim/ ./internal/sweep/ ./internal/checkpoint/ ./internal/obs/ \
-		./internal/analysis/... ./cmd/bplint/ ./internal/service/ ./internal/counter/
+		./internal/analysis/... ./cmd/bplint/ ./internal/service/ ./internal/counter/ \
+		./internal/cluster/
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
@@ -96,6 +104,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/checkpoint/
+	$(GO) test -run '^$$' -fuzz FuzzKeyCodec -fuzztime 10s ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointFileName -fuzztime 10s ./internal/cluster/
 
 # diff-fuzz differentially fuzzes every scheme family against the
 # independent reference model (internal/refmodel): random traces,

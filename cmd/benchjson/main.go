@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -51,42 +52,54 @@ type Doc struct {
 }
 
 func main() {
-	check := flag.Bool("check", false, "compare stdin against -baseline instead of emitting JSON")
-	baseline := flag.String("baseline", "BENCH_sim.json", "baseline JSON document for -check")
-	tolerance := flag.Float64("tolerance", 15, "max tolerated MB/s regression for -check, in percent")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	doc, err := parse(bufio.NewScanner(os.Stdin))
+// run is the whole program behind an exit code: 0 success, 1 parse or
+// gate failure, 2 usage error. Factored off main so tests can drive
+// the exact CLI surface (flags, streams, exit codes) in-process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	check := fs.Bool("check", false, "compare stdin against -baseline instead of emitting JSON")
+	baseline := fs.String("baseline", "BENCH_sim.json", "baseline JSON document for -check")
+	tolerance := fs.Float64("tolerance", 15, "max tolerated MB/s regression for -check, in percent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	doc, err := parse(bufio.NewScanner(stdin))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
 	}
 	if *check {
 		base, err := readDoc(*baseline)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
 		}
 		rep := compare(doc, base, *tolerance)
 		for _, line := range rep.notes {
-			fmt.Fprintln(os.Stderr, "benchjson:", line)
+			fmt.Fprintln(stderr, "benchjson:", line)
 		}
 		for _, line := range rep.failures {
-			fmt.Fprintln(os.Stderr, "benchjson: FAIL:", line)
+			fmt.Fprintln(stderr, "benchjson: FAIL:", line)
 		}
 		if len(rep.failures) > 0 {
-			os.Exit(1)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.0f%% of %s\n",
+		fmt.Fprintf(stderr, "benchjson: %d benchmarks within %.0f%% of %s\n",
 			rep.compared, *tolerance, *baseline)
-		return
+		return 0
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
 	}
+	return 0
 }
 
 // throughputUnit is the metric the regression gate compares. MB/s is

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI drives run() with benchText (or custom stdin) and returns
+// the exit code plus captured streams.
+func runCLI(t *testing.T, args []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// writeBaseline marshals a Doc into a temp file and returns its path.
+func writeBaseline(t *testing.T, doc Doc) string {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatalf("marshal baseline: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	return path
+}
+
+func TestRunEmitsJSON(t *testing.T) {
+	code, stdout, stderr := runCLI(t, nil, benchText)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	var doc Doc
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("stdout is not a Doc: %v\n%s", err, stdout)
+	}
+	if len(doc.Results) != 3 || doc.Goos != "linux" {
+		t.Fatalf("round-tripped doc wrong: %+v", doc)
+	}
+}
+
+func TestRunNoBenchmarksExits1(t *testing.T) {
+	code, _, stderr := runCLI(t, nil, "ok bpred 1.2s\n")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "no benchmark lines") {
+		t.Fatalf("stderr = %q, want a no-benchmark-lines diagnostic", stderr)
+	}
+}
+
+func TestRunBadFlagExits2(t *testing.T) {
+	code, _, stderr := runCLI(t, []string{"-no-such-flag"}, benchText)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (usage error)", code)
+	}
+	if !strings.Contains(stderr, "no-such-flag") {
+		t.Fatalf("stderr = %q, want the offending flag named", stderr)
+	}
+}
+
+// TestCheckEmptyBaseline gates against a baseline with no results:
+// every current benchmark is new, nothing can regress, exit 0.
+func TestCheckEmptyBaseline(t *testing.T) {
+	path := writeBaseline(t, Doc{})
+	code, _, stderr := runCLI(t, []string{"-check", "-baseline", path}, benchText)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "not in baseline (new benchmark)") {
+		t.Fatalf("stderr = %q, want new-benchmark notes", stderr)
+	}
+	if !strings.Contains(stderr, "0 benchmarks within") {
+		t.Fatalf("stderr = %q, want a zero-compared summary", stderr)
+	}
+}
+
+// TestCheckBaselineOnlyBenchmark tolerates baseline entries missing
+// from a (narrowed) run: noted on stderr, exit 0.
+func TestCheckBaselineOnlyBenchmark(t *testing.T) {
+	path := writeBaseline(t, Doc{Results: []Result{
+		result("BenchmarkKernels/gshare/batched", 180),
+		result("BenchmarkRetired", 500),
+	}})
+	code, _, stderr := runCLI(t, []string{"-check", "-baseline", path}, benchText)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "BenchmarkRetired: in baseline but not in this run") {
+		t.Fatalf("stderr = %q, want the baseline-only benchmark noted", stderr)
+	}
+	if strings.Contains(stderr, "FAIL") {
+		t.Fatalf("stderr = %q, a missing benchmark must never fail the gate", stderr)
+	}
+}
+
+func TestCheckRegressionExits1(t *testing.T) {
+	path := writeBaseline(t, Doc{Results: []Result{
+		// benchText reports 182.61 MB/s for this one: a >15% drop.
+		result("BenchmarkKernels/gshare/batched", 400),
+	}})
+	code, _, stderr := runCLI(t, []string{"-check", "-baseline", path}, benchText)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "FAIL: BenchmarkKernels/gshare/batched") {
+		t.Fatalf("stderr = %q, want the regressed benchmark named in a FAIL line", stderr)
+	}
+}
+
+func TestCheckMalformedBaselineExits1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	code, _, stderr := runCLI(t, []string{"-check", "-baseline", path}, benchText)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, path) {
+		t.Fatalf("stderr = %q, want the baseline path in the diagnostic", stderr)
+	}
+}
+
+// TestCheckZeroByteBaselineExits1: a truncated (empty) baseline file
+// is malformed, not an empty document.
+func TestCheckZeroByteBaselineExits1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	code, _, stderr := runCLI(t, []string{"-check", "-baseline", path}, benchText)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "benchjson:") {
+		t.Fatalf("stderr = %q, want a diagnostic", stderr)
+	}
+}
+
+func TestCheckMissingBaselineExits1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.json")
+	code, _, stderr := runCLI(t, []string{"-check", "-baseline", path}, benchText)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "nope.json") {
+		t.Fatalf("stderr = %q, want the missing path named", stderr)
+	}
+}

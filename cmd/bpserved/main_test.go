@@ -38,15 +38,18 @@ type server struct {
 }
 
 // startServer launches the binary on an ephemeral port and parses the
-// bound address from its stderr banner.
-func startServer(t *testing.T, bin, dataDir string) *server {
+// bound address from its stderr banner. extra flags are appended, so
+// callers can select e.g. -role coordinator.
+func startServer(t *testing.T, bin, dataDir string, extra ...string) *server {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := []string{
 		"-listen", "127.0.0.1:0",
 		"-data", dataDir,
 		"-workers", "1",
 		"-drain-timeout", "60s",
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatalf("StderrPipe: %v", err)

@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"bpred/internal/trace"
+)
+
+// The HTTP transport keeps workers pull-only: the coordinator exposes
+// Handler (cmd/bpserved mounts it under /cluster/v1/), workers dial
+// in with HTTPClient + RemoteTraces, and Next long-polls so no
+// inbound connectivity to workers is ever needed.
+
+// TraceOpener serves raw BPT1 bytes so workers can replicate traces;
+// the service's TraceStore satisfies it.
+type TraceOpener interface {
+	Open(digest string) (io.ReadCloser, error)
+}
+
+// nextRequest is the wire form of a Next long-poll.
+type nextRequest struct {
+	Worker string `json:"worker"`
+	WaitMS int64  `json:"wait_ms,omitempty"`
+}
+
+// completeRequest is the wire form of a Complete delivery.
+type completeRequest struct {
+	Worker string      `json:"worker"`
+	Result ChunkResult `json:"result"`
+}
+
+// maxPollWait caps a single long-poll so dead clients release their
+// handler goroutines.
+const maxPollWait = time.Minute
+
+// Handler exposes a Coordinator over HTTP:
+//
+//	POST /join              {"worker": id}
+//	POST /next              {"worker": id, "wait_ms": n} -> Work (empty on poll timeout)
+//	POST /complete          {"worker": id, "result": ChunkResult}
+//	GET  /trace/{digest}    raw BPT1 stream
+//
+// Coordinator errors map onto statuses the client folds back into
+// sentinel errors: 404 -> ErrUnknownWorker, 503 -> ErrShutdown.
+func Handler(c *Coordinator, traces TraceOpener) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) {
+		var req nextRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+			httpError(w, http.StatusBadRequest, "bad join request")
+			return
+		}
+		if err := c.Join(r.Context(), req.Worker); err != nil {
+			coordError(w, err)
+			return
+		}
+		writeJSON(w, struct{}{})
+	})
+	mux.HandleFunc("POST /next", func(w http.ResponseWriter, r *http.Request) {
+		var req nextRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+			httpError(w, http.StatusBadRequest, "bad next request")
+			return
+		}
+		wait := time.Duration(req.WaitMS) * time.Millisecond
+		if wait <= 0 || wait > maxPollWait {
+			wait = maxPollWait
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		defer cancel()
+		work, err := c.Next(ctx, req.Worker)
+		if err != nil {
+			if ctx.Err() != nil && r.Context().Err() == nil {
+				writeJSON(w, Work{}) // poll timeout: empty work, client re-polls
+				return
+			}
+			coordError(w, err)
+			return
+		}
+		writeJSON(w, work)
+	})
+	mux.HandleFunc("POST /complete", func(w http.ResponseWriter, r *http.Request) {
+		var req completeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+			httpError(w, http.StatusBadRequest, "bad complete request")
+			return
+		}
+		if err := c.Complete(r.Context(), req.Worker, req.Result); err != nil {
+			coordError(w, err)
+			return
+		}
+		writeJSON(w, struct{}{})
+	})
+	mux.HandleFunc("GET /trace/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		if traces == nil {
+			httpError(w, http.StatusNotFound, "no trace source")
+			return
+		}
+		rc, err := traces.Open(r.PathValue("digest"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, "no such trace")
+			return
+		}
+		defer rc.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if _, err := io.Copy(w, rc); err != nil {
+			return // client went away mid-stream; nothing to salvage
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return // headers already sent; the client sees the truncation
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": msg}); err != nil {
+		return
+	}
+}
+
+func coordError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownWorker):
+		httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrShutdown):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// HTTPClient implements CoordinatorClient against a coordinator's
+// mounted Handler.
+type HTTPClient struct {
+	// Base is the coordinator's cluster API prefix, e.g.
+	// "http://host:8149/cluster/v1".
+	Base string
+	// HTTP is the client to use (default: a fresh http.Client; no
+	// overall timeout, because Next long-polls).
+	HTTP *http.Client
+	// PollWait is the long-poll budget sent with Next (default 25s).
+	PollWait time.Duration
+}
+
+func (h *HTTPClient) client() *http.Client {
+	if h.HTTP != nil {
+		return h.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Join implements CoordinatorClient.
+func (h *HTTPClient) Join(ctx context.Context, workerID string) error {
+	return h.post(ctx, "/join", nextRequest{Worker: workerID}, nil)
+}
+
+// Next implements CoordinatorClient. A server-side poll timeout
+// yields an empty Work, which the worker loop treats as "ask again".
+func (h *HTTPClient) Next(ctx context.Context, workerID string) (Work, error) {
+	wait := h.PollWait
+	if wait <= 0 {
+		wait = 25 * time.Second
+	}
+	var work Work
+	err := h.post(ctx, "/next", nextRequest{Worker: workerID, WaitMS: wait.Milliseconds()}, &work)
+	return work, err
+}
+
+// Complete implements CoordinatorClient.
+func (h *HTTPClient) Complete(ctx context.Context, workerID string, res ChunkResult) error {
+	return h.post(ctx, "/complete", completeRequest{Worker: workerID, Result: res}, nil)
+}
+
+func (h *HTTPClient) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	case http.StatusNotFound:
+		return ErrUnknownWorker
+	case http.StatusServiceUnavailable:
+		return ErrShutdown
+	default:
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, bytes.TrimSpace(b))
+	}
+}
+
+// RemoteTraces fetches traces from the coordinator's /trace endpoint,
+// verifies the content digest, and caches the decoded trace for the
+// process lifetime (a worker replays the same trace for every chunk
+// of a sweep).
+type RemoteTraces struct {
+	// Base is the coordinator's cluster API prefix.
+	Base string
+	// HTTP is the client to use (default http.DefaultClient).
+	HTTP *http.Client
+
+	mu    sync.Mutex
+	cache map[string]*trace.Trace
+}
+
+// Trace implements TraceProvider.
+func (p *RemoteTraces) Trace(digest string) (*trace.Trace, error) {
+	p.mu.Lock()
+	if t, ok := p.cache[digest]; ok {
+		p.mu.Unlock()
+		return t, nil
+	}
+	p.mu.Unlock()
+
+	client := p.HTTP
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(p.Base + "/trace/" + digest)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetching trace %s: %w", digest, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: fetching trace %s: %s", digest, resp.Status)
+	}
+	rd, err := trace.NewReader(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: decoding trace %s: %w", digest, err)
+	}
+	tr := &trace.Trace{Name: rd.Name(), Instructions: rd.Instructions()}
+	if n := rd.Count(); n > 0 {
+		tr.Branches = make([]trace.Branch, 0, n)
+	}
+	for {
+		b, ok := rd.Next()
+		if !ok {
+			break
+		}
+		tr.Append(b)
+	}
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: decoding trace %s: %w", digest, err)
+	}
+	got := tr.Digest()
+	if hex.EncodeToString(got[:]) != digest {
+		return nil, fmt.Errorf("cluster: trace %s: content digest mismatch", digest)
+	}
+	p.mu.Lock()
+	if p.cache == nil {
+		p.cache = make(map[string]*trace.Trace)
+	}
+	p.cache[digest] = tr
+	p.mu.Unlock()
+	return tr, nil
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the virtual-node count each worker projects onto
+// the hash ring. 64 points per node keeps the largest/smallest
+// ownership arc within a few percent for small fleets while the
+// rebuild cost on membership change stays trivial.
+const DefaultVnodes = 64
+
+// Ring is a consistent-hash ring mapping cell keys onto worker
+// nodes. Each node projects vnodes points onto a 64-bit FNV-1a
+// circle; a key belongs to the node whose first point lies at or
+// after the key's hash (wrapping at the top). Virtual nodes smooth
+// the split so a sweep's cells spread roughly evenly, and adding or
+// removing one node only moves the arcs adjacent to its points —
+// the property that keeps a worker's warm replica cache mostly valid
+// across membership churn.
+//
+// Ring is not goroutine-safe; the Coordinator guards it with its own
+// mutex.
+type Ring struct {
+	vnodes int
+	nodes  map[string]bool
+	points []ringPoint // sorted by (hash, node)
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// node (<= 0 selects DefaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
+}
+
+// hash64 hashes a string onto the ring circle. Raw FNV-1a has badly
+// correlated high bits on the short, near-identical strings vnode
+// labels are ("w2#0" .. "w2#63" can land on 3% of the circle), and
+// ownership is decided by high-bit order — so the FNV output goes
+// through a 64-bit avalanche finalizer to spread the arcs.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Add inserts a node (idempotent).
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(node + "#" + strconv.Itoa(i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Remove deletes a node and its points (idempotent).
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Owner returns the node owning key; ok is false when the ring is
+// empty.
+func (r *Ring) Owner(key string) (node string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node, true
+}
+
+// Len returns the number of nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the node names, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	d := testDigest(9)
+	for i := range keys {
+		keys[i] = Key{Digest: d, Warmup: 64, Fingerprint: fmt.Sprintf("cfg1|s2|r%d|c%d", i%12, 4+i%10)}.String() + fmt.Sprint(i)
+	}
+	return keys
+}
+
+func TestRingDeterministic(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(0)
+		r.Add("w2")
+		r.Add("w1")
+		r.Add("w3")
+		return r
+	}
+	a, b := build(), build()
+	for _, k := range ringKeys(200) {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("owner of %q differs between identical rings: %q vs %q", k, oa, ob)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if r.Len() != 0 || len(r.Nodes()) != 0 {
+		t.Fatalf("empty ring: Len=%d Nodes=%v", r.Len(), r.Nodes())
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"w1", "w2", "w3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := make(map[string]int)
+	keys := ringKeys(600)
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("no owner on a populated ring")
+		}
+		counts[o]++
+	}
+	for _, n := range nodes {
+		// With 64 vnodes each node's arc share stays far from
+		// degenerate; 10% of keys is a loose floor that only breaks
+		// if vnode smoothing regresses badly.
+		if counts[n] < len(keys)/10 {
+			t.Fatalf("node %s owns only %d/%d keys: %v", n, counts[n], len(keys), counts)
+		}
+	}
+}
+
+func TestRingMinimalMovement(t *testing.T) {
+	r := NewRing(0)
+	r.Add("w1")
+	r.Add("w2")
+	keys := ringKeys(400)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+	r.Add("w3")
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if after == before[k] {
+			continue
+		}
+		if after != "w3" {
+			t.Fatalf("key %q moved %q -> %q, but only the new node may gain keys", k, before[k], after)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("adding a node moved no keys; the ring is not spreading load")
+	}
+	// Removing the node must restore the original assignment exactly.
+	r.Remove("w3")
+	for _, k := range keys {
+		if got, _ := r.Owner(k); got != before[k] {
+			t.Fatalf("after remove, key %q owned by %q, want %q", k, got, before[k])
+		}
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(8)
+	r.Add("w1")
+	r.Add("w1")
+	if r.Len() != 1 || len(r.points) != 8 {
+		t.Fatalf("double add: Len=%d points=%d", r.Len(), len(r.points))
+	}
+	r.Remove("w1")
+	r.Remove("w1")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("double remove: Len=%d points=%d", r.Len(), len(r.points))
+	}
+	r.Add("w2")
+	r.Add("w1")
+	if got := r.Nodes(); len(got) != 2 || got[0] != "w1" || got[1] != "w2" {
+		t.Fatalf("Nodes() = %v, want sorted [w1 w2]", got)
+	}
+}

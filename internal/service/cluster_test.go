@@ -1,0 +1,102 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"bpred/internal/cluster"
+)
+
+// TestClusterSchedulerMatchesLocal proves the scheduler seam is
+// transparent: a manager whose cells execute on a cluster coordinator
+// (with an in-process worker fleet) serves the exact same job result
+// as a manager running the default in-process LocalScheduler.
+func TestClusterSchedulerMatchesLocal(t *testing.T) {
+	tr := genTrace(t, 12000, 21)
+	wire := encodeBPT1(t, tr)
+	spec := JobSpec{
+		Scheme:  "gshare",
+		Tiers:   []int{4, 5, 6},
+		Warmup:  32,
+		Metered: true,
+	}
+
+	runOn := func(ts *httptest.Server) JobResult {
+		t.Helper()
+		info := upload(t, ts, wire)
+		s := spec
+		s.Trace = info.Digest
+		ack, code := submit(t, ts, s)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit status = %d", code)
+		}
+		st := waitTerminal(t, ts, ack.ID)
+		if st.State != StateDone {
+			t.Fatalf("job state = %s (error %q), want done", st.State, st.Error)
+		}
+		var res JobResult
+		if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+ack.ID+"/result", nil, &res); code != http.StatusOK {
+			t.Fatalf("result status = %d", code)
+		}
+		return res
+	}
+
+	// Baseline: the default local scheduler.
+	_, tsLocal := newTestServer(t, nil)
+	local := runOn(tsLocal)
+
+	// Cluster: same spec, cells routed through a coordinator to two
+	// in-process workers fed from the manager's own trace store.
+	coord := cluster.NewCoordinator(cluster.Config{Dir: t.TempDir(), ChunkCells: 2})
+	mClu, tsClu := newTestServer(t, func(cfg *Config) {
+		cfg.Scheduler = ClusterScheduler{Coord: coord}
+	})
+	wctx, wcancel := context.WithCancel(context.Background())
+	done := make(map[string]chan struct{})
+	for _, id := range []string{"svc-w1", "svc-w2"} {
+		w := cluster.NewWorker(id, coord, mClu.Traces())
+		w.RetryDelay = 2 * time.Millisecond
+		ch := make(chan struct{})
+		done[id] = ch
+		go func() {
+			defer close(ch)
+			_ = w.Run(wctx)
+		}()
+	}
+	t.Cleanup(func() {
+		wcancel()
+		for id, ch := range done {
+			select {
+			case <-ch:
+			case <-time.After(30 * time.Second):
+				t.Errorf("worker %s did not exit", id)
+			}
+		}
+		_ = coord.Stop()
+	})
+
+	clustered := runOn(tsClu)
+
+	// The payloads must agree cell for cell — same fingerprints, same
+	// metrics, same order — modulo the per-manager job ID.
+	if local.CellsTotal != clustered.CellsTotal {
+		t.Fatalf("CellsTotal: local %d, cluster %d", local.CellsTotal, clustered.CellsTotal)
+	}
+	if local.Partial || clustered.Partial {
+		t.Fatalf("partial results: local %v, cluster %v", local.Partial, clustered.Partial)
+	}
+	if !reflect.DeepEqual(local.Cells, clustered.Cells) {
+		t.Fatalf("cell payloads differ between local and cluster schedulers:\nlocal   %+v\ncluster %+v", local.Cells, clustered.Cells)
+	}
+
+	// Every cell was accepted exactly once on the coordinator, and the
+	// work actually flowed through the fleet.
+	snap := coord.Counters().Snapshot()
+	if snap.ConfigsCompleted != uint64(local.CellsTotal) {
+		t.Fatalf("coordinator ConfigsCompleted = %d, want %d", snap.ConfigsCompleted, local.CellsTotal)
+	}
+}

@@ -151,7 +151,7 @@ func (m *Manager) execute(ctx context.Context, j *Job, mergeGlobal func()) (*Job
 			}
 		}
 		if len(mine) > 0 {
-			ms, err := sim.RunConfigsCtx(ctx, mine, tr, simOpts)
+			ms, err := m.sched.RunCells(ctx, digest, j.Spec.Warmup, mine, tr, simOpts)
 			if err != nil {
 				// Partial-result contract: worker batches that finished
 				// before the cancel carry final metrics (non-empty
@@ -211,7 +211,7 @@ func (m *Manager) execute(ctx context.Context, j *Job, mergeGlobal func()) (*Job
 					}
 					// The previous leader abandoned the cell (canceled
 					// mid-run); this job inherits the lead.
-					ms, err := sim.RunConfigsCtx(ctx, []core.Config{w.cfg}, tr, simOpts)
+					ms, err := m.sched.RunCells(ctx, digest, j.Spec.Warmup, []core.Config{w.cfg}, tr, simOpts)
 					if err != nil {
 						m.flights.abandon(w.key, f, err)
 						return partial(err)

@@ -170,6 +170,10 @@ type Config struct {
 	// counters (0 = "bpserved"). Tests running several managers in
 	// one process give each a distinct name.
 	PublishName string
+	// Scheduler selects where cells execute: nil/LocalScheduler runs
+	// them in-process, ClusterScheduler routes them to a coordinator
+	// fleet.
+	Scheduler Scheduler
 }
 
 func (c Config) withDefaults() Config {
@@ -199,6 +203,7 @@ type Manager struct {
 	traces  *TraceStore
 	flights *flightGroup
 	global  *obs.Counters
+	sched   Scheduler
 	started time.Time
 
 	ctx  context.Context // manager lifetime; canceled by Drain
@@ -242,11 +247,16 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	ctx, stop := context.WithCancel(context.Background())
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = LocalScheduler{}
+	}
 	m := &Manager{
 		cfg:     cfg,
 		traces:  traces,
 		flights: newFlightGroup(),
 		global:  &obs.Counters{},
+		sched:   sched,
 		started: obs.Now(),
 		ctx:     ctx,
 		stop:    stop,

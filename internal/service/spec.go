@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 
+	"bpred/internal/cluster"
 	"bpred/internal/core"
 	"bpred/internal/sim"
 	"bpred/internal/sweep"
@@ -185,7 +186,7 @@ func jobKey(digest [32]byte, warmup int, configs []core.Config) string {
 // to (digest, warmup) and its entries to the config fingerprint, so
 // one cell key ⇔ one BPC1 cache slot.
 func cellKey(digest [32]byte, warmup int, fp string) string {
-	return fmt.Sprintf("%x|%d|%s", digest[:], warmup, fp)
+	return cluster.Key{Digest: digest, Warmup: uint64(warmup), Fingerprint: fp}.String()
 }
 
 // AliasResult is the aliasing taxonomy of one metered cell.

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressStreamClientDisconnect opens several SSE progress
+// streams against a job held mid-flight, severs them all client-side,
+// and requires (a) every handler goroutine to drain — no leak — and
+// (b) the job itself to run to completion undisturbed: a watcher
+// walking away must never stall the work it was watching.
+func TestProgressStreamClientDisconnect(t *testing.T) {
+	m, ts := newTestServer(t, nil)
+
+	reached := make(chan struct{})
+	release := make(chan struct{})
+	m.hookTierDone = func(ctx context.Context, j *Job, tier int) {
+		if tier == 4 {
+			close(reached)
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+		}
+	}
+	t.Cleanup(func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	})
+
+	info := upload(t, ts, encodeBPT1(t, genTrace(t, 5000, 31)))
+	ack, code := submit(t, ts, JobSpec{Trace: info.Digest, Scheme: "gshare", Tiers: []int{4, 5}})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	select {
+	case <-reached:
+	case <-time.After(60 * time.Second):
+		t.Fatal("job never reached the held tier")
+	}
+
+	// Baseline after the job is running and the connection pool is
+	// warm, so the only growth below is the streams themselves.
+	baseline := runtime.NumGoroutine()
+
+	const streams = 3
+	cancels := make([]context.CancelFunc, 0, streams)
+	bodies := make([]interface{ Close() error }, 0, streams)
+	for i := 0; i < streams; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels = append(cancels, cancel)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+ack.ID+"/progress", nil)
+		if err != nil {
+			t.Fatalf("NewRequest: %v", err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("opening stream %d: %v", i, err)
+		}
+		bodies = append(bodies, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream %d status = %d", i, resp.StatusCode)
+		}
+		// Read the immediate first event so the handler is provably
+		// inside its streaming loop before we sever the connection.
+		line, err := bufio.NewReader(resp.Body).ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading first event on stream %d: %v", i, err)
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			t.Fatalf("stream %d first line = %q, want a data: event", i, line)
+		}
+	}
+	if n := runtime.NumGoroutine(); n <= baseline {
+		t.Fatalf("open streams added no goroutines (baseline %d, now %d); the leak check below would prove nothing", baseline, n)
+	}
+
+	// Client walks away: cancel every request and close every body.
+	for i := range cancels {
+		cancels[i]()
+		_ = bodies[i].Close()
+	}
+
+	// Every stream handler (and its connection plumbing) must drain.
+	deadline := time.Now().Add(30 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle after disconnect: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The abandoned watchers must not have stalled the job.
+	close(release)
+	if st := waitTerminal(t, ts, ack.ID); st.State != StateDone {
+		t.Fatalf("job state after disconnects = %s (error %q), want done", st.State, st.Error)
+	}
+}

@@ -185,6 +185,18 @@ func decodeTrace(r io.Reader, maxBranches uint64) (*trace.Trace, error) {
 	return t, nil
 }
 
+// Open returns the raw BPT1 stream for a stored digest. Cluster
+// workers replicate traces through it (cluster.TraceOpener).
+func (s *TraceStore) Open(digest string) (io.ReadCloser, error) {
+	s.mu.Lock()
+	_, ok := s.infos[digest]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNoTrace
+	}
+	return os.Open(s.tracePath(digest))
+}
+
 // Info returns the metadata for a digest.
 func (s *TraceStore) Info(digest string) (TraceInfo, error) {
 	s.mu.Lock()
