@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race bench-sim bench-short bench-check cover fuzz-smoke diff-fuzz serve serve-test cluster-test all
+.PHONY: build test vet lint race bench-sim bench-short bench-check cover fuzz-smoke diff-fuzz serve serve-test cluster-test soak all
 
 all: build vet lint test
 
@@ -45,6 +45,14 @@ serve-test:
 cluster-test:
 	$(GO) test -race -count=1 ./internal/cluster/
 
+# soak extends the trace-plane churn test (concurrent uploads, sweeps,
+# cancels, and decoded-cache eviction over a mixed resident/streaming
+# trace population, with a mid-flight drain + restart) to a sustained
+# window under the race detector. The same test runs as a short smoke
+# in the normal suite; BPRED_SOAK=1 widens the churn window.
+soak:
+	BPRED_SOAK=1 $(GO) test -race -count=1 -run TestSoakUploadSweepEvict ./internal/service/
+
 # bench-short is the smoke-level benchmark pass CI runs: one
 # iteration of everything, just to keep the benchmarks compiling and
 # non-crashing.
@@ -84,13 +92,13 @@ COVER_FLOOR = 80
 # -coverpkg spans the gated set so cross-package exercise counts: the
 # analyzer fixtures drive load/analysistest, and cmd/bplint's smoke
 # test drives the bplint driver package.
-COVER_PKGS = ./internal/sim/,./internal/sweep/,./internal/checkpoint/,./internal/obs/,./internal/analysis/...,./internal/service/,./internal/counter/,./internal/cluster/
+COVER_PKGS = ./internal/sim/,./internal/sweep/,./internal/checkpoint/,./internal/obs/,./internal/analysis/...,./internal/service/,./internal/counter/,./internal/cluster/,./internal/trace/
 
 cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=$(COVER_PKGS) \
 		./internal/sim/ ./internal/sweep/ ./internal/checkpoint/ ./internal/obs/ \
 		./internal/analysis/... ./cmd/bplint/ ./internal/service/ ./internal/counter/ \
-		./internal/cluster/
+		./internal/cluster/ ./internal/trace/
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
@@ -100,8 +108,11 @@ cover:
 # shallow decoder regressions on every CI run without open-ended fuzz
 # time.
 fuzz-smoke:
-	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime 10s ./internal/trace/
-	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz 'FuzzReader$$' -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz 'FuzzRoundTrip$$' -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzReader2 -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzRoundTrip2 -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzIndex2 -fuzztime 10s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzKeyCodec -fuzztime 10s ./internal/cluster/

@@ -59,12 +59,16 @@ func main() {
 		node     = flag.String("node", "", "this node's fleet identity (default: derived from role and pid)")
 		join     = flag.String("join", "", "coordinator base URL a worker dials, e.g. http://host:8149 (required for -role worker)")
 		lease    = flag.Duration("cluster-lease", 2*time.Minute, "coordinator: re-queue a dispatched chunk if not completed within this lease (0 disables)")
+		authFile = flag.String("auth-file", "", "tenants JSON file ([{name, key, max_traces, max_queued_jobs}]); enables multi-tenant auth")
+		cToken   = flag.String("cluster-token", "", "shared bearer token protecting the /cluster/v1 transport (coordinator and workers)")
+		cacheCap = flag.Int("trace-cache", 0, "decoded-trace LRU capacity in traces (0 = 8); running jobs pin their traces")
+		streamBr = flag.Uint64("stream-branches", 0, "traces beyond this record count stream from disk instead of decoding (0 = 4M)")
 	)
 	flag.Parse()
 
 	switch *role {
 	case "worker":
-		os.Exit(runWorker(*node, *join))
+		os.Exit(runWorker(*node, *join, *cToken))
 	case "single", "coordinator":
 	default:
 		fmt.Fprintf(os.Stderr, "bpserved: unknown -role %q (want single, coordinator, or worker)\n", *role)
@@ -81,6 +85,17 @@ func main() {
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		MaxTraceBranches: *maxBr,
+		TraceCacheCap:    *cacheCap,
+		StreamBranches:   *streamBr,
+	}
+	if *authFile != "" {
+		tenants, err := service.LoadTenants(*authFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpserved: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Tenants = tenants
+		fmt.Fprintf(os.Stderr, "bpserved: multi-tenant mode, %d tenants\n", len(tenants))
 	}
 
 	// Coordinator role: jobs schedule onto the cluster instead of the
@@ -112,7 +127,7 @@ func main() {
 	var stopLocalWorker context.CancelFunc
 	if coord != nil {
 		mux := http.NewServeMux()
-		mux.Handle("/cluster/v1/", http.StripPrefix("/cluster/v1", cluster.Handler(coord, m.Traces())))
+		mux.Handle("/cluster/v1/", http.StripPrefix("/cluster/v1", cluster.AuthHandler(coord, m.Traces(), *cToken)))
 		mux.Handle("/", handler)
 		handler = mux
 		// Embedded local worker: a lone coordinator still completes
@@ -177,7 +192,7 @@ func main() {
 
 // runWorker runs the stateless worker role: dial the coordinator,
 // pull chunks, push results, until SIGINT/SIGTERM.
-func runWorker(node, join string) int {
+func runWorker(node, join, token string) int {
 	if join == "" {
 		fmt.Fprintln(os.Stderr, "bpserved: -role worker requires -join <coordinator URL>")
 		return 2
@@ -186,7 +201,9 @@ func runWorker(node, join string) int {
 		node = fmt.Sprintf("worker-%d", os.Getpid())
 	}
 	base := strings.TrimRight(join, "/") + "/cluster/v1"
-	w := cluster.NewWorker(node, &cluster.HTTPClient{Base: base}, &cluster.RemoteTraces{Base: base})
+	w := cluster.NewWorker(node,
+		&cluster.HTTPClient{Base: base, Token: token},
+		&cluster.RemoteTraces{Base: base, Token: token})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -6,12 +6,16 @@
 //	bptrace gen -workload espresso -n 1000000 -o espresso.bpt
 //	bptrace stat -i espresso.bpt          # Table 1/2-style characterization
 //	bptrace stat -workload mpeg_play -n 500000
+//	bptrace convert -i espresso.bpt -o espresso.bpt2
+//	bptrace convert -i espresso.bpt2 -o espresso.bpt -to bpt1
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"bpred/internal/trace"
 	"bpred/internal/workload"
@@ -31,6 +35,8 @@ func main() {
 		cmdStat(os.Args[2:])
 	case "describe":
 		cmdDescribe(os.Args[2:])
+	case "convert":
+		cmdConvert(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -43,7 +49,8 @@ subcommands:
   list                              list synthetic workload profiles
   gen  -workload NAME -n N -o FILE  generate a trace file
   stat (-i FILE | -workload NAME)   characterize a trace
-  describe -workload NAME           show a synthetic program's static structure`)
+  describe -workload NAME           show a synthetic program's static structure
+  convert -i FILE -o FILE           transcode between BPT1 and BPT2 (streaming)`)
 }
 
 func cmdList() {
@@ -94,6 +101,99 @@ func cmdDescribe(args []string) {
 		os.Exit(2)
 	}
 	fmt.Print(workload.Build(p, *seed).Summarize().Render())
+}
+
+// cmdConvert transcodes a trace between the row-oriented BPT1 format
+// and the columnar block-compressed BPT2 format, streaming one block
+// at a time — it never holds the decoded trace, so converting a
+// multi-gigabyte file costs a few kilobytes of memory. The content
+// digest is format-independent and printed for verification.
+func cmdConvert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (BPT1 or BPT2, sniffed)")
+	out := fs.String("o", "", "output trace file")
+	to := fs.String("to", "bpt2", "target format: bpt1 or bpt2")
+	blockLen := fs.Int("block", 0, "BPT2 records per block (0 = default)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "bptrace convert: -i and -o are required")
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "bptrace convert: %v\n", err)
+		os.Remove(*out)
+		os.Exit(1)
+	}
+
+	rd, err := trace.OpenFile(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bptrace convert: %v\n", err)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bptrace convert: %v\n", err)
+		os.Exit(1)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	type branchWriter interface {
+		WriteBranch(trace.Branch) error
+		Close() error
+	}
+	var w branchWriter
+	switch strings.ToLower(*to) {
+	case "bpt2":
+		w, err = trace.NewWriter2(bw, rd.Name(), rd.Instructions(), rd.Count(), *blockLen)
+	case "bpt1":
+		w, err = trace.NewWriter(bw, rd.Name(), rd.Instructions(), rd.Count())
+	default:
+		fmt.Fprintf(os.Stderr, "bptrace convert: unknown -to %q (want bpt1 or bpt2)\n", *to)
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	dw := trace.NewDigestWriter(rd.Name(), rd.Instructions(), rd.Count())
+	buf := make([]trace.Branch, 4096)
+	var n uint64
+	for {
+		batch := rd.NextBatch(buf)
+		if len(batch) == 0 {
+			break
+		}
+		n += uint64(len(batch))
+		for _, b := range batch {
+			dw.WriteBranch(b)
+			if err := w.WriteBranch(b); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if err := rd.Err(); err != nil {
+		fail(err)
+	}
+	if n != rd.Count() {
+		fail(fmt.Errorf("%s: truncated: %d of %d records", *in, n, rd.Count()))
+	}
+	if err := rd.Close(); err != nil {
+		fail(err)
+	}
+	if err := w.Close(); err != nil {
+		fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	inSt, _ := os.Stat(*in)
+	outSt, _ := os.Stat(*out)
+	sum := dw.Sum()
+	fmt.Printf("wrote %s: %d branches, %d -> %d bytes, digest %x\n",
+		*out, n, inSt.Size(), outSt.Size(), sum[:])
 }
 
 func cmdStat(args []string) {

@@ -165,6 +165,119 @@ func TestChaosCoordinatorRestart(t *testing.T) {
 	assertByteIdentity(t, coord2, dir, tr, o, refCSV, refBPC)
 }
 
+// TestChaosRestartStaleCompletion exercises the failure DESIGN.md §11
+// used to document as a known limitation: a completion computed under
+// one coordinator, held in flight across that coordinator's death,
+// and delivered to its successor — whose young chunk sequence numbers
+// collide with the dead incarnation's. Incarnation-tagged chunk IDs
+// make the stale delivery harmless: it settles no young lease (it is
+// counted in Stats.StaleCompletions instead), while its cells are
+// still accepted exactly once, and the cell still settles to the
+// byte-identical single-node result.
+func TestChaosRestartStaleCompletion(t *testing.T) {
+	tr := testTrace(t, 20000, 7)
+	o := chaosSweepOpts()
+	refCSV, refBPC := reference(t, tr, o)
+
+	dir := t.TempDir()
+	coord1 := NewCoordinator(Config{Dir: dir, ChunkCells: 2})
+	f1 := startFleet(t, coord1, tracesFor(tr), []string{"holds"},
+		func(id string, l *chaosLink, w *Worker) { l.holdComplete = true })
+
+	configs := sweep.Configs(o)
+	digest := tr.Digest()
+	rctx, rcancel := context.WithCancel(context.Background())
+	defer rcancel()
+	phase1 := make(chan error, 1)
+	go func() {
+		_, err := coord1.RunCells(rctx, digest, uint64(o.Sim.Warmup), configs)
+		phase1 <- err
+	}()
+
+	// Let the worker compute at least one chunk whose completion is
+	// captured in flight, then tear the first incarnation down.
+	waitUntil(t, 60*time.Second, "a completion to be captured in flight", func() bool {
+		return f1.links["holds"].heldCount() >= 1
+	})
+	f1.partitionAll(true)
+	rcancel()
+	if err := <-phase1; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted RunCells: %v", err)
+	}
+	if got := coord1.Counters().Snapshot().ConfigsCompleted; got != 0 {
+		t.Fatalf("first incarnation accepted %d cells; every completion should be held in flight", got)
+	}
+	if err := coord1.Stop(); err != nil {
+		t.Fatalf("stopping first coordinator: %v", err)
+	}
+	f1.stopAll()
+
+	// Restart over the same directory: the persisted incarnation
+	// counter guarantees a distinct chunk-ID tag.
+	coord2 := NewCoordinator(Config{Dir: dir, ChunkCells: 2})
+	if coord2.Incarnation() == coord1.Incarnation() {
+		t.Fatalf("restarted coordinator reused incarnation %d", coord1.Incarnation())
+	}
+
+	// Re-submit the whole sweep so the young coordinator mints chunks
+	// whose low sequence bits collide with the held completion's, and
+	// start dispatching them to a fresh worker.
+	type runCellsResult struct {
+		ms  []sim.Metrics
+		err error
+	}
+	ctx2 := runCtx(t)
+	phase2 := make(chan runCellsResult, 1)
+	go func() {
+		ms, err := coord2.RunCells(ctx2, digest, uint64(o.Sim.Warmup), configs)
+		phase2 <- runCellsResult{ms, err}
+	}()
+	f2 := startFleet(t, coord2, tracesFor(tr), []string{"fresh"}, nil)
+	waitUntil(t, 60*time.Second, "the young coordinator to dispatch", func() bool {
+		return coord2.Stats().ChunksDispatched >= 1
+	})
+
+	// Deliver the stale completions mid-sweep, exactly as a zombie
+	// worker reconnecting after the restart would.
+	held := f1.links["holds"].takeHeld()
+	if len(held) == 0 {
+		t.Fatal("no held completions to replay")
+	}
+	for _, res := range held {
+		if res.Chunk>>32 != coord1.Incarnation() {
+			t.Fatalf("held chunk %#x not tagged with incarnation %d", res.Chunk, coord1.Incarnation())
+		}
+		if err := coord2.Complete(context.Background(), "holds", res); err != nil {
+			t.Fatalf("delivering stale completion: %v", err)
+		}
+	}
+	if got, want := coord2.Stats().StaleCompletions, uint64(len(held)); got != want {
+		t.Fatalf("StaleCompletions = %d, want %d", got, want)
+	}
+
+	res := <-phase2
+	if res.err != nil {
+		t.Fatalf("RunCells after restart: %v", res.err)
+	}
+	for i := range res.ms {
+		if res.ms[i].Name == "" {
+			t.Fatalf("cell %d unsettled after the stale delivery", i)
+		}
+	}
+	// Exactly-once acceptance across the stale replay and the fresh
+	// execution: the first incarnation accepted nothing, so the second
+	// must have accepted every distinct cell exactly once.
+	if got := coord2.Counters().Snapshot().ConfigsCompleted; got != uint64(len(configs)) {
+		t.Fatalf("ConfigsCompleted = %d, want exactly %d", got, uint64(len(configs)))
+	}
+
+	f2.stopAll()
+	if err := coord2.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	assertByteIdentity(t, coord2, dir, tr, o, refCSV, refBPC)
+}
+
 // TestChaosDuplicateCompletions delivers every chunk result twice —
 // the retry-after-lost-ack failure. Every duplicated cell must be
 // dropped by the ledger, never double-counted.

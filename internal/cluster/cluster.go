@@ -119,7 +119,9 @@ type CoordinatorClient interface {
 
 // TraceProvider resolves a trace digest to the decoded trace. The
 // service's TraceStore satisfies it in-process; RemoteTraces fetches
-// from the coordinator over HTTP.
+// from the coordinator over HTTP. ctx bounds the resolution — a
+// remote replication download of a large trace must die with the
+// worker's run context.
 type TraceProvider interface {
-	Trace(digest string) (*trace.Trace, error)
+	Trace(ctx context.Context, digest string) (*trace.Trace, error)
 }

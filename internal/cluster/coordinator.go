@@ -4,7 +4,11 @@ import (
 	"context"
 	"encoding/hex"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,6 +40,15 @@ type Config struct {
 	LeaseTimeout time.Duration
 	// NoReplicate disables piggybacked cell replication to workers.
 	NoReplicate bool
+	// Incarnation distinguishes this coordinator's chunk IDs from
+	// those of earlier coordinators over the same deployment: chunk
+	// IDs are incarnation<<32 | sequence, so a completion held in
+	// flight across a coordinator restart can never collide with a
+	// young chunk ID the restarted coordinator re-issued (DESIGN.md
+	// §11's known limitation, now closed). Zero derives it
+	// automatically: from a persisted counter under Dir when Dir is
+	// set (each NewCoordinator increments it), else 1.
+	Incarnation uint64
 	// PublishName, when non-empty, publishes the coordinator's
 	// counters under this name (obs.Published, the /metrics page).
 	PublishName string
@@ -62,6 +75,12 @@ type Stats struct {
 	// stay authoritative in memory and the flush retries on the next
 	// acceptance and at Stop.
 	FlushErrors uint64
+	// StaleCompletions counts completions whose chunk ID carries
+	// another coordinator incarnation's tag — deliveries that raced a
+	// coordinator restart. Their cells are still folded into the
+	// ledger (acceptance is self-describing and exactly-once), but
+	// they settle no lease of this incarnation.
+	StaleCompletions uint64
 }
 
 // Coordinator owns the cluster-scope single-flight ledger: the set of
@@ -74,8 +93,9 @@ type Stats struct {
 // The Coordinator itself implements CoordinatorClient, which is the
 // in-process transport; Handler wraps it for HTTP workers.
 type Coordinator struct {
-	cfg Config
-	cnt *obs.Counters
+	cfg         Config
+	cnt         *obs.Counters
+	incarnation uint64
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -130,6 +150,10 @@ func NewCoordinator(cfg Config) *Coordinator {
 		stores:  make(map[string]*checkpoint.Store),
 		seen:    make(map[uint64]bool),
 	}
+	c.incarnation = cfg.Incarnation
+	if c.incarnation == 0 {
+		c.incarnation = nextIncarnation(cfg.Dir)
+	}
 	c.cond = sync.NewCond(&c.mu)
 	if cfg.PublishName != "" {
 		c.cnt.Publish(cfg.PublishName)
@@ -139,6 +163,49 @@ func NewCoordinator(cfg Config) *Coordinator {
 		go c.reap()
 	}
 	return c
+}
+
+// nextIncarnation derives a fresh coordinator incarnation: a counter
+// persisted under dir, incremented on every coordinator start, so
+// successive coordinators over one deployment never share chunk-ID
+// tags. Without a directory (in-memory deployments) there is nothing
+// to survive a restart into, so the incarnation is a constant 1.
+func nextIncarnation(dir string) uint64 {
+	if dir == "" {
+		return 1
+	}
+	path := filepath.Join(dir, "incarnation")
+	n := uint64(0)
+	if raw, err := os.ReadFile(path); err == nil {
+		if v, perr := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 32); perr == nil {
+			n = v
+		}
+	}
+	n++
+	if n > 0xffffffff {
+		n = 1 // 32-bit tag space wrapped; collisions need 4G restarts plus a 2^32-chunk-old straggler
+	}
+	if err := os.MkdirAll(dir, 0o755); err == nil {
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, []byte(strconv.FormatUint(n, 10)+"\n"), 0o644); err == nil {
+			if err := os.Rename(tmp, path); err != nil {
+				fmt.Fprintf(os.Stderr, "cluster: persisting incarnation: %v\n", err)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "cluster: persisting incarnation: %v\n", err)
+		}
+	}
+	return n
+}
+
+// Incarnation returns the coordinator's chunk-ID tag.
+func (c *Coordinator) Incarnation() uint64 { return c.incarnation }
+
+// chunkIDLocked mints the next chunk ID: the coordinator's
+// incarnation in the high 32 bits over a per-process sequence.
+func (c *Coordinator) chunkIDLocked() uint64 {
+	c.nextID++
+	return c.incarnation<<32 | (c.nextID & 0xffffffff)
 }
 
 // Counters exposes the coordinator's fleet-global counters.
@@ -278,10 +345,9 @@ func (c *Coordinator) enqueueLocked(store *checkpoint.Store, digest [32]byte, wa
 		g := groups[owner]
 		for lo := 0; lo < len(g.cfgs); lo += c.cfg.ChunkCells {
 			hi := min(lo+c.cfg.ChunkCells, len(g.cfgs))
-			c.nextID++
 			cs := &chunkState{
 				chunk: Chunk{
-					ID:      c.nextID,
+					ID:      c.chunkIDLocked(),
 					Trace:   hexDigest,
 					Warmup:  warmup,
 					Configs: append([]core.Config(nil), g.cfgs[lo:hi]...),
@@ -526,6 +592,14 @@ func (c *Coordinator) Complete(ctx context.Context, workerID string, res ChunkRe
 	}
 	if w, ok := c.workers[workerID]; ok {
 		w.lastSeen = obs.Now()
+	}
+	// A completion minted by another incarnation (held in flight
+	// across a coordinator restart) can settle no lease here — its ID
+	// cannot collide with any this coordinator issued. Its cells are
+	// still accepted below exactly like fresh ones: cell identity is
+	// content-addressed and independent of scheduling generation.
+	if res.Chunk>>32 != c.incarnation {
+		c.stats.StaleCompletions++
 	}
 	accepted := 0
 	for _, cell := range res.Cells {

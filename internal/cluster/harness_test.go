@@ -40,7 +40,7 @@ func testTrace(t *testing.T, n int, seed uint64) *trace.Trace {
 // memTraces is an in-memory TraceProvider.
 type memTraces map[string]*trace.Trace
 
-func (m memTraces) Trace(digest string) (*trace.Trace, error) {
+func (m memTraces) Trace(ctx context.Context, digest string) (*trace.Trace, error) {
 	tr, ok := m[digest]
 	if !ok {
 		return nil, errors.New("memTraces: no such trace")
@@ -140,16 +140,35 @@ var errPartitioned = errors.New("chaos: partitioned")
 
 // chaosLink wraps the in-process transport with injectable faults.
 type chaosLink struct {
-	mu          sync.Mutex
-	coord       *Coordinator // swappable: a coordinator "restart"
-	partitioned bool
-	dupComplete bool
+	mu           sync.Mutex
+	coord        *Coordinator // swappable: a coordinator "restart"
+	partitioned  bool
+	dupComplete  bool
 	dropReplicas bool
 	holdReplicas bool          // stash replicas instead of delivering
-	stash       []ReplicaCell // released on the first un-held Next
-	killOn      int           // 1-based Complete call that kills the worker (0 = never)
-	completes   int
-	kill        func() // cancels the worker's ctx; must not block
+	stash        []ReplicaCell // released on the first un-held Next
+	holdComplete bool          // capture completions in flight instead of delivering
+	held         []ChunkResult // captured completions, releasable to any coordinator
+	killOn       int           // 1-based Complete call that kills the worker (0 = never)
+	completes    int
+	kill         func() // cancels the worker's ctx; must not block
+}
+
+func (l *chaosLink) heldCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.held)
+}
+
+// takeHeld surrenders the captured in-flight completions to the
+// caller (which typically replays them against a restarted
+// coordinator, simulating deliveries that raced the restart).
+func (l *chaosLink) takeHeld() []ChunkResult {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := l.held
+	l.held = nil
+	return out
 }
 
 func (l *chaosLink) target() (*Coordinator, bool) {
@@ -210,6 +229,14 @@ func (l *chaosLink) Complete(ctx context.Context, id string, res ChunkResult) er
 		return errPartitioned
 	}
 	l.completes++
+	if l.holdComplete {
+		// The completion is computed but never leaves the node — it is
+		// "in flight" until the scenario releases it, possibly to a
+		// different coordinator incarnation.
+		l.held = append(l.held, res)
+		l.mu.Unlock()
+		return nil
+	}
 	kill := l.killOn > 0 && l.completes == l.killOn
 	dup := l.dupComplete
 	killFn := l.kill

@@ -3,12 +3,14 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -51,6 +53,11 @@ const maxPollWait = time.Minute
 //
 // Coordinator errors map onto statuses the client folds back into
 // sentinel errors: 404 -> ErrUnknownWorker, 503 -> ErrShutdown.
+//
+// Handler is the open (trusted-network) transport. AuthHandler wraps
+// it with a shared fleet token for deployments whose cluster port is
+// reachable by tenants — without it, anyone who can reach the port
+// can pull any trace by digest and inject completions.
 func Handler(c *Coordinator, traces TraceOpener) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /join", func(w http.ResponseWriter, r *http.Request) {
@@ -119,6 +126,27 @@ func Handler(c *Coordinator, traces TraceOpener) http.Handler {
 	return mux
 }
 
+// AuthHandler wraps Handler with a shared bearer token: every request
+// must carry "Authorization: Bearer <token>" (constant-time compared)
+// or gets 401. An empty token returns the open Handler unchanged.
+// HTTPClient.Token and RemoteTraces.Token present the token.
+func AuthHandler(c *Coordinator, traces TraceOpener, token string) http.Handler {
+	inner := Handler(c, traces)
+	if token == "" {
+		return inner
+	}
+	want := []byte(token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="bpcluster"`)
+			httpError(w, http.StatusUnauthorized, "missing or bad cluster token")
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
@@ -156,6 +184,9 @@ type HTTPClient struct {
 	HTTP *http.Client
 	// PollWait is the long-poll budget sent with Next (default 25s).
 	PollWait time.Duration
+	// Token, when non-empty, is sent as a bearer token with every
+	// request (AuthHandler deployments).
+	Token string
 }
 
 func (h *HTTPClient) client() *http.Client {
@@ -197,6 +228,9 @@ func (h *HTTPClient) post(ctx context.Context, path string, in, out any) error {
 		return fmt.Errorf("cluster: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if h.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+h.Token)
+	}
 	resp, err := h.client().Do(req)
 	if err != nil {
 		return fmt.Errorf("cluster: %s: %w", path, err)
@@ -212,6 +246,8 @@ func (h *HTTPClient) post(ctx context.Context, path string, in, out any) error {
 		return ErrUnknownWorker
 	case http.StatusServiceUnavailable:
 		return ErrShutdown
+	case http.StatusUnauthorized:
+		return fmt.Errorf("cluster: %s: coordinator rejected the cluster token", path)
 	default:
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, bytes.TrimSpace(b))
@@ -227,13 +263,17 @@ type RemoteTraces struct {
 	Base string
 	// HTTP is the client to use (default http.DefaultClient).
 	HTTP *http.Client
+	// Token is the shared fleet bearer token (AuthHandler
+	// deployments); empty sends no credentials.
+	Token string
 
 	mu    sync.Mutex
 	cache map[string]*trace.Trace
 }
 
-// Trace implements TraceProvider.
-func (p *RemoteTraces) Trace(digest string) (*trace.Trace, error) {
+// Trace implements TraceProvider. ctx cancels the download and the
+// block-by-block decode mid-replication.
+func (p *RemoteTraces) Trace(ctx context.Context, digest string) (*trace.Trace, error) {
 	p.mu.Lock()
 	if t, ok := p.cache[digest]; ok {
 		p.mu.Unlock()
@@ -245,7 +285,14 @@ func (p *RemoteTraces) Trace(digest string) (*trace.Trace, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	resp, err := client.Get(p.Base + "/trace/" + digest)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.Base+"/trace/"+digest, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetching trace %s: %w", digest, err)
+	}
+	if p.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+p.Token)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: fetching trace %s: %w", digest, err)
 	}
@@ -253,6 +300,9 @@ func (p *RemoteTraces) Trace(digest string) (*trace.Trace, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("cluster: fetching trace %s: %s", digest, resp.Status)
 	}
+	// The versioned reader sniffs the magic, so replication works for
+	// both wire formats; batch decoding keeps the per-record interface
+	// overhead off the transfer path.
 	rd, err := trace.NewReader(resp.Body)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: decoding trace %s: %w", digest, err)
@@ -261,12 +311,13 @@ func (p *RemoteTraces) Trace(digest string) (*trace.Trace, error) {
 	if n := rd.Count(); n > 0 {
 		tr.Branches = make([]trace.Branch, 0, n)
 	}
+	buf := make([]trace.Branch, 4096)
 	for {
-		b, ok := rd.Next()
-		if !ok {
+		batch := rd.NextBatch(buf)
+		if len(batch) == 0 {
 			break
 		}
-		tr.Append(b)
+		tr.Branches = append(tr.Branches, batch...)
 	}
 	if err := rd.Err(); err != nil {
 		return nil, fmt.Errorf("cluster: decoding trace %s: %w", digest, err)

@@ -172,7 +172,7 @@ func (w *Worker) execute(ctx context.Context, ch *Chunk) *ChunkResult {
 	}
 	computed := 0
 	if len(missing) > 0 {
-		tr, err := w.traces.Trace(ch.Trace)
+		tr, err := w.traces.Trace(ctx, ch.Trace)
 		if err != nil {
 			return fail(fmt.Errorf("cluster: worker %s: trace %s: %w", w.id, ch.Trace, err))
 		}

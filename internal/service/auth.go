@@ -1,0 +1,105 @@
+package service
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Tenant declares one API tenant: its namespace name, its API key,
+// and its resource quotas. Zero quotas are unlimited.
+type Tenant struct {
+	// Name is the tenant's namespace; traces and jobs it creates are
+	// visible only to it.
+	Name string `json:"name"`
+	// Key is the bearer API key. Requests present it via
+	// "Authorization: Bearer <key>" or "X-API-Key: <key>".
+	Key string `json:"key"`
+	// MaxTraces caps how many distinct traces the tenant may own
+	// (0 = unlimited). Re-uploading owned content never counts twice.
+	MaxTraces int `json:"max_traces,omitempty"`
+	// MaxQueuedJobs caps the tenant's live (queued + running) jobs
+	// (0 = unlimited); over-quota submissions get 429.
+	MaxQueuedJobs int `json:"max_queued_jobs,omitempty"`
+}
+
+// LoadTenants reads a tenants file: a JSON array of Tenant objects.
+// cmd/bpserved's -auth-file flag feeds it.
+func LoadTenants(path string) ([]Tenant, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: reading tenants file: %w", err)
+	}
+	var ts []Tenant
+	if err := json.Unmarshal(raw, &ts); err != nil {
+		return nil, fmt.Errorf("service: parsing tenants file %s: %w", path, err)
+	}
+	seen := make(map[string]bool, len(ts))
+	for _, t := range ts {
+		switch {
+		case t.Name == "":
+			return nil, fmt.Errorf("service: tenants file %s: tenant with empty name", path)
+		case t.Key == "":
+			return nil, fmt.Errorf("service: tenants file %s: tenant %q has empty key", path, t.Name)
+		case seen[t.Name]:
+			return nil, fmt.Errorf("service: tenants file %s: duplicate tenant %q", path, t.Name)
+		}
+		seen[t.Name] = true
+	}
+	return ts, nil
+}
+
+// requestKey extracts the presented API key from a request:
+// "Authorization: Bearer <key>" first, "X-API-Key" as a fallback.
+func requestKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if k, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return k
+		}
+		return ""
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// authenticate resolves a request to a tenant name. In open mode (no
+// tenants configured) every request maps to the empty tenant. In
+// multi-tenant mode the presented key must match a declared tenant —
+// compared in constant time so the comparison leaks nothing about key
+// prefixes.
+func (s *Server) authenticate(r *http.Request) (string, bool) {
+	if len(s.m.cfg.Tenants) == 0 {
+		return "", true
+	}
+	key := requestKey(r)
+	if key == "" {
+		return "", false
+	}
+	name, found := "", false
+	for i := range s.m.cfg.Tenants {
+		t := &s.m.cfg.Tenants[i]
+		// Check every tenant regardless of an earlier match: the scan
+		// count must not depend on which key matched.
+		if subtle.ConstantTimeCompare([]byte(key), []byte(t.Key)) == 1 && !found {
+			name, found = t.Name, true
+		}
+	}
+	return name, found
+}
+
+// authed wraps an API handler with authentication, passing the
+// resolved tenant through. Unauthenticated requests in multi-tenant
+// mode get a uniform 401.
+func (s *Server) authed(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tenant, ok := s.authenticate(r)
+		if !ok {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="bpserved"`)
+			writeError(w, http.StatusUnauthorized, "missing or unknown API key")
+			return
+		}
+		h(w, r, tenant)
+	}
+}

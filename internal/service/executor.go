@@ -91,10 +91,14 @@ func (m *Manager) runJob(j *Job) {
 // the partial result is returned with ctx's error.
 func (m *Manager) execute(ctx context.Context, j *Job, mergeGlobal func()) (*JobResult, error) {
 	digest := j.digest()
-	tr, err := m.traces.Trace(j.Spec.Trace)
+	// Acquire leases the job's trace: small traces are pinned in the
+	// decoded LRU (never evicted while this job runs), large ones come
+	// back as zero-residency streaming handles.
+	tr, err := m.traces.Acquire(j.Spec.Trace)
 	if err != nil {
 		return nil, err
 	}
+	defer tr.Release()
 	store, err := m.storeFor(digest, j.Spec.Warmup)
 	if err != nil {
 		return nil, err
@@ -103,7 +107,7 @@ func (m *Manager) execute(ctx context.Context, j *Job, mergeGlobal func()) (*Job
 	collected := make(map[string]sim.Metrics, len(j.Configs))
 	partial := func(err error) (*JobResult, error) {
 		flushStoreBestEffort(store)
-		return buildResult(j, tr.Name, collected), err
+		return buildResult(j, tr.Info().Name, collected), err
 	}
 
 	type pendingWait struct {
@@ -243,7 +247,7 @@ func (m *Manager) execute(ctx context.Context, j *Job, mergeGlobal func()) (*Job
 		return nil, fmt.Errorf("service: %w", err)
 	}
 	mergeGlobal()
-	return buildResult(j, tr.Name, collected), nil
+	return buildResult(j, tr.Info().Name, collected), nil
 }
 
 // tiersOf returns the job's tier list in execution order.

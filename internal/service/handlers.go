@@ -21,18 +21,21 @@ type Server struct {
 	mux            *http.ServeMux
 }
 
-// NewServer builds the API surface over m.
+// NewServer builds the API surface over m. When m was configured
+// with tenants, every /v1 route requires a tenant API key and scopes
+// its view to that tenant; /healthz and /metrics stay open for
+// probes and scrapers.
 func NewServer(m *Manager) *Server {
 	s := &Server{m: m, MaxUploadBytes: 512 << 20, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
-	s.mux.HandleFunc("GET /v1/traces", s.handleTraceList)
-	s.mux.HandleFunc("GET /v1/traces/{digest}", s.handleTraceInfo)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
-	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleJobProgress)
+	s.mux.HandleFunc("POST /v1/traces", s.authed(s.handleTraceUpload))
+	s.mux.HandleFunc("GET /v1/traces", s.authed(s.handleTraceList))
+	s.mux.HandleFunc("GET /v1/traces/{digest}", s.authed(s.handleTraceInfo))
+	s.mux.HandleFunc("POST /v1/jobs", s.authed(s.handleJobSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.authed(s.handleJobList))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.authed(s.handleJobStatus))
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.authed(s.handleJobCancel))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.authed(s.handleJobResult))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.authed(s.handleJobProgress))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -65,15 +68,21 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// handleTraceUpload ingests one BPT1 stream from the request body.
-// Malformed or truncated streams yield 400, cap violations 413, and
-// re-uploads of known content are idempotent 200s.
-func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+// handleTraceUpload ingests one trace stream (BPT1 or BPT2) from the
+// request body, transcoding to the canonical columnar form without
+// ever holding the decoded trace. Malformed or truncated streams
+// yield 400, cap and quota violations 413/429, and re-uploads of
+// known content are idempotent 200s.
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request, tenant string) {
 	if s.rejectDraining(w) {
 		return
 	}
+	maxTraces := 0
+	if t := s.m.tenantConfig(tenant); t != nil {
+		maxTraces = t.MaxTraces
+	}
 	body := http.MaxBytesReader(w, r.Body, s.MaxUploadBytes)
-	info, err := s.m.Traces().Ingest(body)
+	info, err := s.m.Traces().IngestAs(r.Context(), body, tenant, maxTraces)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		switch {
@@ -82,8 +91,10 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 				"trace exceeds the %d-byte upload cap", tooBig.Limit)
 		case errors.Is(err, ErrTraceTooLarge):
 			writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		case errors.Is(err, ErrTraceQuota):
+			writeError(w, http.StatusTooManyRequests, "%v", err)
 		case errors.Is(err, trace.ErrBadMagic):
-			writeError(w, http.StatusBadRequest, "not a BPT1 trace: %v", err)
+			writeError(w, http.StatusBadRequest, "not a BPT1/BPT2 trace: %v", err)
 		default:
 			writeError(w, http.StatusBadRequest, "rejected trace: %v", err)
 		}
@@ -92,12 +103,12 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
-func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.m.Traces().List())
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request, tenant string) {
+	writeJSON(w, http.StatusOK, s.m.Traces().ListFor(tenant))
 }
 
-func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
-	info, err := s.m.Traces().Info(r.PathValue("digest"))
+func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request, tenant string) {
+	info, err := s.m.Traces().InfoFor(r.PathValue("digest"), tenant)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -122,7 +133,7 @@ type submitResponse struct {
 // handleJobSubmit validates and enqueues one sweep job. Backpressure:
 // a full queue yields 429 with a Retry-After hint instead of
 // buffering unboundedly.
-func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request, tenant string) {
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -130,10 +141,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
-	j, deduped, err := s.m.Submit(spec)
+	j, deduped, err := s.m.SubmitAs(spec, tenant)
 	if err != nil {
 		switch {
-		case errors.Is(err, ErrQueueFull):
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrJobQuota):
 			w.Header().Set("Retry-After",
 				strconv.Itoa(int((s.m.cfg.RetryAfter+time.Second-1)/time.Second)))
 			writeError(w, http.StatusTooManyRequests, "%v", err)
@@ -160,8 +171,8 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
-	jobs := s.m.Jobs()
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request, tenant string) {
+	jobs := s.m.JobsFor(tenant)
 	out := make([]JobStatus, 0, len(jobs))
 	for _, j := range jobs {
 		out = append(out, j.Status())
@@ -169,8 +180,8 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
-	j, err := s.m.Job(r.PathValue("id"))
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request, tenant string) {
+	j, err := s.m.JobFor(r.PathValue("id"), tenant)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -178,8 +189,8 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
-func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	j, err := s.m.Cancel(r.PathValue("id"))
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request, tenant string) {
+	j, err := s.m.CancelFor(r.PathValue("id"), tenant)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -191,8 +202,8 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // for done jobs, the partial-result contract (completed cells +
 // partial flag) for canceled and interrupted ones, 409 while the job
 // is still live, and the failure text for failed jobs.
-func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
-	res, err := s.m.Result(r.PathValue("id"))
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request, tenant string) {
+	res, err := s.m.ResultFor(r.PathValue("id"), tenant)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrNoJob):
@@ -210,8 +221,8 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 // handleJobProgress streams per-job progress as server-sent events:
 // one JSON status per event, ~5/s, until the job reaches a terminal
 // state, the client disconnects, or the server drains.
-func (s *Server) handleJobProgress(w http.ResponseWriter, r *http.Request) {
-	j, err := s.m.Job(r.PathValue("id"))
+func (s *Server) handleJobProgress(w http.ResponseWriter, r *http.Request, tenant string) {
+	j, err := s.m.JobFor(r.PathValue("id"), tenant)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return

@@ -18,6 +18,7 @@ type jobRecord struct {
 	ID          string    `json:"id"`
 	Key         string    `json:"key"`
 	Spec        JobSpec   `json:"spec"`
+	Tenant      string    `json:"tenant,omitempty"`
 	State       State     `json:"state"`
 	Error       string    `json:"error,omitempty"`
 	SubmittedAt time.Time `json:"submitted_at"`
@@ -53,6 +54,7 @@ func (m *Manager) persistJobsLocked() error {
 			ID:          j.ID,
 			Key:         j.Key,
 			Spec:        j.Spec,
+			Tenant:      j.Tenant,
 			State:       j.state,
 			Error:       j.errText,
 			SubmittedAt: j.submitted,
@@ -96,6 +98,7 @@ func (m *Manager) loadJobs() ([]*Job, error) {
 			Spec:      rec.Spec,
 			Opts:      opts,
 			Configs:   configs,
+			Tenant:    rec.Tenant,
 			Obs:       &obs.Counters{},
 			state:     rec.State,
 			errText:   rec.Error,
@@ -125,7 +128,7 @@ func (m *Manager) loadJobs() ([]*Job, error) {
 		m.order = append(m.order, j.ID)
 		// Later submissions of a key supersede earlier ones, matching
 		// submission-order replay.
-		m.byKey[j.Key] = j
+		m.byKey[dedupKey(j.Tenant, j.Key)] = j
 	}
 	return resumable, nil
 }

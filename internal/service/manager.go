@@ -60,6 +60,9 @@ var (
 	ErrNoJob = errors.New("service: no such job")
 	// ErrNotFinished marks a result request for a live job (409).
 	ErrNotFinished = errors.New("service: job not finished")
+	// ErrJobQuota rejects a submission over the tenant's live-job
+	// quota (429).
+	ErrJobQuota = errors.New("service: tenant job quota exceeded")
 )
 
 // Job is one submitted sweep. Identity fields are immutable after
@@ -70,6 +73,10 @@ type Job struct {
 	Spec    JobSpec
 	Opts    sweep.Options
 	Configs []core.Config
+	// Tenant names the submitting tenant; empty in open single-tenant
+	// mode. Jobs are only visible to their tenant (and to the open
+	// mode, which sees everything).
+	Tenant string
 
 	// Obs carries this job's own progress counters (branches, chunks,
 	// cells completed/cached); the manager folds deltas into its
@@ -161,8 +168,25 @@ type Config struct {
 	// (0 = 64). A full queue is the 429 backpressure boundary.
 	QueueDepth int
 	// MaxTraceBranches caps one uploaded trace's record count
-	// (0 = 1<<24, ~16M branches ≈ 272 MB decoded).
+	// (0 = 1<<24, ~16M branches ≈ 272 MB decoded). Enforced from the
+	// declared header before any record decodes, and from actual
+	// records as a belt against lying headers.
 	MaxTraceBranches uint64
+	// TraceCacheCap bounds the decoded-trace LRU
+	// (0 = DefaultTraceCacheCap). In-flight jobs pin their traces, so
+	// the cache can transiently exceed the cap by the number of
+	// pinned-but-over-cap entries; it never evicts a running job's
+	// trace.
+	TraceCacheCap int
+	// StreamBranches is the decode-versus-stream cutoff
+	// (0 = DefaultStreamBranches): traces with more records execute
+	// from streamed BPT2 blocks and are never decoded whole.
+	StreamBranches uint64
+	// Tenants, when non-empty, switches the service to authenticated
+	// multi-tenant mode: every API request must present a known key,
+	// and traces/jobs are namespaced per tenant. Empty keeps the open
+	// single-tenant mode.
+	Tenants []Tenant
 	// RetryAfter is the client backoff hint sent with 429 responses
 	// (0 = 2s).
 	RetryAfter time.Duration
@@ -242,7 +266,8 @@ func NewManager(cfg Config) (*Manager, error) {
 			return nil, fmt.Errorf("service: %w", err)
 		}
 	}
-	traces, err := NewTraceStore(filepath.Join(cfg.DataDir, "traces"), cfg.MaxTraceBranches)
+	traces, err := NewTraceStore(filepath.Join(cfg.DataDir, "traces"),
+		cfg.MaxTraceBranches, cfg.TraceCacheCap, cfg.StreamBranches)
 	if err != nil {
 		return nil, err
 	}
@@ -334,24 +359,51 @@ func (m *Manager) storeFor(digest [32]byte, warmup int) (*checkpoint.Store, erro
 // resubmission retries them under a fresh id, replaying whatever the
 // checkpoint cache already holds.
 func (m *Manager) Submit(spec JobSpec) (*Job, bool, error) {
+	return m.SubmitAs(spec, "")
+}
+
+// dedupKey scopes a job's dedup identity to its tenant, so one
+// tenant's submissions never collapse onto (or observe) another's.
+func dedupKey(tenant, key string) string { return tenant + "\x00" + key }
+
+// SubmitAs is Submit on behalf of a tenant: dedup is scoped to the
+// tenant, the trace must be visible to it, and the tenant's live-job
+// quota (queued + running) is enforced before enqueueing.
+func (m *Manager) SubmitAs(spec JobSpec, tenant string) (*Job, bool, error) {
 	digest, opts, configs, err := spec.validate()
 	if err != nil {
 		return nil, false, fmt.Errorf("%w: %v", errBadSpec, err)
 	}
-	if _, err := m.traces.Info(spec.Trace); err != nil {
+	if _, err := m.traces.InfoFor(spec.Trace, tenant); err != nil {
 		return nil, false, err
 	}
 	key := jobKey(digest, spec.Warmup, configs)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if j, ok := m.byKey[key]; ok {
+	if j, ok := m.byKey[dedupKey(tenant, key)]; ok {
 		if st := j.State(); !st.terminal() || st == StateDone {
 			return j, true, nil
 		}
 	}
 	if m.draining.Load() {
 		return nil, false, ErrDraining
+	}
+	if t := m.tenantConfig(tenant); t != nil && t.MaxQueuedJobs > 0 {
+		live := 0
+		for _, id := range m.order {
+			other := m.jobs[id]
+			if other.Tenant != tenant {
+				continue
+			}
+			if st := other.State(); st == StateQueued || st == StateRunning {
+				live++
+			}
+		}
+		if live >= t.MaxQueuedJobs {
+			return nil, false, fmt.Errorf("%w: %d live jobs, cap is %d",
+				ErrJobQuota, live, t.MaxQueuedJobs)
+		}
 	}
 	m.seq++
 	j := &Job{
@@ -360,6 +412,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, bool, error) {
 		Spec:      spec,
 		Opts:      opts,
 		Configs:   configs,
+		Tenant:    tenant,
 		Obs:       &obs.Counters{},
 		state:     StateQueued,
 		reason:    StateInterrupted,
@@ -373,7 +426,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, bool, error) {
 	}
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
-	m.byKey[key] = j
+	m.byKey[dedupKey(tenant, key)] = j
 	if err := m.persistJobsLocked(); err != nil {
 		// The job is accepted and will run; a failed table write only
 		// weakens restart recovery, which the next persist repairs.
@@ -385,12 +438,30 @@ func (m *Manager) Submit(spec JobSpec) (*Job, bool, error) {
 // errBadSpec marks submissions rejected at validation (400).
 var errBadSpec = errors.New("service: invalid job spec")
 
+// tenantConfig returns the declared tenant by name, nil for the open
+// mode or unknown names. Callers may hold m.mu (cfg is immutable).
+func (m *Manager) tenantConfig(name string) *Tenant {
+	for i := range m.cfg.Tenants {
+		if m.cfg.Tenants[i].Name == name {
+			return &m.cfg.Tenants[i]
+		}
+	}
+	return nil
+}
+
 // Job returns a job by id.
 func (m *Manager) Job(id string) (*Job, error) {
+	return m.JobFor(id, "")
+}
+
+// JobFor returns a job by id as seen by tenant; another tenant's job
+// is indistinguishable from a missing one. The empty tenant (open
+// mode) sees everything.
+func (m *Manager) JobFor(id, tenant string) (*Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
-	if !ok {
+	if !ok || (tenant != "" && j.Tenant != tenant) {
 		return nil, ErrNoJob
 	}
 	return j, nil
@@ -398,11 +469,19 @@ func (m *Manager) Job(id string) (*Job, error) {
 
 // Jobs lists all jobs in submission order.
 func (m *Manager) Jobs() []*Job {
+	return m.JobsFor("")
+}
+
+// JobsFor lists the jobs visible to tenant in submission order.
+func (m *Manager) JobsFor(tenant string) []*Job {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]*Job, 0, len(m.order))
 	for _, id := range m.order {
-		out = append(out, m.jobs[id])
+		j := m.jobs[id]
+		if tenant == "" || j.Tenant == tenant {
+			out = append(out, j)
+		}
 	}
 	return out
 }
@@ -425,7 +504,12 @@ func (m *Manager) jobCountsByState() map[State]int {
 // the result payload and in the checkpoint cache). Canceling a
 // terminal job is a no-op.
 func (m *Manager) Cancel(id string) (*Job, error) {
-	j, err := m.Job(id)
+	return m.CancelFor(id, "")
+}
+
+// CancelFor is Cancel scoped to a tenant's visibility.
+func (m *Manager) CancelFor(id, tenant string) (*Job, error) {
+	j, err := m.JobFor(id, tenant)
 	if err != nil {
 		return nil, err
 	}
@@ -455,7 +539,12 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 // ErrNotFinished; failed jobs yield their error; canceled and
 // interrupted jobs yield the partial result.
 func (m *Manager) Result(id string) (*JobResult, error) {
-	j, err := m.Job(id)
+	return m.ResultFor(id, "")
+}
+
+// ResultFor is Result scoped to a tenant's visibility.
+func (m *Manager) ResultFor(id, tenant string) (*JobResult, error) {
+	j, err := m.JobFor(id, tenant)
 	if err != nil {
 		return nil, err
 	}

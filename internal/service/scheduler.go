@@ -6,27 +6,36 @@ import (
 	"bpred/internal/cluster"
 	"bpred/internal/core"
 	"bpred/internal/sim"
-	"bpred/internal/trace"
 )
 
 // Scheduler abstracts where a job's cells execute. The executor hands
-// it one tier's uncached, claimed cells at a time and relies on the
-// partial-result contract sim.RunConfigsCtx established: on error,
-// entries with a non-empty Metrics.Name are final and the rest were
-// not evaluated.
+// it one tier's uncached, claimed cells at a time plus the job's
+// trace lease and relies on the partial-result contract
+// sim.RunConfigsCtx established: on error, entries with a non-empty
+// Metrics.Name are final and the rest were not evaluated.
 type Scheduler interface {
-	RunCells(ctx context.Context, digest [32]byte, warmup int, configs []core.Config, tr *trace.Trace, opt sim.Options) ([]sim.Metrics, error)
+	RunCells(ctx context.Context, digest [32]byte, warmup int, configs []core.Config, tr *TraceHandle, opt sim.Options) ([]sim.Metrics, error)
 }
 
 // LocalScheduler runs cells in-process on the simulation engine —
 // bpserved's single-node mode and the default when Config.Scheduler
-// is nil.
+// is nil. Decoded handles take the in-memory fast path; streaming
+// handles (traces past the store's stream cutoff) drive the same
+// kernels from one BPT2 block at a time, with bit-identical metrics.
 type LocalScheduler struct{}
 
 // RunCells implements Scheduler.
-func (LocalScheduler) RunCells(ctx context.Context, digest [32]byte, warmup int, configs []core.Config, tr *trace.Trace, opt sim.Options) ([]sim.Metrics, error) {
+func (LocalScheduler) RunCells(ctx context.Context, digest [32]byte, warmup int, configs []core.Config, tr *TraceHandle, opt sim.Options) ([]sim.Metrics, error) {
 	_, _ = digest, warmup
-	return sim.RunConfigsCtx(ctx, configs, tr, opt)
+	if tr.Streaming() {
+		src, err := tr.OpenStream()
+		if err != nil {
+			return nil, err
+		}
+		defer src.Close() //bplint:ignore codecerr read-only stream; decode errors surface through Err inside RunConfigsStream
+		return sim.RunConfigsStream(ctx, configs, src, opt)
+	}
+	return sim.RunConfigsCtx(ctx, configs, tr.Decoded(), opt)
 }
 
 // ClusterScheduler routes cells to a cluster coordinator, which
@@ -41,7 +50,7 @@ type ClusterScheduler struct {
 }
 
 // RunCells implements Scheduler.
-func (s ClusterScheduler) RunCells(ctx context.Context, digest [32]byte, warmup int, configs []core.Config, tr *trace.Trace, opt sim.Options) ([]sim.Metrics, error) {
+func (s ClusterScheduler) RunCells(ctx context.Context, digest [32]byte, warmup int, configs []core.Config, tr *TraceHandle, opt sim.Options) ([]sim.Metrics, error) {
 	_ = tr // workers fetch the trace themselves
 	ms, err := s.Coord.RunCells(ctx, digest, uint64(warmup), configs)
 	if opt.Obs != nil {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -14,54 +15,111 @@ import (
 	"bpred/internal/trace"
 )
 
-// ErrNoTrace marks a lookup for a digest the store has never seen.
+// ErrNoTrace marks a lookup for a digest the store has never seen (or
+// that the requesting tenant cannot see).
 var ErrNoTrace = errors.New("service: no such trace")
 
-// ErrTraceTooLarge marks an upload whose decoded form exceeds the
+// ErrTraceTooLarge marks an upload whose record count exceeds the
 // store's size cap.
 var ErrTraceTooLarge = errors.New("service: trace exceeds size cap")
+
+// ErrTraceQuota marks an upload refused by a tenant's trace quota.
+var ErrTraceQuota = errors.New("service: tenant trace quota exceeded")
 
 // TraceInfo is the stored metadata of one ingested trace.
 type TraceInfo struct {
 	// Digest is the hex SHA-256 content digest — the trace's identity
 	// everywhere in the service and in the checkpoint layer.
 	Digest string `json:"digest"`
-	// Name is the workload name from the BPT1 header.
+	// Name is the workload name from the trace header.
 	Name string `json:"name"`
 	// Branches is the record count.
 	Branches uint64 `json:"branches"`
 	// Instructions is the represented dynamic instruction count.
 	Instructions uint64 `json:"instructions"`
+	// Format is the on-disk format version backing this trace (2 for
+	// the canonical columnar form; 1 for legacy .bpt files adopted
+	// from an older data directory).
+	Format int `json:"format,omitempty"`
 }
 
-// TraceStore ingests, persists, and serves BPT1 traces keyed by
-// content digest. Uploads are streamed through the existing decoder
-// (hostile input yields wrapped errors, never panics), capped in
-// decoded size, and persisted as canonical .bpt files under
-// dir/<digest>.bpt so a restarted server still serves every trace.
-// Decoded traces are cached in memory on first use; the index
-// (dir/index.json) makes listing cheap without decoding anything.
+// indexEntry is the persisted index.json form: the wire metadata plus
+// the owning tenants, which never leave the store through the API.
+type indexEntry struct {
+	TraceInfo
+	Tenants []string `json:"tenants,omitempty"`
+}
+
+// cachedTrace is one decoded-cache entry. pins counts in-flight jobs
+// holding the trace through a TraceHandle; pinned entries are never
+// evicted, so a running sweep's trace cannot be decoded out from
+// under it no matter how much upload traffic churns the cache.
+type cachedTrace struct {
+	tr   *trace.Trace
+	pins int
+	use  uint64 // last-touch tick, for LRU ordering
+}
+
+// TraceStore ingests, persists, and serves traces keyed by content
+// digest. Uploads (BPT1 or BPT2) are streamed through the versioned
+// decoder straight into a digest computation and a canonical BPT2
+// transcode on disk (dir/<digest>.bpt2) — the upload path never
+// materializes a decoded trace, so a hostile 2 GB stream costs one
+// block of memory, and the record-count cap is enforced from the
+// declared header immediately and from actual records as a belt.
+//
+// Decoded traces are cached in a bounded LRU with pinning: at most
+// cacheCap traces are resident (pinned entries can push past the cap,
+// never get evicted, and the cap is restored as pins release). Traces
+// whose record count exceeds streamBranches are never decoded for
+// local execution at all — handles for them stream blocks from disk.
 type TraceStore struct {
 	dir string
 	// maxBranches caps a single trace's record count; together with
 	// the HTTP layer's body-size cap it bounds per-upload memory.
 	maxBranches uint64
+	// cacheCap bounds the decoded-trace LRU (entries).
+	cacheCap int
+	// streamBranches is the decode-versus-stream cutoff.
+	streamBranches uint64
 
 	mu     sync.Mutex
-	infos  map[string]TraceInfo    // digest hex -> metadata
-	loaded map[string]*trace.Trace // digest hex -> decoded trace
+	infos  map[string]TraceInfo       // digest hex -> metadata
+	owners map[string]map[string]bool // digest hex -> owning tenants
+	loaded map[string]*cachedTrace    // digest hex -> decoded LRU entry
+	tick   uint64
 }
 
+// DefaultTraceCacheCap bounds the decoded-trace LRU when the
+// configuration leaves it zero.
+const DefaultTraceCacheCap = 8
+
+// DefaultStreamBranches is the decode-versus-stream cutoff when the
+// configuration leaves it zero: traces beyond 4M records (~96 MB
+// decoded) run from streamed BPT2 blocks instead of resident slices.
+const DefaultStreamBranches = 1 << 22
+
 // NewTraceStore opens (or creates) a trace store rooted at dir.
-func NewTraceStore(dir string, maxBranches uint64) (*TraceStore, error) {
+// cacheCap 0 selects DefaultTraceCacheCap; streamBranches 0 selects
+// DefaultStreamBranches.
+func NewTraceStore(dir string, maxBranches uint64, cacheCap int, streamBranches uint64) (*TraceStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	if cacheCap <= 0 {
+		cacheCap = DefaultTraceCacheCap
+	}
+	if streamBranches == 0 {
+		streamBranches = DefaultStreamBranches
+	}
 	s := &TraceStore{
-		dir:         dir,
-		maxBranches: maxBranches,
-		infos:       make(map[string]TraceInfo),
-		loaded:      make(map[string]*trace.Trace),
+		dir:            dir,
+		maxBranches:    maxBranches,
+		cacheCap:       cacheCap,
+		streamBranches: streamBranches,
+		infos:          make(map[string]TraceInfo),
+		owners:         make(map[string]map[string]bool),
+		loaded:         make(map[string]*cachedTrace),
 	}
 	if err := s.loadIndex(); err != nil {
 		return nil, err
@@ -71,8 +129,19 @@ func NewTraceStore(dir string, maxBranches uint64) (*TraceStore, error) {
 
 func (s *TraceStore) indexPath() string { return filepath.Join(s.dir, "index.json") }
 
-func (s *TraceStore) tracePath(digest string) string {
-	return filepath.Join(s.dir, digest+".bpt")
+// pathFor returns the digest's backing file for a given format
+// version.
+func (s *TraceStore) pathFor(digest string, format int) string {
+	if format == 1 {
+		return filepath.Join(s.dir, digest+".bpt")
+	}
+	return filepath.Join(s.dir, digest+".bpt2")
+}
+
+// tracePathLocked resolves the digest's backing file from its
+// recorded format. Callers hold s.mu.
+func (s *TraceStore) tracePathLocked(digest string) string {
+	return s.pathFor(digest, s.infos[digest].Format)
 }
 
 func (s *TraceStore) loadIndex() error {
@@ -83,14 +152,27 @@ func (s *TraceStore) loadIndex() error {
 	if err != nil {
 		return fmt.Errorf("service: reading trace index: %w", err)
 	}
-	var infos []TraceInfo
-	if err := json.Unmarshal(raw, &infos); err != nil {
+	var entries []indexEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
 		return fmt.Errorf("service: corrupt trace index %s: %w", s.indexPath(), err)
 	}
-	for _, in := range infos {
+	for _, in := range entries {
 		// Only believe index entries whose backing file survived.
-		if _, err := os.Stat(s.tracePath(in.Digest)); err == nil {
-			s.infos[in.Digest] = in
+		// Entries from an older data directory carry no format; adopt
+		// whichever file exists, preferring the canonical BPT2.
+		if in.Format == 0 {
+			if _, err := os.Stat(s.pathFor(in.Digest, 2)); err == nil {
+				in.Format = 2
+			} else {
+				in.Format = 1
+			}
+		}
+		if _, err := os.Stat(s.pathFor(in.Digest, in.Format)); err != nil {
+			continue
+		}
+		s.infos[in.Digest] = in.TraceInfo
+		for _, t := range in.Tenants {
+			s.addOwnerLocked(in.Digest, t)
 		}
 	}
 	return nil
@@ -98,111 +180,207 @@ func (s *TraceStore) loadIndex() error {
 
 // persistIndex atomically rewrites the index. Callers hold s.mu.
 func (s *TraceStore) persistIndex() error {
-	infos := make([]TraceInfo, 0, len(s.infos))
-	for _, in := range s.infos {
-		infos = append(infos, in)
+	entries := make([]indexEntry, 0, len(s.infos))
+	for d, in := range s.infos {
+		e := indexEntry{TraceInfo: in}
+		for t := range s.owners[d] {
+			e.Tenants = append(e.Tenants, t)
+		}
+		sort.Strings(e.Tenants)
+		entries = append(entries, e)
 	}
-	sort.Slice(infos, func(i, j int) bool { return infos[i].Digest < infos[j].Digest })
-	raw, err := json.MarshalIndent(infos, "", "  ")
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Digest < entries[j].Digest })
+	raw, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		return fmt.Errorf("service: %w", err)
 	}
 	return atomicWrite(s.indexPath(), raw)
 }
 
-// Ingest decodes one BPT1 stream, validates it end to end, persists
-// it, and returns its metadata. Re-uploading an existing trace is
-// idempotent: the stored copy is kept and its metadata returned.
-// Decode failures and cap violations surface as errors the HTTP layer
-// maps to 4xx responses.
+func (s *TraceStore) addOwnerLocked(digest, tenant string) bool {
+	if tenant == "" {
+		return false
+	}
+	set := s.owners[digest]
+	if set == nil {
+		set = make(map[string]bool)
+		s.owners[digest] = set
+	}
+	if set[tenant] {
+		return false
+	}
+	set[tenant] = true
+	return true
+}
+
+// visibleLocked reports whether tenant may see digest. The empty
+// tenant is the open single-tenant mode (no auth configured) and sees
+// everything.
+func (s *TraceStore) visibleLocked(digest, tenant string) bool {
+	if tenant == "" {
+		return true
+	}
+	return s.owners[digest][tenant]
+}
+
+// Ingest streams one trace upload in open single-tenant mode.
 func (s *TraceStore) Ingest(r io.Reader) (TraceInfo, error) {
-	tr, err := decodeTrace(r, s.maxBranches)
+	return s.IngestAs(context.Background(), r, "", 0)
+}
+
+// IngestAs streams one trace upload (BPT1 or BPT2) for a tenant:
+// the stream is decoded block by block into a content digest and a
+// canonical BPT2 transcode on a temp file, then renamed to
+// <digest>.bpt2 — the decoded trace is never resident. Uploading
+// content the store already holds is idempotent (the tenant is added
+// as an owner). The record-count cap rejects oversized headers before
+// any record is read, and lying headers when the actual records
+// overrun. maxTraces, when positive, caps how many distinct traces
+// the tenant may own. ctx cancels the ingest at batch boundaries
+// (disconnected uploaders stop costing decode work).
+func (s *TraceStore) IngestAs(ctx context.Context, r io.Reader, tenant string, maxTraces int) (info TraceInfo, err error) {
+	rd, err := trace.NewReader(r)
 	if err != nil {
 		return TraceInfo{}, err
 	}
-	digest := tr.Digest()
+	if rd.Count() > s.maxBranches {
+		return TraceInfo{}, fmt.Errorf("%w: header promises %d records, cap is %d",
+			ErrTraceTooLarge, rd.Count(), s.maxBranches)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".ingest-*.tmp")
+	if err != nil {
+		return TraceInfo{}, fmt.Errorf("service: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close() //bplint:ignore codecerr error path cleanup; the ingest error wins
+			if rmErr := os.Remove(tmp.Name()); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) && err == nil {
+				err = fmt.Errorf("service: %w", rmErr)
+			}
+		}
+	}()
+	w2, err := trace.NewWriter2(tmp, rd.Name(), rd.Instructions(), rd.Count(), 0)
+	if err != nil {
+		return TraceInfo{}, err
+	}
+	dw := trace.NewDigestWriter(rd.Name(), rd.Instructions(), rd.Count())
+	var n uint64
+	buf := make([]trace.Branch, 4096)
+	done := ctx.Done()
+	for {
+		if done != nil {
+			select {
+			case <-done:
+				return TraceInfo{}, ctx.Err()
+			default:
+			}
+		}
+		batch := rd.NextBatch(buf)
+		if len(batch) == 0 {
+			break
+		}
+		n += uint64(len(batch))
+		// Belt against decoder regressions: the reader already stops at
+		// the header count, which the cap above bounded.
+		if n > s.maxBranches {
+			return TraceInfo{}, fmt.Errorf("%w: stream exceeds %d records", ErrTraceTooLarge, s.maxBranches)
+		}
+		for _, b := range batch {
+			dw.WriteBranch(b)
+			if err := w2.WriteBranch(b); err != nil {
+				return TraceInfo{}, err
+			}
+		}
+	}
+	if err := rd.Err(); err != nil {
+		return TraceInfo{}, err
+	}
+	if n != rd.Count() {
+		return TraceInfo{}, fmt.Errorf("trace: truncated upload: %d of %d records", n, rd.Count())
+	}
+	if err := w2.Close(); err != nil {
+		return TraceInfo{}, err
+	}
+	if err := tmp.Close(); err != nil {
+		return TraceInfo{}, fmt.Errorf("service: %w", err)
+	}
+	digest := dw.Sum()
 	key := hex.EncodeToString(digest[:])
-	info := TraceInfo{
+	info = TraceInfo{
 		Digest:       key,
-		Name:         tr.Name,
-		Branches:     uint64(tr.Len()),
-		Instructions: tr.Instructions,
+		Name:         rd.Name(),
+		Branches:     n,
+		Instructions: rd.Instructions(),
+		Format:       2,
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.infos[key]; ok {
-		return s.infos[key], nil
-	}
-	// Persist through a temp file + rename so a crash mid-write never
-	// leaves a half trace under a valid digest name.
-	tmp := s.tracePath(key) + ".tmp"
-	if err := trace.WriteFile(tmp, tr); err != nil {
-		if rmErr := os.Remove(tmp); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
-			return TraceInfo{}, errors.Join(err, rmErr)
+	if existing, ok := s.infos[key]; ok {
+		// Content dedup is global; ownership is per-tenant.
+		if s.addOwnerLocked(key, tenant) {
+			if err := s.persistIndex(); err != nil {
+				return TraceInfo{}, err
+			}
 		}
-		return TraceInfo{}, err
+		if rmErr := os.Remove(tmp.Name()); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+			return TraceInfo{}, fmt.Errorf("service: %w", rmErr)
+		}
+		tmp = nil
+		return existing, nil
 	}
-	if err := os.Rename(tmp, s.tracePath(key)); err != nil {
+	if tenant != "" && maxTraces > 0 {
+		owned := 0
+		for d := range s.infos {
+			if s.owners[d][tenant] {
+				owned++
+			}
+		}
+		if owned >= maxTraces {
+			return TraceInfo{}, fmt.Errorf("%w: %d traces, cap is %d", ErrTraceQuota, owned, maxTraces)
+		}
+	}
+	// Rename into place so a crash mid-write never leaves a half trace
+	// under a valid digest name.
+	if err := os.Rename(tmp.Name(), s.pathFor(key, 2)); err != nil {
 		return TraceInfo{}, fmt.Errorf("service: %w", err)
 	}
+	tmp = nil
 	s.infos[key] = info
-	s.loaded[key] = tr
+	s.addOwnerLocked(key, tenant)
 	if err := s.persistIndex(); err != nil {
 		return TraceInfo{}, err
 	}
 	return info, nil
 }
 
-// decodeTrace streams one BPT1 trace into memory with a record cap.
-func decodeTrace(r io.Reader, maxBranches uint64) (*trace.Trace, error) {
-	tr, err := trace.NewReader(r)
-	if err != nil {
-		return nil, err
-	}
-	if tr.Count() > maxBranches {
-		return nil, fmt.Errorf("%w: header promises %d records, cap is %d",
-			ErrTraceTooLarge, tr.Count(), maxBranches)
-	}
-	t := &trace.Trace{
-		Name:         tr.Name(),
-		Instructions: tr.Instructions(),
-		Branches:     make([]trace.Branch, 0, tr.Count()),
-	}
-	for {
-		b, ok := tr.Next()
-		if !ok {
-			break
-		}
-		t.Branches = append(t.Branches, b)
-	}
-	if err := tr.Err(); err != nil {
-		return nil, err
-	}
-	if uint64(t.Len()) != tr.Count() {
-		return nil, fmt.Errorf("trace: truncated upload: %d of %d records", t.Len(), tr.Count())
-	}
-	return t, nil
-}
-
-// Open returns the raw BPT1 stream for a stored digest. Cluster
-// workers replicate traces through it (cluster.TraceOpener).
+// Open returns the raw canonical byte stream for a stored digest.
+// Cluster workers replicate traces through it (cluster.TraceOpener);
+// the cluster transport carries its own shared-token auth.
 func (s *TraceStore) Open(digest string) (io.ReadCloser, error) {
 	s.mu.Lock()
 	_, ok := s.infos[digest]
+	path := s.tracePathLocked(digest)
 	s.mu.Unlock()
 	if !ok {
 		return nil, ErrNoTrace
 	}
-	return os.Open(s.tracePath(digest))
+	return os.Open(path)
 }
 
-// Info returns the metadata for a digest.
+// Info returns the metadata for a digest in open single-tenant mode.
 func (s *TraceStore) Info(digest string) (TraceInfo, error) {
+	return s.InfoFor(digest, "")
+}
+
+// InfoFor returns the metadata for a digest as seen by tenant; a
+// trace the tenant does not own is indistinguishable from a missing
+// one.
+func (s *TraceStore) InfoFor(digest, tenant string) (TraceInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	in, ok := s.infos[digest]
-	if !ok {
+	if !ok || !s.visibleLocked(digest, tenant) {
 		return TraceInfo{}, ErrNoTrace
 	}
 	return in, nil
@@ -210,11 +388,18 @@ func (s *TraceStore) Info(digest string) (TraceInfo, error) {
 
 // List returns all stored traces, sorted by digest.
 func (s *TraceStore) List() []TraceInfo {
+	return s.ListFor("")
+}
+
+// ListFor returns the traces visible to tenant, sorted by digest.
+func (s *TraceStore) ListFor(tenant string) []TraceInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]TraceInfo, 0, len(s.infos))
-	for _, in := range s.infos {
-		out = append(out, in)
+	for d, in := range s.infos {
+		if s.visibleLocked(d, tenant) {
+			out = append(out, in)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
 	return out
@@ -227,34 +412,173 @@ func (s *TraceStore) Len() int {
 	return len(s.infos)
 }
 
-// Trace returns the decoded trace for a digest, loading (and digest-
-// verifying) the persisted file on first use after a restart.
-func (s *TraceStore) Trace(digest string) (*trace.Trace, error) {
+// Resident returns the number of decoded traces currently cached —
+// the quantity the LRU bounds.
+func (s *TraceStore) Resident() int {
 	s.mu.Lock()
-	if t, ok := s.loaded[digest]; ok {
+	defer s.mu.Unlock()
+	return len(s.loaded)
+}
+
+// pins returns a digest's pin count (test observability).
+func (s *TraceStore) pins(digest string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.loaded[digest]; ok {
+		return e.pins
+	}
+	return 0
+}
+
+// TraceHandle is a job's lease on one trace. Decoded handles pin
+// their LRU entry until Release; streaming handles (records beyond
+// the stream cutoff) hold no memory and open block readers on demand.
+type TraceHandle struct {
+	s        *TraceStore
+	info     TraceInfo
+	tr       *trace.Trace
+	pinned   bool
+	released bool
+}
+
+// Info returns the trace's metadata.
+func (h *TraceHandle) Info() TraceInfo { return h.info }
+
+// Streaming reports whether the trace executes from streamed blocks
+// rather than a resident decode.
+func (h *TraceHandle) Streaming() bool { return h.tr == nil }
+
+// Decoded returns the resident trace, or nil for streaming handles.
+func (h *TraceHandle) Decoded() *trace.Trace { return h.tr }
+
+// OpenStream opens a fresh block reader over the backing file. Each
+// sweep tier opens its own pass; the caller owns Close.
+func (h *TraceHandle) OpenStream() (*trace.FileReader, error) {
+	h.s.mu.Lock()
+	path := h.s.tracePathLocked(h.info.Digest)
+	h.s.mu.Unlock()
+	return trace.OpenFile(path)
+}
+
+// Release drops the handle's pin. Idempotent; streaming handles are
+// no-ops.
+func (h *TraceHandle) Release() {
+	if h == nil || !h.pinned {
+		return
+	}
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	if h.released {
+		return
+	}
+	h.released = true
+	if e, ok := h.s.loaded[h.info.Digest]; ok && e.pins > 0 {
+		e.pins--
+	}
+	h.s.evictLocked()
+}
+
+// Acquire leases a trace for a job. Traces at or under the stream
+// cutoff are decoded (or found) in the LRU and pinned until Release;
+// larger traces return a streaming handle without touching the cache.
+func (s *TraceStore) Acquire(digest string) (*TraceHandle, error) {
+	s.mu.Lock()
+	info, ok := s.infos[digest]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNoTrace
+	}
+	if info.Branches > s.streamBranches {
+		return &TraceHandle{s: s, info: info}, nil
+	}
+	t, err := s.load(digest, true)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceHandle{s: s, info: info, tr: t, pinned: true}, nil
+}
+
+// Trace returns the decoded trace for a digest, loading (and digest-
+// verifying) the persisted file on first use after a restart. It is
+// the cluster.TraceProvider surface for an embedded worker, which
+// needs the full decode; the LRU manages the entry, unpinned. The
+// local file decode is fast enough that ctx only gates entry.
+func (s *TraceStore) Trace(ctx context.Context, digest string) (*trace.Trace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.load(digest, false)
+}
+
+// load returns the digest's decoded trace through the LRU, decoding
+// outside the lock on a miss. pin guards the entry against eviction
+// until the corresponding Release.
+func (s *TraceStore) load(digest string, pin bool) (*trace.Trace, error) {
+	s.mu.Lock()
+	if e, ok := s.loaded[digest]; ok {
+		s.touchLocked(e, pin)
 		s.mu.Unlock()
-		return t, nil
+		return e.tr, nil
 	}
 	_, known := s.infos[digest]
+	path := s.tracePathLocked(digest)
 	s.mu.Unlock()
 	if !known {
 		return nil, ErrNoTrace
 	}
-	// Load outside the lock: decoding can be slow and must not stall
-	// uploads or listings. A duplicate concurrent load is harmless
-	// (same content, last store wins).
-	t, err := trace.ReadFile(s.tracePath(digest))
+	// Decode outside the lock: it can be slow and must not stall
+	// uploads or listings. A duplicate concurrent decode is harmless
+	// (same content; the first inserted entry wins).
+	t, err := trace.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("service: loading trace %s: %w", digest, err)
 	}
 	sum := t.Digest()
 	if hex.EncodeToString(sum[:]) != digest {
-		return nil, fmt.Errorf("service: trace file %s content does not match its digest name", s.tracePath(digest))
+		return nil, fmt.Errorf("service: trace file %s content does not match its digest name", path)
 	}
 	s.mu.Lock()
-	s.loaded[digest] = t
-	s.mu.Unlock()
-	return t, nil
+	defer s.mu.Unlock()
+	e, ok := s.loaded[digest]
+	if !ok {
+		e = &cachedTrace{tr: t}
+		s.loaded[digest] = e
+	}
+	s.touchLocked(e, pin)
+	s.evictLocked()
+	return e.tr, nil
+}
+
+// touchLocked bumps an entry's LRU position and, when pin is set, its
+// pin count. Callers hold s.mu.
+func (s *TraceStore) touchLocked(e *cachedTrace, pin bool) {
+	s.tick++
+	e.use = s.tick
+	if pin {
+		e.pins++
+	}
+}
+
+// evictLocked restores the cache cap by dropping least-recently-used
+// unpinned entries. Pinned entries can hold the cache over cap; the
+// next Release re-runs eviction. Callers hold s.mu.
+func (s *TraceStore) evictLocked() {
+	for len(s.loaded) > s.cacheCap {
+		victim := ""
+		var oldest uint64
+		for d, e := range s.loaded {
+			if e.pins > 0 {
+				continue
+			}
+			if victim == "" || e.use < oldest {
+				victim, oldest = d, e.use
+			}
+		}
+		if victim == "" {
+			return // everything over cap is pinned
+		}
+		delete(s.loaded, victim)
+	}
 }
 
 // atomicWrite writes data to path via a same-directory temp file and

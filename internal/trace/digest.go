@@ -3,6 +3,7 @@ package trace
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"hash"
 )
 
 // Digest returns a SHA-256 content digest of the trace: its name,
@@ -48,5 +49,57 @@ func (t *Trace) Digest() [sha256.Size]byte {
 	h.Write(buf)
 	var out [sha256.Size]byte
 	h.Sum(out[:0])
+	return out
+}
+
+// DigestWriter computes the same content digest as Trace.Digest
+// incrementally, so a streaming consumer (the service's upload path)
+// can fingerprint a trace without ever materializing it. The record
+// count is part of the hashed preamble and must be known up front —
+// trace headers carry it — and the caller is responsible for feeding
+// exactly that many records.
+type DigestWriter struct {
+	h   hash.Hash
+	buf []byte
+}
+
+// NewDigestWriter starts a digest over the given trace metadata.
+func NewDigestWriter(name string, instructions, count uint64) *DigestWriter {
+	h := sha256.New()
+	var hdr [8]byte
+	h.Write([]byte("bpred-trace-digest-v1\x00"))
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(name)))
+	h.Write(hdr[:])
+	h.Write([]byte(name))
+	binary.LittleEndian.PutUint64(hdr[:], instructions)
+	h.Write(hdr[:])
+	binary.LittleEndian.PutUint64(hdr[:], count)
+	h.Write(hdr[:])
+	const recSize = 8 + 8 + 1
+	return &DigestWriter{h: h, buf: make([]byte, 0, recSize*3855)}
+}
+
+// WriteBranch folds one record into the digest.
+func (d *DigestWriter) WriteBranch(b Branch) {
+	const recSize = 8 + 8 + 1
+	var rec [recSize]byte
+	binary.LittleEndian.PutUint64(rec[0:], b.PC)
+	binary.LittleEndian.PutUint64(rec[8:], b.Target)
+	if b.Taken {
+		rec[16] = 1
+	}
+	d.buf = append(d.buf, rec[:]...)
+	if len(d.buf)+recSize > cap(d.buf) {
+		d.h.Write(d.buf)
+		d.buf = d.buf[:0]
+	}
+}
+
+// Sum returns the digest over everything written so far.
+func (d *DigestWriter) Sum() [sha256.Size]byte {
+	d.h.Write(d.buf)
+	d.buf = d.buf[:0]
+	var out [sha256.Size]byte
+	d.h.Sum(out[:0])
 	return out
 }

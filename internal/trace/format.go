@@ -43,8 +43,9 @@ const (
 	preallocRecords = 1 << 20
 )
 
-// ErrBadMagic indicates the stream is not a version-1 branch trace.
-var ErrBadMagic = errors.New("trace: bad magic; not a BPT1 trace")
+// ErrBadMagic indicates the stream is not a branch trace in any
+// format version this package knows (BPT1 or BPT2).
+var ErrBadMagic = errors.New("trace: bad magic; not a BPT1/BPT2 trace")
 
 // Writer streams a trace to an io.Writer.
 type Writer struct {
@@ -114,8 +115,8 @@ func (w *Writer) Close() error {
 	return w.w.Flush()
 }
 
-// Reader streams a trace from an io.Reader. It implements Source.
-type Reader struct {
+// reader1 streams a BPT1 trace. It implements Reader.
+type reader1 struct {
 	r            *bufio.Reader
 	name         string
 	instructions uint64
@@ -125,10 +126,9 @@ type Reader struct {
 	err          error
 }
 
-// NewReader parses the header and returns a Reader positioned at the
-// first record.
-func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+// newReader1 parses the BPT1 header (including the already-sniffed
+// magic) and returns a reader positioned at the first record.
+func newReader1(br *bufio.Reader) (*reader1, error) {
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
@@ -158,21 +158,39 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if count > maxRecordCount {
 		return nil, fmt.Errorf("trace: unreasonable record count %d", count)
 	}
-	return &Reader{r: br, name: string(nameBuf), instructions: instrs, count: count}, nil
+	return &reader1{r: br, name: string(nameBuf), instructions: instrs, count: count}, nil
 }
 
 // Name returns the workload name from the header.
-func (r *Reader) Name() string { return r.name }
+func (r *reader1) Name() string { return r.name }
 
 // Instructions returns the represented instruction count.
-func (r *Reader) Instructions() uint64 { return r.instructions }
+func (r *reader1) Instructions() uint64 { return r.instructions }
 
 // Count returns the number of records the header promises.
-func (r *Reader) Count() uint64 { return r.count }
+func (r *reader1) Count() uint64 { return r.count }
+
+// Version reports the on-disk format version, 1.
+func (r *reader1) Version() int { return 1 }
+
+// NextBatch fills buf by repeated decode; BPT1 is row-oriented so
+// there is no block to window into.
+func (r *reader1) NextBatch(buf []Branch) []Branch {
+	n := 0
+	for n < len(buf) {
+		b, ok := r.Next()
+		if !ok {
+			break
+		}
+		buf[n] = b
+		n++
+	}
+	return buf[:n]
+}
 
 // Next returns the next record. After exhaustion or an error it
 // returns ok=false; check Err to distinguish.
-func (r *Reader) Next() (Branch, bool) {
+func (r *reader1) Next() (Branch, bool) {
 	if r.err != nil || r.read >= r.count {
 		return Branch{}, false
 	}
@@ -198,7 +216,7 @@ func (r *Reader) Next() (Branch, bool) {
 }
 
 // Err returns the first decoding error encountered, or nil.
-func (r *Reader) Err() error { return r.err }
+func (r *reader1) Err() error { return r.err }
 
 // WriteFile writes a whole trace to path.
 func WriteFile(path string, t *Trace) (err error) {
