@@ -15,9 +15,14 @@ vet:
 
 # lint runs the project's own analyzer suite (cmd/bplint): kernel
 # purity, chunk-boundary cancellation, index geometry, determinism,
-# and codec error discipline. See README.md "Static analysis".
+# codec error discipline, lock discipline (//bplint:guardedby),
+# goroutine lifecycle, atomic/plain access mixing, HTTP response
+# discipline, and resource pairing. -staleignores keeps the
+# suppression inventory honest: an //bplint:ignore that no longer
+# suppresses anything fails the build until it is deleted. See
+# README.md "Static analysis" and DESIGN.md §14.
 lint:
-	$(GO) run ./cmd/bplint ./...
+	$(GO) run ./cmd/bplint -staleignores ./...
 
 test:
 	$(GO) test ./...

@@ -1,16 +1,24 @@
 // Command bplint runs the project's static-analysis suite — the
 // kernel-purity, cancellation-contract, index-geometry, determinism,
-// and codec-error analyzers — over the module in the current
-// directory.
+// codec-error, lock-discipline, goroutine-lifecycle, atomic-mixing,
+// HTTP-response, and resource-pairing analyzers — over the module in
+// the current directory.
 //
 // Usage:
 //
-//	bplint [packages]
+//	bplint [flags] [packages]
+//
+//	-json          emit one JSON object per finding per line
+//	               (file, line, col, analyzer, message)
+//	-staleignores  also report //bplint:ignore directives that no
+//	               longer suppress anything
 //
 // With no arguments it checks ./... . Exit status is 0 when clean, 1
-// when findings were reported, 2 when the module failed to load. See
-// the "Static analysis" section of README.md for the invariant
-// catalogue and the //bplint:ignore suppression syntax.
+// when findings were reported, 2 when the module failed to load or
+// the flags were invalid. See the "Static analysis" section of
+// README.md for the invariant catalogue and the //bplint:ignore
+// suppression syntax, and DESIGN.md §14 for the concurrency and
+// protocol analyzers.
 package main
 
 import (

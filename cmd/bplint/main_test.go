@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -28,10 +29,66 @@ func TestNonzeroOnSeededViolations(t *testing.T) {
 		t.Fatalf("bplint on badmod exited %d, want %d\nstdout:\n%s\nstderr:\n%s",
 			code, bplint.ExitFindings, out.String(), errb.String())
 	}
-	for _, name := range []string{"kernelpure", "ctxchunk", "geometry", "detrand", "codecerr"} {
+	for _, name := range []string{
+		"atomicmix", "closecheck", "codecerr", "ctxchunk", "detrand",
+		"geometry", "goloop", "httpdiscipline", "kernelpure", "lockguard",
+	} {
 		if !strings.Contains(out.String(), "["+name+"]") {
 			t.Errorf("badmod findings missing analyzer %s:\n%s", name, out.String())
 		}
+	}
+	if strings.Contains(out.String(), "stale //bplint:ignore") {
+		t.Errorf("stale directives reported without -staleignores:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput checks the -json mode: one parseable object per
+// line, every field populated, and the findings exit code intact.
+func TestJSONOutput(t *testing.T) {
+	var out, errb strings.Builder
+	code := bplint.Run("testdata/badmod", []string{"-json"}, &out, &errb)
+	if code != bplint.ExitFindings {
+		t.Fatalf("bplint -json on badmod exited %d, want %d\nstderr:\n%s",
+			code, bplint.ExitFindings, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON findings emitted")
+	}
+	for _, line := range lines {
+		var f struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("unparseable -json line %q: %v", line, err)
+		}
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding %q", line)
+		}
+	}
+}
+
+// TestStaleIgnoresFlag checks that -staleignores surfaces the seeded
+// dead directive and that an unknown flag is a usage error, not a
+// findings run.
+func TestStaleIgnoresFlag(t *testing.T) {
+	var out, errb strings.Builder
+	code := bplint.Run("testdata/badmod", []string{"-staleignores"}, &out, &errb)
+	if code != bplint.ExitFindings {
+		t.Fatalf("bplint -staleignores on badmod exited %d, want %d", code, bplint.ExitFindings)
+	}
+	if !strings.Contains(out.String(), "stale //bplint:ignore: no detrand finding left to suppress here") {
+		t.Errorf("seeded stale directive not reported:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := bplint.Run("testdata/badmod", []string{"-nosuchflag"}, &out, &errb); code != bplint.ExitError {
+		t.Fatalf("unknown flag exited %d, want %d", code, bplint.ExitError)
 	}
 }
 

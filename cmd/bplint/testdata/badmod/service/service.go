@@ -1,0 +1,58 @@
+// Package service seeds one violation each for the lockguard,
+// goloop, atomicmix, and closecheck analyzers, plus one stale ignore
+// directive for the -staleignores flag.
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool mixes every concurrency sin the suite knows about.
+type Pool struct {
+	mu sync.Mutex
+	n  int //bplint:guardedby mu
+
+	hits uint64
+}
+
+// lockguard: n is read without holding mu.
+func (p *Pool) Peek() int { return p.n }
+
+// goloop: fire-and-forget goroutine with no join or cancellation.
+func (p *Pool) Kick() {
+	go func() {
+		p.mu.Lock()
+		p.n++
+		p.mu.Unlock()
+	}()
+}
+
+// atomicmix: hits is updated atomically here...
+func (p *Pool) Hit() { atomic.AddUint64(&p.hits, 1) }
+
+// ...and read plainly here.
+func (p *Pool) Hits() uint64 { return p.hits }
+
+// Handle and Store give closecheck an Acquire/Release pair to track.
+type Handle struct{}
+
+// Release returns the handle.
+func (h *Handle) Release() {}
+
+// Store hands out handles.
+type Store struct{}
+
+// Acquire leases a handle.
+func (s *Store) Acquire() (*Handle, error) { return &Handle{}, nil }
+
+// Leak discards the acquired handle outright (closecheck).
+func Leak(s *Store) {
+	_, _ = s.Acquire()
+}
+
+// Quiet does nothing wrong; its directive suppresses nothing and is
+// only reported under -staleignores.
+func Quiet() int {
+	return 1 //bplint:ignore detrand seeded stale directive for the staleignores fixture
+}

@@ -1,0 +1,10 @@
+// Package web seeds one violation for the httpdiscipline analyzer.
+package web
+
+import "net/http"
+
+// Handle double-commits the response status (httpdiscipline).
+func Handle(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusInternalServerError)
+}

@@ -93,6 +93,28 @@ func HasDirective(doc *ast.CommentGroup, name string) bool {
 	return false
 }
 
+// DirectiveArgs returns the trimmed argument text after the //<name>
+// directive in the comment group, and whether the directive is
+// present. A bare directive yields "".
+func DirectiveArgs(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//"+name)
+		if !ok {
+			continue
+		}
+		if text == "" {
+			return "", true
+		}
+		if text[0] == ' ' || text[0] == '\t' {
+			return strings.TrimSpace(text), true
+		}
+	}
+	return "", false
+}
+
 // IsContextType reports whether t is context.Context.
 func IsContextType(t types.Type) bool {
 	n, ok := t.(*types.Named)

@@ -1,0 +1,106 @@
+// Package atomicmix catches mixed atomic and plain access (DESIGN.md
+// §14): once a variable is touched through a sync/atomic function
+// (atomic.AddUint64(&c.n, 1)), every other access to it in the
+// package must also go through sync/atomic — a plain read or write
+// races with the atomic ones and, on weaker memory models, tears.
+//
+// The pass collects every variable whose address is taken inside a
+// sync/atomic call, then reports any use of those variables outside
+// such a call. Fields of the typed atomic wrappers (atomic.Uint64,
+// atomic.Bool, ...) are safe by construction and never reported —
+// prefer them for new code. The escape hatch for intentional
+// unsynchronized reads (a stats snapshot on a quiescent value) is a
+// line-scoped //bplint:ignore atomicmix <why>.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bpred/internal/analysis"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "a variable touched via sync/atomic must never also be accessed plainly; " +
+		"use the typed atomic wrappers or route every access through sync/atomic",
+	Run: run,
+}
+
+// span is one atomic call's source extent; accesses inside it are the
+// sanctioned ones.
+type span struct{ lo, hi token.Pos }
+
+func run(pass *analysis.Pass) (any, error) {
+	atomicVars := make(map[*types.Var]bool)
+	spans := make(map[*ast.File][]span)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			spans[f] = append(spans[f], span{call.Pos(), call.End()})
+			for _, a := range call.Args {
+				un, ok := ast.Unparen(a).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if v := resolveVar(pass, un.X); v != nil {
+					atomicVars[v] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || !atomicVars[obj] {
+				return true
+			}
+			for _, s := range spans[f] {
+				if id.Pos() >= s.lo && id.Pos() < s.hi {
+					return true // inside a sync/atomic call
+				}
+			}
+			pass.Reportf(id.Pos(),
+				"%s is accessed with sync/atomic elsewhere in this package; "+
+					"a plain access races with the atomic ones", id.Name)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic function.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return analysis.ReceiverPkgPath(pass.TypesInfo, sel) == "sync/atomic"
+}
+
+// resolveVar returns the variable denoted by a plain identifier or a
+// field selector, or nil.
+func resolveVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := pass.TypesInfo.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := pass.TypesInfo.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}

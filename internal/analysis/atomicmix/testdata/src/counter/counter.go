@@ -1,0 +1,56 @@
+// Package counter exercises atomicmix: variables touched via
+// sync/atomic must never also be accessed plainly.
+package counter
+
+import "sync/atomic"
+
+// Stats mixes discipline levels across its fields.
+type Stats struct {
+	hits   uint64        // touched only via sync/atomic
+	misses uint64        // plain everywhere: fine
+	live   atomic.Uint64 // typed wrapper: safe by construction
+}
+
+// Hit is the sanctioned atomic path.
+func (s *Stats) Hit() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+// Snapshot reads atomically.
+func (s *Stats) Snapshot() uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+// Racy reads the atomic field plainly.
+func (s *Stats) Racy() uint64 {
+	return s.hits // want `hits is accessed with sync/atomic elsewhere`
+}
+
+// Reset writes it plainly.
+func (s *Stats) Reset() {
+	s.hits = 0 // want `hits is accessed with sync/atomic elsewhere`
+}
+
+// Miss never goes through sync/atomic, so plain access stays legal.
+func (s *Stats) Miss() {
+	s.misses++
+}
+
+// Typed wrappers are always fine.
+func (s *Stats) Live() uint64 {
+	s.live.Add(1)
+	return s.live.Load()
+}
+
+// package-level atomics are tracked too.
+var generation uint64
+
+// Bump advances the generation atomically.
+func Bump() {
+	atomic.AddUint64(&generation, 1)
+}
+
+// Peek races with Bump.
+func Peek() uint64 {
+	return generation // want `generation is accessed with sync/atomic elsewhere`
+}

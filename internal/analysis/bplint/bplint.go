@@ -5,17 +5,24 @@
 package bplint
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 
 	"bpred/internal/analysis"
+	"bpred/internal/analysis/atomicmix"
+	"bpred/internal/analysis/closecheck"
 	"bpred/internal/analysis/codecerr"
 	"bpred/internal/analysis/ctxchunk"
 	"bpred/internal/analysis/detrand"
 	"bpred/internal/analysis/driver"
 	"bpred/internal/analysis/geometry"
+	"bpred/internal/analysis/goloop"
+	"bpred/internal/analysis/httpdiscipline"
 	"bpred/internal/analysis/kernelpure"
 	"bpred/internal/analysis/load"
+	"bpred/internal/analysis/lockguard"
 )
 
 // Exit codes for Run.
@@ -28,19 +35,46 @@ const (
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
+		closecheck.Analyzer,
 		codecerr.Analyzer,
 		ctxchunk.Analyzer,
 		detrand.Analyzer,
 		geometry.Analyzer,
+		goloop.Analyzer,
+		httpdiscipline.Analyzer,
 		kernelpure.Analyzer,
+		lockguard.Analyzer,
 	}
 }
 
-// Run loads the packages matching patterns (default ./...) in the
-// module rooted at dir, applies the suite, and writes findings to
-// stdout and errors to stderr. The return value is the process exit
-// code.
-func Run(dir string, patterns []string, stdout, stderr io.Writer) int {
+// jsonFinding is the -json wire form: one object per line.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Run parses flags and patterns from args, loads the matching
+// packages (default ./...) in the module rooted at dir, applies the
+// suite, and writes findings to stdout and errors to stderr. The
+// return value is the process exit code.
+//
+// Flags (before any pattern):
+//
+//	-json          one JSON object per finding per line
+//	-staleignores  report //bplint:ignore directives that suppress nothing
+func Run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit one JSON finding per line (file, line, col, analyzer, message)")
+	stale := fs.Bool("staleignores", false, "report //bplint:ignore directives that no longer suppress anything")
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -49,12 +83,27 @@ func Run(dir string, patterns []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "bplint: %v\n", err)
 		return ExitError
 	}
-	findings, err := driver.Run(pkgs, Analyzers())
+	findings, err := driver.RunWith(pkgs, Analyzers(), driver.Options{ReportStale: *stale})
 	if err != nil {
 		fmt.Fprintf(stderr, "bplint: %v\n", err)
 		return ExitError
 	}
 	for _, f := range findings {
+		if *jsonOut {
+			raw, err := json.Marshal(jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+			if err != nil {
+				fmt.Fprintf(stderr, "bplint: encoding finding: %v\n", err)
+				return ExitError
+			}
+			fmt.Fprintln(stdout, string(raw))
+			continue
+		}
 		fmt.Fprintln(stdout, f)
 	}
 	if len(findings) > 0 {

@@ -37,6 +37,15 @@ type ignoreDirective struct {
 	analyzer string // "" = all analyzers
 	reason   string
 	pos      token.Position
+	used     bool // suppressed at least one finding this run
+}
+
+// Options tunes a driver run.
+type Options struct {
+	// ReportStale turns //bplint:ignore directives that suppressed
+	// nothing into "bplint" findings, so obsolete suppressions are
+	// removed when the code they excused gets fixed.
+	ReportStale bool
 }
 
 // Run applies every analyzer to every package, filters the
@@ -49,6 +58,11 @@ type ignoreDirective struct {
 // //bplint:ignore <reason>. A reason-less directive is itself
 // reported as a finding.
 func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	return RunWith(pkgs, analyzers, Options{})
+}
+
+// RunWith is Run with explicit Options.
+func RunWith(pkgs []*load.Package, analyzers []*analysis.Analyzer, opts Options) ([]Finding, error) {
 	known := make(map[string]bool)
 	for _, a := range analyzers {
 		known[a.Name] = true
@@ -78,6 +92,24 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
 			}
 		}
+		if opts.ReportStale {
+			for _, dirs := range ignores {
+				for _, dir := range dirs {
+					if dir.used {
+						continue
+					}
+					scope := "any analyzer"
+					if dir.analyzer != "" {
+						scope = dir.analyzer
+					}
+					findings = append(findings, Finding{
+						Analyzer: "bplint",
+						Pos:      dir.pos,
+						Message:  fmt.Sprintf("stale //bplint:ignore: no %s finding left to suppress here", scope),
+					})
+				}
+			}
+		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -98,8 +130,8 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 // collectIgnores parses the //bplint:ignore directives of one
 // package, keyed by file and line. Malformed directives (no reason)
 // come back as findings.
-func collectIgnores(pkg *load.Package, known map[string]bool) (map[string][]ignoreDirective, []Finding) {
-	ignores := make(map[string][]ignoreDirective)
+func collectIgnores(pkg *load.Package, known map[string]bool) (map[string][]*ignoreDirective, []Finding) {
+	ignores := make(map[string][]*ignoreDirective)
 	var bad []Finding
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -109,7 +141,7 @@ func collectIgnores(pkg *load.Package, known map[string]bool) (map[string][]igno
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				dir := ignoreDirective{pos: pos}
+				dir := &ignoreDirective{pos: pos}
 				fields := strings.Fields(rest)
 				if len(fields) > 0 && known[fields[0]] {
 					dir.analyzer = fields[0]
@@ -145,13 +177,15 @@ func cutDirective(c *ast.Comment) (string, bool) {
 }
 
 // suppressed reports whether a finding by analyzer at pos is covered
-// by an ignore directive on the same or the preceding line.
-func suppressed(ignores map[string][]ignoreDirective, analyzer string, pos token.Position) bool {
+// by an ignore directive on the same or the preceding line. Matching
+// directives are marked used for stale-ignore reporting.
+func suppressed(ignores map[string][]*ignoreDirective, analyzer string, pos token.Position) bool {
 	for _, dir := range ignores[pos.Filename] {
 		if dir.analyzer != "" && dir.analyzer != analyzer {
 			continue
 		}
 		if dir.pos.Line == pos.Line || dir.pos.Line == pos.Line-1 {
+			dir.used = true
 			return true
 		}
 	}

@@ -46,3 +46,54 @@ func TestIgnoreDirectives(t *testing.T) {
 		}
 	}
 }
+
+// TestIgnoreEdgeCases pins the sharp edges of suppression against the
+// history fixture: a misspelled analyzer scope folds into the reason
+// and suppresses everything on its line, a directive does not reach a
+// diagnostic two lines down, and -staleignores surfaces directives
+// that suppressed nothing.
+func TestIgnoreEdgeCases(t *testing.T) {
+	pkgs, err := load.Fixtures("testdata", ".", "history")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	suite := []*analysis.Analyzer{detrand.Analyzer, codecerr.Analyzer}
+
+	// Without stale reporting: only the wrapped-line detrand finding
+	// survives. Typo() is (over-broadly) suppressed, Clean() is quiet.
+	findings, err := driver.Run(pkgs, suite)
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "detrand" {
+		t.Fatalf("findings = %v, want exactly the wrapped-line detrand finding", findings)
+	}
+
+	// With stale reporting: the same detrand finding plus two stale
+	// directives — Wrapped's (out of reach) and Clean's (nothing to
+	// suppress). Typo's directive matched, so it is not stale.
+	findings, err = driver.RunWith(pkgs, suite, driver.Options{ReportStale: true})
+	if err != nil {
+		t.Fatalf("driver.RunWith: %v", err)
+	}
+	var stale []string
+	detrands := 0
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "bplint":
+			stale = append(stale, f.Message)
+		case "detrand":
+			detrands++
+		default:
+			t.Errorf("unexpected analyzer %q in %v", f.Analyzer, f)
+		}
+	}
+	if detrands != 1 || len(stale) != 2 {
+		t.Fatalf("findings = %v, want 1 detrand + 2 stale directives", findings)
+	}
+	for _, msg := range stale {
+		if !strings.Contains(msg, "stale //bplint:ignore: no detrand finding left to suppress here") {
+			t.Errorf("stale message = %q, want detrand-scoped stale complaint", msg)
+		}
+	}
+}

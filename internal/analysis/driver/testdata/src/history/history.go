@@ -1,0 +1,29 @@
+// Package history exercises the sharp edges of //bplint:ignore
+// handling: misspelled analyzer scopes, diagnostics on wrapped lines
+// beyond the directive's reach, and directives that suppress nothing.
+// (The name reuses a detrand-scoped package so the analyzer fires.)
+package history
+
+import "time"
+
+// A misspelled analyzer name is not recognized as a scope, so it
+// folds into the reason and the directive suppresses EVERY analyzer
+// on this line. The -staleignores flag is the safety net that
+// eventually surfaces such directives once the finding is fixed.
+func Typo() int64 {
+	return time.Now().UnixNano() //bplint:ignore detrnd the typo widens this to all analyzers
+}
+
+// A directive reaches its own line and the next one only. The
+// time.Now call sits two lines below, so the finding survives and the
+// directive itself goes stale.
+func Wrapped() int64 {
+	//bplint:ignore detrand directive reaches only the next line
+	return 0 +
+		time.Now().UnixNano()
+}
+
+// Nothing here triggers detrand; the directive is dead weight.
+func Clean() int64 {
+	return 42 //bplint:ignore detrand nothing left to suppress
+}

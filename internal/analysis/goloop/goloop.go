@@ -1,0 +1,212 @@
+// Package goloop enforces goroutine lifecycle discipline in the
+// long-running layers (DESIGN.md §14): every goroutine launched in
+// the service or cluster packages must have a visible join or
+// cancellation path, so a drained or shut-down process does not leak
+// workers. The SSE-disconnect test caught this class dynamically;
+// goloop catches it at lint time.
+//
+// A go statement passes when either:
+//
+//   - a sync.WaitGroup Add call appears in the launching function
+//     (the goroutine is joined via Wait), or
+//   - the goroutine body — the function literal, or the resolved
+//     same-package function for `go c.reap()` forms — contains a
+//     select statement, a channel receive, a range over a channel, a
+//     context Done/Err call, a sync Wait call, or a call that is
+//     handed a context.Context (cancellation delegated to the
+//     callee).
+//
+// Anything else is reported at the go statement. The escape hatch is
+// a line-scoped //bplint:ignore goloop <why> for goroutines whose
+// lifetime is genuinely process-long.
+package goloop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bpred/internal/analysis"
+)
+
+// Analyzer is the goloop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goloop",
+	Doc: "goroutines launched in service/cluster need a visible join or cancellation " +
+		"path: a WaitGroup.Add in the launcher, or a body with a select, channel " +
+		"receive, ctx.Done/Err, sync Wait, or a context-taking call",
+	Run: run,
+}
+
+// scopedPkgs are the long-running layers whose goroutines must be
+// collectable.
+var scopedPkgs = []string{"service", "cluster"}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PkgMatch(pass.Pkg.Path(), scopedPkgs...) {
+		return nil, nil
+	}
+	bodies := collectBodies(pass)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body, bodies)
+		}
+	}
+	return nil, nil
+}
+
+// collectBodies indexes the package's function declarations by their
+// types object, so goroutine targets resolve across files.
+func collectBodies(pass *analysis.Pass) map[types.Object]*ast.BlockStmt {
+	out := make(map[types.Object]*ast.BlockStmt)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+				out[obj] = fn.Body
+			}
+		}
+	}
+	return out
+}
+
+// checkFunc inspects one function body for go statements.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, bodies map[types.Object]*ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if addsToWaitGroup(pass, body) {
+			return true
+		}
+		target := goroutineBody(pass, g, bodies)
+		if target == nil {
+			pass.Reportf(g.Pos(), "goroutine body is not visible here: launch a named "+
+				"same-package function or a literal with a join or cancellation path")
+			return true
+		}
+		if !hasExitPath(pass, target) {
+			pass.Reportf(g.Pos(), "goroutine has no visible join or cancellation path: "+
+				"add a WaitGroup, select on ctx.Done(), or receive from a stop channel")
+		}
+		return true
+	})
+}
+
+// addsToWaitGroup reports whether a sync Add call appears anywhere in
+// the launching function — the goroutine is registered with a
+// WaitGroup the owner can Wait on.
+func addsToWaitGroup(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+			sel.Sel.Name == "Add" && isSyncMethod(pass, sel) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// goroutineBody resolves the statement's body: the literal itself, or
+// the declaration of a same-package function or method.
+func goroutineBody(pass *analysis.Pass, g *ast.GoStmt, bodies map[types.Object]*ast.BlockStmt) *ast.BlockStmt {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[fun]; obj != nil {
+			return bodies[obj]
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[fun.Sel]; obj != nil {
+			return bodies[obj]
+		}
+	}
+	return nil
+}
+
+// hasExitPath reports whether the goroutine body contains any
+// recognized join or cancellation construct.
+func hasExitPath(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChan(pass.TypesInfo.TypeOf(n.X)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			found = callExits(pass, n)
+		}
+		return !found
+	})
+	return found
+}
+
+// callExits recognizes ctx.Done/Err, sync Wait, and calls handed a
+// context.Context.
+func callExits(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Done", "Err":
+			if analysis.IsContextType(pass.TypesInfo.TypeOf(sel.X)) {
+				return true
+			}
+		case "Wait":
+			if isSyncMethod(pass, sel) {
+				return true
+			}
+		}
+	}
+	for _, a := range call.Args {
+		if analysis.IsContextType(pass.TypesInfo.TypeOf(a)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncMethod reports whether sel selects a method defined in
+// package sync (WaitGroup.Add/Wait, Cond.Wait, ...).
+func isSyncMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	obj := s.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// isChan reports whether t is a channel type.
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

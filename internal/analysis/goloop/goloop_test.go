@@ -1,0 +1,12 @@
+package goloop_test
+
+import (
+	"testing"
+
+	"bpred/internal/analysis/analysistest"
+	"bpred/internal/analysis/goloop"
+)
+
+func TestGoLoop(t *testing.T) {
+	analysistest.Run(t, goloop.Analyzer, "service", "other")
+}

@@ -1,0 +1,12 @@
+// Package other is outside goloop's scope: fire-and-forget is legal
+// in short-lived CLI layers.
+package other
+
+func work() {}
+
+// Detached would be a finding inside service or cluster.
+func Detached() {
+	go func() {
+		work()
+	}()
+}

@@ -1,0 +1,92 @@
+// Package service exercises goloop inside a scoped package: every
+// goroutine needs a visible join or cancellation path.
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// Pool launches goroutines in various states of discipline.
+type Pool struct {
+	wg    sync.WaitGroup
+	queue chan int
+	stop  chan struct{}
+}
+
+func work() {}
+
+// Fire leaks: nothing joins or cancels the goroutine.
+func (p *Pool) Fire() {
+	go func() { // want `no visible join or cancellation path`
+		work()
+	}()
+}
+
+// Joined registers with the WaitGroup before launching.
+func (p *Pool) Joined() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+// Selected exits when the context ends.
+func (p *Pool) Selected(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case v := <-p.queue:
+				_ = v
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Ranged drains a channel the owner closes.
+func (p *Pool) Ranged() {
+	go func() {
+		for v := range p.queue {
+			_ = v
+		}
+	}()
+}
+
+// Delegated hands its context to the callee.
+func (p *Pool) Delegated(ctx context.Context, run func(context.Context) error) {
+	go func() {
+		_ = run(ctx)
+	}()
+}
+
+// loop has a stop channel; spin does not.
+func (p *Pool) loop() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case v := <-p.queue:
+			_ = v
+		}
+	}
+}
+
+func (p *Pool) spin() {
+	for {
+		work()
+	}
+}
+
+// Named launches resolved same-package methods.
+func (p *Pool) Named() {
+	go p.loop()
+	go p.spin() // want `no visible join or cancellation path`
+}
+
+// Opaque launches a function the package cannot see into.
+func Opaque(f func()) {
+	go f() // want `goroutine body is not visible here`
+}

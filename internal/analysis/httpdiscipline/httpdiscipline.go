@@ -1,0 +1,508 @@
+// Package httpdiscipline enforces the HTTP response protocol
+// (DESIGN.md §14) on every function or literal that takes an
+// http.ResponseWriter:
+//
+//  1. At most one status is written per path. WriteHeader, a body
+//     write on an unwritten response (which commits an implicit 200),
+//     delegating via ServeHTTP, and calling a package-local helper
+//     that writes (writeJSON, httpError, ...) all count.
+//  2. No body bytes follow an error status on the same path. Writing
+//     the error payload inside the helper is fine; streaming more
+//     after it is not.
+//  3. Wherever a constant 429 (http.StatusTooManyRequests) status is
+//     written, a Retry-After header must have been set earlier in the
+//     same function — backpressure without a hint just makes clients
+//     busy-poll.
+//
+// Helper conventions are resolved within the package: a local
+// function taking a ResponseWriter "writes" if it transitively
+// reaches WriteHeader or a body write. A local writer that also
+// returns bool is a guard helper (rejectDraining-style "did I handle
+// it?"); call sites are trusted to branch on the result and are not
+// treated as writes — that convention is the deliberate escape hatch
+// for conditional responders. Status constants that reach the write
+// through a variable are not tracked; only literal/named constants in
+// the call's argument list count, so computed-code writes (healthz)
+// never false-positive. Nested literals that merely capture the
+// writer (SSE emit closures) are checked only against their own
+// parameters.
+package httpdiscipline
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"bpred/internal/analysis"
+)
+
+// Analyzer is the httpdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "httpdiscipline",
+	Doc: "one status write per handler path, no body writes after an error status, " +
+		"and Retry-After wherever a constant 429 is written",
+	Run: run,
+}
+
+// response-progress lattice.
+type state int
+
+const (
+	unwritten state = iota
+	written         // a non-error status (or implicit 200) is out
+	errored         // an error (>=400) status is out
+)
+
+// fact summarizes one package-local function for call-site
+// classification.
+type fact struct {
+	writes      bool // transitively reaches a status or body write
+	conditional bool // returns bool: guard helper, call sites branch
+}
+
+// event is one response-affecting call in source order.
+type eventKind int
+
+const (
+	evNone eventKind = iota
+	evStatus
+	evBody
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass, facts: computeFacts(pass)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil && hasRWParam(pass, n.Type) {
+					c.checkFunc(n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				if hasRWParam(pass, n.Type) {
+					c.checkFunc(n.Type, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isRW reports whether t is net/http.ResponseWriter.
+func isRW(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "ResponseWriter" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// hasRWParam reports whether the signature takes a ResponseWriter.
+func hasRWParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, p := range ft.Params.List {
+		if isRW(pass.TypesInfo.TypeOf(p.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsBool reports whether the signature's results include a bool.
+func returnsBool(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Results == nil {
+		return false
+	}
+	for _, r := range ft.Results.List {
+		if t := pass.TypesInfo.TypeOf(r.Type); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// computeFacts fixpoints the writes property over the package's
+// ResponseWriter-taking declarations.
+func computeFacts(pass *analysis.Pass) map[*types.Func]fact {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	facts := make(map[*types.Func]fact)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasRWParam(pass, fn.Type) {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = fn
+			facts[obj] = fact{conditional: returnsBool(pass, fn.Type)}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, fn := range decls {
+			if facts[obj].writes {
+				continue
+			}
+			if bodyWrites(pass, fn.Body, facts) {
+				f := facts[obj]
+				f.writes = true
+				facts[obj] = f
+				changed = true
+			}
+		}
+	}
+	return facts
+}
+
+// bodyWrites reports whether any call in body is a status or body
+// write under the current facts.
+func bodyWrites(pass *analysis.Pass, body *ast.BlockStmt, facts map[*types.Func]fact) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if k, _ := classify(pass, call, facts); k != evNone {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// netHTTPWriters are the net/http package functions that write a
+// response; every other net/http function handed a ResponseWriter
+// (MaxBytesReader) leaves it untouched.
+var netHTTPWriters = map[string]bool{
+	"Error": true, "Redirect": true, "NotFound": true,
+	"ServeContent": true, "ServeFile": true, "ServeFileFS": true,
+}
+
+// classify maps one call onto a response event and the constant
+// status code it writes (-1 when the code is not a literal constant).
+func classify(pass *analysis.Pass, call *ast.CallExpr, facts map[*types.Func]fact) (eventKind, int) {
+	// Method forms on a ResponseWriter value.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if isRW(pass.TypesInfo.TypeOf(sel.X)) {
+			switch sel.Sel.Name {
+			case "WriteHeader":
+				return evStatus, constStatus(pass, call.Args)
+			case "Write":
+				return evBody, -1
+			}
+		}
+		if sel.Sel.Name == "ServeHTTP" && callTakesRW(pass, call) {
+			return evStatus, -1
+		}
+	}
+	if !callTakesRW(pass, call) {
+		return evNone, -1
+	}
+	// A ResponseWriter flows into the callee: resolve what it does.
+	if obj := callee(pass, call); obj != nil {
+		if obj.Pkg() != nil && obj.Pkg().Path() == pass.Pkg.Path() {
+			f, ok := facts[obj]
+			switch {
+			case !ok || !f.writes:
+				return evNone, -1
+			case f.conditional:
+				return evNone, -1 // guard helper: caller branches on the result
+			default:
+				return evStatus, constStatus(pass, call.Args)
+			}
+		}
+		if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" {
+			if netHTTPWriters[obj.Name()] {
+				return evStatus, constStatus(pass, call.Args)
+			}
+			return evNone, -1
+		}
+	}
+	// Unknown destination (fmt.Fprintf, io.Copy, json.NewEncoder, a
+	// function value): assume it streams body bytes.
+	return evBody, -1
+}
+
+// callTakesRW reports whether any argument is a ResponseWriter.
+func callTakesRW(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if isRW(pass.TypesInfo.TypeOf(a)) {
+			return true
+		}
+	}
+	return false
+}
+
+// callee resolves the called function object, if static.
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// constStatus extracts the first integer constant in [100, 599] from
+// the argument list, or -1.
+func constStatus(pass *analysis.Pass, args []ast.Expr) int {
+	for _, a := range args {
+		tv, ok := pass.TypesInfo.Types[a]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			continue
+		}
+		if v, ok := constant.Int64Val(tv.Value); ok && v >= 100 && v <= 599 {
+			return int(v)
+		}
+	}
+	return -1
+}
+
+// checker walks one ResponseWriter-taking function.
+type checker struct {
+	pass  *analysis.Pass
+	facts map[*types.Func]fact
+
+	// retrySets are the positions of Retry-After header sets in the
+	// function under check.
+	retrySets []token.Pos
+}
+
+func (c *checker) checkFunc(ft *ast.FuncType, body *ast.BlockStmt) {
+	c.retrySets = c.retrySets[:0]
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+			(sel.Sel.Name == "Set" || sel.Sel.Name == "Add") && len(call.Args) >= 1 {
+			if tv, ok := c.pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil &&
+				tv.Value.Kind() == constant.String && constant.StringVal(tv.Value) == "Retry-After" {
+				c.retrySets = append(c.retrySets, call.Pos())
+			}
+		}
+		return true
+	})
+	c.stmts(body.List, unwritten)
+}
+
+// stmts walks a statement list, returning the exit state and whether
+// every path terminates.
+func (c *checker) stmts(list []ast.Stmt, st state) (state, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = c.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (c *checker) stmt(s ast.Stmt, st state) (state, bool) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		c.scan(s, &st)
+		return st, true
+	case *ast.BranchStmt:
+		return st, true
+	case *ast.BlockStmt:
+		return c.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		c.scanExpr(s.Cond, &st)
+		bodyExit, bodyTerm := c.stmts(s.Body.List, st)
+		elseExit, elseTerm := st, false
+		if s.Else != nil {
+			elseExit, elseTerm = c.stmt(s.Else, st)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return st, true
+		case bodyTerm:
+			return elseExit, false
+		case elseTerm:
+			return bodyExit, false
+		default:
+			return maxState(bodyExit, elseExit), false
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		c.scanExpr(s.Tag, &st)
+		return c.clauses(s.Body.List, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		st, _ = c.stmt(s.Assign, st)
+		return c.clauses(s.Body.List, st)
+	case *ast.SelectStmt:
+		return c.clauses(s.Body.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		c.scanExpr(s.Cond, &st)
+		bodyExit, bodyTerm := c.stmts(s.Body.List, st)
+		if s.Post != nil {
+			c.stmt(s.Post, bodyExit)
+		}
+		if bodyTerm {
+			return st, false
+		}
+		return maxState(st, bodyExit), false
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, &st)
+		bodyExit, bodyTerm := c.stmts(s.Body.List, st)
+		if bodyTerm {
+			return st, false
+		}
+		return maxState(st, bodyExit), false
+	case *ast.DeferStmt:
+		// Deferred responses run at exit in an unknowable state; scan
+		// args only.
+		for _, a := range s.Call.Args {
+			c.scanExpr(a, &st)
+		}
+		return st, false
+	case *ast.GoStmt:
+		return st, false
+	default:
+		c.scan(s, &st)
+		return st, false
+	}
+}
+
+// clauses joins switch/select case bodies: the exit is the most
+// advanced state among the paths that fall through.
+func (c *checker) clauses(list []ast.Stmt, st state) (state, bool) {
+	exits := []state{}
+	hasDefault := false
+	isSelect := false
+	for _, cl := range list {
+		var body []ast.Stmt
+		entry := st
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				c.scanExpr(e, &entry)
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			isSelect = true
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				entry, _ = c.stmt(cl.Comm, entry)
+			}
+			body = cl.Body
+		default:
+			continue
+		}
+		exit, term := c.stmts(body, entry)
+		if !term {
+			exits = append(exits, exit)
+		}
+	}
+	if !hasDefault && !isSelect {
+		exits = append(exits, st)
+	}
+	if len(exits) == 0 {
+		return st, true
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = maxState(out, e)
+	}
+	return out, false
+}
+
+// scan applies the response events of one simple statement in source
+// order.
+func (c *checker) scan(n ast.Node, st *state) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // captured writers are the literal's own business
+		case *ast.CallExpr:
+			c.apply(n, st)
+		}
+		return true
+	})
+}
+
+func (c *checker) scanExpr(e ast.Expr, st *state) {
+	if e != nil {
+		c.scan(e, st)
+	}
+}
+
+// apply transitions the state for one call.
+func (c *checker) apply(call *ast.CallExpr, st *state) {
+	kind, code := classify(c.pass, call, c.facts)
+	switch kind {
+	case evStatus:
+		if *st != unwritten {
+			c.pass.Reportf(call.Pos(),
+				"second status write on this path: the response status is already committed")
+		}
+		if code == 429 && !c.retryBefore(call.Pos()) {
+			c.pass.Reportf(call.Pos(),
+				"429 written without setting Retry-After first: give backpressured clients a hint")
+		}
+		if code >= 400 {
+			*st = errored
+		} else if *st == unwritten {
+			*st = written
+		}
+	case evBody:
+		if *st == errored {
+			c.pass.Reportf(call.Pos(),
+				"body write after an error status: the error payload already ended this response")
+		} else if *st == unwritten {
+			*st = written // implicit 200
+		}
+	}
+}
+
+// retryBefore reports whether a Retry-After set precedes pos.
+func (c *checker) retryBefore(pos token.Pos) bool {
+	for _, p := range c.retrySets {
+		if p < pos {
+			return true
+		}
+	}
+	return false
+}
+
+func maxState(a, b state) state {
+	if a > b {
+		return a
+	}
+	return b
+}

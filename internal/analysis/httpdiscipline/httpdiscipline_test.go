@@ -1,0 +1,12 @@
+package httpdiscipline_test
+
+import (
+	"testing"
+
+	"bpred/internal/analysis/analysistest"
+	"bpred/internal/analysis/httpdiscipline"
+)
+
+func TestHTTPDiscipline(t *testing.T) {
+	analysistest.Run(t, httpdiscipline.Analyzer, "web")
+}

@@ -1,0 +1,107 @@
+// Package web exercises httpdiscipline: one status per path, no body
+// after an error, Retry-After with every constant 429.
+package web
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// writeJSON is the package-local writer helper; call sites inherit
+// its "writes a status" fact.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// guard is a conditional responder: it returns whether it wrote, and
+// callers branch on the result.
+func guard(w http.ResponseWriter, busy bool) bool {
+	if busy {
+		writeJSON(w, http.StatusServiceUnavailable, "busy")
+		return true
+	}
+	return false
+}
+
+// DoubleStatus commits the status twice on the same path.
+func DoubleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, "a")
+	writeJSON(w, http.StatusOK, "b") // want `second status write`
+}
+
+// BranchedOnce writes exactly once per path.
+func BranchedOnce(w http.ResponseWriter, r *http.Request, bad bool) {
+	if bad {
+		writeJSON(w, http.StatusBadRequest, "no")
+		return
+	}
+	writeJSON(w, http.StatusOK, "yes")
+}
+
+// MissedReturn forgets the early return after the error write.
+func MissedReturn(w http.ResponseWriter, r *http.Request, bad bool) {
+	if bad {
+		writeJSON(w, http.StatusBadRequest, "no")
+	}
+	writeJSON(w, http.StatusOK, "yes") // want `second status write`
+}
+
+// BodyAfterError keeps streaming after the error payload.
+func BodyAfterError(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusBadRequest, "no")
+	fmt.Fprintln(w, "details") // want `body write after an error status`
+}
+
+// Stream is the SSE shape: one ok status, then body forever.
+func Stream(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	for i := 0; i < 3; i++ {
+		fmt.Fprintln(w, i)
+	}
+}
+
+// Throttle backpressures without a hint.
+func Throttle(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusTooManyRequests, "slow down") // want `429 written without setting Retry-After`
+}
+
+// ThrottleHinted sets the header first.
+func ThrottleHinted(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", "2")
+	writeJSON(w, http.StatusTooManyRequests, "slow down")
+}
+
+// Guarded trusts the conditional responder convention.
+func Guarded(w http.ResponseWriter, r *http.Request, busy bool) {
+	if guard(w, busy) {
+		return
+	}
+	writeJSON(w, http.StatusOK, "ok")
+}
+
+// Implicit commits a 200 with its first body byte: one status, fine.
+func Implicit(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "hello")
+}
+
+// Delegate hands off cleanly after the auth check.
+func Delegate(inner http.Handler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Auth") == "" {
+			writeJSON(w, http.StatusUnauthorized, "no")
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}
+}
+
+// DoubleDelegate delegates onto an already-written response.
+func DoubleDelegate(inner http.Handler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, "pre")
+		inner.ServeHTTP(w, r) // want `second status write`
+	}
+}

@@ -1,0 +1,512 @@
+// Package lockguard enforces the mutex annotations introduced for the
+// concurrent service/cluster layers (DESIGN.md §14): a struct field
+// carrying a
+//
+//	//bplint:guardedby <lockpath>
+//
+// comment may only be read or written while the named mutex is held.
+// The lock path is spelled relative to the struct value — "mu" for a
+// sibling field, "s.mu" when the lock lives one field away (as in
+// TraceHandle, whose released flag is guarded by its store's mutex) —
+// and the checker resolves it against the access expression: an
+// access j.state guarded by "mu" requires j.mu to be held.
+//
+// The walk is a conservative dominator-style pass over each function
+// body. <path>.Lock()/RLock() on a sync mutex adds the path to the
+// held set, Unlock()/RUnlock() removes it, and a deferred unlock
+// leaves it held for the rest of the body. Branches (if, switch,
+// select) are walked independently and joined by intersecting the
+// lock sets of the paths that fall through; a path ending in return,
+// goto, break, or continue drops out of the join. Loop bodies join
+// against the entry state, so a lock balanced inside the loop does
+// not leak out. Function literals are walked with an empty held set —
+// a goroutine or stored callback cannot inherit its creator's locks —
+// except deferred closures, which run before any earlier-registered
+// deferred unlock and therefore keep the current set.
+//
+// Escape hatches, in decreasing order of preference:
+//
+//  1. Name the method with a "Locked" suffix: the receiver's
+//     annotated locks are assumed held on entry (the tree-wide
+//     convention for caller-holds-the-lock helpers).
+//  2. Annotate a whole function //bplint:exclusive <why> when it runs
+//     before the value is shared (constructors, index loaders).
+//  3. A line-scoped //bplint:ignore lockguard <why>.
+//
+// Accesses whose base expression is not a plain identifier chain
+// (m.jobs[id].state) are skipped rather than guessed at.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"bpred/internal/analysis"
+)
+
+// Directives recognized by the analyzer.
+const (
+	// GuardedBy marks a struct field as protected by a mutex named by
+	// the directive's argument, a dotted path relative to the struct.
+	GuardedBy = "bplint:guardedby"
+	// Exclusive marks a function whose receiver or result is not yet
+	// (or no longer) shared, exempting its body from lock checking.
+	// It should carry a reason.
+	Exclusive = "bplint:exclusive"
+)
+
+// Analyzer is the lockguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated //bplint:guardedby mu must only be accessed with mu held; " +
+		"escape hatches: a Locked method-name suffix or //bplint:exclusive",
+	Run: run,
+}
+
+// guard is one annotated field.
+type guard struct {
+	owner    *types.Named // struct type declaring the field
+	field    string
+	lockPath string // dotted path relative to the struct value
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	// locksOf lists the distinct lock paths guarding each annotated
+	// struct, for seeding *Locked methods.
+	locksOf := make(map[*types.Named][]string)
+	for _, g := range guards {
+		if !contains(locksOf[g.owner], g.lockPath) {
+			locksOf[g.owner] = append(locksOf[g.owner], g.lockPath)
+		}
+	}
+	w := &walker{pass: pass, guards: guards}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if analysis.HasDirective(fn.Doc, Exclusive) {
+				continue
+			}
+			held := make(map[string]bool)
+			if recvName, recvType := receiver(pass, fn); recvType != nil && strings.HasSuffix(fn.Name.Name, "Locked") {
+				for _, lp := range locksOf[recvType] {
+					held[recvName+"."+lp] = true
+				}
+			}
+			w.stmts(fn.Body.List, held)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuards parses every //bplint:guardedby field annotation in
+// the package.
+func collectGuards(pass *analysis.Pass) map[*types.Var]guard {
+	guards := make(map[*types.Var]guard)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				lockPath, ok := analysis.DirectiveArgs(field.Doc, GuardedBy)
+				if !ok {
+					lockPath, ok = analysis.DirectiveArgs(field.Comment, GuardedBy)
+				}
+				if !ok {
+					continue
+				}
+				if lockPath == "" {
+					pass.Reportf(field.Pos(), "//bplint:guardedby needs a lock path (\"//bplint:guardedby mu\")")
+					continue
+				}
+				// The first token is the path; anything after is
+				// commentary.
+				lockPath = strings.Fields(lockPath)[0]
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = guard{owner: named, field: name.Name, lockPath: lockPath}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// receiver returns the name and named struct type of fn's receiver,
+// or ("", nil) for plain functions and unusable receivers.
+func receiver(pass *analysis.Pass, fn *ast.FuncDecl) (string, *types.Named) {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return "", nil
+	}
+	name := fn.Recv.List[0].Names[0]
+	v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+	if !ok {
+		return "", nil
+	}
+	t := v.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return name.Name, named
+}
+
+// walker carries the per-package state of the held-set walk.
+type walker struct {
+	pass   *analysis.Pass
+	guards map[*types.Var]guard
+}
+
+// stmts walks a statement list, returning the held set at the
+// fall-through exit and whether every path through the list
+// terminates before falling through.
+func (w *walker) stmts(list []ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	for _, s := range list {
+		var term bool
+		held, term = w.stmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *walker) stmt(s ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if path, op := lockOp(w.pass, call); op == opLock {
+				held = clone(held)
+				held[path] = true
+			} else if op == opUnlock {
+				held = clone(held)
+				delete(held, path)
+			}
+		}
+		return held, false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+		return held, false
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+		return held, false
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+		return held, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+		return held, false
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held for the rest of the
+		// body; other deferred calls are evaluated here and deferred
+		// closures run with the locks held now (LIFO: before any
+		// earlier-registered deferred unlock).
+		if _, op := lockOp(w.pass, s.Call); op == opUnlock {
+			return held, false
+		}
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, clone(held))
+		} else {
+			w.expr(s.Call.Fun, held)
+		}
+		return held, false
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, make(map[string]bool))
+		} else {
+			w.expr(s.Call.Fun, held)
+		}
+		return held, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the straight-line path; the
+		// targets are checked under their own entry states.
+		return held, true
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		bodyExit, bodyTerm := w.stmts(s.Body.List, clone(held))
+		elseExit, elseTerm := held, false
+		if s.Else != nil {
+			elseExit, elseTerm = w.stmt(s.Else, clone(held))
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return held, true
+		case bodyTerm:
+			return elseExit, false
+		case elseTerm:
+			return bodyExit, false
+		default:
+			return intersect(bodyExit, elseExit), false
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		w.expr(s.Tag, held)
+		return w.clauses(s.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		held, _ = w.stmt(s.Assign, held)
+		return w.clauses(s.Body.List, held)
+	case *ast.SelectStmt:
+		return w.clauses(s.Body.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		bodyExit, bodyTerm := w.stmts(s.Body.List, clone(held))
+		if s.Post != nil {
+			w.stmt(s.Post, bodyExit)
+		}
+		if bodyTerm {
+			return held, false
+		}
+		return intersect(held, bodyExit), false
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		bodyExit, bodyTerm := w.stmts(s.Body.List, clone(held))
+		if bodyTerm {
+			return held, false
+		}
+		return intersect(held, bodyExit), false
+	}
+	return held, false
+}
+
+// clauses joins the case bodies of a switch, type switch, or select:
+// each clause is walked from the entry state and the fall-through
+// exits are intersected. A switch without a default keeps the entry
+// state in the join (no clause may run); a select always runs one.
+func (w *walker) clauses(list []ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	var exits []map[string]bool
+	hasDefault := false
+	isSelect := false
+	for _, c := range list {
+		var body []ast.Stmt
+		entry := clone(held)
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.expr(e, held)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			isSelect = true
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				entry, _ = w.stmt(c.Comm, entry)
+			}
+			body = c.Body
+		default:
+			continue
+		}
+		exit, term := w.stmts(body, entry)
+		if !term {
+			exits = append(exits, exit)
+		}
+	}
+	if !hasDefault && !isSelect {
+		exits = append(exits, held)
+	}
+	if len(exits) == 0 {
+		return held, true
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = intersect(out, e)
+	}
+	return out, false
+}
+
+// expr reports guarded-field accesses within e under the held set.
+// Function literals embedded in expressions are walked with an empty
+// set: stored callbacks and goroutines do not inherit locks.
+func (w *walker) expr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(n.Body.List, make(map[string]bool))
+			return false
+		case *ast.SelectorExpr:
+			w.checkAccess(n, held)
+		}
+		return true
+	})
+}
+
+// checkAccess reports sel when it denotes a guarded field whose lock
+// is not in the held set.
+func (w *walker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
+	s, ok := w.pass.TypesInfo.Selections[sel]
+	if !ok {
+		return
+	}
+	obj, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	g, ok := w.guards[obj]
+	if !ok {
+		return
+	}
+	base := render(sel.X)
+	if base == "" {
+		return // lock not nameable from here; stay silent
+	}
+	need := base + "." + g.lockPath
+	if held[need] {
+		return
+	}
+	w.pass.Reportf(sel.Sel.Pos(),
+		"%s.%s is guarded by %s (//bplint:guardedby %s) but accessed without holding it",
+		base, g.field, need, g.lockPath)
+}
+
+// lock operation kinds.
+type lockKind int
+
+const (
+	opNone lockKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies call as a sync mutex (R)Lock/(R)Unlock on a
+// nameable path.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (string, lockKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var kind lockKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", opNone
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return "", opNone
+	}
+	obj := s.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	path := render(sel.X)
+	if path == "" {
+		return "", opNone
+	}
+	return path, kind
+}
+
+// render flattens an identifier chain (j, j.mu, h.s.mu) into its
+// dotted spelling, or "" for anything more complex.
+func render(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := render(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+func clone(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func intersect(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"bpred/internal/analysis/analysistest"
+	"bpred/internal/analysis/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, lockguard.Analyzer, "store")
+}

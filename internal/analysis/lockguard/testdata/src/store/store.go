@@ -1,0 +1,141 @@
+// Package store exercises lockguard: fields annotated
+// //bplint:guardedby mu may only be touched with mu held.
+package store
+
+import "sync"
+
+// Box is a guarded value with one unguarded field.
+type Box struct {
+	mu   sync.Mutex
+	n    int    //bplint:guardedby mu
+	s    string //bplint:guardedby mu
+	open bool
+}
+
+// Good holds the lock across the read.
+func (b *Box) Good() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// Bad reads without the lock.
+func (b *Box) Bad() int {
+	return b.n // want `b\.n is guarded by b\.mu`
+}
+
+// Unguarded fields stay free.
+func (b *Box) Toggle() {
+	b.open = !b.open
+}
+
+// Branchy unlocks on every path after the guarded writes.
+func (b *Box) Branchy(flip bool) {
+	b.mu.Lock()
+	if flip {
+		b.s = "x"
+		b.mu.Unlock()
+		return
+	}
+	b.s = "y"
+	b.mu.Unlock()
+}
+
+// Leaky drops the lock on one branch, so the join no longer holds it.
+func (b *Box) Leaky(flip bool) {
+	b.mu.Lock()
+	if flip {
+		b.mu.Unlock()
+		return
+	}
+	if b.open {
+		b.mu.Unlock()
+	}
+	b.s = "z" // want `b\.s is guarded by b\.mu`
+}
+
+// Swap switches on guarded state under the lock, releasing per case.
+func (b *Box) Swap(q chan int) {
+	b.mu.Lock()
+	switch b.n {
+	case 0:
+		b.n = 1
+		b.mu.Unlock()
+	default:
+		b.mu.Unlock()
+	}
+	select {
+	case v := <-q:
+		b.mu.Lock()
+		b.n = v
+		b.mu.Unlock()
+	default:
+	}
+}
+
+// Pump balances the lock inside the loop; the tail access is naked.
+func (b *Box) Pump(ch chan int) {
+	for v := range ch {
+		b.mu.Lock()
+		b.n += v
+		b.mu.Unlock()
+	}
+	b.n = 0 // want `b\.n is guarded by b\.mu`
+}
+
+// bumpLocked relies on the Locked-suffix convention: the caller holds
+// b.mu.
+func (b *Box) bumpLocked() {
+	b.n++
+}
+
+// Bump is the locking wrapper.
+func (b *Box) Bump() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bumpLocked()
+}
+
+// NewBox runs before the value is shared.
+//
+//bplint:exclusive construction: no other goroutine can see b yet
+func NewBox(n int) *Box {
+	b := &Box{}
+	b.n = n
+	return b
+}
+
+// Async launches a goroutine that cannot inherit the creator's lock.
+func (b *Box) Async() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.n++ // want `b\.n is guarded by b\.mu`
+	}()
+}
+
+// DeferTouch registers the closure after the unlock, so it runs first
+// (LIFO) and still sees the lock held.
+func (b *Box) DeferTouch() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	defer func() { b.n++ }()
+}
+
+// Handle guards a field with a lock one hop away, TraceHandle-style.
+type Handle struct {
+	box      *Box
+	released bool //bplint:guardedby box.mu
+}
+
+// GoodRelease resolves the lock path against the access base.
+func (h *Handle) GoodRelease() {
+	h.box.mu.Lock()
+	h.released = true
+	h.box.mu.Unlock()
+}
+
+// BadRelease holds nothing.
+func (h *Handle) BadRelease() {
+	h.released = true // want `h\.released is guarded by h\.box\.mu`
+}

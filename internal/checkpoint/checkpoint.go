@@ -269,9 +269,9 @@ func PathFor(dir string, digest [32]byte, warmup uint64) string {
 // warmup) store registry guarantees.
 type Store struct {
 	mu    sync.Mutex
-	path  string // "" = memory-only
-	file  File
-	dirty bool
+	path  string // "" = memory-only; immutable after Open
+	file  File   //bplint:guardedby mu
+	dirty bool   //bplint:guardedby mu
 }
 
 // NewMemory returns an unbacked store for the given binding.
@@ -287,6 +287,8 @@ func NewMemory(traceDigest [32]byte, warmup uint64) *Store {
 // store; an existing file is loaded and must carry the same trace
 // digest and warmup (ErrMismatch otherwise — silently mixing results
 // from a different trace would corrupt a resumed surface).
+//
+//bplint:exclusive the store is not shared until Open returns
 func Open(path string, traceDigest [32]byte, warmup uint64) (*Store, error) {
 	s := NewMemory(traceDigest, warmup)
 	s.path = path

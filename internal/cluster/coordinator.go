@@ -99,16 +99,16 @@ type Coordinator struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	closed   bool
-	nextID   uint64
-	ring     *Ring
-	workers  map[string]*workerState
-	global   []*chunkState                // chunks with no ring owner (empty fleet)
-	pending  map[uint64]*chunkState       // dispatched, awaiting completion
-	cells    map[string]*cellWait         // unsettled cells by Key.String()
-	stores   map[string]*checkpoint.Store // "digest|warmup" -> authoritative ledger
-	seen     map[uint64]bool              // chunk IDs whose progress was merged
-	stats    Stats
+	closed   bool                         //bplint:guardedby mu
+	nextID   uint64                       //bplint:guardedby mu
+	ring     *Ring                        //bplint:guardedby mu
+	workers  map[string]*workerState      //bplint:guardedby mu
+	global   []*chunkState                //bplint:guardedby mu // chunks with no ring owner (empty fleet)
+	pending  map[uint64]*chunkState       //bplint:guardedby mu // dispatched, awaiting completion
+	cells    map[string]*cellWait         //bplint:guardedby mu // unsettled cells by Key.String()
+	stores   map[string]*checkpoint.Store //bplint:guardedby mu // "digest|warmup" -> authoritative ledger
+	seen     map[uint64]bool              //bplint:guardedby mu // chunk IDs whose progress was merged
+	stats    Stats                        //bplint:guardedby mu
 	stopReap chan struct{}
 }
 

@@ -268,7 +268,7 @@ type RemoteTraces struct {
 	Token string
 
 	mu    sync.Mutex
-	cache map[string]*trace.Trace
+	cache map[string]*trace.Trace //bplint:guardedby mu
 }
 
 // Trace implements TraceProvider. ctx cancels the download and the

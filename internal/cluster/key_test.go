@@ -65,16 +65,16 @@ func TestParseKeyRejects(t *testing.T) {
 	bad := []string{
 		"",
 		"nodigest",
-		hex64,                        // no warmup/fingerprint
-		hex64 + "|5",                 // no fingerprint
-		hex64 + "|5|",                // empty fingerprint
-		hex64 + "|05|cfg1|s2",        // non-canonical warmup
-		hex64 + "|+5|cfg1|s2",        // sign
-		hex64 + "|x|cfg1|s2",         // non-decimal warmup
-		hex64[:63] + "|5|cfg1|s2",    // short digest
-		hex64[:63] + "g|5|cfg1|s2",   // non-hex digest
-		"A" + hex64[1:] + "|5|cfg1",  // uppercase hex
-		hex64 + "x|5|cfg1|s2",        // long digest
+		hex64,                                // no warmup/fingerprint
+		hex64 + "|5",                         // no fingerprint
+		hex64 + "|5|",                        // empty fingerprint
+		hex64 + "|05|cfg1|s2",                // non-canonical warmup
+		hex64 + "|+5|cfg1|s2",                // sign
+		hex64 + "|x|cfg1|s2",                 // non-decimal warmup
+		hex64[:63] + "|5|cfg1|s2",            // short digest
+		hex64[:63] + "g|5|cfg1|s2",           // non-hex digest
+		"A" + hex64[1:] + "|5|cfg1",          // uppercase hex
+		hex64 + "x|5|cfg1|s2",                // long digest
 		hex64 + "|18446744073709551616|cfg1", // warmup overflow
 	}
 	for _, s := range bad {
@@ -124,16 +124,16 @@ func TestParseCheckpointFileRejects(t *testing.T) {
 	bad := []string{
 		"",
 		"sweep-.bpc",
-		"sweep-abc-w5.bpc",                             // short prefix
-		"nosweep-aaaaaaaaaaaaaaaaaaaaaaaa-w5.bpc",      // bad prefix keyword
-		"sweep-aaaaaaaaaaaaaaaaaaaaaaaa-w5",            // no suffix
-		"sweep-aaaaaaaaaaaaaaaaaaaaaaaa-w05.bpc",       // non-canonical warmup
-		"sweep-aaaaaaaaaaaaaaaaaaaaaaaa-w.bpc",         // empty warmup
-		"sweep-aaaaaaaaaaaaaaaaaaaaaaaa-wx.bpc",        // non-decimal warmup
-		"sweep-AAAAAAAAAAAAAAAAAAAAAAAA-w5.bpc",        // uppercase hex
-		"sweep-gggggggggggggggggggggggg-w5.bpc",        // non-hex
-		"sweep-aaaaaaaaaaaaaaaaaaaaaaaaaa-w5.bpc",      // long prefix
-		"sweep-aaaaaaaaaaaaaaaaaaaaaaaa5.bpc",          // missing -w
+		"sweep-abc-w5.bpc", // short prefix
+		"nosweep-aaaaaaaaaaaaaaaaaaaaaaaa-w5.bpc", // bad prefix keyword
+		"sweep-aaaaaaaaaaaaaaaaaaaaaaaa-w5",       // no suffix
+		"sweep-aaaaaaaaaaaaaaaaaaaaaaaa-w05.bpc",  // non-canonical warmup
+		"sweep-aaaaaaaaaaaaaaaaaaaaaaaa-w.bpc",    // empty warmup
+		"sweep-aaaaaaaaaaaaaaaaaaaaaaaa-wx.bpc",   // non-decimal warmup
+		"sweep-AAAAAAAAAAAAAAAAAAAAAAAA-w5.bpc",   // uppercase hex
+		"sweep-gggggggggggggggggggggggg-w5.bpc",   // non-hex
+		"sweep-aaaaaaaaaaaaaaaaaaaaaaaaaa-w5.bpc", // long prefix
+		"sweep-aaaaaaaaaaaaaaaaaaaaaaaa5.bpc",     // missing -w
 	}
 	for _, name := range bad {
 		if _, _, err := ParseCheckpointFile(name); err == nil {

@@ -47,8 +47,8 @@ type Worker struct {
 	RetryDelay time.Duration
 
 	mu     sync.Mutex
-	stores map[string]*checkpoint.Store // "digest|warmup" -> replica cache
-	stats  WorkerStats
+	stores map[string]*checkpoint.Store //bplint:guardedby mu // "digest|warmup" -> replica cache
+	stats  WorkerStats                  //bplint:guardedby mu
 
 	// hookChunk, when set, runs before each chunk executes; the chaos
 	// harness uses it to kill a worker mid-chunk at a deterministic

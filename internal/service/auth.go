@@ -21,6 +21,10 @@ type Tenant struct {
 	// MaxTraces caps how many distinct traces the tenant may own
 	// (0 = unlimited). Re-uploading owned content never counts twice.
 	MaxTraces int `json:"max_traces,omitempty"`
+	// MaxTraceBytes caps the summed canonical on-disk size of the
+	// tenant's owned traces (0 = unlimited). Content shared with
+	// other tenants charges each owner its full size.
+	MaxTraceBytes uint64 `json:"max_trace_bytes,omitempty"`
 	// MaxQueuedJobs caps the tenant's live (queued + running) jobs
 	// (0 = unlimited); over-quota submissions get 429.
 	MaxQueuedJobs int `json:"max_queued_jobs,omitempty"`

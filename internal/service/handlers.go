@@ -77,12 +77,12 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request, tenan
 	if s.rejectDraining(w) {
 		return
 	}
-	maxTraces := 0
+	var quota TraceQuota
 	if t := s.m.tenantConfig(tenant); t != nil {
-		maxTraces = t.MaxTraces
+		quota = TraceQuota{MaxTraces: t.MaxTraces, MaxBytes: t.MaxTraceBytes}
 	}
 	body := http.MaxBytesReader(w, r.Body, s.MaxUploadBytes)
-	info, err := s.m.Traces().IngestAs(r.Context(), body, tenant, maxTraces)
+	info, err := s.m.Traces().IngestAs(r.Context(), body, tenant, quota)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		switch {
@@ -92,6 +92,11 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request, tenan
 		case errors.Is(err, ErrTraceTooLarge):
 			writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
 		case errors.Is(err, ErrTraceQuota):
+			// Quota pressure clears when the tenant deletes or the
+			// operator raises the cap; hint the job-queue cadence so
+			// clients back off instead of busy-polling.
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int((s.m.cfg.RetryAfter+time.Second-1)/time.Second)))
 			writeError(w, http.StatusTooManyRequests, "%v", err)
 		case errors.Is(err, trace.ErrBadMagic):
 			writeError(w, http.StatusBadRequest, "not a BPT1/BPT2 trace: %v", err)

@@ -76,6 +76,8 @@ func (m *Manager) persistJobsLocked() error {
 // the BPC1 cache, so resumption costs only the missing work. Jobs
 // whose trace vanished from the store fail immediately instead of
 // wedging a worker.
+//
+//bplint:exclusive runs before the manager is shared; the jobs it builds are not yet published
 func (m *Manager) loadJobs() ([]*Job, error) {
 	raw, err := os.ReadFile(m.jobsPath())
 	if errors.Is(err, os.ErrNotExist) {

@@ -84,14 +84,14 @@ type Job struct {
 	Obs *obs.Counters
 
 	mu        sync.Mutex
-	state     State
-	errText   string
-	reason    State // what a context cancel resolves to: canceled or interrupted
-	cancel    context.CancelFunc
-	result    *JobResult
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	state     State              //bplint:guardedby mu
+	errText   string             //bplint:guardedby mu
+	reason    State              //bplint:guardedby mu // what a context cancel resolves to: canceled or interrupted
+	cancel    context.CancelFunc //bplint:guardedby mu
+	result    *JobResult         //bplint:guardedby mu
+	submitted time.Time          //bplint:guardedby mu
+	started   time.Time          //bplint:guardedby mu
+	finished  time.Time          //bplint:guardedby mu
 }
 
 // digest returns the binary trace digest (validated at submit).
@@ -234,11 +234,11 @@ type Manager struct {
 	stop context.CancelFunc
 
 	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // submission order, for deterministic listings
-	byKey  map[string]*Job
-	seq    uint64
-	stores map[string]*checkpoint.Store // digest|warmup -> shared store
+	jobs   map[string]*Job              //bplint:guardedby mu
+	order  []string                     //bplint:guardedby mu // submission order, for deterministic listings
+	byKey  map[string]*Job              //bplint:guardedby mu
+	seq    uint64                       //bplint:guardedby mu
+	stores map[string]*checkpoint.Store //bplint:guardedby mu // digest|warmup -> shared store
 
 	queue    chan *Job
 	wg       sync.WaitGroup

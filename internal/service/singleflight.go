@@ -30,7 +30,7 @@ type flight struct {
 // leadership — after a leader was canceled mid-cell.
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[string]*flight
+	m  map[string]*flight //bplint:guardedby mu
 }
 
 func newFlightGroup() *flightGroup {

@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -503,6 +505,114 @@ func TestStreamingByteIdentity(t *testing.T) {
 	}
 	if !bytes.Equal(refCSV.Bytes(), gotCSV.Bytes()) {
 		t.Fatalf("surface CSV from streamed checkpoints differs from in-memory CSV:\nwant:\n%s\ngot:\n%s", refCSV.String(), gotCSV.String())
+	}
+}
+
+// TestTraceByteQuota exercises per-tenant byte accounting in the
+// trace store: sizes recorded at ingest, quota refusals on both the
+// new-content and adopt-existing paths, idempotent re-uploads, and
+// backfill of pre-accounting index entries at load.
+func TestTraceByteQuota(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewTraceStore(dir, 1<<20, 0, 0)
+	if err != nil {
+		t.Fatalf("NewTraceStore: %v", err)
+	}
+	ctx := context.Background()
+	data1 := encodeBPT1(t, genTrace(t, 500, 31))
+	data2 := encodeBPT1(t, genTrace(t, 500, 32))
+
+	info1, err := st.IngestAs(ctx, bytes.NewReader(data1), "carol", TraceQuota{})
+	if err != nil {
+		t.Fatalf("first ingest: %v", err)
+	}
+	if info1.Bytes == 0 {
+		t.Fatalf("ingest recorded no byte size: %+v", info1)
+	}
+
+	// An exact-fit quota admits content already owned (idempotent) but
+	// nothing more.
+	quota := TraceQuota{MaxBytes: info1.Bytes}
+	if _, err := st.IngestAs(ctx, bytes.NewReader(data1), "carol", quota); err != nil {
+		t.Fatalf("idempotent re-upload under exact-fit quota: %v", err)
+	}
+	if _, err := st.IngestAs(ctx, bytes.NewReader(data2), "carol", quota); !errors.Is(err, ErrTraceQuota) {
+		t.Fatalf("second distinct upload = %v, want ErrTraceQuota", err)
+	}
+
+	// Other tenants are unaffected, and adopting their content still
+	// charges this tenant's bytes.
+	info2, err := st.IngestAs(ctx, bytes.NewReader(data2), "dave", TraceQuota{})
+	if err != nil {
+		t.Fatalf("dave ingest: %v", err)
+	}
+	if info2.Bytes == 0 {
+		t.Fatalf("dave's ingest recorded no byte size: %+v", info2)
+	}
+	if _, err := st.IngestAs(ctx, bytes.NewReader(data2), "carol", quota); !errors.Is(err, ErrTraceQuota) {
+		t.Fatalf("adopting existing content over quota = %v, want ErrTraceQuota", err)
+	}
+
+	// Strip the persisted sizes — an index written before byte
+	// accounting — and reload: sizes come back from the backing files
+	// and the quota still binds.
+	idx := filepath.Join(dir, "index.json")
+	raw, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatalf("reading index: %v", err)
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatalf("parsing index: %v", err)
+	}
+	for _, e := range entries {
+		delete(e, "bytes")
+	}
+	stripped, err := json.Marshal(entries)
+	if err != nil {
+		t.Fatalf("re-encoding index: %v", err)
+	}
+	if err := os.WriteFile(idx, stripped, 0o644); err != nil {
+		t.Fatalf("writing index: %v", err)
+	}
+	st2, err := NewTraceStore(dir, 1<<20, 0, 0)
+	if err != nil {
+		t.Fatalf("reopening store: %v", err)
+	}
+	got, err := st2.InfoFor(info1.Digest, "carol")
+	if err != nil {
+		t.Fatalf("InfoFor after reload: %v", err)
+	}
+	if got.Bytes != info1.Bytes {
+		t.Fatalf("reloaded Bytes = %d, want %d (backfilled from the file)", got.Bytes, info1.Bytes)
+	}
+	if _, err := st2.IngestAs(ctx, bytes.NewReader(data2), "carol", quota); !errors.Is(err, ErrTraceQuota) {
+		t.Fatalf("post-reload over-quota upload = %v, want ErrTraceQuota", err)
+	}
+}
+
+// TestTraceByteQuotaHTTP pins the API contract for byte quotas: an
+// over-quota upload is a 429 carrying a Retry-After hint, and an
+// admitted upload reports its stored size.
+func TestTraceByteQuotaHTTP(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.Tenants = []Tenant{
+			{Name: "carol", Key: "carol-key", MaxTraceBytes: 1},
+			{Name: "dave", Key: "dave-key"},
+		}
+	})
+	data := encodeBPT1(t, genTrace(t, 400, 33))
+	resp := authReq(t, http.MethodPost, ts.URL+"/v1/traces", "carol-key", data)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota upload: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("trace-quota 429 without Retry-After")
+	}
+	var info TraceInfo
+	if code := authJSON(t, http.MethodPost, ts.URL+"/v1/traces", "dave-key", data, &info); code != http.StatusOK || info.Bytes == 0 {
+		t.Fatalf("unbounded upload = %+v (%d), want 200 with a byte size", info, code)
 	}
 }
 

@@ -41,6 +41,10 @@ type TraceInfo struct {
 	// the canonical columnar form; 1 for legacy .bpt files adopted
 	// from an older data directory).
 	Format int `json:"format,omitempty"`
+	// Bytes is the canonical on-disk size of the stored trace; it is
+	// what byte quotas charge. Entries persisted before this field
+	// existed are backfilled from the backing file at load.
+	Bytes uint64 `json:"bytes,omitempty"`
 }
 
 // indexEntry is the persisted index.json form: the wire metadata plus
@@ -84,10 +88,10 @@ type TraceStore struct {
 	streamBranches uint64
 
 	mu     sync.Mutex
-	infos  map[string]TraceInfo       // digest hex -> metadata
-	owners map[string]map[string]bool // digest hex -> owning tenants
-	loaded map[string]*cachedTrace    // digest hex -> decoded LRU entry
-	tick   uint64
+	infos  map[string]TraceInfo       //bplint:guardedby mu // digest hex -> metadata
+	owners map[string]map[string]bool //bplint:guardedby mu // digest hex -> owning tenants
+	loaded map[string]*cachedTrace    //bplint:guardedby mu // digest hex -> decoded LRU entry
+	tick   uint64                     //bplint:guardedby mu
 }
 
 // DefaultTraceCacheCap bounds the decoded-trace LRU when the
@@ -144,6 +148,7 @@ func (s *TraceStore) tracePathLocked(digest string) string {
 	return s.pathFor(digest, s.infos[digest].Format)
 }
 
+//bplint:exclusive runs from NewTraceStore before the store is shared
 func (s *TraceStore) loadIndex() error {
 	raw, err := os.ReadFile(s.indexPath())
 	if errors.Is(err, os.ErrNotExist) {
@@ -167,8 +172,14 @@ func (s *TraceStore) loadIndex() error {
 				in.Format = 1
 			}
 		}
-		if _, err := os.Stat(s.pathFor(in.Digest, in.Format)); err != nil {
+		st, err := os.Stat(s.pathFor(in.Digest, in.Format))
+		if err != nil {
 			continue
+		}
+		// Indexes written before byte accounting carry no size; charge
+		// quotas from the surviving file.
+		if in.Bytes == 0 {
+			in.Bytes = uint64(st.Size())
 		}
 		s.infos[in.Digest] = in.TraceInfo
 		for _, t := range in.Tenants {
@@ -178,8 +189,8 @@ func (s *TraceStore) loadIndex() error {
 	return nil
 }
 
-// persistIndex atomically rewrites the index. Callers hold s.mu.
-func (s *TraceStore) persistIndex() error {
+// persistIndexLocked atomically rewrites the index. Callers hold s.mu.
+func (s *TraceStore) persistIndexLocked() error {
 	entries := make([]indexEntry, 0, len(s.infos))
 	for d, in := range s.infos {
 		e := indexEntry{TraceInfo: in}
@@ -213,6 +224,35 @@ func (s *TraceStore) addOwnerLocked(digest, tenant string) bool {
 	return true
 }
 
+// usageLocked sums the tenant's owned-trace count and canonical
+// bytes. Callers hold s.mu.
+func (s *TraceStore) usageLocked(tenant string) (traces int, bytes uint64) {
+	for d := range s.infos {
+		if s.owners[d][tenant] {
+			traces++
+			bytes += s.infos[d].Bytes
+		}
+	}
+	return traces, bytes
+}
+
+// admitLocked checks whether tenant may take ownership of one more
+// trace of the given canonical size under quota. Callers hold s.mu.
+func (s *TraceStore) admitLocked(tenant string, quota TraceQuota, size uint64) error {
+	if tenant == "" {
+		return nil
+	}
+	owned, used := s.usageLocked(tenant)
+	if quota.MaxTraces > 0 && owned >= quota.MaxTraces {
+		return fmt.Errorf("%w: %d traces, cap is %d", ErrTraceQuota, owned, quota.MaxTraces)
+	}
+	if quota.MaxBytes > 0 && used+size > quota.MaxBytes {
+		return fmt.Errorf("%w: %d of %d bytes used, this %d-byte trace does not fit",
+			ErrTraceQuota, used, quota.MaxBytes, size)
+	}
+	return nil
+}
+
 // visibleLocked reports whether tenant may see digest. The empty
 // tenant is the open single-tenant mode (no auth configured) and sees
 // everything.
@@ -223,9 +263,19 @@ func (s *TraceStore) visibleLocked(digest, tenant string) bool {
 	return s.owners[digest][tenant]
 }
 
+// TraceQuota bounds a tenant's footprint in the store. Zero fields
+// are unlimited. MaxTraces caps distinct owned traces; MaxBytes caps
+// the summed canonical on-disk size of everything the tenant owns —
+// shared content charges every owner its full size, so releasing a
+// trace always frees the tenant's own accounting.
+type TraceQuota struct {
+	MaxTraces int
+	MaxBytes  uint64
+}
+
 // Ingest streams one trace upload in open single-tenant mode.
 func (s *TraceStore) Ingest(r io.Reader) (TraceInfo, error) {
-	return s.IngestAs(context.Background(), r, "", 0)
+	return s.IngestAs(context.Background(), r, "", TraceQuota{})
 }
 
 // IngestAs streams one trace upload (BPT1 or BPT2) for a tenant:
@@ -235,10 +285,11 @@ func (s *TraceStore) Ingest(r io.Reader) (TraceInfo, error) {
 // content the store already holds is idempotent (the tenant is added
 // as an owner). The record-count cap rejects oversized headers before
 // any record is read, and lying headers when the actual records
-// overrun. maxTraces, when positive, caps how many distinct traces
-// the tenant may own. ctx cancels the ingest at batch boundaries
-// (disconnected uploaders stop costing decode work).
-func (s *TraceStore) IngestAs(ctx context.Context, r io.Reader, tenant string, maxTraces int) (info TraceInfo, err error) {
+// overrun. quota caps the tenant's owned-trace count and summed
+// bytes; both apply whenever ownership would grow, including adopting
+// content another tenant already uploaded. ctx cancels the ingest at
+// batch boundaries (disconnected uploaders stop costing decode work).
+func (s *TraceStore) IngestAs(ctx context.Context, r io.Reader, tenant string, quota TraceQuota) (info TraceInfo, err error) {
 	rd, err := trace.NewReader(r)
 	if err != nil {
 		return TraceInfo{}, err
@@ -253,7 +304,7 @@ func (s *TraceStore) IngestAs(ctx context.Context, r io.Reader, tenant string, m
 	}
 	defer func() {
 		if tmp != nil {
-			tmp.Close() //bplint:ignore codecerr error path cleanup; the ingest error wins
+			tmp.Close() // error-path cleanup; the ingest error wins
 			if rmErr := os.Remove(tmp.Name()); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) && err == nil {
 				err = fmt.Errorf("service: %w", rmErr)
 			}
@@ -304,6 +355,10 @@ func (s *TraceStore) IngestAs(ctx context.Context, r io.Reader, tenant string, m
 	if err := tmp.Close(); err != nil {
 		return TraceInfo{}, fmt.Errorf("service: %w", err)
 	}
+	st, err := os.Stat(tmp.Name())
+	if err != nil {
+		return TraceInfo{}, fmt.Errorf("service: %w", err)
+	}
 	digest := dw.Sum()
 	key := hex.EncodeToString(digest[:])
 	info = TraceInfo{
@@ -312,14 +367,22 @@ func (s *TraceStore) IngestAs(ctx context.Context, r io.Reader, tenant string, m
 		Branches:     n,
 		Instructions: rd.Instructions(),
 		Format:       2,
+		Bytes:        uint64(st.Size()),
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if existing, ok := s.infos[key]; ok {
-		// Content dedup is global; ownership is per-tenant.
+		// Content dedup is global; ownership is per-tenant — and
+		// adopting content another tenant uploaded still grows this
+		// tenant's footprint, so quota applies here too.
+		if tenant != "" && !s.owners[key][tenant] {
+			if err := s.admitLocked(tenant, quota, existing.Bytes); err != nil {
+				return TraceInfo{}, err
+			}
+		}
 		if s.addOwnerLocked(key, tenant) {
-			if err := s.persistIndex(); err != nil {
+			if err := s.persistIndexLocked(); err != nil {
 				return TraceInfo{}, err
 			}
 		}
@@ -329,16 +392,8 @@ func (s *TraceStore) IngestAs(ctx context.Context, r io.Reader, tenant string, m
 		tmp = nil
 		return existing, nil
 	}
-	if tenant != "" && maxTraces > 0 {
-		owned := 0
-		for d := range s.infos {
-			if s.owners[d][tenant] {
-				owned++
-			}
-		}
-		if owned >= maxTraces {
-			return TraceInfo{}, fmt.Errorf("%w: %d traces, cap is %d", ErrTraceQuota, owned, maxTraces)
-		}
+	if err := s.admitLocked(tenant, quota, info.Bytes); err != nil {
+		return TraceInfo{}, err
 	}
 	// Rename into place so a crash mid-write never leaves a half trace
 	// under a valid digest name.
@@ -348,7 +403,7 @@ func (s *TraceStore) IngestAs(ctx context.Context, r io.Reader, tenant string, m
 	tmp = nil
 	s.infos[key] = info
 	s.addOwnerLocked(key, tenant)
-	if err := s.persistIndex(); err != nil {
+	if err := s.persistIndexLocked(); err != nil {
 		return TraceInfo{}, err
 	}
 	return info, nil
@@ -438,7 +493,7 @@ type TraceHandle struct {
 	info     TraceInfo
 	tr       *trace.Trace
 	pinned   bool
-	released bool
+	released bool //bplint:guardedby s.mu
 }
 
 // Info returns the trace's metadata.
