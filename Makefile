@@ -97,13 +97,13 @@ COVER_FLOOR = 80
 # -coverpkg spans the gated set so cross-package exercise counts: the
 # analyzer fixtures drive load/analysistest, and cmd/bplint's smoke
 # test drives the bplint driver package.
-COVER_PKGS = ./internal/sim/,./internal/sweep/,./internal/checkpoint/,./internal/obs/,./internal/analysis/...,./internal/service/,./internal/counter/,./internal/cluster/,./internal/trace/
+COVER_PKGS = ./internal/sim/,./internal/sweep/,./internal/checkpoint/,./internal/obs/,./internal/analysis/...,./internal/service/,./internal/counter/,./internal/cluster/,./internal/trace/,./internal/core/
 
 cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=$(COVER_PKGS) \
 		./internal/sim/ ./internal/sweep/ ./internal/checkpoint/ ./internal/obs/ \
 		./internal/analysis/... ./cmd/bplint/ ./internal/service/ ./internal/counter/ \
-		./internal/cluster/ ./internal/trace/
+		./internal/cluster/ ./internal/trace/ ./internal/core/
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
@@ -122,6 +122,9 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzKeyCodec -fuzztime 10s ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointFileName -fuzztime 10s ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz FuzzDiffTAGE -fuzztime 10s ./internal/refmodel/diff/
+	$(GO) test -run '^$$' -fuzz FuzzDiffPerceptron -fuzztime 10s ./internal/refmodel/diff/
+	$(GO) test -run '^$$' -fuzz FuzzDiffTournament -fuzztime 10s ./internal/refmodel/diff/
 
 # diff-fuzz differentially fuzzes every scheme family against the
 # independent reference model (internal/refmodel): random traces,
@@ -136,3 +139,6 @@ diff-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDiffGShare -fuzztime $(DIFF_FUZZTIME) ./internal/refmodel/diff/
 	$(GO) test -run '^$$' -fuzz FuzzDiffPath -fuzztime $(DIFF_FUZZTIME) ./internal/refmodel/diff/
 	$(GO) test -run '^$$' -fuzz FuzzDiffPerAddress -fuzztime $(DIFF_FUZZTIME) ./internal/refmodel/diff/
+	$(GO) test -run '^$$' -fuzz FuzzDiffTAGE -fuzztime $(DIFF_FUZZTIME) ./internal/refmodel/diff/
+	$(GO) test -run '^$$' -fuzz FuzzDiffPerceptron -fuzztime $(DIFF_FUZZTIME) ./internal/refmodel/diff/
+	$(GO) test -run '^$$' -fuzz FuzzDiffTournament -fuzztime $(DIFF_FUZZTIME) ./internal/refmodel/diff/

@@ -336,6 +336,18 @@ func kernelBenchConfigs() map[string]func() core.Predictor {
 		// 1 MiB, the packed bank 256 KiB — this is where bit-packing
 		// pays, as opposed to the L1-resident tables above.
 		"gshare-1m": func() core.Predictor { return core.NewGShare(16, 4) },
+		// Modern families (DESIGN.md §15). Their kernels are selected by
+		// concrete type, so all three bench modes exercise the same fast
+		// path; the series tracks the per-branch cost of the multi-table
+		// TAGE step, the perceptron dot product, and the three-table
+		// tournament against the classic schemes.
+		"tage4": func() core.Predictor {
+			return core.NewTAGE(8, 10, core.TAGEParams{Tables: 4}, false)
+		},
+		"perceptron": func() core.Predictor {
+			return core.NewPerceptron(12, 8, core.PerceptronParams{}, false)
+		},
+		"mcfarling": func() core.Predictor { return core.NewMcFarling(10, 10, 10, false) },
 	}
 }
 

@@ -8,7 +8,8 @@
 //	bpsim -trace foo.bpt -scheme address -cols 12 -meter
 //
 // Schemes: address, gas (GAg when -cols 0), gshare, path, pas
-// (PAg/PAs; -l1-entries 0 means a perfect first level).
+// (PAg/PAs; -l1-entries 0 means a perfect first level), tage,
+// perceptron, tournament (the modern families — DESIGN.md §15).
 package main
 
 import (
@@ -33,13 +34,21 @@ func main() {
 		traceFile    = flag.String("trace", "", "branch trace file (alternative to -workload)")
 		n            = flag.Int("n", 2_000_000, "branches to simulate for synthetic workloads")
 		seed         = flag.Uint64("seed", 1996, "workload seed")
-		scheme       = flag.String("scheme", "gshare", "address | gas | gshare | path | pas")
+		scheme       = flag.String("scheme", "gshare", "address | gas | gshare | path | pas | tage | perceptron | tournament")
 		predictor    = flag.String("predictor", "", "canonical predictor name, e.g. 'PAs(1024/4w)-2^10x2^2' (overrides -scheme/-rows/-cols)")
 		rows         = flag.Int("rows", 8, "history/row bits (log2 rows)")
 		cols         = flag.Int("cols", 4, "address/column bits (log2 columns)")
 		l1Entries    = flag.Int("l1-entries", 0, "PAs first-level entries (0 = perfect)")
 		l1Ways       = flag.Int("l1-ways", 4, "PAs first-level associativity")
 		pathBits     = flag.Int("path-bits", 2, "target-address bits per event for -scheme path")
+		tageTables   = flag.Int("tage-tables", 0, "tagged table count for -scheme tage (0 = default)")
+		tageMinHist  = flag.Int("tage-min-hist", 0, "shortest geometric history for -scheme tage (0 = default)")
+		tageMaxHist  = flag.Int("tage-max-hist", 0, "longest geometric history for -scheme tage (0 = default)")
+		tageTagBits  = flag.Int("tage-tag-bits", 0, "tag width for -scheme tage (0 = default)")
+		tageUPeriod  = flag.Int("tage-u-period", 0, "useful-bit aging period for -scheme tage (0 = default, -1 = off)")
+		weightBits   = flag.Int("weight-bits", 0, "weight width for -scheme perceptron (0 = default)")
+		threshold    = flag.Int("threshold", 0, "training threshold for -scheme perceptron (0 = fitted default)")
+		chooserBits  = flag.Int("chooser-bits", 0, "chooser table bits for -scheme tournament (0 = -rows)")
 		warmupN      = flag.Int("warmup", -1, "unscored leading branches (-1 = 5% of trace)")
 		meter        = flag.Bool("meter", false, "measure second-level aliasing")
 		top          = flag.Int("top", 0, "also report the N worst-predicted branches (and, with -meter, the N most-conflicted table entries)")
@@ -69,6 +78,18 @@ func main() {
 		cfg.Metered = *meter
 	} else {
 		cfg, err = buildConfig(*scheme, *rows, *cols, *l1Entries, *l1Ways, *pathBits, *meter)
+		if err == nil {
+			switch cfg.Scheme {
+			case core.SchemeTAGE:
+				cfg.TAGE = core.TAGEParams{Tables: *tageTables, MinHist: *tageMinHist,
+					MaxHist: *tageMaxHist, TagBits: *tageTagBits, UPeriod: *tageUPeriod}
+			case core.SchemePerceptron:
+				cfg.Perceptron = core.PerceptronParams{WeightBits: *weightBits, Threshold: *threshold}
+			case core.SchemeTournament:
+				cfg.ChooserBits = *chooserBits
+			}
+			err = cfg.Validate()
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bpsim: %v\n", err)
@@ -103,7 +124,14 @@ func main() {
 	}
 
 	fmt.Printf("workload:          %s (%d branches, %d scored)\n", tr.Name, tr.Len(), m.Branches)
-	fmt.Printf("predictor:         %s (%d two-bit counters)\n", m.Name, cfg.Counters())
+	switch cfg.Scheme {
+	case core.SchemeTAGE, core.SchemePerceptron, core.SchemeTournament:
+		// Modern-family state is not a flat two-bit table; report the
+		// storage accounting instead (tags, useful bits, weights).
+		fmt.Printf("predictor:         %s (%d storage bits)\n", m.Name, cfg.Storage(true).Total())
+	default:
+		fmt.Printf("predictor:         %s (%d two-bit counters)\n", m.Name, cfg.Counters())
+	}
 	fmt.Printf("mispredictions:    %d (%.2f%%)\n", m.Mispredicts, 100*m.MispredictRate())
 	if m.FirstLevelMissRate > 0 {
 		fmt.Printf("first-level miss:  %.2f%%\n", 100*m.FirstLevelMissRate)
@@ -114,6 +142,15 @@ func main() {
 		fmt.Printf("alias conflicts:   %d (%.2f%% of accesses)\n", a.Conflicts, 100*a.ConflictRate())
 		fmt.Printf("  all-ones:        %.1f%% of conflicts\n", 100*a.AllOnesFraction())
 		fmt.Printf("  destructive:     %.1f%% of conflicts\n", 100*a.DestructiveFraction())
+		if a.TagAgree+a.TagDisagree > 0 {
+			fmt.Printf("tag hits:          %d agreeing, %d disagreeing\n", a.TagAgree, a.TagDisagree)
+		}
+		if a.UsefulVictims > 0 {
+			fmt.Printf("useful victims:    %d (allocations evicting live entries)\n", a.UsefulVictims)
+		}
+		if a.Overrides > 0 {
+			fmt.Printf("provider override: %d (%d correct)\n", a.Overrides, a.OverrideCorrect)
+		}
 	}
 	if *btbEntries > 0 {
 		fe := sim.RunFrontend(cfg.MustBuild(), btb.New(*btbEntries, *btbWays), tr.NewSource(), sim.Options{Warmup: warm})
@@ -194,6 +231,12 @@ func buildConfig(scheme string, rows, cols, l1Entries, l1Ways, pathBits int, met
 				Ways:    l1Ways,
 			}
 		}
+	case "tage":
+		cfg.Scheme = core.SchemeTAGE
+	case "perceptron":
+		cfg.Scheme = core.SchemePerceptron
+	case "tournament":
+		cfg.Scheme = core.SchemeTournament
 	default:
 		return cfg, fmt.Errorf("unknown scheme %q", scheme)
 	}

@@ -87,6 +87,56 @@ func BadAccess(t []uint8, p *history.Perfect, b branch) uint8 {
 	return t[p.Access(b.PC, b.Taken)] // want `unmasked table index`
 }
 
+// fold XOR-folds a history pattern; its result stays tainted (taint
+// flows through ^ and >>), exactly like the engine's foldHist.
+func fold(h uint64, width int) uint64 {
+	var f uint64
+	for h != 0 {
+		f ^= h
+		h >>= width
+	}
+	return f
+}
+
+// GoodTagged is the tagged-table probe shape: both the row index and
+// the partial tag mask their PC/history hash before any table touch.
+func GoodTagged(tags []uint64, live []bool, reg *history.ShiftRegister, b branch) bool {
+	word := b.PC >> 2
+	idx := (word ^ word>>6 ^ fold(reg.Value(), 6)) & uint64(len(tags)-1)
+	tag := (word ^ fold(reg.Value(), 8) ^ fold(reg.Value(), 7)<<1) & 0xff
+	return live[idx] && tags[idx] == tag
+}
+
+// BadTaggedIndex probes a tagged table with the raw hash: the fold
+// narrows nothing, so the row index is unbounded.
+func BadTaggedIndex(tags []uint64, reg *history.ShiftRegister, b branch) uint64 {
+	word := b.PC >> 2
+	return tags[word^fold(reg.Value(), 6)] // want `unmasked table index`
+}
+
+// BadTagMask narrows the partial tag with a constant that is not
+// 2^k-1: tag bits silently vanish and distinct branches collide.
+func BadTagMask(reg *history.ShiftRegister, b branch) uint64 {
+	word := b.PC >> 2
+	return (word ^ fold(reg.Value(), 8)) & 0x3e // want `constant mask 62 over PC/history bits is not of the form 2\^k-1`
+}
+
+// GoodWeights is the perceptron weight-table shape: the row index is
+// masked first and the flattened base offset derives from the clean
+// index, so base*stride+k needs no further laundering.
+func GoodWeights(weights []int32, b branch, stride int) int32 {
+	idx := int(b.PC>>2) & 0xff
+	base := idx * stride
+	return weights[base] + weights[base+1]
+}
+
+// BadWeights flattens the weight-table offset from raw PC bits: the
+// stride multiply propagates the taint into the index expression.
+func BadWeights(weights []int32, b branch, stride int) int32 {
+	base := int(b.PC>>2) * stride
+	return weights[base] // want `unmasked table index`
+}
+
 // MapsExempt: map lookups cannot alias, any key is fine.
 func MapsExempt(m map[uint64]int, pc uint64) int {
 	return m[pc]

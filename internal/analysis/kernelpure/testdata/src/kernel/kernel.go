@@ -83,6 +83,61 @@ func unannotated(xs []int, a adder) int {
 	return total
 }
 
+// tagged mimics the multi-table predictor whose whole per-branch step
+// is an annotated method (the TAGE shape): per-table probe loops over
+// fixed-size stash arrays are pure, so the method kernel is clean.
+type tagged struct {
+	tables int
+	ctrs   []uint8
+	pIdx   [16]uint64
+	pHit   [16]bool
+}
+
+//bpred:kernel
+func (t *tagged) Access(pc uint64) bool {
+	hit := false
+	for i := 0; i < t.tables; i++ {
+		t.pIdx[i] = pc & uint64(len(t.ctrs)-1)
+		t.pHit[i] = t.ctrs[t.pIdx[i]] >= 4
+		hit = hit || t.pHit[i]
+	}
+	return hit
+}
+
+// badTaggedAccess is the same method shape with a per-probe
+// allocation: stash slices must be hoisted to the struct, never built
+// inside the annotated loop.
+//
+//bpred:kernel
+func (t *tagged) badTaggedAccess(pc uint64) bool {
+	hit := false
+	for i := 0; i < t.tables; i++ {
+		idxs := make([]uint64, 1) // want `make allocates inside a kernel loop`
+		idxs[0] = pc & uint64(len(t.ctrs)-1)
+		hit = hit || t.ctrs[idxs[0]] >= 4
+	}
+	return hit
+}
+
+// dotProduct is the perceptron-kernel shape: a chunk loop wrapping an
+// inner history-walk loop, both pure.
+//
+//bpred:kernel
+func dotProduct(chunks [][]uint64, weights []int32, hl int) int64 {
+	var total int64
+	for _, chunk := range chunks {
+		for _, pc := range chunk {
+			base := int(pc) & (len(weights) - 1)
+			y := int64(weights[base])
+			for k := 0; k < hl && base+k+1 < len(weights); k++ {
+				y += int64(weights[base+k+1])
+			}
+			total += y
+		}
+	}
+	return total
+}
+
 // nested checks that the loop scan descends into closures returned by
 // the constructor — the shape every real kernel has.
 //

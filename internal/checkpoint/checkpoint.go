@@ -7,10 +7,10 @@
 // recomputed one, so a resumed sweep assembles a Surface byte-identical
 // to an uninterrupted run (internal/sweep resume tests enforce this).
 //
-// On-disk format, version 1 ("BPC1"):
+// On-disk format ("BPC1", version 2):
 //
 //	magic   [4]byte  "BPC1"
-//	version uvarint  1
+//	version uvarint  2
 //	digest  [32]byte SHA-256 of the trace (trace.Trace.Digest)
 //	warmup  uvarint  sim warmup the results were scored with
 //	count   uvarint  number of entries
@@ -20,7 +20,15 @@
 //	  branches, mispredicts                    uvarint
 //	  accesses, conflicts, allOnes, agreeing,
 //	  destructive                              uvarint
+//	  tagAgree, tagDisagree, usefulVictims,
+//	  overrides, overrideCorrect               uvarint (version >= 2)
 //	  firstLevelMissRate                       8 bytes (IEEE 754 LE)
+//
+// Version 2 extends the alias block with the tagged-table taxonomy
+// (TAGE tag conflicts — see core.AliasStats); writers emit version 2,
+// and readers still accept version-1 files, whose entries carry zeros
+// for the extension fields (correct: no version-1 scheme produces
+// them).
 //
 // Entries are written in sorted fingerprint order, so a given result
 // set always serializes to identical bytes. Readers never panic on
@@ -47,8 +55,13 @@ import (
 
 var magic = [4]byte{'B', 'P', 'C', '1'}
 
-// formatVersion is the current file format version.
-const formatVersion = 1
+// formatVersion is the current file format version. Version 2 added
+// the tagged-table alias extension fields; version-1 files remain
+// readable (the extension fields decode as zero).
+const formatVersion = 2
+
+// minReadVersion is the oldest format version Read still accepts.
+const minReadVersion = 1
 
 // maxEntries bounds the entry count a reader will believe; real
 // sweeps are a few hundred cells, so anything near this is a forged
@@ -58,7 +71,7 @@ const maxEntries = 1 << 20
 // maxStringLen bounds fingerprint and name lengths.
 const maxStringLen = 1 << 12
 
-// ErrBadMagic indicates the stream is not a version-1 checkpoint.
+// ErrBadMagic indicates the stream is not a BPC1 checkpoint.
 var ErrBadMagic = errors.New("checkpoint: bad magic; not a BPC1 checkpoint")
 
 // ErrVersion indicates a checkpoint written by an incompatible format
@@ -129,6 +142,8 @@ func Write(w io.Writer, f *File) error {
 			m.Branches, m.Mispredicts,
 			m.Alias.Accesses, m.Alias.Conflicts, m.Alias.AllOnes,
 			m.Alias.Agreeing, m.Alias.Destructive,
+			m.Alias.TagAgree, m.Alias.TagDisagree, m.Alias.UsefulVictims,
+			m.Alias.Overrides, m.Alias.OverrideCorrect,
 		} {
 			if err := writeUvarint(v); err != nil {
 				return fmt.Errorf("checkpoint: writing entry %q: %w", fp, err)
@@ -162,8 +177,8 @@ func Read(r io.Reader) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: reading version: %w", err)
 	}
-	if version != formatVersion {
-		return nil, fmt.Errorf("%w: %d (want %d)", ErrVersion, version, formatVersion)
+	if version < minReadVersion || version > formatVersion {
+		return nil, fmt.Errorf("%w: %d (want %d..%d)", ErrVersion, version, minReadVersion, formatVersion)
 	}
 	f := &File{Entries: make(map[string]sim.Metrics)}
 	if _, err := io.ReadFull(br, f.TraceDigest[:]); err != nil {
@@ -202,11 +217,17 @@ func Read(r io.Reader) (*File, error) {
 		if e.Name, err = readString("name"); err != nil {
 			return nil, fmt.Errorf("checkpoint: entry %d: %w", i, err)
 		}
-		for _, dst := range []*uint64{
+		dsts := []*uint64{
 			&e.Branches, &e.Mispredicts,
 			&e.Alias.Accesses, &e.Alias.Conflicts, &e.Alias.AllOnes,
 			&e.Alias.Agreeing, &e.Alias.Destructive,
-		} {
+			&e.Alias.TagAgree, &e.Alias.TagDisagree, &e.Alias.UsefulVictims,
+			&e.Alias.Overrides, &e.Alias.OverrideCorrect,
+		}
+		if version < 2 {
+			dsts = dsts[:7] // v1 predates the tagged-table extension
+		}
+		for _, dst := range dsts {
 			v, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, fmt.Errorf("checkpoint: entry %d (%q): %w", i, fp, eofToUnexpected(err))

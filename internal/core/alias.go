@@ -32,6 +32,28 @@ type AliasStats struct {
 	Agreeing uint64
 	// Destructive is the subset where the outcomes disagreed.
 	Destructive uint64
+
+	// The remaining fields extend the taxonomy to tagged tables
+	// (SchemeTAGE), where "aliasing" manifests as tag-conflict
+	// allocation and eviction rather than silent counter sharing.
+	// They stay zero for the untagged 1996 families.
+
+	// TagAgree counts tag-matching lookups whose hitting entry
+	// already predicted the branch's resolved direction.
+	TagAgree uint64
+	// TagDisagree counts tag-matching lookups whose hitting entry
+	// predicted against the resolved direction.
+	TagDisagree uint64
+	// UsefulVictims counts allocations that displaced a live entry
+	// (the tagged-table analogue of a destructive conflict: a
+	// still-initialized occupant lost its slot to a tag conflict).
+	UsefulVictims uint64
+	// Overrides counts predictions where the provider disagreed with
+	// the alternate prediction; OverrideCorrect is the subset where
+	// the provider was right — the benefit attributable to longer
+	// history surviving tag conflicts.
+	Overrides       uint64
+	OverrideCorrect uint64
 }
 
 // ConflictRate returns Conflicts/Accesses — the aliasing percentages
@@ -69,6 +91,11 @@ func (s *AliasStats) Add(other AliasStats) {
 	s.AllOnes += other.AllOnes
 	s.Agreeing += other.Agreeing
 	s.Destructive += other.Destructive
+	s.TagAgree += other.TagAgree
+	s.TagDisagree += other.TagDisagree
+	s.UsefulVictims += other.UsefulVictims
+	s.Overrides += other.Overrides
+	s.OverrideCorrect += other.OverrideCorrect
 }
 
 // AliasMeter instruments a predictor table with per-entry last-access
@@ -117,6 +144,30 @@ func (m *AliasMeter) Record(idx int, pc uint64, taken, rowAllOnes bool) {
 	m.seen[idx] = true
 	m.lastPC[idx] = pc
 	m.lastOutcome[idx] = taken
+}
+
+// RecordTagHit notes a tag-matching lookup in a tagged table whose
+// hitting entry did (agree) or did not predict the branch's resolved
+// direction.
+func (m *AliasMeter) RecordTagHit(agree bool) {
+	if agree {
+		m.stats.TagAgree++
+	} else {
+		m.stats.TagDisagree++
+	}
+}
+
+// RecordVictim notes an allocation that displaced a live tagged
+// entry.
+func (m *AliasMeter) RecordVictim() { m.stats.UsefulVictims++ }
+
+// RecordOverride notes a prediction where the provider overrode the
+// alternate prediction, and whether the override was correct.
+func (m *AliasMeter) RecordOverride(correct bool) {
+	m.stats.Overrides++
+	if correct {
+		m.stats.OverrideCorrect++
+	}
 }
 
 // Stats returns the accumulated aliasing statistics.

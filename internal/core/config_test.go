@@ -104,8 +104,11 @@ func TestSchemeStrings(t *testing.T) {
 		SchemeGAs:     "GAs",
 		SchemeGShare:  "gshare",
 		SchemePath:    "path",
-		SchemePAs:     "PAs",
-		Scheme(7):     "Scheme(7)",
+		SchemePAs:        "PAs",
+		SchemeTAGE:       "tage",
+		SchemePerceptron: "perceptron",
+		SchemeTournament: "tournament",
+		Scheme(42):       "Scheme(42)",
 	}
 	for s, str := range want {
 		if s.String() != str {

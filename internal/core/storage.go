@@ -41,6 +41,41 @@ const pcAddressBits = 30
 // Storage itemizes the configuration's storage cost. includeTags
 // selects whether tagged first-level tables pay for their tags.
 func (c Config) Storage(includeTags bool) StorageBreakdown {
+	switch c.Scheme {
+	case SchemeTAGE:
+		// Base bimodal: 2 bits x 2^ColBits. Per tagged entry: a
+		// 3-bit counter, a 2-bit useful counter, a valid bit, and
+		// (when counted) the partial tag. The global history register
+		// is MaxHist bits.
+		tg := c.TAGE.Normalized()
+		entries := tg.Tables * (1 << c.RowBits)
+		s := StorageBreakdown{
+			CounterBits: 2*(1<<c.ColBits) + 3*entries,
+			HistoryBits: tg.MaxHist + 2*entries + entries,
+			Bounded:     true,
+		}
+		if includeTags {
+			s.TagBits = entries * tg.TagBits
+		}
+		return s
+	case SchemePerceptron:
+		// 2^ColBits perceptrons x (H+1) weights of WeightBits each,
+		// plus the H-bit global history register.
+		pw := c.Perceptron.Normalized(c.RowBits)
+		return StorageBreakdown{
+			CounterBits: (1 << c.ColBits) * (c.RowBits + 1) * pw.WeightBits,
+			HistoryBits: c.RowBits,
+			Bounded:     true,
+		}
+	case SchemeTournament:
+		// Three 2-bit tables (gshare, bimodal, chooser) plus the
+		// RowBits-wide global history register.
+		return StorageBreakdown{
+			CounterBits: 2 * ((1 << c.RowBits) + (1 << c.ColBits) + (1 << c.EffectiveChooserBits())),
+			HistoryBits: c.RowBits,
+			Bounded:     true,
+		}
+	}
 	s := StorageBreakdown{
 		CounterBits: 2 * c.Counters(),
 		Bounded:     true,

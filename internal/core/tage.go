@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+
+	"bpred/internal/trace"
+)
+
+// TAGE is a tagged-geometric-history predictor (Seznec & Michaud,
+// "A case for (partially) TAgged GEometric history length branch
+// prediction"), scaled down to this engine's deterministic,
+// allocation-free discipline:
+//
+//   - A bimodal base table of 2^colBits two-bit counters.
+//   - tables partially-tagged tables of 2^rowBits entries, table i
+//     indexed by a hash of the PC and the most recent
+//     L_i = min(MaxHist, MinHist<<i) global history bits. Each entry
+//     holds a TagBits partial tag, a three-bit signed-ish counter
+//     (taken when >= 4), a two-bit useful counter, and a valid bit.
+//   - The *provider* is the matching table with the longest history;
+//     the *alternate* prediction comes from the next-longest match
+//     (or the base table). On a mispredict, a new entry is allocated
+//     in a longer-history table whose victim has useful == 0.
+//
+// Aliasing in a tagged table is not silent counter sharing but tag
+// conflict: a branch can only disturb another's entry by evicting it
+// at allocation. The meter therefore tracks, beyond the paper's
+// taxonomy applied to provider entries, the tag-hit agree/disagree
+// split, live-victim evictions, and provider-vs-altpred overrides.
+//
+// The whole per-branch step lives in Access so the batched kernel and
+// the generic Predict/Update path execute literally the same code.
+type TAGE struct {
+	name    string
+	rowBits int
+	colBits int
+	params  TAGEParams
+
+	base []uint8 // two-bit counters, weakly taken at reset
+	// Tagged-table state, flat: table i entry e at i<<rowBits|e.
+	tags []uint64
+	ctrs []uint8 // three-bit counters
+	us   []uint8 // two-bit useful counters
+	live []bool
+
+	histMasks [16]uint64 // (1<<L_i)-1 per table
+	idxMask   uint64
+	colMask   uint64
+	tagMask   uint64
+	ghr       uint64
+	tick      uint64
+
+	meter *AliasMeter
+
+	// Per-branch stash, filled by Predict and consumed by Update.
+	pIdx         [16]uint64
+	pTag         [16]uint64
+	pMatch       [16]bool
+	pCol         uint64
+	provider     int
+	alt          int
+	providerPred bool
+	altPred      bool
+	basePred     bool
+	pWeak        bool
+	pred         bool
+
+	// useAlt is the adaptive use-alt-on-newly-allocated confidence, a
+	// 4-bit counter: >= 8 prefers the alternate prediction when the
+	// provider entry is weak and not yet useful.
+	useAlt uint8
+}
+
+// NewTAGE builds a TAGE predictor with 2^rowBits entries per tagged
+// table and a 2^colBits bimodal base. params is normalized (zero
+// fields take their defaults).
+func NewTAGE(rowBits, colBits int, params TAGEParams, metered bool) *TAGE {
+	p := params.Normalized()
+	checkBits("tage row", rowBits, 30)
+	checkBits("tage col", colBits, 30)
+	n := p.Tables << rowBits
+	t := &TAGE{
+		name: fmt.Sprintf("tage-%dx2^%d-t%d-h%d:%d+2^%d",
+			p.Tables, rowBits, p.TagBits, p.MinHist, p.MaxHist, colBits),
+		rowBits: rowBits,
+		colBits: colBits,
+		params:  p,
+		base:    make([]uint8, 1<<colBits),
+		tags:    make([]uint64, n),
+		ctrs:    make([]uint8, n),
+		us:      make([]uint8, n),
+		live:    make([]bool, n),
+		idxMask: uint64(1)<<rowBits - 1,
+		colMask: uint64(1)<<colBits - 1,
+		tagMask: uint64(1)<<p.TagBits - 1,
+	}
+	for i := range t.base {
+		t.base[i] = 2
+	}
+	t.useAlt = 8 // start trusting the alternate for weak providers
+	for i := 0; i < p.Tables; i++ {
+		l := p.MinHist << i
+		if l > p.MaxHist || l <= 0 {
+			l = p.MaxHist
+		}
+		if l >= 64 {
+			t.histMasks[i] = ^uint64(0)
+		} else {
+			t.histMasks[i] = uint64(1)<<l - 1
+		}
+	}
+	if metered {
+		// One meter cell per tagged entry plus the base table, so
+		// provider-entry conflicts and base-table conflicts share the
+		// paper's taxonomy.
+		t.meter = NewAliasMeter(n + 1<<colBits)
+	}
+	return t
+}
+
+// foldHist XOR-folds h into width bits (0 when width is 0).
+func foldHist(h uint64, width int) uint64 {
+	if width <= 0 {
+		return 0
+	}
+	mask := uint64(1)<<width - 1
+	var f uint64
+	for h != 0 {
+		f ^= h & mask
+		h >>= width
+	}
+	return f
+}
+
+// Predict computes the tagged-table matches and the provider/altpred
+// chain for the branch. It must not examine b.Taken.
+func (t *TAGE) Predict(b trace.Branch) bool {
+	word := b.PC >> 2
+	t.pCol = word & t.colMask
+	t.basePred = t.base[t.pCol] >= 2
+	t.provider, t.alt = -1, -1
+	for i := 0; i < t.params.Tables; i++ {
+		h := t.ghr & t.histMasks[i]
+		idx := (word ^ word>>uint(t.rowBits) ^ foldHist(h, t.rowBits) ^ uint64(i)) & t.idxMask
+		// The tag folds the history at a second width (TagBits-1,
+		// shifted) so it is never a function of the index — with one
+		// shared fold width, tag would equal idx^i and every live
+		// entry would match.
+		tag := (word ^ word>>uint(t.params.TagBits) ^
+			foldHist(h, t.params.TagBits) ^ foldHist(h, t.params.TagBits-1)<<1) & t.tagMask
+		t.pIdx[i] = idx
+		t.pTag[i] = tag
+		flat := uint64(i)<<t.rowBits | idx
+		match := t.live[flat] && t.tags[flat] == tag
+		t.pMatch[i] = match
+		if match {
+			t.alt = t.provider
+			t.provider = i
+		}
+	}
+	t.altPred = t.basePred
+	if t.alt >= 0 {
+		t.altPred = t.ctrs[uint64(t.alt)<<t.rowBits|t.pIdx[t.alt]] >= 4
+	}
+	if t.provider >= 0 {
+		flat := uint64(t.provider)<<t.rowBits | t.pIdx[t.provider]
+		c := t.ctrs[flat]
+		t.providerPred = c >= 4
+		// A weak, not-yet-useful provider is likely a fresh allocation;
+		// whether its direction beats the alternate is learned in the
+		// useAlt counter (Seznec's USE_ALT_ON_NA).
+		t.pWeak = (c == 3 || c == 4) && t.us[flat] == 0
+		if t.pWeak && t.useAlt >= 8 {
+			t.pred = t.altPred
+		} else {
+			t.pred = t.providerPred
+		}
+	} else {
+		t.providerPred = false
+		t.pWeak = false
+		t.pred = t.basePred
+	}
+	return t.pred
+}
+
+// Update trains the provider (or base), steers useful bits, allocates
+// on mispredicts, ages useful counters, and shifts history. It must
+// follow the Predict for the same branch.
+func (t *TAGE) Update(b trace.Branch) {
+	taken := b.Taken
+	t.tick++
+	if t.meter != nil {
+		if t.provider >= 0 {
+			flat := uint64(t.provider)<<t.rowBits | t.pIdx[t.provider]
+			hm := t.histMasks[t.provider]
+			t.meter.Record(int(flat), b.PC, taken, t.ghr&hm == hm)
+		} else {
+			t.meter.Record(t.params.Tables<<t.rowBits+int(t.pCol), b.PC, taken, false)
+		}
+		for i := 0; i < t.params.Tables; i++ {
+			if t.pMatch[i] {
+				hit := t.ctrs[uint64(i)<<t.rowBits|t.pIdx[i]] >= 4
+				t.meter.RecordTagHit(hit == taken)
+			}
+		}
+		if t.provider >= 0 && t.providerPred != t.altPred {
+			t.meter.RecordOverride(t.providerPred == taken)
+		}
+	}
+	if t.provider >= 0 && t.pWeak && t.providerPred != t.altPred {
+		if t.providerPred == taken {
+			if t.useAlt > 0 {
+				t.useAlt--
+			}
+		} else if t.useAlt < 15 {
+			t.useAlt++
+		}
+	}
+	if t.provider >= 0 {
+		flat := uint64(t.provider)<<t.rowBits | t.pIdx[t.provider]
+		if t.providerPred != t.altPred {
+			u := t.us[flat]
+			if t.providerPred == taken {
+				if u < 3 {
+					t.us[flat] = u + 1
+				}
+			} else if u > 0 {
+				t.us[flat] = u - 1
+			}
+		}
+		c := t.ctrs[flat]
+		if taken {
+			if c < 7 {
+				t.ctrs[flat] = c + 1
+			}
+		} else if c > 0 {
+			t.ctrs[flat] = c - 1
+		}
+	} else {
+		c := t.base[t.pCol]
+		if taken {
+			if c < 3 {
+				t.base[t.pCol] = c + 1
+			}
+		} else if c > 0 {
+			t.base[t.pCol] = c - 1
+		}
+	}
+	if t.pred != taken {
+		allocated := false
+		for j := t.provider + 1; j < t.params.Tables; j++ {
+			flat := uint64(j)<<t.rowBits | t.pIdx[j]
+			if t.us[flat] == 0 {
+				if t.live[flat] && t.meter != nil {
+					t.meter.RecordVictim()
+				}
+				t.tags[flat] = t.pTag[j]
+				if taken {
+					t.ctrs[flat] = 4
+				} else {
+					t.ctrs[flat] = 3
+				}
+				t.us[flat] = 0
+				t.live[flat] = true
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			for j := t.provider + 1; j < t.params.Tables; j++ {
+				flat := uint64(j)<<t.rowBits | t.pIdx[j]
+				if t.us[flat] > 0 {
+					t.us[flat]--
+				}
+			}
+		}
+	}
+	if t.params.UPeriod > 0 && t.tick%uint64(t.params.UPeriod) == 0 {
+		for i := range t.us {
+			t.us[i] >>= 1
+		}
+	}
+	t.ghr = t.ghr<<1 | b2taken(taken)
+}
+
+// Access is the fused per-branch step — predict, then train — and
+// returns the prediction made before training. The batched kernel
+// drives this method directly.
+//
+//bpred:kernel
+func (t *TAGE) Access(b trace.Branch) bool {
+	p := t.Predict(b)
+	t.Update(b)
+	return p
+}
+
+// Name identifies the configuration.
+func (t *TAGE) Name() string { return t.name }
+
+// Meter exposes the alias meter (nil when unmetered).
+func (t *TAGE) Meter() *AliasMeter { return t.meter }
+
+// AliasStats reports tag-conflict and provider aliasing (zero when
+// unmetered).
+func (t *TAGE) AliasStats() AliasStats {
+	if t.meter == nil {
+		return AliasStats{}
+	}
+	return t.meter.Stats()
+}
+
+// b2taken converts a direction to a history bit.
+func b2taken(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+var (
+	_ Predictor     = (*TAGE)(nil)
+	_ AliasReporter = (*TAGE)(nil)
+)

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"bpred/internal/core"
 )
 
 // testContext returns a context scaled for fast tests: short traces,
@@ -370,7 +372,7 @@ func TestTable3PaperOrderings(t *testing.T) {
 func TestRegistry(t *testing.T) {
 	names := Names()
 	want := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5",
-		"fig6", "fig7", "fig8", "fig9", "fig10", "table3", "combining", "dealias", "frontend", "isobits", "interference", "variance", "scaling"}
+		"fig6", "fig7", "fig8", "fig9", "fig10", "table3", "combining", "dealias", "frontend", "isobits", "interference", "variance", "scaling", "modern"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}
@@ -442,6 +444,48 @@ func TestCombining(t *testing.T) {
 	out := RenderCombining(rows)
 	if !strings.Contains(out, "tournament") || !strings.Contains(out, "espresso") {
 		t.Error("render incomplete")
+	}
+}
+
+func TestModern(t *testing.T) {
+	ref, picked, budget := modernConfigs()
+	if budget != ref.Storage(true).Total() {
+		t.Fatalf("budget %d != reference storage %d", budget, ref.Storage(true).Total())
+	}
+	for _, s := range []core.Scheme{core.SchemeTAGE, core.SchemePerceptron, core.SchemeTournament} {
+		c, ok := picked[s]
+		if !ok {
+			t.Fatalf("no %s configuration fits %d bits", s, budget)
+		}
+		total := c.Storage(true).Total()
+		if total > budget {
+			t.Errorf("%s config %s uses %d bits over the %d budget", s, c.Fingerprint(), total, budget)
+		}
+		// Equal storage means within a factor of two below the budget:
+		// anything smaller would make the comparison vacuous.
+		if total < budget/2 {
+			t.Errorf("%s config %s uses only %d of %d budget bits", s, c.Fingerprint(), total, budget)
+		}
+	}
+	res := Modern(testContext())
+	if len(res.Rows) != 14 {
+		t.Fatalf("%d rows, want 14", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		for _, v := range []float64{r.GShare, r.TAGE, r.Perceptron, r.Tournament} {
+			if v <= 0 || v > 0.6 {
+				t.Errorf("%s: implausible rate %.3f", r.Benchmark, v)
+			}
+		}
+	}
+	if len(res.GShareSweep) == 0 || len(res.TAGESweep) != len(res.GShareSweep) {
+		t.Fatalf("sweep lengths: gshare %d, tage %d", len(res.GShareSweep), len(res.TAGESweep))
+	}
+	out := RenderModern(res)
+	for _, want := range []string{"equal storage", "tage", "perceptron", "tournament", "espresso"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
 	}
 }
 

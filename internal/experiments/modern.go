@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bpred/internal/core"
+	"bpred/internal/sweep"
+	"bpred/internal/workload"
+)
+
+// The modern experiment asks the paper's aliasing question of the
+// predictor generations that followed it: given the storage budget of
+// a front-tier gshare, do tagged tables (TAGE), dot-product weights
+// (perceptron), or a chooser over two components (McFarling's
+// tournament) spend those bits better? Budgets are matched with
+// core.Config.Storage (tags included), the same accounting the
+// paper's §5 iso-bits analysis uses.
+
+// ModernRow is one benchmark's equal-storage comparison.
+type ModernRow struct {
+	Benchmark  string
+	GShare     float64
+	TAGE       float64
+	Perceptron float64
+	Tournament float64
+}
+
+// modernConfigs picks, once, the configuration of each modern family
+// whose total storage (tags included) is the largest that fits the
+// reference gshare's budget. The search is a deterministic grid over
+// the same row/column splits a sweep would enumerate.
+func modernConfigs() (ref core.Config, picked map[core.Scheme]core.Config, budget int) {
+	ref = core.Config{Scheme: core.SchemeGShare, RowBits: 11, ColBits: 2}
+	budget = ref.Storage(true).Total()
+	picked = make(map[core.Scheme]core.Config)
+	candidates := []core.Config{}
+	for rb := 2; rb <= 12; rb++ {
+		for cb := 2; cb <= 12; cb++ {
+			candidates = append(candidates,
+				core.Config{Scheme: core.SchemeTAGE, RowBits: rb, ColBits: cb},
+				core.Config{Scheme: core.SchemePerceptron, RowBits: rb, ColBits: cb},
+				core.Config{Scheme: core.SchemeTournament, RowBits: rb, ColBits: cb})
+		}
+	}
+	for _, c := range candidates {
+		if c.Validate() != nil {
+			continue
+		}
+		total := c.Storage(true).Total()
+		if total > budget {
+			continue
+		}
+		best, ok := picked[c.Scheme]
+		if !ok || total > best.Storage(true).Total() {
+			picked[c.Scheme] = c
+		}
+	}
+	return ref, picked, budget
+}
+
+// ModernResult combines the per-benchmark equal-storage table with a
+// pair of tier sweeps (gshare vs TAGE over the same counter budgets on
+// espresso) run through the standard sweep layer, so the TAGE axis
+// flows through the same checkpoint/resume machinery as the paper's
+// figures when bpsweep runs with -resume.
+type ModernResult struct {
+	Rows []ModernRow
+	// GShareSweep/TAGESweep are per-tier best misprediction rates,
+	// ascending tier order from SweepMinBits.
+	SweepMinBits int
+	GShareSweep  []float64
+	TAGESweep    []float64
+}
+
+// Modern runs the equal-storage comparison over every benchmark
+// profile at suite length, plus the gshare-vs-TAGE tier sweep.
+func Modern(c *Context) ModernResult {
+	ref, picked, _ := modernConfigs()
+	var res ModernResult
+	for _, prof := range workload.Profiles() {
+		tr := c.SuiteTrace(prof.Name)
+		preds := []core.Predictor{
+			ref.MustBuild(),
+			picked[core.SchemeTAGE].MustBuild(),
+			picked[core.SchemePerceptron].MustBuild(),
+			picked[core.SchemeTournament].MustBuild(),
+		}
+		ms := c.runPredictors(preds, tr)
+		res.Rows = append(res.Rows, ModernRow{
+			Benchmark:  prof.Name,
+			GShare:     ms[0].MispredictRate(),
+			TAGE:       ms[1].MispredictRate(),
+			Perceptron: ms[2].MispredictRate(),
+			Tournament: ms[3].MispredictRate(),
+		})
+	}
+
+	lo, hi := c.params.MinBits, c.params.MaxBits
+	if hi > 12 {
+		hi = 12 // TAGE tiers above 2^12 rows add little on suite-length traces
+	}
+	res.SweepMinBits = lo
+	tr := c.SuiteTrace("espresso")
+	gs := c.runSweep("modern gshare", sweep.Options{
+		Scheme: core.SchemeGShare, MinBits: lo, MaxBits: hi}, tr)
+	tg := c.runSweep("modern tage", sweep.Options{
+		Scheme: core.SchemeTAGE, MinBits: lo, MaxBits: hi}, tr)
+	res.GShareSweep = bestPerTier(gs)
+	res.TAGESweep = bestPerTier(tg)
+	return res
+}
+
+// bestPerTier reduces a surface to its per-tier minimum misprediction
+// rate.
+func bestPerTier(s *sweep.Surface) []float64 {
+	var out []float64
+	for _, n := range s.Tiers() {
+		p, ok := s.BestInTier(n)
+		if !ok {
+			continue
+		}
+		out = append(out, p.Metrics.MispredictRate())
+	}
+	return out
+}
+
+// RenderModern formats the extension experiment.
+func RenderModern(res ModernResult) string {
+	ref, picked, budget := modernConfigs()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: modern families at equal storage with %s (%d bits, tags included)\n",
+		ref.MustBuild().Name(), budget)
+	for _, s := range []core.Scheme{core.SchemeTAGE, core.SchemePerceptron, core.SchemeTournament} {
+		c := picked[s]
+		fmt.Fprintf(&b, "  %-10s -> %s (%d bits)\n", s, c.MustBuild().Name(), c.Storage(true).Total())
+	}
+	fmt.Fprintf(&b, "%-11s %9s %9s %11s %11s %s\n",
+		"benchmark", "gshare", "tage", "perceptron", "tournament", "best")
+	for _, r := range res.Rows {
+		best, name := r.GShare, "gshare"
+		for _, cand := range []struct {
+			rate float64
+			name string
+		}{{r.TAGE, "tage"}, {r.Perceptron, "perceptron"}, {r.Tournament, "tournament"}} {
+			if cand.rate < best {
+				best, name = cand.rate, cand.name
+			}
+		}
+		fmt.Fprintf(&b, "%-11s %8.2f%% %8.2f%% %10.2f%% %10.2f%% %s\n",
+			r.Benchmark, 100*r.GShare, 100*r.TAGE, 100*r.Perceptron, 100*r.Tournament, name)
+	}
+	b.WriteString("\nBest-in-tier sweep, espresso (counter budget log2: gshare vs tage):\n")
+	for i := range res.GShareSweep {
+		line := fmt.Sprintf("  2^%-2d  gshare %6.2f%%", res.SweepMinBits+i, 100*res.GShareSweep[i])
+		if i < len(res.TAGESweep) {
+			line += fmt.Sprintf("   tage %6.2f%%", 100*res.TAGESweep[i])
+		}
+		b.WriteString(line + "\n")
+	}
+	return b.String()
+}

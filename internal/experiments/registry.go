@@ -100,6 +100,10 @@ var registry = map[string]struct {
 		"misprediction vs trace length: cold-start amortization (extension)",
 		func(c *Context) Result { return rendered(RenderScaling(Scaling(c))) },
 	},
+	"modern": {
+		"tage/perceptron/tournament vs gshare at equal storage (extension)",
+		func(c *Context) Result { return rendered(RenderModern(Modern(c))) },
+	},
 }
 
 // Names returns the registered experiment ids in report order.
@@ -136,6 +140,8 @@ func orderKey(name string) int {
 		return 106
 	case "scaling":
 		return 107
+	case "modern":
+		return 108
 	default:
 		var n int
 		fmt.Sscanf(name, "fig%d", &n)

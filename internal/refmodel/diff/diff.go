@@ -84,6 +84,24 @@ func RefConfig(c core.Config) (refmodel.Config, error) {
 		default:
 			return refmodel.Config{}, fmt.Errorf("diff: unmapped reset policy %d", c.FirstLevel.Policy)
 		}
+	case core.SchemeTAGE:
+		// The oracle takes fully explicit knobs; normalize here so a
+		// zero-valued engine config maps onto its effective geometry.
+		tg := c.TAGE.Normalized()
+		rc.Scheme = refmodel.TAGE
+		rc.TAGETables = tg.Tables
+		rc.TAGEMinHist = tg.MinHist
+		rc.TAGEMaxHist = tg.MaxHist
+		rc.TAGETagBits = tg.TagBits
+		rc.TAGEUPeriod = tg.UPeriod // engine -1 (aging off) maps to oracle <= 0
+	case core.SchemePerceptron:
+		pw := c.Perceptron.Normalized(c.RowBits)
+		rc.Scheme = refmodel.Perceptron
+		rc.WeightBits = pw.WeightBits
+		rc.Threshold = pw.Threshold
+	case core.SchemeTournament:
+		rc.Scheme = refmodel.Tournament
+		rc.ChooserBits = c.EffectiveChooserBits()
 	default:
 		return refmodel.Config{}, fmt.Errorf("diff: unmapped scheme %v", c.Scheme)
 	}
@@ -186,6 +204,11 @@ func Compare(cfg core.Config, tr *trace.Trace, opt sim.Options) (Result, error) 
 		add("alias all-ones", res.Engine.Alias.AllOnes, res.Oracle.AllOnes)
 		add("alias agreeing", res.Engine.Alias.Agreeing, res.Oracle.Agreeing)
 		add("alias destructive", res.Engine.Alias.Destructive, res.Oracle.Destructive)
+		add("tag agree", res.Engine.Alias.TagAgree, res.Oracle.TagAgree)
+		add("tag disagree", res.Engine.Alias.TagDisagree, res.Oracle.TagDisagree)
+		add("useful victims", res.Engine.Alias.UsefulVictims, res.Oracle.UsefulVictims)
+		add("overrides", res.Engine.Alias.Overrides, res.Oracle.Overrides)
+		add("override correct", res.Engine.Alias.OverrideCorrect, res.Oracle.OverrideCorrect)
 	}
 	if res.Engine.FirstLevelMissRate != res.Oracle.FirstLevelMissRate() {
 		res.Mismatches = append(res.Mismatches,
@@ -427,6 +450,19 @@ func Battery(metered bool) []core.Config {
 		{Scheme: core.SchemePAs, RowBits: 5, ColBits: 1, FirstLevel: setAssoc(16, 4, history.InheritStale)},
 		{Scheme: core.SchemePAs, RowBits: 4, ColBits: 2, FirstLevel: core.FirstLevel{Kind: core.FirstLevelUntagged, Entries: 32}},
 		{Scheme: core.SchemeGAs, RowBits: 4, ColBits: 2, CounterBits: 3},
+		{Scheme: core.SchemeTAGE, RowBits: 7, ColBits: 8},
+		// Small geometry, short aging period: allocation pressure,
+		// victimization, and useful-bit halving all inside a short
+		// trace; MaxHist not a power-of-two multiple of MinHist.
+		{Scheme: core.SchemeTAGE, RowBits: 4, ColBits: 5,
+			TAGE: core.TAGEParams{Tables: 6, MinHist: 3, MaxHist: 40, TagBits: 5, UPeriod: 256}},
+		{Scheme: core.SchemeTAGE, RowBits: 3, ColBits: 4,
+			TAGE: core.TAGEParams{Tables: 2, MinHist: 1, MaxHist: 64, TagBits: 4, UPeriod: -1}},
+		{Scheme: core.SchemePerceptron, RowBits: 10, ColBits: 6},
+		{Scheme: core.SchemePerceptron, RowBits: 5, ColBits: 3,
+			Perceptron: core.PerceptronParams{WeightBits: 4, Threshold: 6}},
+		{Scheme: core.SchemeTournament, RowBits: 7, ColBits: 6},
+		{Scheme: core.SchemeTournament, RowBits: 5, ColBits: 4, ChooserBits: 3},
 	}
 	for i := range cfgs {
 		cfgs[i].Metered = metered

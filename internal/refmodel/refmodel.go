@@ -64,6 +64,15 @@ const (
 	// PerAddress is PAg/PAs: rows selected by the branch's own
 	// outcome history, stored in a first-level table.
 	PerAddress
+	// TAGE is the tagged-geometric-history predictor: a bimodal base
+	// plus TAGETables partially-tagged tables (modern.go).
+	TAGE
+	// Perceptron is the Jimenez & Lin perceptron predictor
+	// (modern.go).
+	Perceptron
+	// Tournament is McFarling's gshare/bimodal/chooser combination
+	// (modern.go).
+	Tournament
 )
 
 // FirstLevelKind selects the PerAddress first-level realization.
@@ -118,6 +127,24 @@ type Config struct {
 	Entries    int
 	Ways       int
 	Reset      ResetKind
+	// TAGETables..TAGEUPeriod configure the TAGE scheme, for which
+	// HistBits is log2 entries per tagged table and ColBits is log2
+	// base-table entries. All values are explicit (no zero-value
+	// defaulting here — the production side normalizes before
+	// mapping). TAGEUPeriod <= 0 disables useful-bit aging.
+	TAGETables  int
+	TAGEMinHist int
+	TAGEMaxHist int
+	TAGETagBits int
+	TAGEUPeriod int
+	// WeightBits/Threshold configure the Perceptron scheme, for which
+	// HistBits is the history length and ColBits is log2 the number
+	// of weight vectors.
+	WeightBits int
+	Threshold  int
+	// ChooserBits configures the Tournament chooser table (HistBits
+	// is the gshare width, ColBits the bimodal width).
+	ChooserBits int
 }
 
 // cell identifies one second-level counter by its (row, column)
@@ -158,6 +185,15 @@ type Totals struct {
 	// activity (zero for non-PerAddress schemes).
 	FirstLevelLookups uint64
 	FirstLevelMisses  uint64
+	// TagAgree..OverrideCorrect extend the taxonomy to tagged tables
+	// (TAGE): agreeing/disagreeing tag hits, live entries evicted at
+	// allocation, and provider-over-altpred overrides with their
+	// correct subset. Zero for every other scheme.
+	TagAgree        uint64
+	TagDisagree     uint64
+	UsefulVictims   uint64
+	Overrides       uint64
+	OverrideCorrect uint64
 }
 
 // FirstLevelMissRate returns misses per lookup, 0 when no lookups
@@ -203,6 +239,11 @@ type Model struct {
 	ctr    map[cell]int
 	last   map[cell]access
 	tot    Totals
+	// Modern-scheme sub-states (modern.go); exactly one is non-nil
+	// for the corresponding scheme.
+	tage  *tageState
+	perc  *percState
+	tourn *tournState
 }
 
 // New validates cfg and returns a fresh model.
@@ -256,6 +297,39 @@ func New(cfg Config) (*Model, error) {
 		default:
 			return nil, fmt.Errorf("refmodel: unknown first-level kind %d", cfg.FirstLevel)
 		}
+	case TAGE:
+		if cfg.CounterBits != 0 {
+			return nil, fmt.Errorf("refmodel: TAGE counter widths are fixed, got CounterBits %d", cfg.CounterBits)
+		}
+		if cfg.TAGETables < 1 || cfg.TAGETables > 16 {
+			return nil, fmt.Errorf("refmodel: TAGE tables %d out of [1,16]", cfg.TAGETables)
+		}
+		if cfg.TAGEMinHist < 1 || cfg.TAGEMinHist > cfg.TAGEMaxHist || cfg.TAGEMaxHist > 64 {
+			return nil, fmt.Errorf("refmodel: TAGE history lengths %d..%d invalid", cfg.TAGEMinHist, cfg.TAGEMaxHist)
+		}
+		if cfg.TAGETagBits < 1 || cfg.TAGETagBits > 16 {
+			return nil, fmt.Errorf("refmodel: TAGE tag bits %d out of [1,16]", cfg.TAGETagBits)
+		}
+		m.tage = newTAGEState(cfg)
+	case Perceptron:
+		if cfg.CounterBits != 0 {
+			return nil, fmt.Errorf("refmodel: perceptron counter widths are fixed, got CounterBits %d", cfg.CounterBits)
+		}
+		if cfg.WeightBits < 2 || cfg.WeightBits > 16 {
+			return nil, fmt.Errorf("refmodel: perceptron weight bits %d out of [2,16]", cfg.WeightBits)
+		}
+		if cfg.Threshold < 0 {
+			return nil, fmt.Errorf("refmodel: perceptron threshold %d negative", cfg.Threshold)
+		}
+		m.perc = newPercState()
+	case Tournament:
+		if cfg.CounterBits != 0 {
+			return nil, fmt.Errorf("refmodel: tournament counter widths are fixed, got CounterBits %d", cfg.CounterBits)
+		}
+		if cfg.ChooserBits < 0 || cfg.ChooserBits > 30 {
+			return nil, fmt.Errorf("refmodel: tournament chooser bits %d out of [0,30]", cfg.ChooserBits)
+		}
+		m.tourn = newTournState()
 	default:
 		return nil, fmt.Errorf("refmodel: unknown scheme %d", cfg.Scheme)
 	}
@@ -272,6 +346,14 @@ func word(pc uint64) uint64 { return pc / 4 }
 // predict-meter-train-record order of the Figure-1 model, and returns
 // what happened.
 func (m *Model) Step(b trace.Branch) StepInfo {
+	switch m.cfg.Scheme {
+	case TAGE:
+		return m.stepTAGE(b)
+	case Perceptron:
+		return m.stepPerceptron(b)
+	case Tournament:
+		return m.stepTournament(b)
+	}
 	m.tot.Steps++
 
 	// First level: produce the row-selection pattern.
@@ -509,6 +591,16 @@ func (m *Model) Name() string {
 			fl = fmt.Sprintf("%du", m.cfg.Entries)
 		}
 		return fmt.Sprintf("ref-PAs(%s)-2^%dx2^%d", fl, m.cfg.HistBits, m.cfg.ColBits)
+	case TAGE:
+		return fmt.Sprintf("ref-tage-%dx2^%d-t%d-h%d:%d+2^%d",
+			m.cfg.TAGETables, m.cfg.HistBits, m.cfg.TAGETagBits,
+			m.cfg.TAGEMinHist, m.cfg.TAGEMaxHist, m.cfg.ColBits)
+	case Perceptron:
+		return fmt.Sprintf("ref-perceptron-2^%dxh%d-w%d-t%d",
+			m.cfg.ColBits, m.cfg.HistBits, m.cfg.WeightBits, m.cfg.Threshold)
+	case Tournament:
+		return fmt.Sprintf("ref-tournament-g2^%d-b2^%d-c2^%d",
+			m.cfg.HistBits, m.cfg.ColBits, m.cfg.ChooserBits)
 	}
 	return "ref-unknown"
 }
@@ -539,6 +631,19 @@ func (m *Model) DumpState(maxEntries int) string {
 		case Untagged:
 			fmt.Fprintf(&sb, "  first level: untagged %d entries\n", len(m.shared))
 		}
+	case TAGE:
+		live := 0
+		for _, t := range m.tage.tab {
+			live += len(t)
+		}
+		fmt.Fprintf(&sb, "  ghr: %b, tick %d, tagged entries live: %d\n",
+			m.tage.ghr, m.tage.tick, live)
+	case Perceptron:
+		fmt.Fprintf(&sb, "  ghr: %b, weight vectors touched: %d\n",
+			m.perc.ghr, len(m.perc.w))
+	case Tournament:
+		fmt.Fprintf(&sb, "  ghr: %b, gshare/bimodal/chooser entries touched: %d/%d/%d\n",
+			m.tourn.ghr, len(m.tourn.gshare), len(m.tourn.bim), len(m.tourn.choose))
 	}
 	cells := make([]cell, 0, len(m.ctr))
 	for c, s := range m.ctr {

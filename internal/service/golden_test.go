@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bpred/internal/checkpoint"
+	"bpred/internal/core"
 	"bpred/internal/sim"
 	"bpred/internal/sweep"
 )
@@ -127,5 +128,133 @@ func TestServerCheckpointMatchesCLI(t *testing.T) {
 	if j2.State() != StateDone || snap.ConfigsCompleted != 0 {
 		t.Fatalf("CLI checkpoint not honored: state=%s simulated=%d (want all %d cached)",
 			j2.State(), snap.ConfigsCompleted, snap.ConfigsCached)
+	}
+}
+
+// TestServerCheckpointModernSchemes extends the CLI/service interop
+// contract to the modern families: for tage (metered, so the v2
+// tag-conflict extension fields are live), perceptron, and tournament
+// slices, the BPC1 the service writes is byte-identical to the CLI's,
+// and a CLI sweep resuming off the server's file renders a CSV
+// byte-identical to an uninterrupted run.
+func TestServerCheckpointModernSchemes(t *testing.T) {
+	tr := genTrace(t, 8000, 17)
+	const warmup = 200
+	digest := tr.Digest()
+
+	cases := []struct {
+		name string
+		spec JobSpec
+		opts sweep.Options
+	}{
+		{
+			name: "tage-metered",
+			spec: JobSpec{Scheme: "tage", Tiers: []int{4, 5}, Warmup: warmup, Metered: true,
+				TAGE: &TAGESpec{Tables: 3, MinHist: 2, MaxHist: 16, TagBits: 6, UPeriod: 128}},
+			opts: sweep.Options{Scheme: core.SchemeTAGE, Tiers: []int{4, 5}, Metered: true,
+				TAGE: core.TAGEParams{Tables: 3, MinHist: 2, MaxHist: 16, TagBits: 6, UPeriod: 128}},
+		},
+		{
+			name: "perceptron",
+			spec: JobSpec{Scheme: "perceptron", Tiers: []int{4, 5}, Warmup: warmup,
+				Perceptron: &PerceptronSpec{WeightBits: 6, Threshold: 10}},
+			opts: sweep.Options{Scheme: core.SchemePerceptron, Tiers: []int{4, 5},
+				Perceptron: core.PerceptronParams{WeightBits: 6, Threshold: 10}},
+		},
+		{
+			name: "tournament-metered",
+			spec: JobSpec{Scheme: "tournament", Tiers: []int{4, 5}, Warmup: warmup, Metered: true,
+				ChooserBits: 4},
+			opts: sweep.Options{Scheme: core.SchemeTournament, Tiers: []int{4, 5}, Metered: true,
+				ChooserBits: 4},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := tc.opts
+			opts.Sim = sim.Options{Warmup: warmup}
+
+			baseline, err := sweep.Run(opts, tr)
+			if err != nil {
+				t.Fatalf("baseline sweep: %v", err)
+			}
+			var baseCSV bytes.Buffer
+			if err := baseline.WriteCSV(&baseCSV); err != nil {
+				t.Fatalf("baseline CSV: %v", err)
+			}
+
+			cliDir := t.TempDir()
+			opts.CheckpointDir = cliDir
+			if _, err := sweep.RunCtx(context.Background(), opts, tr); err != nil {
+				t.Fatalf("sweep.RunCtx: %v", err)
+			}
+			cliBytes, err := os.ReadFile(checkpoint.PathFor(cliDir, digest, warmup))
+			if err != nil {
+				t.Fatalf("CLI checkpoint missing: %v", err)
+			}
+
+			dataDir := t.TempDir()
+			m, err := NewManager(Config{DataDir: dataDir, Workers: 1, PublishName: "test-golden-" + tc.name})
+			if err != nil {
+				t.Fatalf("NewManager: %v", err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				if err := m.Drain(ctx); err != nil {
+					t.Errorf("Drain: %v", err)
+				}
+			}()
+			info, err := m.Traces().Ingest(bytes.NewReader(encodeBPT1(t, tr)))
+			if err != nil {
+				t.Fatalf("Ingest: %v", err)
+			}
+			spec := tc.spec
+			spec.Trace = info.Digest
+			j, _, err := m.Submit(spec)
+			if err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+			deadline := time.Now().Add(60 * time.Second)
+			for !j.State().terminal() {
+				if time.Now().After(deadline) {
+					t.Fatalf("job stuck in %s", j.State())
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if st := j.State(); st != StateDone {
+				t.Fatalf("job = %s", st)
+			}
+			srvFile := checkpoint.PathFor(filepath.Join(dataDir, "checkpoints"), digest, warmup)
+			srvBytes, err := os.ReadFile(srvFile)
+			if err != nil {
+				t.Fatalf("server checkpoint missing: %v", err)
+			}
+			if !bytes.Equal(srvBytes, cliBytes) {
+				t.Fatalf("server BPC1 (%d bytes) differs from CLI BPC1 (%d bytes)", len(srvBytes), len(cliBytes))
+			}
+
+			// A CLI sweep resuming off the server's bytes must render the
+			// baseline CSV byte for byte.
+			resumeDir := t.TempDir()
+			if err := os.WriteFile(checkpoint.PathFor(resumeDir, digest, warmup), srvBytes, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			resumeOpts := tc.opts
+			resumeOpts.Sim = sim.Options{Warmup: warmup}
+			resumeOpts.CheckpointDir = resumeDir
+			resumed, err := sweep.RunCtx(context.Background(), resumeOpts, tr)
+			if err != nil {
+				t.Fatalf("resumed sweep: %v", err)
+			}
+			var resumedCSV bytes.Buffer
+			if err := resumed.WriteCSV(&resumedCSV); err != nil {
+				t.Fatalf("resumed CSV: %v", err)
+			}
+			if !bytes.Equal(resumedCSV.Bytes(), baseCSV.Bytes()) {
+				t.Fatalf("CSV resumed off the server checkpoint differs from uninterrupted run\n got: %q\nwant: %q",
+					resumedCSV.Bytes(), baseCSV.Bytes())
+			}
+		})
 	}
 }

@@ -23,7 +23,7 @@ type JobSpec struct {
 	// (returned by POST /v1/traces).
 	Trace string `json:"trace"`
 	// Scheme selects the predictor family: address, gas, gshare,
-	// path, or pas (case-insensitive).
+	// path, pas, tage, perceptron, or tournament (case-insensitive).
 	Scheme string `json:"scheme"`
 	// MinBits/MaxBits bound the counter-budget tiers (log2); zero
 	// values default to the paper's 4..15.
@@ -40,6 +40,12 @@ type JobSpec struct {
 	PathBits int `json:"path_bits,omitempty"`
 	// FirstLevel applies to the pas scheme.
 	FirstLevel *FirstLevelSpec `json:"first_level,omitempty"`
+	// TAGE applies to the tage scheme (nil = defaults).
+	TAGE *TAGESpec `json:"tage,omitempty"`
+	// Perceptron applies to the perceptron scheme (nil = defaults).
+	Perceptron *PerceptronSpec `json:"perceptron,omitempty"`
+	// ChooserBits applies to the tournament scheme (0 = row bits).
+	ChooserBits int `json:"chooser_bits,omitempty"`
 }
 
 // FirstLevelSpec configures the PAs first-level history table.
@@ -48,6 +54,24 @@ type FirstLevelSpec struct {
 	Kind    string `json:"kind"`
 	Entries int    `json:"entries,omitempty"`
 	Ways    int    `json:"ways,omitempty"`
+}
+
+// TAGESpec configures the tagged-geometric predictor's geometry knobs
+// (see core.TAGEParams; zero fields take the documented defaults).
+type TAGESpec struct {
+	Tables  int `json:"tables,omitempty"`
+	MinHist int `json:"min_hist,omitempty"`
+	MaxHist int `json:"max_hist,omitempty"`
+	TagBits int `json:"tag_bits,omitempty"`
+	// UPeriod is the useful-bit aging period; -1 disables aging.
+	UPeriod int `json:"u_period,omitempty"`
+}
+
+// PerceptronSpec configures the perceptron predictor's weight width
+// and training threshold (see core.PerceptronParams).
+type PerceptronSpec struct {
+	WeightBits int `json:"weight_bits,omitempty"`
+	Threshold  int `json:"threshold,omitempty"`
 }
 
 // parseScheme maps the wire name onto core.Scheme.
@@ -63,8 +87,14 @@ func parseScheme(s string) (core.Scheme, error) {
 		return core.SchemePath, nil
 	case "pas":
 		return core.SchemePAs, nil
+	case "tage":
+		return core.SchemeTAGE, nil
+	case "perceptron":
+		return core.SchemePerceptron, nil
+	case "tournament":
+		return core.SchemeTournament, nil
 	default:
-		return 0, fmt.Errorf("unknown scheme %q (want address, gas, gshare, path, or pas)", s)
+		return 0, fmt.Errorf("unknown scheme %q (want address, gas, gshare, path, pas, tage, perceptron, or tournament)", s)
 	}
 }
 
@@ -77,13 +107,29 @@ func (s JobSpec) sweepOptions() (sweep.Options, error) {
 		return sweep.Options{}, err
 	}
 	o := sweep.Options{
-		Scheme:   scheme,
-		MinBits:  s.MinBits,
-		MaxBits:  s.MaxBits,
-		Tiers:    append([]int(nil), s.Tiers...),
-		Metered:  s.Metered,
-		PathBits: s.PathBits,
-		Sim:      sim.Options{Warmup: s.Warmup},
+		Scheme:      scheme,
+		MinBits:     s.MinBits,
+		MaxBits:     s.MaxBits,
+		Tiers:       append([]int(nil), s.Tiers...),
+		Metered:     s.Metered,
+		PathBits:    s.PathBits,
+		ChooserBits: s.ChooserBits,
+		Sim:         sim.Options{Warmup: s.Warmup},
+	}
+	if s.TAGE != nil {
+		o.TAGE = core.TAGEParams{
+			Tables:  s.TAGE.Tables,
+			MinHist: s.TAGE.MinHist,
+			MaxHist: s.TAGE.MaxHist,
+			TagBits: s.TAGE.TagBits,
+			UPeriod: s.TAGE.UPeriod,
+		}
+	}
+	if s.Perceptron != nil {
+		o.Perceptron = core.PerceptronParams{
+			WeightBits: s.Perceptron.WeightBits,
+			Threshold:  s.Perceptron.Threshold,
+		}
 	}
 	if s.FirstLevel != nil {
 		fl := core.FirstLevel{Entries: s.FirstLevel.Entries, Ways: s.FirstLevel.Ways}
@@ -189,13 +235,22 @@ func cellKey(digest [32]byte, warmup int, fp string) string {
 	return cluster.Key{Digest: digest, Warmup: uint64(warmup), Fingerprint: fp}.String()
 }
 
-// AliasResult is the aliasing taxonomy of one metered cell.
+// AliasResult is the aliasing taxonomy of one metered cell. The
+// tagged-table extension fields (tag conflicts, useful-bit
+// victimizations, provider overrides) only appear for schemes that
+// produce them (tage) and are omitted when zero.
 type AliasResult struct {
 	Accesses    uint64 `json:"accesses"`
 	Conflicts   uint64 `json:"conflicts"`
 	AllOnes     uint64 `json:"all_ones"`
 	Agreeing    uint64 `json:"agreeing"`
 	Destructive uint64 `json:"destructive"`
+
+	TagAgree        uint64 `json:"tag_agree,omitempty"`
+	TagDisagree     uint64 `json:"tag_disagree,omitempty"`
+	UsefulVictims   uint64 `json:"useful_victims,omitempty"`
+	Overrides       uint64 `json:"overrides,omitempty"`
+	OverrideCorrect uint64 `json:"override_correct,omitempty"`
 }
 
 // CellResult is one evaluated configuration in a job result.
@@ -263,6 +318,12 @@ func buildResult(j *Job, traceName string, collected map[string]sim.Metrics) *Jo
 				AllOnes:     m.Alias.AllOnes,
 				Agreeing:    m.Alias.Agreeing,
 				Destructive: m.Alias.Destructive,
+
+				TagAgree:        m.Alias.TagAgree,
+				TagDisagree:     m.Alias.TagDisagree,
+				UsefulVictims:   m.Alias.UsefulVictims,
+				Overrides:       m.Alias.Overrides,
+				OverrideCorrect: m.Alias.OverrideCorrect,
 			}
 		}
 		res.Cells = append(res.Cells, cell)

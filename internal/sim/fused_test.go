@@ -51,6 +51,21 @@ func fusedAxes() map[string][]core.Config {
 	mixed = append(mixed, pasPerfect...)
 	mixed = append(mixed, core.Config{Scheme: core.SchemeAddress, ColBits: 9}) // singleton group -> remainder
 	axes["mixed"] = mixed
+
+	// Modern schemes are never fusable (fuseKeyFor declines them), so
+	// this axis pins the per-config remainder path — and, via the
+	// stream tests, BPT2/BPT1 streamed execution — for the tagged,
+	// perceptron, and tournament kernels, metered and not.
+	axes["modern"] = []core.Config{
+		{Scheme: core.SchemeTAGE, RowBits: 6, ColBits: 7},
+		{Scheme: core.SchemeTAGE, RowBits: 5, ColBits: 6, Metered: true,
+			TAGE: core.TAGEParams{Tables: 3, MinHist: 2, MaxHist: 24, TagBits: 6, UPeriod: 256}},
+		{Scheme: core.SchemePerceptron, RowBits: 12, ColBits: 7},
+		{Scheme: core.SchemePerceptron, RowBits: 8, ColBits: 5, Metered: true,
+			Perceptron: core.PerceptronParams{WeightBits: 6, Threshold: 12}},
+		{Scheme: core.SchemeTournament, RowBits: 8, ColBits: 8},
+		{Scheme: core.SchemeTournament, RowBits: 7, ColBits: 6, ChooserBits: 5, Metered: true},
+	}
 	return axes
 }
 

@@ -72,6 +72,26 @@ func equivalenceSchemes() map[string]func() core.Predictor {
 		"tournament": func() core.Predictor {
 			return core.NewTournament(core.NewAddressIndexed(8), core.NewGShare(8, 0), 8)
 		},
+		"tage": func() core.Predictor {
+			return core.NewTAGE(8, 10, core.TAGEParams{}, false)
+		},
+		"tage-meter": func() core.Predictor {
+			// Small geometry with a short aging period so victimization
+			// and useful-bit halving both happen inside the test traces.
+			return core.NewTAGE(6, 8, core.TAGEParams{Tables: 5, MinHist: 2, MaxHist: 40, TagBits: 6, UPeriod: 512}, true)
+		},
+		"perceptron": func() core.Predictor {
+			return core.NewPerceptron(12, 8, core.PerceptronParams{}, false)
+		},
+		"perceptron-meter": func() core.Predictor {
+			return core.NewPerceptron(8, 6, core.PerceptronParams{WeightBits: 6, Threshold: 9}, true)
+		},
+		"mcfarling": func() core.Predictor {
+			return core.NewMcFarling(10, 10, 9, false)
+		},
+		"mcfarling-meter": func() core.Predictor {
+			return core.NewMcFarling(8, 9, 7, true)
+		},
 	}
 }
 

@@ -45,6 +45,21 @@ func resumeSchemes() map[string]Options {
 		"gshare-metered": {
 			Scheme: core.SchemeGShare, MinBits: 4, MaxBits: 6, Metered: true,
 		},
+		// Metered TAGE exercises the checkpoint v2 extension fields
+		// (tag agree/disagree, useful victims, overrides): an interrupt
+		// + resume must round-trip the full tagged-table payload.
+		"tage-metered": {
+			Scheme: core.SchemeTAGE, MinBits: 4, MaxBits: 6, Metered: true,
+			TAGE: core.TAGEParams{Tables: 3, MinHist: 2, MaxHist: 16, TagBits: 6, UPeriod: 128},
+		},
+		"perceptron": {
+			Scheme: core.SchemePerceptron, MinBits: 4, MaxBits: 6,
+			Perceptron: core.PerceptronParams{WeightBits: 6, Threshold: 10},
+		},
+		"tournament-metered": {
+			Scheme: core.SchemeTournament, MinBits: 4, MaxBits: 6, Metered: true,
+			ChooserBits: 5,
+		},
 	}
 }
 

@@ -43,6 +43,12 @@ type Options struct {
 	FirstLevel core.FirstLevel
 	// PathBits applies to SchemePath (0 = default).
 	PathBits int
+	// TAGE applies to SchemeTAGE (zero values = defaults).
+	TAGE core.TAGEParams
+	// Perceptron applies to SchemePerceptron (zero values = defaults).
+	Perceptron core.PerceptronParams
+	// ChooserBits applies to SchemeTournament (0 = RowBits).
+	ChooserBits int
 	// Metered attaches aliasing meters to every configuration.
 	Metered bool
 	// Sim carries simulation options (warmup, progress counters).
@@ -199,6 +205,14 @@ func tierConfigs(o Options, n int) []core.Config {
 			FirstLevel: o.FirstLevel,
 			PathBits:   o.PathBits,
 			Metered:    o.Metered,
+		}
+		switch o.Scheme {
+		case core.SchemeTAGE:
+			c.TAGE = o.TAGE
+		case core.SchemePerceptron:
+			c.Perceptron = o.Perceptron
+		case core.SchemeTournament:
+			c.ChooserBits = o.ChooserBits
 		}
 		// Address-indexed is the r=0 edge of every family; GAs
 		// with 0 rows *is* address-indexed, so keep it: the
